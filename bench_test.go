@@ -1,0 +1,289 @@
+// Package repro's root benchmarks map one testing.B target to every table
+// and figure of the paper's evaluation. They run at laptop scale; the full
+// parameter sweeps (thread counts, paper-sized structures, 20-second data
+// points) are produced by cmd/ptmbench and cmd/dbbench.
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+	"repro/internal/seqds"
+)
+
+// engines returns the comparison set used by the paper's figures.
+func engines() []bench.Engine { return bench.AllEngines() }
+
+// BenchmarkFig4SPS measures one SPS update transaction (Fig. 4): `swaps`
+// random pair exchanges in a persistent integer array.
+func BenchmarkFig4SPS(b *testing.B) {
+	const arraySize = 1 << 14
+	for _, swaps := range []int{1, 8, 64} {
+		for _, eng := range engines() {
+			b.Run(fmt.Sprintf("%s/swaps=%d", eng.Name, swaps), func(b *testing.B) {
+				p, pool := eng.New(1, 1<<16, pmem.LatencyModel{}, nil)
+				sps := seqds.SPS{RootSlot: 0}
+				p.Update(0, func(m ptm.Mem) uint64 { sps.InitEmpty(m, arraySize); return 0 })
+				for lo := uint64(0); lo < arraySize; lo += 512 {
+					lo := lo
+					p.Update(0, func(m ptm.Mem) uint64 { sps.FillRange(m, lo, lo+512); return 0 })
+				}
+				r := newBenchRNG(1)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pairs := make([][2]uint64, swaps)
+					for k := range pairs {
+						pairs[k] = [2]uint64{r.next() % arraySize, r.next() % arraySize}
+					}
+					p.Update(0, func(m ptm.Mem) uint64 {
+						for _, pr := range pairs {
+							sps.Swap(m, pr[0], pr[1])
+						}
+						return 0
+					})
+				}
+				b.StopTimer()
+				reportPM(b, pool, b.N)
+			})
+		}
+	}
+}
+
+// BenchmarkFig5Queue measures an enqueue+dequeue transaction pair on the
+// persistent queue (Fig. 5), pre-filled with 1,000 elements.
+func BenchmarkFig5Queue(b *testing.B) {
+	for _, eng := range engines() {
+		b.Run(eng.Name, func(b *testing.B) {
+			p, pool := eng.New(1, 1<<18, pmem.LatencyModel{}, nil)
+			q := seqds.Queue{RootSlot: 0}
+			p.Update(0, func(m ptm.Mem) uint64 { q.Init(m); return 0 })
+			for i := 0; i < 1000; i += 100 {
+				base := uint64(i)
+				p.Update(0, func(m ptm.Mem) uint64 {
+					for j := uint64(0); j < 100; j++ {
+						q.Enqueue(m, base+j)
+					}
+					return 0
+				})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Update(0, func(m ptm.Mem) uint64 { q.Enqueue(m, uint64(i)); return 0 })
+				p.Update(0, func(m ptm.Mem) uint64 {
+					v, _ := q.Dequeue(m)
+					return v
+				})
+			}
+			b.StopTimer()
+			reportPM(b, pool, b.N)
+		})
+	}
+}
+
+// benchSet runs the Fig. 6 mixed workload (10% updates) on one structure.
+func benchSet(b *testing.B, ds string, keys uint64) {
+	for _, eng := range engines() {
+		b.Run(eng.Name, func(b *testing.B) {
+			s, err := bench.SetByName(ds)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, pool := eng.New(1, 1<<20, pmem.LatencyModel{}, nil)
+			p.Update(0, func(m ptm.Mem) uint64 { s.Init(m); return 0 })
+			for base := uint64(0); base < keys; base += 512 {
+				lo, hi := base, base+512
+				if hi > keys {
+					hi = keys
+				}
+				p.Update(0, func(m ptm.Mem) uint64 {
+					for k := lo; k < hi; k++ {
+						s.Add(m, k)
+					}
+					return 0
+				})
+			}
+			r := newBenchRNG(7)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if r.next()%100 < 10 { // 10% updates
+					k := r.next() % keys
+					if p.Update(0, func(m ptm.Mem) uint64 {
+						if s.Remove(m, k) {
+							return 1
+						}
+						return 0
+					}) == 1 {
+						p.Update(0, func(m ptm.Mem) uint64 { s.Add(m, k); return 0 })
+					}
+				} else {
+					for n := 0; n < 2; n++ {
+						k := r.next() % keys
+						p.Read(0, func(m ptm.Mem) uint64 {
+							if s.Contains(m, k) {
+								return 1
+							}
+							return 0
+						})
+					}
+				}
+			}
+			b.StopTimer()
+			reportPM(b, pool, b.N)
+		})
+	}
+}
+
+// BenchmarkFig6List measures the ordered linked-list set (Fig. 6 top).
+func BenchmarkFig6List(b *testing.B) { benchSet(b, "list", 1024) }
+
+// BenchmarkFig6Tree measures the red-black tree set (Fig. 6 middle).
+func BenchmarkFig6Tree(b *testing.B) { benchSet(b, "tree", 1<<13) }
+
+// BenchmarkFig6Hash measures the resizable hash set (Fig. 6 bottom).
+func BenchmarkFig6Hash(b *testing.B) { benchSet(b, "hash", 1<<13) }
+
+// BenchmarkTable1Breakdown measures a 100%-update transaction on the hash
+// set under concurrency, the workload whose time breakdown Table 1 reports;
+// ns/op here corresponds to the table's updateTX column.
+func BenchmarkTable1Breakdown(b *testing.B) {
+	const keys = 1 << 12
+	procs := runtime.GOMAXPROCS(0)
+	for _, eng := range engines() {
+		b.Run(eng.Name, func(b *testing.B) {
+			s, _ := bench.SetByName("hash")
+			p, pool := eng.New(procs, 1<<20, pmem.LatencyModel{}, nil)
+			p.Update(0, func(m ptm.Mem) uint64 { s.Init(m); return 0 })
+			for base := uint64(0); base < keys; base += 512 {
+				base := base
+				p.Update(0, func(m ptm.Mem) uint64 {
+					for k := base; k < base+512; k++ {
+						s.Add(m, k)
+					}
+					return 0
+				})
+			}
+			var mu chanTid
+			mu.init(procs)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				tid := mu.acquire()
+				defer mu.release(tid)
+				r := newBenchRNG(uint64(tid) + 99)
+				for pb.Next() {
+					k := r.next() % keys
+					if p.Update(tid, func(m ptm.Mem) uint64 {
+						if s.Remove(m, k) {
+							return 1
+						}
+						return 0
+					}) == 1 {
+						p.Update(tid, func(m ptm.Mem) uint64 { s.Add(m, k); return 0 })
+					}
+				}
+			})
+			b.StopTimer()
+			reportPM(b, pool, b.N)
+		})
+	}
+}
+
+// BenchmarkFig7ReadRandom measures random Gets (Fig. 7 left).
+func BenchmarkFig7ReadRandom(b *testing.B) { benchKV(b, "readrandom") }
+
+// BenchmarkFig7Overwrite measures random overwrites (Fig. 7 right).
+func BenchmarkFig7Overwrite(b *testing.B) { benchKV(b, "overwrite") }
+
+// BenchmarkFig9Fillrandom measures fillrandom Puts (Fig. 9).
+func BenchmarkFig9Fillrandom(b *testing.B) { benchKV(b, "fillrandom") }
+
+func benchKV(b *testing.B, workload string) {
+	const keys = 1 << 13
+	cfg := bench.DBConfig{Keys: keys, Words: 1 << 20}
+	for _, mk := range []func() bench.KV{
+		func() bench.KV { return bench.NewRocksKV(cfg) },
+		func() bench.KV { return bench.NewRedoKV(cfg, 2) },
+	} {
+		kv := mk()
+		b.Run(kv.Name(), func(b *testing.B) {
+			val := make([]byte, 100)
+			if workload != "fillrandom" {
+				for i := uint64(0); i < keys; i++ {
+					kv.Put(0, []byte(fmt.Sprintf("%016d", i)), val)
+				}
+			}
+			r := newBenchRNG(3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := []byte(fmt.Sprintf("%016d", r.next()%keys))
+				if workload == "readrandom" {
+					kv.Get(0, k)
+				} else {
+					kv.Put(0, k, val)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8Recovery measures reopening a filled database and running
+// the first transaction (Fig. 8 right: recovery time after a failure).
+func BenchmarkFig8Recovery(b *testing.B) {
+	const keys = 1 << 12
+	cfg := bench.DBConfig{Keys: keys, Words: 1 << 19}
+	kv := bench.NewRedoKV(cfg, 2)
+	val := make([]byte, 100)
+	for i := uint64(0); i < keys; i++ {
+		kv.Put(0, []byte(fmt.Sprintf("%016d", i)), val)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.ReopenRedo(kv)
+	}
+}
+
+// reportPM attaches persistence-instruction metrics to a benchmark.
+func reportPM(b *testing.B, pool *pmem.Pool, ops int) {
+	if ops <= 0 {
+		return
+	}
+	s := pool.Stats()
+	b.ReportMetric(float64(s.PWBs)/float64(ops), "pwbs/op")
+	b.ReportMetric(float64(s.Fences())/float64(ops), "fences/op")
+}
+
+// benchRNG is a tiny splitmix64.
+type benchRNG struct{ s uint64 }
+
+func newBenchRNG(seed uint64) *benchRNG { return &benchRNG{s: seed*0x9e3779b97f4a7c15 + 1} }
+
+func (r *benchRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// chanTid hands out distinct thread ids to RunParallel workers.
+type chanTid struct{ ch chan int }
+
+func (c *chanTid) init(n int) {
+	c.ch = make(chan int, n)
+	for i := 0; i < n; i++ {
+		c.ch <- i
+	}
+}
+func (c *chanTid) acquire() int    { return <-c.ch }
+func (c *chanTid) release(tid int) { c.ch <- tid }

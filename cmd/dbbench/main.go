@@ -1,0 +1,76 @@
+// Command dbbench regenerates the RedoDB vs RocksDB figures (7–9) with
+// db_bench-style workloads on the emulated persistent memory: readrandom,
+// readwhilewriting, overwrite, fillrandom, plus the memory-usage and
+// recovery-time measurements.
+//
+//	dbbench -fig fig7 -keys 100000
+//	dbbench -fig fig8
+//	dbbench -fig fig9 -threads 1,2,4,8
+//
+// The paper ran 10^6 and 10^7 keys (16-byte keys, 100-byte values) on real
+// Optane; -keys scales the database so the suite completes on a laptop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/pmem"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "fig7 | fig8 | fig9 | all")
+		keys    = flag.Uint64("keys", 100_000, "distinct keys (paper: 1e6 and 1e7)")
+		threads = flag.String("threads", "1,2,4,8", "comma-separated thread counts")
+		secs    = flag.Float64("secs", 1.0, "seconds per data point (paper: 20)")
+		optane  = flag.Bool("optane", true, "inject Optane-like pwb/fence latencies")
+	)
+	flag.Parse()
+
+	var ts []int
+	for _, part := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "bad thread count %q\n", part)
+			os.Exit(2)
+		}
+		ts = append(ts, n)
+	}
+	// Size regions for ~40 words per pair plus headroom; WAL/journal and
+	// checkpoint regions use the same size.
+	words := uint64(1) << 16
+	for words < *keys*64+(1<<16) {
+		words *= 2
+	}
+	cfg := bench.DBConfig{
+		Keys:    *keys,
+		Threads: ts,
+		Dur:     time.Duration(*secs * float64(time.Second)),
+		Words:   words,
+		Out:     os.Stdout,
+	}
+	if *optane {
+		cfg.Lat = pmem.DefaultOptane
+	}
+	switch *fig {
+	case "fig7":
+		bench.Fig7(cfg)
+	case "fig8":
+		bench.Fig8(cfg)
+	case "fig9":
+		bench.Fig9(cfg)
+	case "all":
+		bench.Fig7(cfg)
+		bench.Fig8(cfg)
+		bench.Fig9(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,144 @@
+// Command ptmbench regenerates the PTM figures and tables of the paper's
+// evaluation (§6) on the emulated persistent memory:
+//
+//	ptmbench -fig fig4                 # SPS microbenchmark (Figure 4)
+//	ptmbench -fig fig5                 # persistent queue (Figure 5)
+//	ptmbench -fig fig6 -ds tree        # set benchmarks (Figure 6)
+//	ptmbench -fig table1               # update-cost breakdown (Table 1)
+//	ptmbench -fig props                # §2 PTM comparison table
+//	ptmbench -fig all -scale 100       # everything, scaled down 100×
+//
+// -scale divides the paper's key counts (10^6 keys for tree/hash, 10^4 for
+// the list, 10^6 SPS entries) so the suite completes on a laptop; the paper
+// ran 20-second data points on a 40-thread Optane machine, which -secs and
+// -threads restore.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/pmem"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "fig4 | fig5 | fig6 | table1 | ablation | props | all")
+		ds      = flag.String("ds", "all", "fig6 data structure: list | tree | hash | all")
+		threads = flag.String("threads", "1,2,4,8", "comma-separated thread counts")
+		secs    = flag.Float64("secs", 1.0, "seconds per data point (paper: 20)")
+		scale   = flag.Uint64("scale", 100, "divide the paper's sizes by this factor")
+		engines = flag.String("engines", "all", "comma-separated engine names or 'all'")
+		optane  = flag.Bool("optane", true, "inject Optane-like pwb/fence latencies")
+	)
+	flag.Parse()
+
+	cfg := bench.FigConfig{
+		Threads: parseThreads(*threads),
+		Dur:     time.Duration(*secs * float64(time.Second)),
+		Out:     os.Stdout,
+	}
+	if *optane {
+		cfg.Lat = pmem.DefaultOptane
+	}
+	if *engines == "all" {
+		cfg.Engines = bench.AllEngines()
+	} else {
+		for _, name := range strings.Split(*engines, ",") {
+			e, err := bench.EngineByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			cfg.Engines = append(cfg.Engines, e)
+		}
+	}
+
+	spsSize := max64(1_000_000 / *scale, 4096)
+	bigKeys := max64(1_000_000 / *scale, 2048)
+	listKeys := max64(10_000 / *scale, 512)
+
+	run := func(name string) {
+		switch name {
+		case "props":
+			bench.PropsTable(cfg.Out)
+		case "fig4":
+			bench.Fig4SPS(cfg, spsSize, []int{1, 8, 64})
+		case "fig5":
+			bench.Fig5Queue(cfg, 1000)
+		case "fig6":
+			structures := []string{"list", "tree", "hash"}
+			if *ds != "all" {
+				structures = []string{*ds}
+			}
+			for _, s := range structures {
+				keys := bigKeys
+				if s == "list" {
+					keys = listKeys
+				}
+				bench.Fig6Set(cfg, s, keys, []int{100, 10, 1})
+			}
+		case "table1":
+			bench.Table1(cfg.Out, bigKeys, clampThreads(cfg.Threads, []int{4, 16}), cfg.Dur, cfg)
+		case "ablation":
+			bench.Ablation(cfg)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if *fig == "all" {
+		for _, f := range []string{"props", "fig4", "fig5", "fig6", "table1", "ablation"} {
+			run(f)
+		}
+		return
+	}
+	run(*fig)
+}
+
+func parseThreads(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "bad thread count %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// clampThreads keeps the paper's Table 1 thread counts that do not exceed
+// what the user asked for.
+func clampThreads(allowed, want []int) []int {
+	maxA := 0
+	for _, t := range allowed {
+		if t > maxA {
+			maxA = t
+		}
+	}
+	var out []int
+	for _, t := range want {
+		if t <= maxA {
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{maxA}
+	}
+	return out
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

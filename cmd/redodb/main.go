@@ -1,0 +1,181 @@
+// Command redodb is an interactive shell (and one-shot CLI) for RedoDB, the
+// wait-free durable key-value store, over a file-backed emulated-NVMM pool:
+//
+//	redodb -db /tmp/shop.pmem put user:1 alice
+//	redodb -db /tmp/shop.pmem get user:1
+//	redodb -db /tmp/shop.pmem scan user:
+//	redodb -db /tmp/shop.pmem            # interactive shell
+//
+// Every mutation is a durable linearizable transaction; the pool snapshot is
+// rewritten on exit (and after every one-shot command), so state survives
+// across invocations like a real persistent-memory application.
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/pmem"
+	"repro/internal/redodb"
+)
+
+func main() {
+	var (
+		dbPath = flag.String("db", "redodb.pmem", "pool snapshot file")
+		words  = flag.Uint64("words", 1<<20, "region size in 64-bit words for a fresh pool")
+	)
+	flag.Parse()
+
+	pool, fresh, err := openPool(*dbPath, *words)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	db := redodb.Open(pool, redodb.Options{Threads: 1})
+	s := db.Session(0)
+	if fresh {
+		fmt.Fprintf(os.Stderr, "created new pool (%d×%d words)\n", pool.Regions(), pool.RegionWords())
+	} else {
+		fmt.Fprintf(os.Stderr, "opened %s: %d keys\n", *dbPath, s.Len())
+	}
+
+	save := func() {
+		if err := pool.WriteFile(*dbPath); err != nil {
+			fmt.Fprintln(os.Stderr, "snapshot failed:", err)
+			os.Exit(1)
+		}
+	}
+
+	if args := flag.Args(); len(args) > 0 {
+		if code := run(s, db, args); code != 0 {
+			os.Exit(code)
+		}
+		save()
+		return
+	}
+
+	// Interactive shell.
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("redodb> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) > 0 {
+			if fields[0] == "quit" || fields[0] == "exit" {
+				break
+			}
+			run(s, db, fields)
+		}
+		fmt.Print("redodb> ")
+	}
+	save()
+	fmt.Fprintln(os.Stderr, "snapshot saved to", *dbPath)
+}
+
+func openPool(path string, words uint64) (*pmem.Pool, bool, error) {
+	pool, err := pmem.ReadFile(path)
+	if err == nil {
+		return pool, false, nil
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		return nil, false, err
+	}
+	return pmem.New(pmem.Config{
+		Mode:        pmem.Strict,
+		RegionWords: words,
+		Regions:     2, // one thread → N+1 replicas
+	}), true, nil
+}
+
+func run(s *redodb.Session, db *redodb.DB, args []string) int {
+	switch args[0] {
+	case "put":
+		if len(args) != 3 {
+			return usage("put <key> <value>")
+		}
+		s.Put([]byte(args[1]), []byte(args[2]))
+		fmt.Println("OK")
+	case "get":
+		if len(args) != 2 {
+			return usage("get <key>")
+		}
+		v, ok := s.Get([]byte(args[1]))
+		if !ok {
+			fmt.Println("(not found)")
+			return 1
+		}
+		fmt.Println(string(v))
+	case "del":
+		if len(args) != 2 {
+			return usage("del <key>")
+		}
+		if s.Delete([]byte(args[1])) {
+			fmt.Println("OK")
+		} else {
+			fmt.Println("(not found)")
+			return 1
+		}
+	case "scan":
+		prefix := ""
+		if len(args) > 1 {
+			prefix = args[1]
+		}
+		it := s.NewIterator()
+		if prefix != "" {
+			it.Seek([]byte(prefix))
+			for it.Valid() && strings.HasPrefix(string(it.Key()), prefix) {
+				fmt.Printf("%s = %s\n", it.Key(), it.Value())
+				if !it.Next() {
+					break
+				}
+			}
+		} else {
+			for it.Next() {
+				fmt.Printf("%s = %s\n", it.Key(), it.Value())
+			}
+		}
+	case "len":
+		fmt.Println(s.Len())
+	case "stats":
+		fmt.Printf("keys=%d nvmm_used=%dB engine=%s\n",
+			s.Len(), db.NVMUsedBytes(), db.Engine().Name())
+	case "batch":
+		// batch put k1 v1 put k2 v2 del k3 … — applied atomically.
+		b := &redodb.WriteBatch{}
+		i := 1
+		for i < len(args) {
+			switch args[i] {
+			case "put":
+				if i+2 >= len(args) {
+					return usage("batch … put <key> <value> …")
+				}
+				b.Put([]byte(args[i+1]), []byte(args[i+2]))
+				i += 3
+			case "del":
+				if i+1 >= len(args) {
+					return usage("batch … del <key> …")
+				}
+				b.Delete([]byte(args[i+1]))
+				i += 2
+			default:
+				return usage("batch [put <k> <v> | del <k>]…")
+			}
+		}
+		s.Write(b)
+		fmt.Printf("OK (%d ops, atomic)\n", b.Len())
+	case "help":
+		fmt.Println("commands: put get del scan len stats batch quit")
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q (try help)\n", args[0])
+		return 2
+	}
+	return 0
+}
+
+func usage(u string) int {
+	fmt.Fprintln(os.Stderr, "usage:", u)
+	return 2
+}

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core/cx"
+	"repro/internal/core/redo"
+	"repro/internal/onll"
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+	"repro/internal/seqds"
+)
+
+// Ablation quantifies each RedoOpt-PTM optimization in isolation (§5's
+// "Additional optimizations") on the queue workload — the workload the
+// paper uses to motivate them, since every operation touches the queue ends
+// and allocator metadata — and the CX reclamation-window trade-off
+// (replica invalidation frequency vs memory).
+func Ablation(cfg FigConfig) {
+	steps := []struct {
+		name string
+		feat redo.Features
+	}{
+		{"base (none)", redo.Features{}},
+		{"+funnel", redo.Features{Funnel: true}},
+		{"+defer-flush", redo.Features{Funnel: true, DeferFlush: true}},
+		{"+store-agg", redo.Features{Funnel: true, DeferFlush: true, StoreAgg: true}},
+		{"+nt-copy (=Opt)", redo.Features{Funnel: true, DeferFlush: true, StoreAgg: true, NTCopy: true}},
+	}
+	PrintHeader(cfg.Out, "Ablation — Redo-PTM optimizations, queue enq+deq workload")
+	for _, step := range steps {
+		for _, threads := range cfg.Threads {
+			feat := step.feat
+			pool := pmem.New(pmem.Config{
+				Mode: pmem.Direct, RegionWords: 1 << 20, Regions: threads + 1, Latency: cfg.Lat,
+			})
+			eng := redo.New(pool, redo.Config{Threads: threads, Features: &feat})
+			res := runQueuePairs(eng, pool, threads, cfg)
+			res.Engine = step.name
+			PrintResult(cfg.Out, res)
+		}
+	}
+
+	// §3's design argument: ONLL persists the operations themselves
+	// (logical log, 1 fence) while CX keeps the queue volatile and
+	// persists only curComb + the replica. The price ONLL pays is no
+	// dynamic transactions and a log that grows with every operation.
+	PrintHeader(cfg.Out, "Ablation — persistent logical log (ONLL) vs volatile queue (CX-PTM), queue workload")
+	for _, threads := range cfg.Threads {
+		opool := pmem.New(pmem.Config{
+			Mode: pmem.Direct, RegionWords: 1 << 24, Regions: 1, Latency: cfg.Lat,
+		})
+		q := seqds.Queue{RootSlot: 0}
+		oeng := onll.New(opool, onll.Config{
+			Threads: threads,
+			Ops: map[uint16]onll.OpFunc{
+				1: func(m ptm.Mem, args []uint64) uint64 { q.Enqueue(m, args[0]); return 0 },
+				2: func(m ptm.Mem, args []uint64) uint64 {
+					v, _ := q.Dequeue(m)
+					return v
+				},
+			},
+			Init: func(m ptm.Mem, args []uint64) uint64 { q.Init(m); return 0 },
+		})
+		for i := 0; i < 1000; i++ {
+			oeng.Update(0, 1, uint64(i))
+		}
+		res := RunThroughput(opool, threads, cfg.Dur, func(tid, i int) {
+			if i%2 == 0 {
+				oeng.Update(tid, 1, uint64(i))
+			} else {
+				oeng.Update(tid, 2)
+			}
+		})
+		res.Engine = "ONLL"
+		PrintResult(cfg.Out, res)
+		fmt.Fprintf(cfg.Out, "%-16s %8s   (persistent log grew to %d entries)\n", "", "", oeng.LogLen())
+	}
+	for _, threads := range cfg.Threads {
+		regions := 2 * threads
+		if regions < 2 {
+			regions = 2
+		}
+		pool := pmem.New(pmem.Config{
+			Mode: pmem.Direct, RegionWords: 1 << 20, Regions: regions, Latency: cfg.Lat,
+		})
+		eng := cx.New(pool, cx.Config{Threads: threads, Interpose: true})
+		res := runQueuePairs(eng, pool, threads, cfg)
+		res.Engine = "CX-PTM"
+		PrintResult(cfg.Out, res)
+	}
+
+	PrintHeader(cfg.Out, "Ablation — CX-PTM reclamation window (queue enq+deq workload)")
+	for _, window := range []uint64{16, 256, 4096} {
+		for _, threads := range cfg.Threads {
+			regions := 2 * threads
+			if regions < 2 {
+				regions = 2
+			}
+			pool := pmem.New(pmem.Config{
+				Mode: pmem.Direct, RegionWords: 1 << 20, Regions: regions, Latency: cfg.Lat,
+			})
+			eng := cx.New(pool, cx.Config{Threads: threads, Interpose: true, Window: window})
+			res := runQueuePairs(eng, pool, threads, cfg)
+			res.Engine = fmt.Sprintf("window=%d", window)
+			PrintResult(cfg.Out, res)
+			fmt.Fprintf(cfg.Out, "%-16s %8s   (replica copies: %d)\n", "", "", eng.Copies())
+		}
+	}
+}
+
+// runQueuePairs drives the Fig. 5 enqueue/dequeue pair workload on any PTM.
+func runQueuePairs(p ptm.PTM, pool *pmem.Pool, threads int, cfg FigConfig) Result {
+	q := queueForPTM(p)
+	return RunThroughput(pool, threads, cfg.Dur, func(tid, i int) {
+		if i%2 == 0 {
+			p.Update(tid, func(m ptm.Mem) uint64 { q.enq(m, uint64(i)); return 0 })
+		} else {
+			p.Update(tid, func(m ptm.Mem) uint64 {
+				v, _ := q.deq(m)
+				return v
+			})
+		}
+	})
+}
+
+// queueOps adapts seqds.Queue for the ablation runner.
+type queueOps struct {
+	enq func(m ptm.Mem, v uint64)
+	deq func(m ptm.Mem) (uint64, bool)
+}
+
+// queueForPTM initializes a queue pre-filled with 1,000 elements.
+func queueForPTM(p ptm.PTM) queueOps {
+	q := seqds.Queue{RootSlot: 0}
+	p.Update(0, func(m ptm.Mem) uint64 { q.Init(m); return 0 })
+	for i := 0; i < 1000; i += 100 {
+		base := uint64(i)
+		p.Update(0, func(m ptm.Mem) uint64 {
+			for j := uint64(0); j < 100; j++ {
+				q.Enqueue(m, base+j)
+			}
+			return 0
+		})
+	}
+	return queueOps{enq: q.Enqueue, deq: q.Dequeue}
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pmem"
+)
+
+// tiny returns a minimal configuration that exercises every code path of
+// the harness quickly.
+func tiny(out io.Writer) FigConfig {
+	return FigConfig{
+		Engines: AllEngines(),
+		Threads: []int{1, 2},
+		Dur:     20 * time.Millisecond,
+		Out:     out,
+	}
+}
+
+func TestEngineByName(t *testing.T) {
+	for _, want := range []string{
+		"RedoOpt-PTM", "RedoTimed-PTM", "Redo-PTM", "CX-PTM", "CX-PUC", "OneFile", "PMDK",
+	} {
+		e, err := EngineByName(want)
+		if err != nil {
+			t.Fatalf("EngineByName(%q): %v", want, err)
+		}
+		p, _ := e.New(1, 1<<15, pmem.LatencyModel{}, nil)
+		if p.Name() != want {
+			t.Errorf("engine %q reports name %q", want, p.Name())
+		}
+	}
+	if _, err := EngineByName("nope"); err == nil {
+		t.Error("EngineByName(nope) did not fail")
+	}
+}
+
+func TestSetByName(t *testing.T) {
+	for _, name := range []string{"list", "tree", "hash"} {
+		if _, err := SetByName(name); err != nil {
+			t.Errorf("SetByName(%s): %v", name, err)
+		}
+	}
+	if _, err := SetByName("skiplist"); err == nil {
+		t.Error("SetByName(skiplist) did not fail")
+	}
+}
+
+func TestFig4Smoke(t *testing.T) {
+	var sb strings.Builder
+	Fig4SPS(tiny(&sb), 2048, []int{1})
+	out := sb.String()
+	for _, eng := range []string{"RedoOpt-PTM", "CX-PUC", "OneFile", "PMDK"} {
+		if !strings.Contains(out, eng) {
+			t.Errorf("fig4 output missing engine %s", eng)
+		}
+	}
+}
+
+func TestFig5Smoke(t *testing.T) {
+	var sb strings.Builder
+	Fig5Queue(tiny(&sb), 100)
+	out := sb.String()
+	for _, eng := range []string{"FHMP", "NormOpt", "RedoOpt-PTM"} {
+		if !strings.Contains(out, eng) {
+			t.Errorf("fig5 output missing %s", eng)
+		}
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	var sb strings.Builder
+	cfg := tiny(&sb)
+	cfg.Engines = []Engine{RedoEngine(0), PMDKEngine()}
+	for _, ds := range []string{"list", "tree", "hash"} {
+		Fig6Set(cfg, ds, 256, []int{10})
+	}
+	if !strings.Contains(sb.String(), "tree set") {
+		t.Error("fig6 output missing tree panel")
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	var sb strings.Builder
+	cfg := tiny(&sb)
+	Table1(&sb, 256, []int{2}, cfg.Dur, cfg)
+	out := sb.String()
+	if !strings.Contains(out, "updateTX") || !strings.Contains(out, "sleep%") {
+		t.Errorf("table1 output malformed:\n%s", out)
+	}
+}
+
+func TestPropsTableSmoke(t *testing.T) {
+	var sb strings.Builder
+	PropsTable(&sb)
+	out := sb.String()
+	for _, want := range []string{"wait-free", "blocking", "v-physical", "2N", "N+1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("props table missing %q", want)
+		}
+	}
+}
+
+func TestDBFiguresSmoke(t *testing.T) {
+	var sb strings.Builder
+	cfg := DBConfig{
+		Keys:    512,
+		Threads: []int{1, 2},
+		Dur:     20 * time.Millisecond,
+		Words:   1 << 17,
+		Out:     &sb,
+	}
+	Fig7(cfg)
+	Fig8(cfg)
+	Fig9(cfg)
+	out := sb.String()
+	for _, want := range []string{"readrandom", "readwhilewriting", "overwrite", "fillrandom", "recovery", "RedoDB", "RocksDB-sim"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("db figures output missing %q", want)
+		}
+	}
+}
+
+func TestRunThroughputCounts(t *testing.T) {
+	pool := pmem.New(pmem.Config{RegionWords: 1 << 10, Regions: 1})
+	res := RunThroughput(pool, 4, 30*time.Millisecond, func(tid, i int) {})
+	if res.Ops == 0 {
+		t.Fatal("RunThroughput counted no ops")
+	}
+	if res.Threads != 4 {
+		t.Fatalf("Threads = %d", res.Threads)
+	}
+	if res.OpsPerSec() <= 0 {
+		t.Fatal("OpsPerSec <= 0")
+	}
+}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+)
+
+// TestFenceClaimsAcrossEngines dynamically validates the §2 comparison
+// table: the measured fences per single-store update transaction must match
+// each construction's claim exactly, for every engine, in one place.
+func TestFenceClaimsAcrossEngines(t *testing.T) {
+	want := map[string]uint64{
+		"RedoOpt-PTM":   2,
+		"RedoTimed-PTM": 2,
+		"Redo-PTM":      2,
+		"CX-PTM":        2,
+		"CX-PUC":        2,
+		"OneFile":       2,
+		"RomulusLR":     4,
+		"PSim-CoW":      2,
+		"PMDK":          3, // 2+R with R=1 modified range
+	}
+	const n = 40
+	for _, eng := range AllEngines() {
+		t.Run(eng.Name, func(t *testing.T) {
+			p, pool := eng.New(1, 1<<15, pmem.LatencyModel{}, nil)
+			addr := ptm.RootAddr(0)
+			p.Update(0, func(m ptm.Mem) uint64 { m.Store(addr, 1); return 0 })
+			before := pool.Stats()
+			for i := 0; i < n; i++ {
+				p.Update(0, func(m ptm.Mem) uint64 {
+					m.Store(addr, m.Load(addr)+1)
+					return 0
+				})
+			}
+			d := pool.Stats().Sub(before)
+			expect, ok := want[eng.Name]
+			if !ok {
+				t.Fatalf("engine %s missing from the claims table", eng.Name)
+			}
+			if d.Fences() != expect*n {
+				t.Fatalf("%s issued %d fences over %d txs, claim is %d per tx",
+					eng.Name, d.Fences(), n, expect)
+			}
+		})
+	}
+}
+
+// TestReplicaClaimsAcrossEngines validates the replica-count column: the
+// constructions must work with exactly the pool geometry their claim names.
+func TestReplicaClaimsAcrossEngines(t *testing.T) {
+	// The factories already size pools per claim (2N, N+1, 2, …); this
+	// test asserts the engines actually function at several N.
+	for _, eng := range AllEngines() {
+		for _, threads := range []int{1, 2, 5} {
+			p, _ := eng.New(threads, 1<<15, pmem.LatencyModel{}, nil)
+			addr := ptm.RootAddr(0)
+			got := p.Update(0, func(m ptm.Mem) uint64 {
+				m.Store(addr, 7)
+				return m.Load(addr)
+			})
+			if got != 7 {
+				t.Fatalf("%s with %d threads: update returned %d", eng.Name, threads, got)
+			}
+			if p.MaxThreads() != threads {
+				t.Fatalf("%s: MaxThreads = %d, want %d", eng.Name, p.MaxThreads(), threads)
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+	"repro/internal/seqds"
+)
+
+// FuzzEngineCrashPoint fuzzes (engine, power-failure instant) pairs across
+// every PTM in the repository with one durable-linearizability oracle. The
+// seed corpus covers each engine; `go test -fuzz=FuzzEngineCrashPoint
+// ./internal/bench` explores arbitrary crash instants.
+func FuzzEngineCrashPoint(f *testing.F) {
+	n := len(AllEngines())
+	for i := 0; i < n; i++ {
+		f.Add(uint8(i), int64(13))
+		f.Add(uint8(i), int64(217))
+	}
+	f.Fuzz(func(t *testing.T, engIdx uint8, failPoint int64) {
+		engines := AllEngines()
+		eng := engines[int(engIdx)%len(engines)]
+		if failPoint < 1 || failPoint > 50000 {
+			return
+		}
+		regions := 2 // covers Redo (N+1), OneFile, PMDK, Romulus and CX (2N) at N=1
+		pool := pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 13, Regions: regions})
+		set := seqds.ListSet{RootSlot: 0}
+		const n = 12
+		completed := 0
+		func() {
+			defer func() {
+				if r := recover(); r != nil && r != pmem.ErrSimulatedPowerFailure {
+					panic(r)
+				}
+				pool.InjectFailure(-1)
+			}()
+			p := eng.NewOnPool(1, pool)
+			p.Update(0, func(m ptm.Mem) uint64 { set.Init(m); return 0 })
+			pool.InjectFailure(failPoint)
+			for k := 0; k < n; k++ {
+				p.Update(0, func(m ptm.Mem) uint64 {
+					set.Add(m, uint64(k)+1)
+					return 0
+				})
+				completed++
+			}
+		}()
+		pool.Crash(pmem.CrashConservative, nil)
+		p := eng.NewOnPool(1, pool)
+		var keys []uint64
+		p.Read(0, func(m ptm.Mem) uint64 {
+			keys = set.Keys(m)
+			return 0
+		})
+		if len(keys) < completed || len(keys) > n {
+			t.Fatalf("%s fail=%d: recovered %d keys, completed %d",
+				eng.Name, failPoint, len(keys), completed)
+		}
+		for i, k := range keys {
+			if k != uint64(i)+1 {
+				t.Fatalf("%s fail=%d: recovered state not a prefix at %d",
+					eng.Name, failPoint, i)
+			}
+		}
+	})
+}

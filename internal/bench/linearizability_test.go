@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/lincheck"
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+	"repro/internal/seqds"
+)
+
+// recordHistory runs a short concurrent workload against p and records a
+// timestamped history suitable for the linearizability checker. The clock
+// is a shared atomic counter: if op A's Return tick precedes op B's Call
+// tick, A really completed before B was invoked.
+func recordCounterHistory(p ptm.PTM, threads, perThread int) []lincheck.Op {
+	var clock atomic.Int64
+	addr := ptm.RootAddr(0)
+	histories := make([][]lincheck.Op, threads)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < perThread; i++ {
+				var op lincheck.Op
+				op.Thread = tid
+				if i%3 == 2 {
+					op.Kind = "get"
+					op.Call = clock.Add(1)
+					op.Result = p.Read(tid, func(m ptm.Mem) uint64 {
+						return m.Load(addr)
+					})
+					op.Return = clock.Add(1)
+				} else {
+					op.Kind = "inc"
+					op.Call = clock.Add(1)
+					op.Result = p.Update(tid, func(m ptm.Mem) uint64 {
+						v := m.Load(addr) + 1
+						m.Store(addr, v)
+						return v
+					})
+					op.Return = clock.Add(1)
+				}
+				histories[tid] = append(histories[tid], op)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	var all []lincheck.Op
+	for _, h := range histories {
+		all = append(all, h...)
+	}
+	return all
+}
+
+func recordSetHistory(p ptm.PTM, threads, perThread int) []lincheck.Op {
+	var clock atomic.Int64
+	s := seqds.ListSet{RootSlot: 0}
+	p.Update(0, func(m ptm.Mem) uint64 { s.Init(m); return 0 })
+	histories := make([][]lincheck.Op, threads)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			r := newRNG(uint64(tid) + 1)
+			for i := 0; i < perThread; i++ {
+				k := r.intn(3) // tiny key space maximizes conflicts
+				var op lincheck.Op
+				op.Thread = tid
+				op.Arg = k
+				switch r.intn(3) {
+				case 0:
+					op.Kind = "add"
+					op.Call = clock.Add(1)
+					op.Result = p.Update(tid, func(m ptm.Mem) uint64 {
+						if s.Add(m, k) {
+							return 1
+						}
+						return 0
+					})
+				case 1:
+					op.Kind = "remove"
+					op.Call = clock.Add(1)
+					op.Result = p.Update(tid, func(m ptm.Mem) uint64 {
+						if s.Remove(m, k) {
+							return 1
+						}
+						return 0
+					})
+				default:
+					op.Kind = "contains"
+					op.Call = clock.Add(1)
+					op.Result = p.Read(tid, func(m ptm.Mem) uint64 {
+						if s.Contains(m, k) {
+							return 1
+						}
+						return 0
+					})
+				}
+				op.Return = clock.Add(1)
+				histories[tid] = append(histories[tid], op)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	var all []lincheck.Op
+	for _, h := range histories {
+		all = append(all, h...)
+	}
+	return all
+}
+
+// TestAllEnginesLinearizableCounter checks recorded concurrent counter
+// histories against the sequential specification for every engine.
+func TestAllEnginesLinearizableCounter(t *testing.T) {
+	for _, eng := range AllEngines() {
+		t.Run(eng.Name, func(t *testing.T) {
+			for round := 0; round < 5; round++ {
+				p, _ := eng.New(3, 1<<15, pmem.LatencyModel{}, nil)
+				h := recordCounterHistory(p, 3, 5)
+				if !lincheck.Check(lincheck.CounterModel{}, h) {
+					t.Fatalf("round %d: non-linearizable history: %+v", round, h)
+				}
+			}
+		})
+	}
+}
+
+// TestAllEnginesLinearizableSet does the same for a contended tiny set.
+func TestAllEnginesLinearizableSet(t *testing.T) {
+	for _, eng := range AllEngines() {
+		t.Run(eng.Name, func(t *testing.T) {
+			for round := 0; round < 5; round++ {
+				p, _ := eng.New(3, 1<<16, pmem.LatencyModel{}, nil)
+				h := recordSetHistory(p, 3, 5)
+				if !lincheck.Check(lincheck.SetModel{}, h) {
+					t.Fatalf("round %d: non-linearizable history: %+v", round, h)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pmem"
+)
+
+// Result is one measured cell of a figure: an engine at a thread count.
+type Result struct {
+	Engine  string
+	Threads int
+	Ops     uint64
+	Elapsed time.Duration
+	Stats   pmem.StatsSnapshot // persistence-instruction delta for the run
+}
+
+// OpsPerSec reports throughput.
+func (r Result) OpsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// PWBsPerOp reports the mean flushes per operation — the paper's strongest
+// throughput predictor on Optane ("the lower the number of pwbs an
+// algorithm executes per transaction, the higher the throughput").
+func (r Result) PWBsPerOp() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.Stats.PWBs) / float64(r.Ops)
+}
+
+// FencesPerOp reports the mean ordering instructions per operation.
+func (r Result) FencesPerOp() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.Stats.Fences()) / float64(r.Ops)
+}
+
+// RunThroughput drives op from threads goroutines for about dur and returns
+// the aggregate throughput. op receives the thread id and a per-thread
+// iteration counter; it must perform exactly one logical operation.
+func RunThroughput(pool *pmem.Pool, threads int, dur time.Duration, op func(tid, i int)) Result {
+	before := pool.Stats()
+	var stop atomic.Bool
+	counts := make([]uint64, threads*8) // padded: one cache line apart
+	var wg sync.WaitGroup
+	start := time.Now()
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			n := uint64(0)
+			for i := 0; !stop.Load(); i++ {
+				op(tid, i)
+				n++
+			}
+			counts[tid*8] = n
+		}(tid)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	var total uint64
+	for tid := 0; tid < threads; tid++ {
+		total += counts[tid*8]
+	}
+	return Result{
+		Threads: threads,
+		Ops:     total,
+		Elapsed: elapsed,
+		Stats:   pool.Stats().Sub(before),
+	}
+}
+
+// Series prints results as the rows of one figure series.
+func PrintHeader(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n# %s\n", title)
+	fmt.Fprintf(w, "%-16s %8s %14s %10s %10s\n", "engine", "threads", "ops/s", "pwbs/op", "fences/op")
+}
+
+// PrintResult prints one row.
+func PrintResult(w io.Writer, r Result) {
+	fmt.Fprintf(w, "%-16s %8d %14.0f %10.2f %10.2f\n",
+		r.Engine, r.Threads, r.OpsPerSec(), r.PWBsPerOp(), r.FencesPerOp())
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core/redo"
+	"repro/internal/ptm"
+)
+
+// Table1 regenerates the paper's Table 1: the breakdown of where an update
+// transaction spends its time — applying logs, flushing, copying replicas,
+// running the user's closure (lambda) and back-off sleeping — for the three
+// Redo variants and OneFile, on a hash set and a red-black tree under 100%
+// updates at the given thread counts.
+func Table1(out io.Writer, keys uint64, threadCounts []int, dur time.Duration, lat FigConfig) {
+	engines := []Engine{
+		RedoEngine(redo.Opt),
+		RedoEngine(redo.Base),
+		RedoEngine(redo.Timed),
+		OneFileEngine(),
+	}
+	for _, ds := range []string{"hash", "tree"} {
+		for _, threads := range threadCounts {
+			fmt.Fprintf(out, "\n# Table 1 — %s set, %d keys, %d threads, 100%% updates\n", ds, keys, threads)
+			fmt.Fprintf(out, "%-16s %12s %8s %8s %8s %8s %8s %8s\n",
+				"engine", "updateTX(µs)", "slow", "apply%", "flush%", "copy%", "lambda%", "sleep%")
+			var baseline time.Duration
+			for i, eng := range engines {
+				s, _ := SetByName(ds)
+				prof := &ptm.Profile{}
+				p, pool := eng.New(threads, wordsForKeys(keys), lat.Lat, prof)
+				p.Update(0, func(m ptm.Mem) uint64 { s.Init(m); return 0 })
+				fillSet(p, s, keys)
+				rngs := makeRNGs(threads)
+				RunThroughput(pool, threads, dur, func(tid, i int) {
+					r := rngs[tid]
+					k := r.intn(keys)
+					removed := p.Update(tid, func(m ptm.Mem) uint64 {
+						if s.Remove(m, k) {
+							return 1
+						}
+						return 0
+					})
+					if removed == 1 {
+						p.Update(tid, func(m ptm.Mem) uint64 {
+							s.Add(m, k)
+							return 0
+						})
+					}
+				})
+				snap := prof.Snapshot()
+				mean := snap.MeanTx()
+				if i == 0 {
+					baseline = mean
+				}
+				slow := "-"
+				if i > 0 && baseline > 0 {
+					slow = fmt.Sprintf("%.1fx", float64(mean)/float64(baseline))
+				}
+				fmt.Fprintf(out, "%-16s %12.2f %8s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+					p.Name(),
+					float64(mean.Nanoseconds())/1e3,
+					slow,
+					snap.Percent(snap.Apply),
+					snap.Percent(snap.Flush),
+					snap.Percent(snap.Copy),
+					snap.Percent(snap.Lambda),
+					snap.Percent(snap.Sleep),
+				)
+			}
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/handmade"
+	"repro/internal/onll"
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+	"repro/internal/seqds"
+)
+
+// FigConfig is shared by all figure generators.
+type FigConfig struct {
+	Engines []Engine
+	Threads []int
+	Dur     time.Duration // per data point
+	Lat     pmem.LatencyModel
+	Out     io.Writer
+}
+
+// rng is a per-thread splitmix64, avoiding the global rand lock.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed*0x9e3779b97f4a7c15 + 1} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n uint64) uint64 { return r.next() % n }
+
+// nextPow2 rounds n up to a power of two.
+func nextPow2(n uint64) uint64 {
+	p := uint64(1)
+	for p < n {
+		p *= 2
+	}
+	return p
+}
+
+// wordsForKeys sizes a replica region for a structure of the given keys,
+// with headroom for allocator rounding, bucket arrays and churn.
+func wordsForKeys(keys uint64) uint64 {
+	w := nextPow2(keys*16 + 1<<14)
+	if w < 1<<15 {
+		w = 1 << 15
+	}
+	return w
+}
+
+// Fig4SPS regenerates Figure 4: the persistent SPS integer microbenchmark.
+// Each transaction performs `swaps` random swaps in an array of arraySize
+// 64-bit integers (two modified words per swap).
+func Fig4SPS(cfg FigConfig, arraySize uint64, swapsList []int) {
+	for _, swaps := range swapsList {
+		PrintHeader(cfg.Out, fmt.Sprintf("Fig 4 — SPS, %d swap(s) per tx, array=%d", swaps, arraySize))
+		for _, eng := range cfg.Engines {
+			for _, threads := range cfg.Threads {
+				// The allocator rounds the array block up to a
+				// power of two; the region needs that plus the
+				// allocator metadata and slack.
+				words := nextPow2(nextPow2(arraySize+2)*2 + 1<<14)
+				p, pool := eng.New(threads, words, cfg.Lat, nil)
+				sps := seqds.SPS{RootSlot: 0}
+				p.Update(0, func(m ptm.Mem) uint64 { sps.InitEmpty(m, arraySize); return 0 })
+				const initBatch = 512
+				for lo := uint64(0); lo < arraySize; lo += initBatch {
+					hi := lo + initBatch
+					if hi > arraySize {
+						hi = arraySize
+					}
+					lo := lo
+					p.Update(0, func(m ptm.Mem) uint64 { sps.FillRange(m, lo, hi); return 0 })
+				}
+				pool.ResetStats()
+				rngs := makeRNGs(threads)
+				swapsPerTx := swaps
+				res := RunThroughput(pool, threads, cfg.Dur, func(tid, i int) {
+					r := rngs[tid]
+					pairs := make([][2]uint64, swapsPerTx)
+					for k := range pairs {
+						pairs[k] = [2]uint64{r.intn(arraySize), r.intn(arraySize)}
+					}
+					p.Update(tid, func(m ptm.Mem) uint64 {
+						for _, pr := range pairs {
+							sps.Swap(m, pr[0], pr[1])
+						}
+						return 0
+					})
+				})
+				res.Engine = eng.Name
+				PrintResult(cfg.Out, res)
+			}
+		}
+	}
+}
+
+// Fig5Queue regenerates Figure 5: a persistent linked-list queue pre-filled
+// with `prefill` elements, every thread alternating an enqueue transaction
+// and a dequeue transaction. The hand-made FHMP and NormOpt queues run the
+// same workload with their volatile allocator.
+func Fig5Queue(cfg FigConfig, prefill int) {
+	PrintHeader(cfg.Out, fmt.Sprintf("Fig 5 — queue pre-filled with %d elements (enq+deq pairs)", prefill))
+	for _, eng := range cfg.Engines {
+		for _, threads := range cfg.Threads {
+			p, pool := eng.New(threads, 1<<20, cfg.Lat, nil)
+			q := seqds.Queue{RootSlot: 0}
+			p.Update(0, func(m ptm.Mem) uint64 { q.Init(m); return 0 })
+			for i := 0; i < prefill; i += 100 {
+				base := uint64(i)
+				p.Update(0, func(m ptm.Mem) uint64 {
+					for j := uint64(0); j < 100 && base+j < uint64(prefill); j++ {
+						q.Enqueue(m, base+j)
+					}
+					return 0
+				})
+			}
+			res := RunThroughput(pool, threads, cfg.Dur, func(tid, i int) {
+				if i%2 == 0 {
+					p.Update(tid, func(m ptm.Mem) uint64 { q.Enqueue(m, uint64(i)); return 0 })
+				} else {
+					p.Update(tid, func(m ptm.Mem) uint64 {
+						v, _ := q.Dequeue(m)
+						return v
+					})
+				}
+			})
+			res.Engine = eng.Name
+			PrintResult(cfg.Out, res)
+		}
+	}
+	// Hand-made comparators.
+	for _, mk := range []func(*pmem.Region, int) handmadeQueue{
+		func(r *pmem.Region, t int) handmadeQueue { return handmade.NewFHMP(r, t) },
+		func(r *pmem.Region, t int) handmadeQueue { return handmade.NewNormOpt(r, t) },
+	} {
+		for _, threads := range cfg.Threads {
+			pool := pmem.New(pmem.Config{
+				Mode: pmem.Direct, RegionWords: 1 << 22, Regions: 1, Latency: cfg.Lat,
+			})
+			q := mk(pool.Region(0), threads)
+			for i := 0; i < prefill; i++ {
+				q.Enqueue(0, uint64(i))
+			}
+			res := RunThroughput(pool, threads, cfg.Dur, func(tid, i int) {
+				if i%2 == 0 {
+					q.Enqueue(tid, uint64(i))
+				} else {
+					q.Dequeue(tid)
+				}
+			})
+			res.Engine = q.Name()
+			PrintResult(cfg.Out, res)
+		}
+	}
+}
+
+type handmadeQueue interface {
+	Enqueue(tid int, v uint64)
+	Dequeue(tid int) (uint64, bool)
+	Name() string
+}
+
+// setDS abstracts the three set implementations of Fig. 6.
+type setDS interface {
+	Init(m ptm.Mem)
+	Add(m ptm.Mem, k uint64) bool
+	Remove(m ptm.Mem, k uint64) bool
+	Contains(m ptm.Mem, k uint64) bool
+}
+
+// SetByName returns the Fig. 6 data structure named list, tree or hash.
+func SetByName(name string) (setDS, error) {
+	switch name {
+	case "list":
+		return seqds.ListSet{RootSlot: 0}, nil
+	case "tree":
+		return seqds.RBTree{RootSlot: 0}, nil
+	case "hash":
+		return seqds.HashSet{RootSlot: 0}, nil
+	}
+	return nil, fmt.Errorf("bench: unknown data structure %q", name)
+}
+
+// fillSet inserts keys 0..keys-1 in batched transactions.
+func fillSet(p ptm.PTM, s setDS, keys uint64) {
+	const batch = 512
+	for base := uint64(0); base < keys; base += batch {
+		lo, hi := base, base+batch
+		if hi > keys {
+			hi = keys
+		}
+		p.Update(0, func(m ptm.Mem) uint64 {
+			for k := lo; k < hi; k++ {
+				s.Add(m, k)
+			}
+			return 0
+		})
+	}
+}
+
+// Fig6Set regenerates one panel of Figure 6: a set pre-filled with `keys`
+// keys under workloads with the given update percentages. An update removes
+// a random present key and re-inserts it (two update transactions); a
+// lookup issues two contains transactions — exactly the paper's procedure.
+func Fig6Set(cfg FigConfig, ds string, keys uint64, updatePcts []int) {
+	s, err := SetByName(ds)
+	if err != nil {
+		panic(err)
+	}
+	for _, pct := range updatePcts {
+		PrintHeader(cfg.Out, fmt.Sprintf("Fig 6 — %s set, %d keys, %d%% updates", ds, keys, pct))
+		for _, eng := range cfg.Engines {
+			for _, threads := range cfg.Threads {
+				p, pool := eng.New(threads, wordsForKeys(keys), cfg.Lat, nil)
+				p.Update(0, func(m ptm.Mem) uint64 { s.Init(m); return 0 })
+				fillSet(p, s, keys)
+				rngs := makeRNGs(threads)
+				pool.ResetStats()
+				res := RunThroughput(pool, threads, cfg.Dur, func(tid, i int) {
+					r := rngs[tid]
+					if r.intn(100) < uint64(pct) {
+						k := r.intn(keys)
+						removed := p.Update(tid, func(m ptm.Mem) uint64 {
+							if s.Remove(m, k) {
+								return 1
+							}
+							return 0
+						})
+						if removed == 1 {
+							p.Update(tid, func(m ptm.Mem) uint64 {
+								s.Add(m, k)
+								return 0
+							})
+						}
+					} else {
+						for n := 0; n < 2; n++ {
+							k := r.intn(keys)
+							p.Read(tid, func(m ptm.Mem) uint64 {
+								if s.Contains(m, k) {
+									return 1
+								}
+								return 0
+							})
+						}
+					}
+				})
+				res.Engine = eng.Name
+				PrintResult(cfg.Out, res)
+			}
+		}
+	}
+}
+
+// PropsTable prints the §2 PTM comparison table from each implementation's
+// self-description.
+func PropsTable(out io.Writer) {
+	fmt.Fprintf(out, "\n# §2 — PTM properties table\n")
+	fmt.Fprintf(out, "%-16s %-12s %-10s %-10s %-8s\n", "engine", "log", "progress", "pfence/tx", "replicas")
+	for _, eng := range AllEngines() {
+		p, _ := eng.New(2, 1<<15, pmem.LatencyModel{}, nil)
+		pr := p.Properties()
+		fmt.Fprintf(out, "%-16s %-12s %-10s %-10s %-8s\n",
+			p.Name(), pr.Log, pr.Progress, pr.FencesPerTx, pr.Replicas)
+	}
+	// ONLL has a registered-operation API rather than ptm.PTM (it cannot
+	// run dynamic transactions — the very limitation the paper contrasts
+	// CX against), so its row is produced directly.
+	op := onll.New(
+		pmem.New(pmem.Config{RegionWords: 1 << 10, Regions: 1}),
+		onll.Config{Threads: 1, Ops: map[uint16]onll.OpFunc{}},
+	)
+	pr := op.Properties()
+	fmt.Fprintf(out, "%-16s %-12s %-10s %-10s %-8s\n",
+		op.Name(), pr.Log, pr.Progress, pr.FencesPerTx, pr.Replicas)
+}
+
+func makeRNGs(threads int) []*rng {
+	out := make([]*rng, threads)
+	for i := range out {
+		out[i] = newRNG(uint64(i) + 12345)
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package cx
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+	"repro/internal/seqds"
+)
+
+func strictPool(regions int) *pmem.Pool {
+	return pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 14, Regions: regions})
+}
+
+// runAddsUntilCrash creates an engine over pool and inserts keys 0..n-1 into
+// a fresh list set (after Init), one update transaction each, until either
+// all complete or an injected power failure fires. It returns the number of
+// completed insert transactions and whether a crash occurred. The set is
+// initialized before the failure point is armed when armAfterInit is set.
+func runAddsUntilCrash(t *testing.T, pool *pmem.Pool, interpose bool, n int, failPoint int64) (completed int, crashed bool) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			if r != pmem.ErrSimulatedPowerFailure {
+				panic(r)
+			}
+			crashed = true
+		}
+		pool.InjectFailure(-1)
+	}()
+	e := New(pool, Config{Threads: 1, Interpose: interpose})
+	s := seqds.ListSet{RootSlot: 0}
+	e.Update(0, func(m ptm.Mem) uint64 { s.Init(m); return 0 })
+	pool.InjectFailure(failPoint)
+	for k := 0; k < n; k++ {
+		e.Update(0, func(m ptm.Mem) uint64 {
+			s.Add(m, uint64(k)+1)
+			return 0
+		})
+		completed++
+	}
+	return completed, false
+}
+
+// recoverAndCheck recovers an engine from the crashed pool and verifies
+// durable linearizability: every completed insert is present, and the
+// surviving state is a consistent prefix 1..j with j >= completed.
+func recoverAndCheck(t *testing.T, pool *pmem.Pool, interpose bool, completed, n int) {
+	t.Helper()
+	pool.Crash(pmem.CrashConservative, nil)
+	e := New(pool, Config{Threads: 1, Interpose: interpose})
+	s := seqds.ListSet{RootSlot: 0}
+	keys := make([]uint64, 0, n)
+	e.Read(0, func(m ptm.Mem) uint64 {
+		keys = s.Keys(m)
+		return 0
+	})
+	if len(keys) < completed {
+		t.Fatalf("recovered %d keys, but %d inserts had completed", len(keys), completed)
+	}
+	if len(keys) > n {
+		t.Fatalf("recovered %d keys, more than ever inserted (%d)", len(keys), n)
+	}
+	for i, k := range keys {
+		if k != uint64(i)+1 {
+			t.Fatalf("recovered state is not a prefix: keys[%d] = %d", i, k)
+		}
+	}
+	// The recovered engine must be fully usable.
+	got := e.Update(0, func(m ptm.Mem) uint64 {
+		s.Add(m, 99999)
+		return s.Len(m)
+	})
+	if got != uint64(len(keys))+1 {
+		t.Fatalf("post-recovery insert: len = %d, want %d", got, len(keys)+1)
+	}
+}
+
+func TestCrashAfterQuiesceKeepsEverything(t *testing.T) {
+	for name, interpose := range variants() {
+		t.Run(name, func(t *testing.T) {
+			pool := strictPool(2)
+			const n = 40
+			completed, crashed := runAddsUntilCrash(t, pool, interpose, n, -1)
+			if crashed || completed != n {
+				t.Fatalf("unexpected crash (completed %d)", completed)
+			}
+			recoverAndCheck(t, pool, interpose, n, n)
+		})
+	}
+}
+
+func TestSystematicCrashPoints(t *testing.T) {
+	// Sweep the failure point across the whole execution: at every crash
+	// site, recovery must yield a consistent prefix containing all
+	// completed transactions. The stride keeps the test fast while still
+	// hitting hundreds of distinct instruction boundaries.
+	for name, interpose := range variants() {
+		t.Run(name, func(t *testing.T) {
+			const n = 25
+			for fail := int64(1); ; fail += 7 {
+				pool := strictPool(2)
+				completed, crashed := runAddsUntilCrash(t, pool, interpose, n, fail)
+				if !crashed {
+					if completed != n {
+						t.Fatalf("no crash but only %d/%d completed", completed, n)
+					}
+					break
+				}
+				recoverAndCheck(t, pool, interpose, completed, n)
+			}
+		})
+	}
+}
+
+func TestAdversarialCrashPoints(t *testing.T) {
+	// Same sweep, but unflushed dirty lines may spuriously persist
+	// (cache eviction). Durable linearizability must still hold.
+	rng := rand.New(rand.NewSource(42))
+	const n = 20
+	for fail := int64(1); ; fail += 13 {
+		pool := strictPool(2)
+		completed, crashed := runAddsUntilCrash(t, pool, true, n, fail)
+		if !crashed {
+			break
+		}
+		pool.Crash(pmem.CrashAdversarial, rng)
+		e := New(pool, Config{Threads: 1, Interpose: true})
+		s := seqds.ListSet{RootSlot: 0}
+		var keys []uint64
+		e.Read(0, func(m ptm.Mem) uint64 {
+			keys = s.Keys(m)
+			return 0
+		})
+		if len(keys) < completed {
+			t.Fatalf("fail=%d: recovered %d keys, %d completed", fail, len(keys), completed)
+		}
+		for i, k := range keys {
+			if k != uint64(i)+1 {
+				t.Fatalf("fail=%d: inconsistent recovered state at %d: %d", fail, i, k)
+			}
+		}
+	}
+}
+
+func TestDoubleCrash(t *testing.T) {
+	pool := strictPool(2)
+	const n = 10
+	if _, crashed := runAddsUntilCrash(t, pool, true, n, -1); crashed {
+		t.Fatal("unexpected crash")
+	}
+	pool.Crash(pmem.CrashConservative, nil)
+	// Second era: recover, add more, crash again.
+	e := New(pool, Config{Threads: 1, Interpose: true})
+	s := seqds.ListSet{RootSlot: 0}
+	for k := n; k < 2*n; k++ {
+		e.Update(0, func(m ptm.Mem) uint64 {
+			s.Add(m, uint64(k)+1)
+			return 0
+		})
+	}
+	pool.Crash(pmem.CrashConservative, nil)
+	// Third era: everything from both eras must be present.
+	e = New(pool, Config{Threads: 1, Interpose: true})
+	var keys []uint64
+	e.Read(0, func(m ptm.Mem) uint64 {
+		keys = s.Keys(m)
+		return 0
+	})
+	if len(keys) != 2*n {
+		t.Fatalf("recovered %d keys after two eras, want %d", len(keys), 2*n)
+	}
+	for i, k := range keys {
+		if k != uint64(i)+1 {
+			t.Fatalf("keys[%d] = %d", i, k)
+		}
+	}
+}
+
+func TestConcurrentThenCrash(t *testing.T) {
+	// Multi-threaded load, quiesce, crash: every completed transaction
+	// must survive (durable linearizability under concurrency).
+	pool := pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 14, Regions: 8})
+	e := New(pool, Config{Threads: 4, Interpose: true})
+	addr := ptm.RootAddr(0)
+	done := make(chan struct{})
+	for tid := 0; tid < 4; tid++ {
+		go func(tid int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				e.Update(tid, func(m ptm.Mem) uint64 {
+					v := m.Load(addr) + 1
+					m.Store(addr, v)
+					return v
+				})
+			}
+		}(tid)
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	pool.Crash(pmem.CrashConservative, nil)
+	e = New(pool, Config{Threads: 4, Interpose: true})
+	got := e.Read(0, func(m ptm.Mem) uint64 { return m.Load(addr) })
+	if got != 400 {
+		t.Fatalf("recovered counter = %d, want 400", got)
+	}
+}
+
+// TestCrashAfterInvalidationCopies stresses the replica-invalidation copy
+// path (tiny reclamation window, heavy contention) in Strict mode and then
+// crashes: a replica that was rebuilt by copy and later published as
+// curComb must have had its copied content flushed, or recovery reads a
+// stale image.
+func TestCrashAfterInvalidationCopies(t *testing.T) {
+	// Inserts allocate fresh nodes on fresh cache lines, so a replica
+	// that was rebuilt by copy carries content on lines that no later
+	// transaction will track — exactly the state that must have been
+	// flushed during the copy.
+	const threads, per = 4, 150
+	pool := pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 15, Regions: 2 * threads})
+	e := New(pool, Config{Threads: threads, Interpose: true, Window: 8})
+	s := seqds.ListSet{RootSlot: 0}
+	e.Update(0, func(m ptm.Mem) uint64 { s.Init(m); return 0 })
+	done := make(chan struct{})
+	for tid := 0; tid < threads; tid++ {
+		go func(tid int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				k := uint64(tid*per+i) + 1
+				e.Update(tid, func(m ptm.Mem) uint64 {
+					s.Add(m, k)
+					return 0
+				})
+			}
+		}(tid)
+	}
+	for i := 0; i < threads; i++ {
+		<-done
+	}
+	if e.Copies() == 0 {
+		t.Skip("no replica copies occurred; cannot exercise the path")
+	}
+	pool.Crash(pmem.CrashConservative, nil)
+	e2 := New(pool, Config{Threads: threads, Interpose: true})
+	var missing int
+	e2.Read(0, func(m ptm.Mem) uint64 {
+		for k := uint64(1); k <= threads*per; k++ {
+			if !s.Contains(m, k) {
+				missing++
+			}
+		}
+		return 0
+	})
+	if missing != 0 {
+		t.Fatalf("%d completed inserts lost after crash (copied replica content was not durable; %d copies occurred)",
+			missing, e2.Copies())
+	}
+}

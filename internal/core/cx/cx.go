@@ -1,0 +1,469 @@
+// Package cx implements the CX-based persistent constructions of §4 of the
+// paper: CX-PUC, the first bounded wait-free persistent universal
+// construction (no store/load interposition, whole-object flush), and
+// CX-PTM, the persistent transactional memory variant (interposed stores,
+// per-cache-line flushes).
+//
+// The engine follows the paper's structure: a fixed array of Combined
+// replicas (2N for N threads), each protected by a strong try reader-writer
+// lock; a wait-free queue of logical mutations that establishes the
+// linearization; and curComb, the only persistent piece of construction
+// state, which always references a replica whose content is both up to date
+// and durable. An update transaction issues exactly one pfence (ordering the
+// replica's flushed lines) and one psync (making the new curComb durable).
+//
+// Memory reclamation of queue nodes is delegated to the Go garbage
+// collector; the externally visible effect of the paper's hazard-pointer
+// scheme — a replica becoming invalid because its cursor fell behind the
+// reclaimed window — is reproduced with a ticket window (Config.Window).
+package cx
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/palloc"
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+	"repro/internal/rwlock"
+	"repro/internal/uqueue"
+)
+
+// opDesc is the payload of a queue node: a deterministic closure plus its
+// published result.
+type opDesc struct {
+	fn      func(ptm.Mem) uint64
+	result  atomic.Uint64
+	applied atomic.Bool
+}
+
+type node = uqueue.Node[*opDesc]
+
+// combined is one replica ("Combined instance" in the paper): a persistent
+// region holding a full copy of the heap, a cursor into the mutation queue,
+// and the lock that arbitrates access.
+type combined struct {
+	head   atomic.Pointer[node]
+	region *pmem.Region
+	lk     *rwlock.StrongTryRWLock
+	// dirty collects the cache lines touched by interposed stores while
+	// this replica is exclusively held (CX-PTM only).
+	dirty []uint64
+	// flushAll records that the replica was rebuilt by copy: the whole
+	// used heap must be flushed before publication, because the copied
+	// content is not covered by store tracking.
+	flushAll bool
+}
+
+// headerSlot is the pool header slot where curComb is persisted, packed as
+// validBit | ticket<<8 | regionIndex. The valid bit distinguishes a freshly
+// zeroed pool from one whose first curComb (ticket 0, region 0) is durable.
+const headerSlot = 0
+
+const headerValid = uint64(1) << 63
+
+func packCurComb(ticket uint64, region int) uint64 {
+	return headerValid | ticket<<8 | uint64(region)
+}
+
+func unpackCurComb(v uint64) (ticket uint64, region int) {
+	return (v &^ headerValid) >> 8, int(v & 0xff)
+}
+
+// Config parameterizes the CX engine.
+type Config struct {
+	// Threads is N, the number of usable thread ids.
+	Threads int
+	// Interpose selects CX-PTM (tracked stores, per-line flush) over
+	// CX-PUC (no interposition, whole-heap flush).
+	Interpose bool
+	// Window is the reclamation window in queue tickets: a replica whose
+	// cursor falls more than Window tickets behind is invalidated and
+	// rebuilt by copy, as when the hazard-pointer scheme reclaims nodes.
+	// Defaults to 1024.
+	Window uint64
+	// MaxReadTries is the number of optimistic read attempts before a
+	// reader enqueues its operation. Defaults to 4.
+	MaxReadTries int
+	// Profile, when non-nil, accumulates the Table 1 phase breakdown.
+	Profile *ptm.Profile
+}
+
+// CX is the engine shared by CX-PUC and CX-PTM.
+type CX struct {
+	cfg       Config
+	pool      *pmem.Pool
+	queue     *uqueue.Queue[*opDesc]
+	combs     []*combined
+	curComb   atomic.Pointer[combined]
+	persisted atomic.Uint64 // highest ticket known durable in the header
+	copies    atomic.Uint64 // replica copies performed (ablation metric)
+}
+
+// New creates a CX engine over pool. The pool should have 2N regions for
+// wait freedom (the paper's bound); any count >= 2 works, trading progress
+// for memory. If the pool header records a previous instantiation (recovery
+// after a crash), the persisted replica is adopted; otherwise region 0 is
+// formatted as the initial heap and persisted.
+//
+// CX has null recovery: this constructor is also the recovery procedure.
+func New(pool *pmem.Pool, cfg Config) *CX {
+	if cfg.Threads <= 0 {
+		panic("cx: Threads must be positive")
+	}
+	if pool.Regions() < 2 {
+		panic("cx: pool needs at least 2 regions")
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 1024
+	}
+	if cfg.MaxReadTries == 0 {
+		cfg.MaxReadTries = 4
+	}
+	c := &CX{
+		cfg:   cfg,
+		pool:  pool,
+		queue: uqueue.New[*opDesc](cfg.Threads),
+	}
+	c.combs = make([]*combined, pool.Regions())
+	for i := range c.combs {
+		c.combs[i] = &combined{
+			region: pool.Region(i),
+			lk:     rwlock.New(cfg.Threads),
+		}
+	}
+	cur := 0
+	if packed := pool.PersistedHeader(headerSlot); packed != 0 {
+		// Recovery: adopt the persisted replica. All other replicas
+		// are stale (head left nil), so the next writer on them will
+		// copy from curComb — the paper's "copy of the data structure
+		// is required on the first update transaction" after restart.
+		_, cur = unpackCurComb(packed)
+		if cur >= len(c.combs) {
+			panic(fmt.Sprintf("cx: recovered region index %d out of range", cur))
+		}
+		// Ticket numbering restarts with the fresh queue: rewrite the
+		// header for the new era so monotonic updates work.
+		pool.HeaderStore(headerSlot, packCurComb(0, cur))
+		pool.PWBHeader(headerSlot)
+		pool.PSync()
+	} else {
+		palloc.Format(directMem{c.combs[0].region}, pool.RegionWords())
+		c.combs[0].region.FlushRange(0, palloc.HeapStart())
+		c.combs[0].region.PFence()
+		pool.HeaderStore(headerSlot, packCurComb(0, 0))
+		pool.PWBHeader(headerSlot)
+		pool.PSync()
+	}
+	// curComb's replica is up to date as of the (fresh) queue sentinel.
+	c.combs[cur].head.Store(c.queue.Head())
+	// curComb is held downgraded so no writer can claim it while readers
+	// may arrive; the thread that replaces it releases the hold.
+	if !c.combs[cur].lk.ExclusiveTryLock(0) {
+		panic("cx: initial lock acquisition failed")
+	}
+	c.combs[cur].lk.Downgrade()
+	c.curComb.Store(c.combs[cur])
+	return c
+}
+
+// MaxThreads implements ptm.PTM.
+func (c *CX) MaxThreads() int { return c.cfg.Threads }
+
+// Name implements ptm.PTM.
+func (c *CX) Name() string {
+	if c.cfg.Interpose {
+		return "CX-PTM"
+	}
+	return "CX-PUC"
+}
+
+// Properties implements ptm.PTM, mirroring the §2 comparison table.
+func (c *CX) Properties() ptm.Properties {
+	return ptm.Properties{
+		Log:         ptm.VolatileLogical,
+		Progress:    ptm.WaitFree,
+		FencesPerTx: "2",
+		Replicas:    "2N",
+	}
+}
+
+// Copies reports how many replica rebuild copies the engine performed.
+func (c *CX) Copies() uint64 { return c.copies.Load() }
+
+// Update implements ptm.PTM: it runs fn as a durable linearizable update
+// transaction with bounded wait-free progress.
+func (c *CX) Update(tid int, fn func(ptm.Mem) uint64) uint64 {
+	txStart := now(c.cfg.Profile)
+	desc := &opDesc{fn: fn}
+	myNode := c.queue.Enqueue(tid, desc)
+
+	for {
+		// Fast exit: a helper already executed and published our op.
+		if desc.applied.Load() {
+			cur := c.curComb.Load()
+			h := cur.head.Load()
+			if h != nil && h.Ticket() >= myNode.Ticket() {
+				c.ensurePersisted(myNode.Ticket())
+				c.cfg.Profile.AddTx(since(c.cfg.Profile, txStart))
+				return desc.result.Load()
+			}
+		}
+		comb := c.acquireCombined(tid, myNode)
+		if comb == nil {
+			continue // replica invalidated mid-copy; retry
+		}
+		// Apply every queued mutation from the replica's cursor up to
+		// (and including) our node.
+		applyStart := now(c.cfg.Profile)
+		cursor := comb.head.Load()
+		for cursor.Ticket() < myNode.Ticket() {
+			next := cursor.Next()
+			if next == nil {
+				break
+			}
+			c.execute(next, comb)
+			cursor = next
+		}
+		c.cfg.Profile.AddApply(since(c.cfg.Profile, applyStart))
+		comb.head.Store(cursor)
+		if cursor.Ticket() < myNode.Ticket() {
+			// Our node was not yet linked past this cursor (helping
+			// still in flight); release and retry.
+			comb.lk.ExclusiveUnlock()
+			continue
+		}
+		// Make the replica durable, then race to publish it.
+		flushStart := now(c.cfg.Profile)
+		c.flushReplica(comb)
+		comb.region.PFence()
+		c.cfg.Profile.AddFlush(since(c.cfg.Profile, flushStart))
+		comb.lk.Downgrade()
+		c.transition(comb, myNode)
+		c.ensurePersisted(myNode.Ticket())
+		c.cfg.Profile.AddTx(since(c.cfg.Profile, txStart))
+		return desc.result.Load()
+	}
+}
+
+// Read implements ptm.PTM: it runs fn as a wait-free read-only transaction.
+func (c *CX) Read(tid int, fn func(ptm.Mem) uint64) uint64 {
+	var desc *opDesc
+	var myNode *node
+	for i := 0; ; i++ {
+		if i == c.cfg.MaxReadTries {
+			// Fall back to the mutation queue: an updater will
+			// execute the read on its replica.
+			desc = &opDesc{fn: fn}
+			myNode = c.queue.Enqueue(tid, desc)
+		}
+		if desc != nil && desc.applied.Load() {
+			// Return only once curComb covers our position in the
+			// queue (so ensurePersisted can make it durable).
+			cur := c.curComb.Load()
+			if h := cur.head.Load(); h != nil && h.Ticket() >= myNode.Ticket() {
+				c.ensurePersisted(myNode.Ticket())
+				return desc.result.Load()
+			}
+		}
+		cur := c.curComb.Load()
+		if !cur.lk.SharedTryLock(tid) {
+			continue
+		}
+		if c.curComb.Load() != cur {
+			cur.lk.SharedUnlock(tid)
+			continue
+		}
+		h := cur.head.Load()
+		res := fn(c.memFor(cur, nil))
+		cur.lk.SharedUnlock(tid)
+		// Durable linearizability: the state this read observed must
+		// be durable before the read returns.
+		c.ensurePersisted(h.Ticket())
+		return res
+	}
+}
+
+// acquireCombined obtains an exclusive replica and brings it to a valid
+// state (copying from curComb if it was invalidated). Returns nil if the
+// optimistic copy failed and the caller should re-check for helping.
+func (c *CX) acquireCombined(tid int, myNode *node) *combined {
+	var comb *combined
+	for {
+		for _, cand := range c.combs {
+			if cand == c.curComb.Load() {
+				continue
+			}
+			if cand.lk.ExclusiveTryLock(tid) {
+				comb = cand
+				break
+			}
+		}
+		if comb != nil {
+			break
+		}
+		// All replicas busy this pass; check whether a helper
+		// finished our operation while we scanned.
+		if myNode.Val.applied.Load() {
+			return nil
+		}
+	}
+	// Validity: the cursor must still be inside the reclamation window.
+	h := comb.head.Load()
+	if h != nil && h.Ticket() >= c.queue.Head().Ticket() {
+		return comb
+	}
+	if !c.copyFromCur(tid, comb) {
+		comb.lk.ExclusiveUnlock()
+		return nil
+	}
+	return comb
+}
+
+// copyFromCur rebuilds comb's replica from the current curComb under a
+// shared lock on the source. Returns false if curComb moved mid-copy.
+func (c *CX) copyFromCur(tid int, comb *combined) bool {
+	copyStart := now(c.cfg.Profile)
+	defer func() { c.cfg.Profile.AddCopy(since(c.cfg.Profile, copyStart)) }()
+	for attempt := 0; attempt < 4; attempt++ {
+		src := c.curComb.Load()
+		if !src.lk.SharedTryLock(tid) {
+			continue
+		}
+		if c.curComb.Load() != src {
+			src.lk.SharedUnlock(tid)
+			continue
+		}
+		used := palloc.UsedWords(directMem{src.region})
+		comb.region.CopyFrom(src.region, used)
+		comb.head.Store(src.head.Load())
+		src.lk.SharedUnlock(tid)
+		comb.flushAll = true
+		comb.dirty = comb.dirty[:0]
+		c.copies.Add(1)
+		return true
+	}
+	return false
+}
+
+// execute runs one queued operation against comb's replica and publishes
+// its result. Every replica executes every operation (that is the CX cost
+// model Redo-PTM later removes); the result is published once.
+func (c *CX) execute(n *node, comb *combined) {
+	lambdaStart := now(c.cfg.Profile)
+	res := n.Val.fn(c.memFor(comb, comb))
+	c.cfg.Profile.AddLambda(since(c.cfg.Profile, lambdaStart))
+	if !n.Val.applied.Load() {
+		n.Val.result.Store(res)
+		n.Val.applied.Store(true)
+	}
+}
+
+// transition publishes comb (already downgraded and durable) as the new
+// curComb, following step 6 of the paper's applyUpdate: retry the CAS until
+// it succeeds or until curComb already covers our node.
+func (c *CX) transition(comb *combined, myNode *node) {
+	myTicket := myNode.Ticket()
+	for {
+		cur := c.curComb.Load()
+		curHead := cur.head.Load()
+		if cur == comb {
+			return
+		}
+		if curHead != nil && curHead.Ticket() >= myTicket {
+			// Someone else published a replica containing our op;
+			// our replica is no longer needed as curComb.
+			comb.lk.DowngradeUnlock()
+			return
+		}
+		if c.curComb.CompareAndSwap(cur, comb) {
+			// Release the previous curComb for reuse by writers.
+			cur.lk.DowngradeUnlock()
+			c.advanceWindow(comb.head.Load())
+			return
+		}
+	}
+}
+
+// ensurePersisted guarantees the persistent curComb header covers at least
+// the given ticket: the caller's transaction is durable once this returns.
+// This is the paper's `if ringtail.seq < tail.seq { pwb(curComb); psync() }`
+// check — the pwb+psync is skipped when another thread already persisted a
+// ticket at least as high.
+func (c *CX) ensurePersisted(ticket uint64) {
+	for c.persisted.Load() < ticket {
+		cur := c.curComb.Load()
+		t := cur.head.Load().Ticket()
+		packed := packCurComb(t, cur.region.Index())
+		for {
+			old := c.pool.HeaderLoad(headerSlot)
+			oldT, _ := unpackCurComb(old)
+			if oldT >= t {
+				break
+			}
+			if c.pool.HeaderCAS(headerSlot, old, packed) {
+				break
+			}
+		}
+		c.pool.PWBHeader(headerSlot)
+		c.pool.PSync()
+		for {
+			p := c.persisted.Load()
+			if p >= t || c.persisted.CompareAndSwap(p, t) {
+				break
+			}
+		}
+	}
+}
+
+// advanceWindow moves the queue's reclamation door forward so it trails the
+// new curComb by at most the configured window, reproducing hazard-pointer
+// reclamation of old queue nodes.
+func (c *CX) advanceWindow(newest *node) {
+	door := c.queue.Head()
+	if newest.Ticket() < door.Ticket()+c.cfg.Window {
+		return
+	}
+	target := newest.Ticket() - c.cfg.Window/2
+	n := door
+	for n.Ticket() < target {
+		next := n.Next()
+		if next == nil {
+			break
+		}
+		n = next
+	}
+	c.queue.AdvanceHead(n)
+}
+
+// flushReplica makes the replica's modified content durable-ready: CX-PTM
+// flushes the lines its interposed stores touched — or the whole used heap
+// when the replica was just rebuilt by copy, since the copied bulk is not
+// covered by tracking; CX-PUC, which has no interposition, always flushes
+// the whole used heap.
+func (c *CX) flushReplica(comb *combined) {
+	if c.cfg.Interpose && !comb.flushAll {
+		comb.flushTracked()
+		return
+	}
+	used := palloc.UsedWords(directMem{comb.region})
+	comb.region.FlushRange(0, used)
+	comb.flushAll = false
+	comb.dirty = comb.dirty[:0]
+}
+
+// now/since avoid the time.Now() cost when profiling is disabled.
+func now(p *ptm.Profile) time.Time {
+	if p == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func since(p *ptm.Profile, t time.Time) time.Duration {
+	if p == nil {
+		return 0
+	}
+	return time.Since(t)
+}

@@ -1,0 +1,457 @@
+package cx
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+	"repro/internal/seqds"
+)
+
+func newEngine(t testing.TB, threads int, interpose bool, mode pmem.Mode) (*CX, *pmem.Pool) {
+	t.Helper()
+	pool := pmem.New(pmem.Config{
+		Mode:        mode,
+		RegionWords: 1 << 16,
+		Regions:     2 * threads,
+	})
+	if threads == 1 {
+		// The paper's bound is 2N; with N=1 that is 2 regions.
+		pool = pmem.New(pmem.Config{Mode: mode, RegionWords: 1 << 16, Regions: 2})
+	}
+	return New(pool, Config{Threads: threads, Interpose: interpose}), pool
+}
+
+func variants() map[string]bool { return map[string]bool{"CX-PUC": false, "CX-PTM": true} }
+
+func TestNameAndProperties(t *testing.T) {
+	for name, interpose := range variants() {
+		e, _ := newEngine(t, 1, interpose, pmem.Direct)
+		if e.Name() != name {
+			t.Errorf("Name() = %q, want %q", e.Name(), name)
+		}
+		p := e.Properties()
+		if p.Progress != ptm.WaitFree || p.FencesPerTx != "2" || p.Replicas != "2N" {
+			t.Errorf("%s Properties() = %+v", name, p)
+		}
+		if e.MaxThreads() != 1 {
+			t.Errorf("MaxThreads() = %d", e.MaxThreads())
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	pool := pmem.New(pmem.Config{RegionWords: 1 << 10, Regions: 2})
+	for _, cfg := range []Config{{Threads: 0}, {Threads: -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New with %+v did not panic", cfg)
+				}
+			}()
+			New(pool, cfg)
+		}()
+	}
+	one := pmem.New(pmem.Config{RegionWords: 1 << 10, Regions: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("New with 1 region did not panic")
+		}
+	}()
+	New(one, Config{Threads: 1})
+}
+
+func TestCounterSingleThread(t *testing.T) {
+	for name, interpose := range variants() {
+		t.Run(name, func(t *testing.T) {
+			e, _ := newEngine(t, 1, interpose, pmem.Direct)
+			addr := ptm.RootAddr(0)
+			for i := 0; i < 100; i++ {
+				e.Update(0, func(m ptm.Mem) uint64 {
+					v := m.Load(addr) + 1
+					m.Store(addr, v)
+					return v
+				})
+			}
+			got := e.Read(0, func(m ptm.Mem) uint64 { return m.Load(addr) })
+			if got != 100 {
+				t.Fatalf("counter = %d, want 100", got)
+			}
+		})
+	}
+}
+
+func TestUpdateReturnsResult(t *testing.T) {
+	e, _ := newEngine(t, 1, true, pmem.Direct)
+	got := e.Update(0, func(m ptm.Mem) uint64 { return 12345 })
+	if got != 12345 {
+		t.Fatalf("Update returned %d, want 12345", got)
+	}
+}
+
+func TestSetSequential(t *testing.T) {
+	for name, interpose := range variants() {
+		t.Run(name, func(t *testing.T) {
+			e, _ := newEngine(t, 1, interpose, pmem.Direct)
+			s := seqds.ListSet{RootSlot: 0}
+			e.Update(0, func(m ptm.Mem) uint64 { s.Init(m); return 0 })
+			model := make(map[uint64]bool)
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < 500; i++ {
+				k := uint64(rng.Intn(100))
+				switch rng.Intn(3) {
+				case 0:
+					got := e.Update(0, func(m ptm.Mem) uint64 {
+						if s.Add(m, k) {
+							return 1
+						}
+						return 0
+					})
+					if (got == 1) != !model[k] {
+						t.Fatalf("Add(%d) = %d, model %v", k, got, model[k])
+					}
+					model[k] = true
+				case 1:
+					got := e.Update(0, func(m ptm.Mem) uint64 {
+						if s.Remove(m, k) {
+							return 1
+						}
+						return 0
+					})
+					if (got == 1) != model[k] {
+						t.Fatalf("Remove(%d) = %d, model %v", k, got, model[k])
+					}
+					delete(model, k)
+				case 2:
+					got := e.Read(0, func(m ptm.Mem) uint64 {
+						if s.Contains(m, k) {
+							return 1
+						}
+						return 0
+					})
+					if (got == 1) != model[k] {
+						t.Fatalf("Contains(%d) = %d, model %v", k, got, model[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrentCounter(t *testing.T) {
+	for name, interpose := range variants() {
+		t.Run(name, func(t *testing.T) {
+			const threads, perThread = 6, 300
+			e, _ := newEngine(t, threads, interpose, pmem.Direct)
+			addr := ptm.RootAddr(0)
+			var wg sync.WaitGroup
+			for tid := 0; tid < threads; tid++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					for i := 0; i < perThread; i++ {
+						e.Update(tid, func(m ptm.Mem) uint64 {
+							v := m.Load(addr) + 1
+							m.Store(addr, v)
+							return v
+						})
+					}
+				}(tid)
+			}
+			wg.Wait()
+			got := e.Read(0, func(m ptm.Mem) uint64 { return m.Load(addr) })
+			if got != threads*perThread {
+				t.Fatalf("counter = %d, want %d (lost updates)", got, threads*perThread)
+			}
+		})
+	}
+}
+
+func TestUpdateResultsAreExactlyOnce(t *testing.T) {
+	// Each update returns the post-increment value; across all threads the
+	// returned values must be a permutation of 1..total, proving every
+	// transaction executed exactly once in a total order.
+	const threads, perThread = 4, 250
+	e, _ := newEngine(t, threads, true, pmem.Direct)
+	addr := ptm.RootAddr(0)
+	results := make([][]uint64, threads)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < perThread; i++ {
+				r := e.Update(tid, func(m ptm.Mem) uint64 {
+					v := m.Load(addr) + 1
+					m.Store(addr, v)
+					return v
+				})
+				results[tid] = append(results[tid], r)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool)
+	for tid := range results {
+		last := uint64(0)
+		for _, r := range results[tid] {
+			if seen[r] {
+				t.Fatalf("result %d returned twice", r)
+			}
+			seen[r] = true
+			if r <= last {
+				t.Fatalf("thread %d results not monotonic: %d after %d", tid, r, last)
+			}
+			last = r
+		}
+	}
+	if len(seen) != threads*perThread {
+		t.Fatalf("%d distinct results, want %d", len(seen), threads*perThread)
+	}
+	for v := uint64(1); v <= threads*perThread; v++ {
+		if !seen[v] {
+			t.Fatalf("result %d missing", v)
+		}
+	}
+}
+
+func TestConcurrentReadersSeeConsistentState(t *testing.T) {
+	// Writers keep two words equal; readers must never observe a mismatch.
+	const writers, readers = 3, 3
+	const perWriter = 400
+	e, _ := newEngine(t, writers+readers, true, pmem.Direct)
+	a, b := ptm.RootAddr(0), ptm.RootAddr(1)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				e.Update(tid, func(m ptm.Mem) uint64 {
+					v := m.Load(a) + 1
+					m.Store(a, v)
+					m.Store(b, v)
+					return v
+				})
+			}
+		}(w)
+	}
+	errs := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if e.Read(tid, func(m ptm.Mem) uint64 {
+					if m.Load(a) != m.Load(b) {
+						return 1
+					}
+					return 0
+				}) == 1 {
+					errs <- "reader observed torn transaction"
+					return
+				}
+			}
+		}(writers + r)
+	}
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+func TestTwoFencesPerUpdate(t *testing.T) {
+	for name, interpose := range variants() {
+		t.Run(name, func(t *testing.T) {
+			e, pool := newEngine(t, 1, interpose, pmem.Direct)
+			addr := ptm.RootAddr(0)
+			e.Update(0, func(m ptm.Mem) uint64 { m.Store(addr, 1); return 0 })
+			before := pool.Stats()
+			const n = 50
+			for i := 0; i < n; i++ {
+				e.Update(0, func(m ptm.Mem) uint64 {
+					m.Store(addr, m.Load(addr)+1)
+					return 0
+				})
+			}
+			d := pool.Stats().Sub(before)
+			if got := d.Fences(); got != 2*n {
+				t.Fatalf("%d fences for %d update txs, want exactly %d (2 per tx)", got, n, 2*n)
+			}
+			if d.PFences != n || d.PSyncs != n {
+				t.Fatalf("fence split pfence=%d psync=%d, want %d/%d", d.PFences, d.PSyncs, n, n)
+			}
+		})
+	}
+}
+
+func TestCXPTMFlushesOnlyMutatedLines(t *testing.T) {
+	e, pool := newEngine(t, 1, true, pmem.Direct)
+	addr := ptm.RootAddr(0)
+	e.Update(0, func(m ptm.Mem) uint64 { m.Store(addr, 1); return 0 })
+	before := pool.Stats()
+	// One store to one line → 1 data pwb + 1 header pwb.
+	e.Update(0, func(m ptm.Mem) uint64 { m.Store(addr, 2); return 0 })
+	d := pool.Stats().Sub(before)
+	if d.PWBs != 2 {
+		t.Fatalf("pwbs = %d, want 2 (one mutated line + header)", d.PWBs)
+	}
+}
+
+func TestCXPUCFlushesWholeHeap(t *testing.T) {
+	e, pool := newEngine(t, 1, false, pmem.Direct)
+	addr := ptm.RootAddr(0)
+	e.Update(0, func(m ptm.Mem) uint64 { m.Store(addr, 1); return 0 })
+	before := pool.Stats()
+	e.Update(0, func(m ptm.Mem) uint64 { m.Store(addr, 2); return 0 })
+	d := pool.Stats().Sub(before)
+	// Whole used heap: at least the allocator metadata region.
+	if d.PWBs < 5 {
+		t.Fatalf("pwbs = %d, want whole-heap flush (no interposition)", d.PWBs)
+	}
+}
+
+func TestReadAfterDurableUpdateIssuesNoFence(t *testing.T) {
+	e, pool := newEngine(t, 1, true, pmem.Direct)
+	addr := ptm.RootAddr(0)
+	e.Update(0, func(m ptm.Mem) uint64 { m.Store(addr, 7); return 0 })
+	before := pool.Stats()
+	for i := 0; i < 10; i++ {
+		if got := e.Read(0, func(m ptm.Mem) uint64 { return m.Load(addr) }); got != 7 {
+			t.Fatalf("Read = %d, want 7", got)
+		}
+	}
+	if d := pool.Stats().Sub(before); d.Fences() != 0 {
+		t.Fatalf("reads issued %d fences, want 0 (state already durable)", d.Fences())
+	}
+}
+
+func TestWindowInvalidationForcesCopies(t *testing.T) {
+	pool := pmem.New(pmem.Config{RegionWords: 1 << 16, Regions: 8})
+	e := New(pool, Config{Threads: 4, Interpose: true, Window: 16})
+	addr := ptm.RootAddr(0)
+	var wg sync.WaitGroup
+	for tid := 0; tid < 4; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				e.Update(tid, func(m ptm.Mem) uint64 {
+					v := m.Load(addr) + 1
+					m.Store(addr, v)
+					return v
+				})
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if got := e.Read(0, func(m ptm.Mem) uint64 { return m.Load(addr) }); got != 2000 {
+		t.Fatalf("counter = %d, want 2000", got)
+	}
+	if e.Copies() == 0 {
+		t.Fatal("tiny window produced no replica copies")
+	}
+}
+
+func TestReadFallbackUnderWriteStorm(t *testing.T) {
+	pool := pmem.New(pmem.Config{RegionWords: 1 << 16, Regions: 8})
+	e := New(pool, Config{Threads: 4, Interpose: true, MaxReadTries: 1})
+	addr := ptm.RootAddr(0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for tid := 0; tid < 3; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					e.Update(tid, func(m ptm.Mem) uint64 {
+						v := m.Load(addr) + 1
+						m.Store(addr, v)
+						return v
+					})
+				}
+			}
+		}(tid)
+	}
+	last := uint64(0)
+	for i := 0; i < 500; i++ {
+		got := e.Read(3, func(m ptm.Mem) uint64 { return m.Load(addr) })
+		if got < last {
+			t.Fatalf("read went backwards: %d after %d", got, last)
+		}
+		last = got
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSPSSumPreservedConcurrently(t *testing.T) {
+	const threads = 4
+	e, _ := newEngine(t, threads, true, pmem.Direct)
+	sps := seqds.SPS{RootSlot: 0}
+	const n = 256
+	e.Update(0, func(m ptm.Mem) uint64 { sps.Init(m, n); return 0 })
+	want := e.Read(0, func(m ptm.Mem) uint64 { return sps.Sum(m) })
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(tid)))
+			for i := 0; i < 300; i++ {
+				x, y := uint64(rng.Intn(n)), uint64(rng.Intn(n))
+				e.Update(tid, func(m ptm.Mem) uint64 { sps.Swap(m, x, y); return 0 })
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if got := e.Read(0, func(m ptm.Mem) uint64 { return sps.Sum(m) }); got != want {
+		t.Fatalf("Sum = %d, want %d: some swap was torn", got, want)
+	}
+}
+
+func TestMultiObjectTransaction(t *testing.T) {
+	// Transfer between two stacks atomically; total size is invariant.
+	const threads = 4
+	e, _ := newEngine(t, threads, true, pmem.Direct)
+	s1 := seqds.Stack{RootSlot: 0}
+	s2 := seqds.Stack{RootSlot: 1}
+	e.Update(0, func(m ptm.Mem) uint64 {
+		s1.Init(m)
+		s2.Init(m)
+		for i := uint64(0); i < 100; i++ {
+			s1.Push(m, i)
+		}
+		return 0
+	})
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				e.Update(tid, func(m ptm.Mem) uint64 {
+					if v, ok := s1.Pop(m); ok {
+						s2.Push(m, v)
+					} else if v, ok := s2.Pop(m); ok {
+						s1.Push(m, v)
+					}
+					return 0
+				})
+			}
+		}(tid)
+	}
+	wg.Wait()
+	total := e.Read(0, func(m ptm.Mem) uint64 { return s1.Len(m) + s2.Len(m) })
+	if total != 100 {
+		t.Fatalf("total elements = %d, want 100 (transfer not atomic)", total)
+	}
+}

@@ -1,0 +1,77 @@
+package cx
+
+import (
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+	"repro/internal/seqds"
+)
+
+// TestCopiedReplicaContentIsDurable constructs the replica-invalidation
+// scenario deterministically: a large object is built while one replica
+// stays stale; that replica is then forced (by locking out all others) to
+// rebuild itself by copy and immediately publish as curComb. Crashing right
+// after must not lose the copied content — the copy itself must have been
+// made durable, not just the lines the publishing transaction touched.
+func TestCopiedReplicaContentIsDurable(t *testing.T) {
+	const threads = 2
+	pool := pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 15, Regions: 4})
+	e := New(pool, Config{Threads: threads, Interpose: true})
+	s := seqds.ListSet{RootSlot: 0}
+	e.Update(0, func(m ptm.Mem) uint64 { s.Init(m); return 0 })
+	// Build a large object; a single thread alternates between two
+	// replicas, so combs[2] and combs[3] stay in their initial invalid
+	// state (head == nil).
+	const keys = 400
+	for k := uint64(1); k <= keys; k++ {
+		key := (k * 2654435761) % 1000000
+		e.Update(0, func(m ptm.Mem) uint64 {
+			s.Add(m, key)
+			return 0
+		})
+	}
+	// Force the next update onto an invalid replica: exclusively lock
+	// every valid non-curComb replica.
+	cur := e.curComb.Load()
+	locked := 0
+	for _, comb := range e.combs {
+		if comb == cur || comb.head.Load() == nil {
+			continue
+		}
+		if !comb.lk.ExclusiveTryLock(1) {
+			t.Fatalf("could not lock out a valid replica")
+		}
+		locked++
+	}
+	if locked == 0 {
+		t.Fatal("setup failed: no valid replica to lock out")
+	}
+	before := e.Copies()
+	e.Update(0, func(m ptm.Mem) uint64 {
+		s.Add(m, 42)
+		return 0
+	})
+	if e.Copies() == before {
+		t.Fatal("setup failed: the update did not take the copy path")
+	}
+	// The copied replica is now curComb and its full content must be
+	// durable.
+	pool.Crash(pmem.CrashConservative, nil)
+	e2 := New(pool, Config{Threads: threads, Interpose: true})
+	missing := 0
+	e2.Read(0, func(m ptm.Mem) uint64 {
+		for k := uint64(1); k <= keys; k++ {
+			if !s.Contains(m, (k*2654435761)%1000000) {
+				missing++
+			}
+		}
+		if !s.Contains(m, 42) {
+			missing++
+		}
+		return 0
+	})
+	if missing != 0 {
+		t.Fatalf("%d completed inserts lost: the replica copy was not flushed before publication", missing)
+	}
+}

@@ -1,0 +1,67 @@
+package cx
+
+import (
+	"sort"
+
+	"repro/internal/palloc"
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+)
+
+// directMem is the CX-PUC view of a replica: in-place loads and stores with
+// no interposition whatsoever, exactly as the paper's "no annotation of the
+// sequential implementation". Durability is obtained by flushing the whole
+// used heap before a curComb transition.
+type directMem struct {
+	region *pmem.Region
+}
+
+func (m directMem) Load(addr uint64) uint64   { return m.region.Load(addr) }
+func (m directMem) Store(addr, val uint64)    { m.region.Store(addr, val) }
+func (m directMem) Alloc(words uint64) uint64 { return palloc.Alloc(m, words) }
+func (m directMem) Free(addr uint64)          { palloc.Free(m, addr) }
+
+// trackedMem is the CX-PTM view of a replica: stores are interposed to
+// record the cache line they touch, so only mutated lines are flushed. Loads
+// need no pointer-offset adjustment in this model because all references are
+// region-relative offsets (see DESIGN.md).
+type trackedMem struct {
+	region *pmem.Region
+	comb   *combined
+}
+
+func (m trackedMem) Load(addr uint64) uint64 { return m.region.Load(addr) }
+
+func (m trackedMem) Store(addr, val uint64) {
+	m.region.Store(addr, val)
+	m.comb.dirty = append(m.comb.dirty, addr/pmem.WordsPerLine)
+}
+
+func (m trackedMem) Alloc(words uint64) uint64 { return palloc.Alloc(m, words) }
+func (m trackedMem) Free(addr uint64)          { palloc.Free(m, addr) }
+
+// memFor returns the transactional view of comb's replica. writer is nil
+// for read-only access (no tracking needed even under CX-PTM).
+func (c *CX) memFor(comb *combined, writer *combined) ptm.Mem {
+	if c.cfg.Interpose && writer != nil {
+		return trackedMem{region: comb.region, comb: writer}
+	}
+	return directMem{region: comb.region}
+}
+
+// flushTracked issues one PWB per distinct dirty cache line and resets the
+// tracking list. The caller still needs a fence.
+func (comb *combined) flushTracked() {
+	if len(comb.dirty) == 0 {
+		return
+	}
+	sort.Slice(comb.dirty, func(i, j int) bool { return comb.dirty[i] < comb.dirty[j] })
+	var last uint64 = ^uint64(0)
+	for _, line := range comb.dirty {
+		if line != last {
+			comb.region.PWB(line * pmem.WordsPerLine)
+			last = line
+		}
+	}
+	comb.dirty = comb.dirty[:0]
+}

@@ -1,0 +1,14 @@
+// Package core groups the paper's primary contributions — the wait-free
+// persistent universal constructions:
+//
+//   - core/cx: CX-PUC (the first bounded wait-free persistent universal
+//     construction, §4) and CX-PTM (its transactional-memory refinement
+//     with store interposition).
+//   - core/redo: Redo-PTM (the new physical-logging construction of §5)
+//     with its RedoTimed-PTM and RedoOpt-PTM refinements.
+//
+// The baselines the paper compares against live outside this package
+// (internal/onefile, internal/pmdk, internal/romulus, internal/handmade),
+// as do the substrates (internal/pmem, internal/palloc, internal/rwlock,
+// internal/uqueue) and the applications (internal/redodb).
+package core

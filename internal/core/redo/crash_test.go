@@ -1,0 +1,172 @@
+package redo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+	"repro/internal/seqds"
+)
+
+func strictPool() *pmem.Pool {
+	return pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 14, Regions: 2})
+}
+
+func runAddsUntilCrash(t *testing.T, pool *pmem.Pool, v Variant, n int, failPoint int64) (completed int, crashed bool) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			if r != pmem.ErrSimulatedPowerFailure {
+				panic(r)
+			}
+			crashed = true
+		}
+		pool.InjectFailure(-1)
+	}()
+	e := New(pool, Config{Threads: 1, Variant: v})
+	s := seqds.ListSet{RootSlot: 0}
+	e.Update(0, func(m ptm.Mem) uint64 { s.Init(m); return 0 })
+	pool.InjectFailure(failPoint)
+	for k := 0; k < n; k++ {
+		e.Update(0, func(m ptm.Mem) uint64 {
+			s.Add(m, uint64(k)+1)
+			return 0
+		})
+		completed++
+	}
+	return completed, false
+}
+
+func checkRecovered(t *testing.T, pool *pmem.Pool, v Variant, completed, n int, failPoint int64) {
+	t.Helper()
+	e := New(pool, Config{Threads: 1, Variant: v})
+	s := seqds.ListSet{RootSlot: 0}
+	var keys []uint64
+	e.Read(0, func(m ptm.Mem) uint64 {
+		keys = s.Keys(m)
+		return 0
+	})
+	if len(keys) < completed {
+		t.Fatalf("fail=%d: recovered %d keys, %d completed", failPoint, len(keys), completed)
+	}
+	if len(keys) > n {
+		t.Fatalf("fail=%d: recovered %d keys, only %d ever inserted", failPoint, len(keys), n)
+	}
+	for i, k := range keys {
+		if k != uint64(i)+1 {
+			t.Fatalf("fail=%d: recovered state not a prefix at %d: key %d", failPoint, i, k)
+		}
+	}
+	// The recovered engine must be fully usable (null recovery).
+	got := e.Update(0, func(m ptm.Mem) uint64 {
+		s.Add(m, 1<<40)
+		return s.Len(m)
+	})
+	if got != uint64(len(keys))+1 {
+		t.Fatalf("fail=%d: post-recovery insert len = %d, want %d", failPoint, got, len(keys)+1)
+	}
+}
+
+func TestCrashAfterQuiesce(t *testing.T) {
+	for _, v := range variants() {
+		t.Run(v.String(), func(t *testing.T) {
+			pool := strictPool()
+			const n = 30
+			completed, crashed := runAddsUntilCrash(t, pool, v, n, -1)
+			if crashed || completed != n {
+				t.Fatalf("unexpected crash (completed %d)", completed)
+			}
+			pool.Crash(pmem.CrashConservative, nil)
+			checkRecovered(t, pool, v, n, n, -1)
+		})
+	}
+}
+
+func TestSystematicCrashPoints(t *testing.T) {
+	for _, v := range variants() {
+		t.Run(v.String(), func(t *testing.T) {
+			const n = 20
+			for fail := int64(1); ; fail += 7 {
+				pool := strictPool()
+				completed, crashed := runAddsUntilCrash(t, pool, v, n, fail)
+				if !crashed {
+					if completed != n {
+						t.Fatalf("no crash but %d/%d completed", completed, n)
+					}
+					break
+				}
+				pool.Crash(pmem.CrashConservative, nil)
+				checkRecovered(t, pool, v, completed, n, fail)
+			}
+		})
+	}
+}
+
+func TestAdversarialCrashPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const n = 15
+	for fail := int64(1); ; fail += 11 {
+		pool := strictPool()
+		completed, crashed := runAddsUntilCrash(t, pool, Opt, n, fail)
+		if !crashed {
+			break
+		}
+		pool.Crash(pmem.CrashAdversarial, rng)
+		checkRecovered(t, pool, Opt, completed, n, fail)
+	}
+}
+
+func TestDoubleCrashAcrossEras(t *testing.T) {
+	pool := strictPool()
+	const n = 8
+	if _, crashed := runAddsUntilCrash(t, pool, Opt, n, -1); crashed {
+		t.Fatal("unexpected crash")
+	}
+	pool.Crash(pmem.CrashConservative, nil)
+	e := New(pool, Config{Threads: 1, Variant: Opt})
+	s := seqds.ListSet{RootSlot: 0}
+	for k := n; k < 2*n; k++ {
+		e.Update(0, func(m ptm.Mem) uint64 {
+			s.Add(m, uint64(k)+1)
+			return 0
+		})
+	}
+	pool.Crash(pmem.CrashConservative, nil)
+	e = New(pool, Config{Threads: 1, Variant: Opt})
+	var keys []uint64
+	e.Read(0, func(m ptm.Mem) uint64 {
+		keys = s.Keys(m)
+		return 0
+	})
+	if len(keys) != 2*n {
+		t.Fatalf("recovered %d keys after two eras, want %d", len(keys), 2*n)
+	}
+}
+
+func TestConcurrentThenCrash(t *testing.T) {
+	pool := pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 14, Regions: 5})
+	e := New(pool, Config{Threads: 4, Variant: Opt})
+	addr := ptm.RootAddr(0)
+	done := make(chan struct{})
+	for tid := 0; tid < 4; tid++ {
+		go func(tid int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 80; i++ {
+				e.Update(tid, func(m ptm.Mem) uint64 {
+					val := m.Load(addr) + 1
+					m.Store(addr, val)
+					return val
+				})
+			}
+		}(tid)
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	pool.Crash(pmem.CrashConservative, nil)
+	e = New(pool, Config{Threads: 4, Variant: Opt})
+	if got := e.Read(0, func(m ptm.Mem) uint64 { return m.Load(addr) }); got != 320 {
+		t.Fatalf("recovered counter = %d, want 320", got)
+	}
+}

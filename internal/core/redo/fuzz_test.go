@@ -1,0 +1,64 @@
+package redo
+
+import (
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+	"repro/internal/seqds"
+)
+
+// FuzzCrashPoint fuzzes the power-failure instant (and the variant) during
+// a deterministic insert workload, asserting durable linearizability after
+// recovery. go test runs the seed corpus; `go test -fuzz=FuzzCrashPoint`
+// explores further.
+func FuzzCrashPoint(f *testing.F) {
+	f.Add(int64(1), uint8(0))
+	f.Add(int64(17), uint8(1))
+	f.Add(int64(93), uint8(2))
+	f.Add(int64(400), uint8(2))
+	f.Fuzz(func(t *testing.T, failPoint int64, variantByte uint8) {
+		if failPoint < 1 || failPoint > 20000 {
+			return
+		}
+		variant := Variant(variantByte % 3)
+		pool := pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 13, Regions: 2})
+		s := seqds.ListSet{RootSlot: 0}
+		const n = 12
+		completed := 0
+		func() {
+			defer func() {
+				if r := recover(); r != nil && r != pmem.ErrSimulatedPowerFailure {
+					panic(r)
+				}
+				pool.InjectFailure(-1)
+			}()
+			e := New(pool, Config{Threads: 1, Variant: variant})
+			e.Update(0, func(m ptm.Mem) uint64 { s.Init(m); return 0 })
+			pool.InjectFailure(failPoint)
+			for k := 0; k < n; k++ {
+				e.Update(0, func(m ptm.Mem) uint64 {
+					s.Add(m, uint64(k)+1)
+					return 0
+				})
+				completed++
+			}
+		}()
+		pool.Crash(pmem.CrashConservative, nil)
+		e := New(pool, Config{Threads: 1, Variant: variant})
+		var keys []uint64
+		e.Read(0, func(m ptm.Mem) uint64 {
+			keys = s.Keys(m)
+			return 0
+		})
+		if len(keys) < completed || len(keys) > n {
+			t.Fatalf("fail=%d variant=%v: recovered %d keys, completed %d",
+				failPoint, variant, len(keys), completed)
+		}
+		for i, k := range keys {
+			if k != uint64(i)+1 {
+				t.Fatalf("fail=%d: recovered state not a prefix", failPoint)
+			}
+		}
+	})
+}

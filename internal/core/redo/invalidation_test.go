@@ -1,0 +1,74 @@
+package redo
+
+import (
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+	"repro/internal/seqds"
+)
+
+// TestCopiedReplicaContentIsDurable forces a large-object replica rebuild
+// (by locking out every valid replica) and crashes right after the copied
+// replica publishes: its full content must be durable. Base/Timed achieve
+// this with a whole-heap flush after the plain copy; Opt with non-temporal
+// stores that need only the commit fence.
+func TestCopiedReplicaContentIsDurable(t *testing.T) {
+	for _, v := range variants() {
+		t.Run(v.String(), func(t *testing.T) {
+			const threads = 2
+			pool := pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 15, Regions: 4})
+			e := New(pool, Config{Threads: threads, Variant: v})
+			s := seqds.ListSet{RootSlot: 0}
+			e.Update(0, func(m ptm.Mem) uint64 { s.Init(m); return 0 })
+			const keys = 300
+			for k := uint64(1); k <= keys; k++ {
+				key := (k * 2654435761) % 1000000
+				e.Update(0, func(m ptm.Mem) uint64 {
+					s.Add(m, key)
+					return 0
+				})
+			}
+			// Lock out every replica that could avoid the copy path.
+			curIdx := idxOf(e.curComb.Load())
+			locked := 0
+			for i, comb := range e.combs {
+				if i == curIdx || comb.head.Load() == invalidHead {
+					continue
+				}
+				if !comb.lk.ExclusiveTryLock(1) {
+					t.Fatal("could not lock out a valid replica")
+				}
+				locked++
+			}
+			if locked == 0 {
+				t.Fatal("setup failed: no valid replica to lock out")
+			}
+			before := e.Copies()
+			e.Update(0, func(m ptm.Mem) uint64 {
+				s.Add(m, 42)
+				return 0
+			})
+			if e.Copies() == before {
+				t.Fatal("setup failed: the update did not take the copy path")
+			}
+			pool.Crash(pmem.CrashConservative, nil)
+			e2 := New(pool, Config{Threads: threads, Variant: v})
+			missing := 0
+			e2.Read(0, func(m ptm.Mem) uint64 {
+				for k := uint64(1); k <= keys; k++ {
+					if !s.Contains(m, (k*2654435761)%1000000) {
+						missing++
+					}
+				}
+				if !s.Contains(m, 42) {
+					missing++
+				}
+				return 0
+			})
+			if missing != 0 {
+				t.Fatalf("%s: %d completed inserts lost after copy+crash", v, missing)
+			}
+		})
+	}
+}

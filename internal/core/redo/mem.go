@@ -1,0 +1,116 @@
+package redo
+
+import (
+	"sort"
+
+	"repro/internal/palloc"
+	"repro/internal/pmem"
+)
+
+// redoMem is the transactional view used while simulating announced
+// operations on an exclusively held replica: every store is recorded in the
+// State's physical log (old value for undo, new value for redo) and applied
+// in place. Under the Opt variant, repeated stores to the same address are
+// aggregated into a single log entry ("store aggregation") and pwbs are
+// deferred to commit time ("postpone issuing pwbs"); the base variant
+// issues a pwb per store immediately.
+type redoMem struct {
+	e     *Redo
+	comb  *combined
+	st    *State
+	exec  int // executing thread
+	owner int // thread that announced the operation being executed
+}
+
+// EmitBytes implements the optional byte-result channel (ptm.EmitBytes):
+// the executor writes its own outbox row; the owner reads it after the
+// committed state identifies this executor.
+func (m redoMem) EmitBytes(b []byte) { m.e.outbox[m.exec][m.owner] = b }
+
+func (m redoMem) Load(addr uint64) uint64 { return m.comb.region.Load(addr) }
+
+func (m redoMem) Store(addr, val uint64) {
+	if m.e.feat.StoreAgg {
+		if pos, ok := m.st.aggr[addr]; ok {
+			// Store aggregation: overwrite the redo value in place;
+			// the undo value keeps the pre-transaction content.
+			m.st.entryAt(pos).val.Store(val)
+			m.comb.region.Store(addr, val)
+			return
+		}
+		pos := m.st.append(addr, m.comb.region.Load(addr), val)
+		m.st.aggr[addr] = pos
+		m.comb.region.Store(addr, val)
+		m.comb.track(addr)
+		return
+	}
+	m.st.append(addr, m.comb.region.Load(addr), val)
+	m.comb.region.Store(addr, val)
+	if m.e.feat.DeferFlush {
+		m.comb.track(addr)
+	} else {
+		m.comb.region.PWB(addr)
+	}
+}
+
+func (m redoMem) Alloc(words uint64) uint64 { return palloc.Alloc(m, words) }
+func (m redoMem) Free(addr uint64)          { palloc.Free(m, addr) }
+
+// roMem is the read-only view handed to read transactions (both the
+// optimistic shared-lock path and read closures executed by an updater on
+// behalf of a reader). Mutation is a caller bug and fails loudly.
+type roMem struct {
+	region *pmem.Region
+	e      *Redo
+	exec   int
+	owner  int
+}
+
+// EmitBytes implements the optional byte-result channel (ptm.EmitBytes).
+func (m roMem) EmitBytes(b []byte) { m.e.outbox[m.exec][m.owner] = b }
+
+func (m roMem) Load(addr uint64) uint64 { return m.region.Load(addr) }
+func (m roMem) Store(addr, val uint64) {
+	panic("redo: Store inside a read-only transaction")
+}
+func (m roMem) Alloc(words uint64) uint64 {
+	panic("redo: Alloc inside a read-only transaction")
+}
+func (m roMem) Free(addr uint64) {
+	panic("redo: Free inside a read-only transaction")
+}
+
+// directMem gives raw access for allocator formatting and metadata reads.
+type directMem struct {
+	region *pmem.Region
+}
+
+func (m directMem) Load(addr uint64) uint64 { return m.region.Load(addr) }
+func (m directMem) Store(addr, val uint64)  { m.region.Store(addr, val) }
+
+// runDesc executes an announced operation with the appropriate view.
+func runDesc(d *reqDesc, rm redoMem) uint64 {
+	if d.readOnly {
+		return d.fn(roMem{region: rm.comb.region, e: rm.e, exec: rm.exec, owner: rm.owner})
+	}
+	return d.fn(rm)
+}
+
+// usedWords reports the allocator high-water mark of a replica.
+func usedWords(region *pmem.Region) uint64 {
+	return palloc.UsedWords(directMem{region})
+}
+
+// flushLines issues one pwb per distinct deferred dirty line and resets the
+// list ("flush aggregation").
+func flushLines(c *combined) {
+	sort.Slice(c.dirty, func(i, j int) bool { return c.dirty[i] < c.dirty[j] })
+	var last uint64 = ^uint64(0)
+	for _, line := range c.dirty {
+		if line != last {
+			c.region.PWB(line * pmem.WordsPerLine)
+			last = line
+		}
+	}
+	c.dirty = c.dirty[:0]
+}

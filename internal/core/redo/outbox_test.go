@@ -1,0 +1,192 @@
+package redo
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+	"repro/internal/seqds"
+)
+
+// TestReadWithBytesSingleThread checks the optimistic path of the byte
+// outbox.
+func TestReadWithBytesSingleThread(t *testing.T) {
+	e, _ := newEngine(t, 1, Opt, pmem.Direct)
+	addr := ptm.RootAddr(0)
+	e.Update(0, func(m ptm.Mem) uint64 {
+		a := ptm.AllocBytes(m, []byte("hello bytes"))
+		m.Store(addr, a)
+		return 0
+	})
+	res, b := e.ReadWithBytes(0, func(m ptm.Mem) uint64 {
+		ptm.EmitBytes(m, ptm.LoadBytes(m, m.Load(addr)))
+		return 7
+	})
+	if res != 7 || string(b) != "hello bytes" {
+		t.Fatalf("ReadWithBytes = %d, %q", res, b)
+	}
+}
+
+// TestReadWithBytesNilWhenNotEmitted checks the slot is cleared per call.
+func TestReadWithBytesNilWhenNotEmitted(t *testing.T) {
+	e, _ := newEngine(t, 1, Opt, pmem.Direct)
+	e.ReadWithBytes(0, func(m ptm.Mem) uint64 {
+		ptm.EmitBytes(m, []byte("stale"))
+		return 0
+	})
+	_, b := e.ReadWithBytes(0, func(m ptm.Mem) uint64 { return 0 })
+	if b != nil {
+		t.Fatalf("non-emitting read returned stale bytes %q", b)
+	}
+}
+
+// TestReadWithBytesUnderHelpers forces published reads (MaxReadTries=0 is
+// not allowed, so use 1 with heavy update pressure) whose closures are
+// executed by helper updaters; the owner must receive exactly the bytes
+// matching the committed snapshot its read linearized against.
+func TestReadWithBytesUnderHelpers(t *testing.T) {
+	const writers, readers, per = 3, 3, 300
+	pool := pmem.New(pmem.Config{RegionWords: 1 << 16, Regions: writers + readers + 1})
+	e := New(pool, Config{Threads: writers + readers, Variant: Opt, MaxReadTries: 1})
+	// Two parallel byte cells that are always updated together; a
+	// consistent read must return identical payloads.
+	a, b := ptm.RootAddr(0), ptm.RootAddr(1)
+	e.Update(0, func(m ptm.Mem) uint64 {
+		m.Store(a, ptm.AllocBytes(m, []byte("v0")))
+		m.Store(b, ptm.AllocBytes(m, []byte("v0")))
+		return 0
+	})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				payload := []byte(fmt.Sprintf("w%d-%d", tid, i))
+				e.Update(tid, func(m ptm.Mem) uint64 {
+					m.Free(m.Load(a))
+					m.Free(m.Load(b))
+					m.Store(a, ptm.AllocBytes(m, payload))
+					m.Store(b, ptm.AllocBytes(m, payload))
+					return 0
+				})
+			}
+		}(w)
+	}
+	errs := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				_, got := e.ReadWithBytes(tid, func(m ptm.Mem) uint64 {
+					va := ptm.LoadBytes(m, m.Load(a))
+					vb := ptm.LoadBytes(m, m.Load(b))
+					out := make([]byte, 0, len(va)+len(vb)+1)
+					out = append(out, va...)
+					out = append(out, '|')
+					out = append(out, vb...)
+					ptm.EmitBytes(m, out)
+					return 0
+				})
+				half := len(got) / 2
+				if len(got) < 3 || got[half] != '|' ||
+					string(got[:half]) != string(got[half+1:]) {
+					errs <- fmt.Sprintf("torn byte read: %q", got)
+					return
+				}
+			}
+		}(writers + r)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Readers finish first (bounded iterations), then stop writers.
+	for i := 0; i < readers; i++ {
+	}
+	close(stop)
+	<-done
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// TestIteratorStyleSnapshotUnderChurn serializes a whole structure through
+// the outbox while writers churn — the RedoDB iterator pattern.
+func TestIteratorStyleSnapshotUnderChurn(t *testing.T) {
+	const threads = 4
+	pool := pmem.New(pmem.Config{RegionWords: 1 << 17, Regions: threads + 1})
+	e := New(pool, Config{Threads: threads, Variant: Opt, MaxReadTries: 1})
+	s := seqds.ListSet{RootSlot: 0}
+	e.Update(0, func(m ptm.Mem) uint64 {
+		s.Init(m)
+		for k := uint64(1); k <= 100; k++ {
+			s.Add(m, k)
+		}
+		return 0
+	})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for k := uint64(101); ; k++ {
+				select {
+				case <-stop:
+					return
+				default:
+					e.Update(tid, func(m ptm.Mem) uint64 {
+						s.Add(m, k)
+						return 0
+					})
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 100; i++ {
+		_, blob := e.ReadWithBytes(2, func(m ptm.Mem) uint64 {
+			keys := s.Keys(m)
+			out := make([]byte, 0, len(keys)*8)
+			for _, k := range keys {
+				for sh := 0; sh < 64; sh += 8 {
+					out = append(out, byte(k>>sh))
+				}
+			}
+			ptm.EmitBytes(m, out)
+			return uint64(len(keys))
+		})
+		if len(blob)%8 != 0 {
+			t.Fatalf("iteration %d: ragged snapshot blob (%d bytes)", i, len(blob))
+		}
+		// The snapshot must be a sorted, duplicate-free prefix-closed
+		// key sequence: 1..n for some n >= 100.
+		n := len(blob) / 8
+		if n < 100 {
+			t.Fatalf("iteration %d: snapshot lost keys (%d)", i, n)
+		}
+		for j := 0; j < n; j++ {
+			var k uint64
+			for sh := 0; sh < 8; sh++ {
+				k |= uint64(blob[j*8+sh]) << (8 * sh)
+			}
+			if k != uint64(j)+1 {
+				t.Fatalf("iteration %d: snapshot[%d] = %d, want %d", i, j, k, j+1)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

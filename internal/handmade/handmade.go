@@ -1,0 +1,269 @@
+// Package handmade implements the two hand-made persistent lock-free queues
+// that Fig. 5 of the paper compares against: FHMP (Friedman, Herlihy,
+// Marathe, Petrank — PPoPP 2018) and NormOpt (Ben-David, Blelloch, Friedman,
+// Wei — SPAA 2019).
+//
+// Both are Michael-Scott queues whose shared words live in persistent
+// memory and are mutated with CAS, following the Izraelevitz et al. recipe
+// of a pwb per mutated location ordered by fences. The per-operation fence
+// counts follow the paper: FHMP issues 2 pfences per enqueue and 4 per
+// dequeue (it durably records dequeued values for exactly-once recovery);
+// NormOpt's normalized construction gets by with 2/2.
+//
+// As in the paper's evaluation, both queues use a *volatile* allocator
+// (libvmmalloc there; a volatile bump+free-list here): allocation costs no
+// flushes, but all allocator metadata is lost on a crash, leaving the queues
+// "inconsistent and unusable" after a failure — which is exactly the
+// argument the paper makes for integrated persistent allocation. These
+// queues therefore have no recovery procedure.
+package handmade
+
+import (
+	"sync/atomic"
+
+	"repro/internal/pmem"
+)
+
+// Queue header words within the region.
+const (
+	qHead = 0
+	qTail = 1
+	// retBase is where FHMP's per-thread returned-value slots start.
+	retBase = 8
+)
+
+// Node layout: [value, next, deqTid].
+const nodeWords = 8 // line-aligned so node flushes are a single pwb
+
+// vAlloc is the volatile allocator: a bump pointer plus per-thread pools of
+// released nodes kept in ordinary Go memory (so its state vanishes on a
+// crash, like libvmmalloc). Reuse is delayed — a node is recycled only after
+// reuseDelay other nodes were released by the same thread — standing in for
+// the hazard-pointer reclamation of the originals: it makes the classic
+// Michael-Scott ABA (a node re-entering the queue at the same address while
+// a stalled dequeuer still holds it) practically impossible.
+type vAlloc struct {
+	bump  atomic.Uint64
+	limit uint64
+	pools [][]uint64 // FIFO per thread; owner-only access
+	heads []int
+}
+
+const reuseDelay = 1024
+
+func newVAlloc(start, limit uint64, threads int) *vAlloc {
+	a := &vAlloc{
+		limit: limit,
+		pools: make([][]uint64, threads),
+		heads: make([]int, threads),
+	}
+	a.bump.Store(start)
+	return a
+}
+
+func (a *vAlloc) alloc(tid int) uint64 {
+	if h := a.heads[tid]; len(a.pools[tid])-h > reuseDelay {
+		addr := a.pools[tid][h]
+		a.heads[tid] = h + 1
+		if h > 1<<16 { // compact occasionally
+			a.pools[tid] = append([]uint64(nil), a.pools[tid][h+1:]...)
+			a.heads[tid] = 0
+		}
+		return addr
+	}
+	addr := a.bump.Add(nodeWords) - nodeWords
+	if addr+nodeWords > a.limit {
+		panic("handmade: volatile allocator exhausted")
+	}
+	return addr
+}
+
+func (a *vAlloc) release(tid int, addr uint64) {
+	a.pools[tid] = append(a.pools[tid], addr)
+}
+
+// base is the common Michael-Scott machinery.
+type base struct {
+	region *pmem.Region
+	alloc  *vAlloc
+}
+
+func newBase(region *pmem.Region, threads int) base {
+	b := base{
+		region: region,
+		alloc:  newVAlloc(uint64(retBase+threads+nodeWords-1)/nodeWords*nodeWords, region.Words(), threads),
+	}
+	// Sentinel node.
+	s := b.alloc.alloc(0)
+	region.AtomicStore(s, 0)
+	region.AtomicStore(s+1, 0)
+	region.PWB(s)
+	region.AtomicStore(qHead, s)
+	region.AtomicStore(qTail, s)
+	region.PWB(qHead)
+	region.PFence()
+	return b
+}
+
+// enqueue links a new node at the tail, issuing pwbs per the given recipe;
+// fences are the caller's responsibility so FHMP and NormOpt can differ.
+func (b *base) enqueueNode(tid int, v uint64) uint64 {
+	n := b.alloc.alloc(tid)
+	b.region.AtomicStore(n, v)
+	b.region.AtomicStore(n+1, 0)
+	b.region.AtomicStore(n+2, 0)
+	b.region.PWB(n) // node content durable before it is reachable
+	for {
+		last := b.region.AtomicLoad(qTail)
+		next := b.region.AtomicLoad(last + 1)
+		if last != b.region.AtomicLoad(qTail) {
+			continue
+		}
+		if next != 0 {
+			// Help: persist the link and swing the tail.
+			b.region.PWB(last + 1)
+			b.region.CAS(qTail, last, next)
+			continue
+		}
+		if b.region.CAS(last+1, 0, n) {
+			b.region.PWB(last + 1)
+			b.region.CAS(qTail, last, n)
+			return n
+		}
+	}
+}
+
+// dequeueNode unlinks the head node, returning its value. The freed
+// sentinel is recycled through the volatile allocator.
+func (b *base) dequeueNode(tid int) (uint64, bool) {
+	for {
+		first := b.region.AtomicLoad(qHead)
+		last := b.region.AtomicLoad(qTail)
+		next := b.region.AtomicLoad(first + 1)
+		if first != b.region.AtomicLoad(qHead) {
+			continue
+		}
+		if next == 0 {
+			return 0, false
+		}
+		if first == last {
+			b.region.PWB(last + 1)
+			b.region.CAS(qTail, last, next)
+			continue
+		}
+		v := b.region.AtomicLoad(next)
+		if b.region.CAS(qHead, first, next) {
+			b.region.PWB(qHead)
+			b.alloc.release(tid, first)
+			return v, true
+		}
+	}
+}
+
+// Len walks the queue (tests only; not linearizable under concurrency).
+func (b *base) Len() int {
+	n := 0
+	cur := b.region.AtomicLoad(b.region.AtomicLoad(qHead) + 1)
+	for cur != 0 {
+		n++
+		cur = b.region.AtomicLoad(cur + 1)
+	}
+	return n
+}
+
+// FHMP is the Friedman et al. durable queue: 2 fences per enqueue, 4 per
+// dequeue (the extra pair persists the dequeued value in the caller's
+// returned-value slot and the node's dequeuer mark).
+type FHMP struct {
+	base
+	threads int
+}
+
+// NewFHMP creates an FHMP queue in region (which must be empty).
+func NewFHMP(region *pmem.Region, threads int) *FHMP {
+	return &FHMP{base: newBase(region, threads), threads: threads}
+}
+
+// Name labels the queue in benchmark output.
+func (q *FHMP) Name() string { return "FHMP" }
+
+// Enqueue appends v. Two pfences, as in the original.
+func (q *FHMP) Enqueue(tid int, v uint64) {
+	q.region.PFence() // order node flush before linking (fence 1)
+	q.enqueueNode(tid, v)
+	q.region.PFence() // link durable before returning (fence 2)
+}
+
+// Dequeue removes the head value. Four pfences, as in the original.
+func (q *FHMP) Dequeue(tid int) (uint64, bool) {
+	for {
+		first := q.region.AtomicLoad(qHead)
+		last := q.region.AtomicLoad(qTail)
+		next := q.region.AtomicLoad(first + 1)
+		if first != q.region.AtomicLoad(qHead) {
+			continue
+		}
+		if next == 0 {
+			return 0, false
+		}
+		if first == last {
+			q.region.PWB(last + 1)
+			q.region.PFence()
+			q.region.CAS(qTail, last, next)
+			continue
+		}
+		v := q.region.AtomicLoad(next)
+		// Mark the node with the dequeuer's id and persist it (fences
+		// 1 and 2): after a crash, the value is attributed exactly
+		// once.
+		if !q.region.CAS(next+2, 0, uint64(tid)+1) {
+			// Another dequeuer claimed it; help persist and retry.
+			q.region.PWB(next + 2)
+			q.region.PFence()
+			q.region.CAS(qHead, first, next)
+			continue
+		}
+		q.region.PWB(next + 2)
+		q.region.PFence()
+		// Persist the returned value in the caller's slot (fence 2).
+		q.region.AtomicStore(uint64(retBase+tid), v)
+		q.region.PWB(uint64(retBase + tid))
+		q.region.PFence()
+		// Unlink and persist the new head (fences 3 and 4).
+		q.region.CAS(qHead, first, next)
+		q.region.PWB(qHead)
+		q.region.PFence()
+		q.region.PFence() // head swing ordered before reuse, as in the original
+		q.alloc.release(tid, first)
+		return v, true
+	}
+}
+
+// NormOpt is the Ben-David et al. normalized durable queue: two fences per
+// operation.
+type NormOpt struct {
+	base
+}
+
+// NewNormOpt creates a NormOpt queue in region (which must be empty).
+func NewNormOpt(region *pmem.Region, threads int) *NormOpt {
+	return &NormOpt{base: newBase(region, threads)}
+}
+
+// Name labels the queue in benchmark output.
+func (q *NormOpt) Name() string { return "NormOpt" }
+
+// Enqueue appends v with two fences.
+func (q *NormOpt) Enqueue(tid int, v uint64) {
+	q.region.PFence()
+	q.enqueueNode(tid, v)
+	q.region.PFence()
+}
+
+// Dequeue removes the head value with two fences.
+func (q *NormOpt) Dequeue(tid int) (uint64, bool) {
+	q.region.PFence()
+	v, ok := q.dequeueNode(tid)
+	q.region.PFence()
+	return v, ok
+}

@@ -1,0 +1,179 @@
+package handmade
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+type hq interface {
+	Enqueue(tid int, v uint64)
+	Dequeue(tid int) (uint64, bool)
+	Len() int
+	Name() string
+}
+
+func queues(t *testing.T, threads int) map[string]hq {
+	t.Helper()
+	mk := func() *pmem.Region {
+		return pmem.New(pmem.Config{RegionWords: 1 << 22, Regions: 1}).Region(0)
+	}
+	return map[string]hq{
+		"FHMP":    NewFHMP(mk(), threads),
+		"NormOpt": NewNormOpt(mk(), threads),
+	}
+}
+
+func TestFIFOSequential(t *testing.T) {
+	for name, q := range queues(t, 1) {
+		t.Run(name, func(t *testing.T) {
+			if _, ok := q.Dequeue(0); ok {
+				t.Fatal("Dequeue on empty queue succeeded")
+			}
+			for i := uint64(1); i <= 500; i++ {
+				q.Enqueue(0, i)
+			}
+			if q.Len() != 500 {
+				t.Fatalf("Len = %d, want 500", q.Len())
+			}
+			for i := uint64(1); i <= 500; i++ {
+				v, ok := q.Dequeue(0)
+				if !ok || v != i {
+					t.Fatalf("Dequeue = %d,%v, want %d,true", v, ok, i)
+				}
+			}
+			if _, ok := q.Dequeue(0); ok {
+				t.Fatal("queue not empty after draining")
+			}
+		})
+	}
+}
+
+func TestNodeReuseAfterDelay(t *testing.T) {
+	// Churn well past the reuse delay so recycled addresses are exercised.
+	for name, q := range queues(t, 1) {
+		t.Run(name, func(t *testing.T) {
+			for i := uint64(0); i < 5000; i++ {
+				q.Enqueue(0, i)
+				v, ok := q.Dequeue(0)
+				if !ok || v != i {
+					t.Fatalf("churn %d: got %d,%v", i, v, ok)
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrentNoLossNoDup(t *testing.T) {
+	const threads, per = 8, 2000
+	for name, q := range queues(t, threads) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			out := make([][]uint64, threads)
+			for tid := 0; tid < threads; tid++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						q.Enqueue(tid, uint64(tid)<<32|uint64(i))
+						if v, ok := q.Dequeue(tid); ok {
+							out[tid] = append(out[tid], v)
+						}
+					}
+				}(tid)
+			}
+			wg.Wait()
+			seen := make(map[uint64]bool)
+			total := 0
+			for _, vs := range out {
+				for _, v := range vs {
+					if seen[v] {
+						t.Fatalf("value %#x dequeued twice", v)
+					}
+					seen[v] = true
+					total++
+				}
+			}
+			if total+q.Len() != threads*per {
+				t.Fatalf("dequeued %d + remaining %d != enqueued %d",
+					total, q.Len(), threads*per)
+			}
+		})
+	}
+}
+
+func TestPerThreadFIFOOrder(t *testing.T) {
+	// With a single consumer, each producer's values come out in order.
+	const producers, per = 4, 1000
+	q := NewNormOpt(pmem.New(pmem.Config{RegionWords: 1 << 22, Regions: 1}).Region(0), producers+1)
+	var wg sync.WaitGroup
+	for tid := 0; tid < producers; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Enqueue(tid, uint64(tid)<<32|uint64(i))
+			}
+		}(tid)
+	}
+	wg.Wait()
+	last := make([]int64, producers)
+	for i := range last {
+		last[i] = -1
+	}
+	for {
+		v, ok := q.Dequeue(producers)
+		if !ok {
+			break
+		}
+		tid, i := int(v>>32), int64(v&0xffffffff)
+		if i <= last[tid] {
+			t.Fatalf("producer %d out of order: %d after %d", tid, i, last[tid])
+		}
+		last[tid] = i
+	}
+}
+
+func TestFenceCounts(t *testing.T) {
+	pool := pmem.New(pmem.Config{RegionWords: 1 << 20, Regions: 1})
+	f := NewFHMP(pool.Region(0), 1)
+	f.Enqueue(0, 1)
+	f.Enqueue(0, 2) // warm
+	before := pool.Stats()
+	f.Enqueue(0, 3)
+	if d := pool.Stats().Sub(before); d.Fences() != 2 {
+		t.Fatalf("FHMP enqueue fences = %d, want 2", d.Fences())
+	}
+	before = pool.Stats()
+	f.Dequeue(0)
+	if d := pool.Stats().Sub(before); d.Fences() != 4 {
+		t.Fatalf("FHMP dequeue fences = %d, want 4", d.Fences())
+	}
+
+	pool2 := pmem.New(pmem.Config{RegionWords: 1 << 20, Regions: 1})
+	n := NewNormOpt(pool2.Region(0), 1)
+	n.Enqueue(0, 1)
+	before = pool2.Stats()
+	n.Enqueue(0, 2)
+	if d := pool2.Stats().Sub(before); d.Fences() != 2 {
+		t.Fatalf("NormOpt enqueue fences = %d, want 2", d.Fences())
+	}
+	before = pool2.Stats()
+	n.Dequeue(0)
+	if d := pool2.Stats().Sub(before); d.Fences() != 2 {
+		t.Fatalf("NormOpt dequeue fences = %d, want 2", d.Fences())
+	}
+}
+
+func TestAllocatorExhaustionPanics(t *testing.T) {
+	q := NewNormOpt(pmem.New(pmem.Config{RegionWords: 256, Regions: 1}).Region(0), 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("exhausted volatile allocator did not panic")
+		}
+	}()
+	for i := uint64(0); i < 1000; i++ {
+		q.Enqueue(0, i)
+	}
+}

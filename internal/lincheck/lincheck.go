@@ -1,0 +1,211 @@
+// Package lincheck is a small linearizability checker (in the style of
+// Wing & Gong) used to validate the constructions' central claim: that the
+// concurrent histories they produce are linearizable with respect to the
+// wrapped sequential object.
+//
+// A history is a set of completed operations with call/return timestamps
+// drawn from a single atomic clock. The checker searches for a total order
+// that (a) respects real-time precedence — if op A returned before op B was
+// called, A must come first — and (b) replays legally on the sequential
+// model, with every operation's recorded result matching the model's. The
+// search memoizes (pending-set, model-state) pairs, which keeps small
+// histories (tens of operations) tractable.
+package lincheck
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Op is one completed operation.
+type Op struct {
+	Thread int
+	Call   int64 // timestamp before invocation
+	Return int64 // timestamp after completion
+	Kind   string
+	Arg    uint64
+	Result uint64
+}
+
+// Model is a sequential specification. Implementations must be
+// deterministic and State must be usable as a comparison key via Key.
+type Model interface {
+	// Init returns the initial state.
+	Init() any
+	// Step applies op's Kind/Arg to state, returning the successor state
+	// and the result the operation should have produced. Step must not
+	// mutate the given state.
+	Step(state any, op Op) (any, uint64)
+	// Key renders a state as a comparable memoization key.
+	Key(state any) string
+}
+
+// Check reports whether history is linearizable with respect to model.
+func Check(model Model, history []Op) bool {
+	ops := append([]Op(nil), history...)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Call < ops[j].Call })
+	c := &checker{
+		model: model,
+		ops:   ops,
+		done:  make([]bool, len(ops)),
+		memo:  make(map[string]bool),
+	}
+	return c.search(model.Init(), len(ops))
+}
+
+type checker struct {
+	model Model
+	ops   []Op
+	done  []bool
+	memo  map[string]bool
+}
+
+// search tries to linearize the remaining operations from state.
+func (c *checker) search(state any, remaining int) bool {
+	if remaining == 0 {
+		return true
+	}
+	key := c.memoKey(state)
+	if seen, ok := c.memo[key]; ok {
+		return seen
+	}
+	// An operation is a candidate first linearization point iff no other
+	// pending operation returned before it was called.
+	minReturn := int64(1<<63 - 1)
+	for i, op := range c.ops {
+		if !c.done[i] && op.Return < minReturn {
+			minReturn = op.Return
+		}
+	}
+	ok := false
+	for i, op := range c.ops {
+		if c.done[i] || op.Call > minReturn {
+			continue
+		}
+		next, res := c.model.Step(state, op)
+		if res != op.Result {
+			continue
+		}
+		c.done[i] = true
+		if c.search(next, remaining-1) {
+			c.done[i] = false
+			ok = true
+			break
+		}
+		c.done[i] = false
+	}
+	c.memo[key] = ok
+	return ok
+}
+
+func (c *checker) memoKey(state any) string {
+	pend := make([]byte, len(c.ops))
+	for i, d := range c.done {
+		if d {
+			pend[i] = '1'
+		} else {
+			pend[i] = '0'
+		}
+	}
+	return string(pend) + "|" + c.model.Key(state)
+}
+
+// ---- Ready-made models -----------------------------------------------
+
+// CounterModel specifies a fetch-and-increment counter: Kind "inc" returns
+// the post-increment value; Kind "get" returns the current value.
+type CounterModel struct{}
+
+// Init implements Model.
+func (CounterModel) Init() any { return uint64(0) }
+
+// Step implements Model.
+func (CounterModel) Step(state any, op Op) (any, uint64) {
+	v := state.(uint64)
+	switch op.Kind {
+	case "inc":
+		return v + 1, v + 1
+	case "get":
+		return v, v
+	}
+	panic("lincheck: unknown counter op " + op.Kind)
+}
+
+// Key implements Model.
+func (CounterModel) Key(state any) string { return fmt.Sprint(state.(uint64)) }
+
+// SetModel specifies an integer set: "add"/"remove" return 1 on success and
+// 0 otherwise; "contains" returns membership.
+type SetModel struct{}
+
+// setState is an immutable small-set representation.
+type setState struct {
+	sorted string // canonical encoding of members
+}
+
+func encodeSet(members map[uint64]bool) setState {
+	keys := make([]uint64, 0, len(members))
+	for k := range members {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return setState{sorted: fmt.Sprint(keys)}
+}
+
+func decodeSet(s setState) map[uint64]bool {
+	members := make(map[uint64]bool)
+	var keys []uint64
+	// Parse the canonical "[a b c]" encoding.
+	var cur uint64
+	in := false
+	for _, ch := range s.sorted {
+		switch {
+		case ch >= '0' && ch <= '9':
+			cur = cur*10 + uint64(ch-'0')
+			in = true
+		default:
+			if in {
+				keys = append(keys, cur)
+				cur, in = 0, false
+			}
+		}
+	}
+	if in {
+		keys = append(keys, cur)
+	}
+	for _, k := range keys {
+		members[k] = true
+	}
+	return members
+}
+
+// Init implements Model.
+func (SetModel) Init() any { return setState{sorted: "[]"} }
+
+// Step implements Model.
+func (SetModel) Step(state any, op Op) (any, uint64) {
+	members := decodeSet(state.(setState))
+	switch op.Kind {
+	case "add":
+		if members[op.Arg] {
+			return state, 0
+		}
+		members[op.Arg] = true
+		return encodeSet(members), 1
+	case "remove":
+		if !members[op.Arg] {
+			return state, 0
+		}
+		delete(members, op.Arg)
+		return encodeSet(members), 1
+	case "contains":
+		if members[op.Arg] {
+			return state, 1
+		}
+		return state, 0
+	}
+	panic("lincheck: unknown set op " + op.Kind)
+}
+
+// Key implements Model.
+func (SetModel) Key(state any) string { return state.(setState).sorted }

@@ -1,0 +1,99 @@
+package lincheck
+
+import "testing"
+
+func TestSequentialCounterHistory(t *testing.T) {
+	h := []Op{
+		{Thread: 0, Call: 1, Return: 2, Kind: "inc", Result: 1},
+		{Thread: 0, Call: 3, Return: 4, Kind: "inc", Result: 2},
+		{Thread: 0, Call: 5, Return: 6, Kind: "get", Result: 2},
+	}
+	if !Check(CounterModel{}, h) {
+		t.Fatal("legal sequential history rejected")
+	}
+}
+
+func TestCounterReorderingAllowedByOverlap(t *testing.T) {
+	// Two overlapping incs may linearize in either order; the get that
+	// starts after both must see 2.
+	h := []Op{
+		{Thread: 0, Call: 1, Return: 10, Kind: "inc", Result: 2},
+		{Thread: 1, Call: 2, Return: 9, Kind: "inc", Result: 1},
+		{Thread: 2, Call: 11, Return: 12, Kind: "get", Result: 2},
+	}
+	if !Check(CounterModel{}, h) {
+		t.Fatal("overlapping incs with swapped results rejected")
+	}
+}
+
+func TestCounterNonLinearizable(t *testing.T) {
+	// get returns 0 even though an inc completed strictly before it.
+	h := []Op{
+		{Thread: 0, Call: 1, Return: 2, Kind: "inc", Result: 1},
+		{Thread: 1, Call: 3, Return: 4, Kind: "get", Result: 0},
+	}
+	if Check(CounterModel{}, h) {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestCounterDuplicateResultRejected(t *testing.T) {
+	h := []Op{
+		{Thread: 0, Call: 1, Return: 4, Kind: "inc", Result: 1},
+		{Thread: 1, Call: 2, Return: 5, Kind: "inc", Result: 1},
+	}
+	if Check(CounterModel{}, h) {
+		t.Fatal("duplicate increment results accepted")
+	}
+}
+
+func TestSetHistory(t *testing.T) {
+	h := []Op{
+		{Thread: 0, Call: 1, Return: 2, Kind: "add", Arg: 5, Result: 1},
+		{Thread: 1, Call: 3, Return: 6, Kind: "remove", Arg: 5, Result: 1},
+		{Thread: 2, Call: 4, Return: 5, Kind: "contains", Arg: 5, Result: 1},
+		{Thread: 0, Call: 7, Return: 8, Kind: "contains", Arg: 5, Result: 0},
+	}
+	// contains(5)=1 overlaps the remove, so it can linearize before it.
+	if !Check(SetModel{}, h) {
+		t.Fatal("legal set history rejected")
+	}
+}
+
+func TestSetNonLinearizable(t *testing.T) {
+	// contains sees the element after a strictly-earlier successful remove
+	// with no other adds.
+	h := []Op{
+		{Thread: 0, Call: 1, Return: 2, Kind: "add", Arg: 5, Result: 1},
+		{Thread: 0, Call: 3, Return: 4, Kind: "remove", Arg: 5, Result: 1},
+		{Thread: 1, Call: 5, Return: 6, Kind: "contains", Arg: 5, Result: 1},
+	}
+	if Check(SetModel{}, h) {
+		t.Fatal("resurrected element accepted")
+	}
+}
+
+func TestSetDoubleAddRejected(t *testing.T) {
+	h := []Op{
+		{Thread: 0, Call: 1, Return: 2, Kind: "add", Arg: 7, Result: 1},
+		{Thread: 1, Call: 3, Return: 4, Kind: "add", Arg: 7, Result: 1},
+	}
+	if Check(SetModel{}, h) {
+		t.Fatal("two successful adds of the same key accepted")
+	}
+}
+
+func TestEmptyHistory(t *testing.T) {
+	if !Check(CounterModel{}, nil) {
+		t.Fatal("empty history rejected")
+	}
+}
+
+func TestSetStateCodec(t *testing.T) {
+	members := map[uint64]bool{1: true, 42: true, 7: true}
+	st := encodeSet(members)
+	back := decodeSet(st)
+	if len(back) != 3 || !back[1] || !back[7] || !back[42] {
+		t.Fatalf("codec round trip failed: %v", back)
+	}
+}

@@ -1,0 +1,88 @@
+package onefile
+
+import (
+	"repro/internal/palloc"
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+)
+
+// txMem is the combiner's transactional view: stores are buffered in the
+// volatile write-set, loads are interposed through it (redo-log semantics).
+type txMem struct {
+	o *OneFile
+}
+
+func (m txMem) Load(addr uint64) uint64 {
+	if v, ok := m.o.wsVals[addr]; ok {
+		return v
+	}
+	return m.o.data.AtomicLoad(addr)
+}
+
+func (m txMem) Store(addr, val uint64) {
+	if _, ok := m.o.wsVals[addr]; !ok {
+		m.o.wsAddrs = append(m.o.wsAddrs, addr)
+	}
+	m.o.wsVals[addr] = val
+}
+
+func (m txMem) Alloc(words uint64) uint64 { return palloc.Alloc(m, words) }
+func (m txMem) Free(addr uint64)          { palloc.Free(m, addr) }
+
+// plainMem is the combiner's read-only view for announced read
+// transactions: no buffering, no validation (the combiner is quiescent).
+type plainMem struct {
+	o *OneFile
+}
+
+func (m plainMem) Load(addr uint64) uint64 { return m.o.data.AtomicLoad(addr) }
+func (m plainMem) Store(addr, val uint64) {
+	panic("onefile: Store inside a read-only transaction")
+}
+func (m plainMem) Alloc(words uint64) uint64 {
+	panic("onefile: Alloc inside a read-only transaction")
+}
+func (m plainMem) Free(addr uint64) {
+	panic("onefile: Free inside a read-only transaction")
+}
+
+// snapshotMem is the optimistic reader's view: every load validates that no
+// update transaction committed since the snapshot sequence, so the closure
+// never observes a torn state (the original's hidden word timestamps).
+type snapshotMem struct {
+	o   *OneFile
+	seq uint64
+}
+
+func (m snapshotMem) Load(addr uint64) uint64 {
+	if addr >= m.o.data.Words() {
+		panic(errRetryRead)
+	}
+	v := m.o.data.AtomicLoad(addr)
+	if m.o.seq.Load() != m.seq {
+		panic(errRetryRead)
+	}
+	return v
+}
+
+func (m snapshotMem) Store(addr, val uint64) {
+	panic("onefile: Store inside a read-only transaction")
+}
+func (m snapshotMem) Alloc(words uint64) uint64 {
+	panic("onefile: Alloc inside a read-only transaction")
+}
+func (m snapshotMem) Free(addr uint64) {
+	panic("onefile: Free inside a read-only transaction")
+}
+
+// initMem formats the heap at construction time.
+type initMem struct {
+	region *pmem.Region
+}
+
+func (m initMem) Load(addr uint64) uint64 { return m.region.Load(addr) }
+func (m initMem) Store(addr, val uint64)  { m.region.Store(addr, val) }
+
+var _ ptm.Mem = txMem{}
+var _ ptm.Mem = plainMem{}
+var _ ptm.Mem = snapshotMem{}

@@ -1,0 +1,320 @@
+package onefile
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+	"repro/internal/seqds"
+)
+
+func newOF(t testing.TB, threads int, mode pmem.Mode) (*OneFile, *pmem.Pool) {
+	t.Helper()
+	pool := pmem.New(pmem.Config{Mode: mode, RegionWords: 1 << 16, Regions: 2})
+	return New(pool, Config{Threads: threads}), pool
+}
+
+func TestNameAndProperties(t *testing.T) {
+	o, _ := newOF(t, 2, pmem.Direct)
+	if o.Name() != "OneFile" {
+		t.Errorf("Name() = %q", o.Name())
+	}
+	p := o.Properties()
+	if p.Progress != ptm.WaitFree || p.Replicas != "1" || p.FencesPerTx != "2" {
+		t.Errorf("Properties() = %+v", p)
+	}
+	if o.MaxThreads() != 2 {
+		t.Errorf("MaxThreads() = %d", o.MaxThreads())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	pool3 := pmem.New(pmem.Config{RegionWords: 1 << 12, Regions: 3})
+	defer func() {
+		if recover() == nil {
+			t.Error("New with 3 regions did not panic")
+		}
+	}()
+	New(pool3, Config{Threads: 1})
+}
+
+func TestCounterSingleThread(t *testing.T) {
+	o, _ := newOF(t, 1, pmem.Direct)
+	addr := ptm.RootAddr(0)
+	for i := 0; i < 100; i++ {
+		o.Update(0, func(m ptm.Mem) uint64 {
+			v := m.Load(addr) + 1
+			m.Store(addr, v)
+			return v
+		})
+	}
+	if got := o.Read(0, func(m ptm.Mem) uint64 { return m.Load(addr) }); got != 100 {
+		t.Fatalf("counter = %d, want 100", got)
+	}
+}
+
+func TestWriteSetReadYourOwnWrites(t *testing.T) {
+	o, _ := newOF(t, 1, pmem.Direct)
+	a, b := ptm.RootAddr(0), ptm.RootAddr(1)
+	got := o.Update(0, func(m ptm.Mem) uint64 {
+		m.Store(a, 5)
+		m.Store(b, m.Load(a)*2) // must see the buffered store
+		return m.Load(b)
+	})
+	if got != 10 {
+		t.Fatalf("read-your-writes inside tx = %d, want 10", got)
+	}
+	if got := o.Read(0, func(m ptm.Mem) uint64 { return m.Load(b) }); got != 10 {
+		t.Fatalf("after commit b = %d, want 10", got)
+	}
+}
+
+func TestSetAgainstModel(t *testing.T) {
+	o, _ := newOF(t, 1, pmem.Direct)
+	s := seqds.RBTree{RootSlot: 0}
+	o.Update(0, func(m ptm.Mem) uint64 { s.Init(m); return 0 })
+	model := make(map[uint64]bool)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 800; i++ {
+		k := uint64(rng.Intn(150))
+		if rng.Intn(2) == 0 {
+			got := o.Update(0, func(m ptm.Mem) uint64 {
+				if s.Add(m, k) {
+					return 1
+				}
+				return 0
+			})
+			if (got == 1) == model[k] {
+				t.Fatalf("Add(%d) = %d, model %v", k, got, model[k])
+			}
+			model[k] = true
+		} else {
+			got := o.Read(0, func(m ptm.Mem) uint64 {
+				if s.Contains(m, k) {
+					return 1
+				}
+				return 0
+			})
+			if (got == 1) != model[k] {
+				t.Fatalf("Contains(%d) = %d, model %v", k, got, model[k])
+			}
+		}
+	}
+}
+
+func TestConcurrentCounter(t *testing.T) {
+	const threads, perThread = 6, 250
+	o, _ := newOF(t, threads, pmem.Direct)
+	addr := ptm.RootAddr(0)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < perThread; i++ {
+				o.Update(tid, func(m ptm.Mem) uint64 {
+					v := m.Load(addr) + 1
+					m.Store(addr, v)
+					return v
+				})
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if got := o.Read(0, func(m ptm.Mem) uint64 { return m.Load(addr) }); got != threads*perThread {
+		t.Fatalf("counter = %d, want %d", got, threads*perThread)
+	}
+}
+
+func TestResultsExactlyOnce(t *testing.T) {
+	const threads, perThread = 4, 200
+	o, _ := newOF(t, threads, pmem.Direct)
+	addr := ptm.RootAddr(0)
+	results := make([][]uint64, threads)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < perThread; i++ {
+				r := o.Update(tid, func(m ptm.Mem) uint64 {
+					v := m.Load(addr) + 1
+					m.Store(addr, v)
+					return v
+				})
+				results[tid] = append(results[tid], r)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool)
+	for _, rs := range results {
+		for _, r := range rs {
+			if seen[r] {
+				t.Fatalf("result %d duplicated", r)
+			}
+			seen[r] = true
+		}
+	}
+	if len(seen) != threads*perThread {
+		t.Fatalf("%d distinct results, want %d", len(seen), threads*perThread)
+	}
+}
+
+func TestConcurrentReadersNeverTorn(t *testing.T) {
+	const writers, readers, per = 2, 4, 400
+	o, _ := newOF(t, writers+readers, pmem.Direct)
+	a, b := ptm.RootAddr(0), ptm.RootAddr(1)
+	var wg sync.WaitGroup
+	var tornCount sync.Map
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				o.Update(tid, func(m ptm.Mem) uint64 {
+					v := m.Load(a) + 1
+					m.Store(a, v)
+					m.Store(b, v)
+					return v
+				})
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if o.Read(tid, func(m ptm.Mem) uint64 {
+					if m.Load(a) != m.Load(b) {
+						return 1
+					}
+					return 0
+				}) == 1 {
+					tornCount.Store(tid, true)
+					return
+				}
+			}
+		}(writers + r)
+	}
+	wg.Wait()
+	tornCount.Range(func(k, v any) bool {
+		t.Fatalf("reader %v observed a torn transaction", k)
+		return false
+	})
+}
+
+func TestTwoFencesPerUpdate(t *testing.T) {
+	o, pool := newOF(t, 1, pmem.Direct)
+	addr := ptm.RootAddr(0)
+	o.Update(0, func(m ptm.Mem) uint64 { m.Store(addr, 1); return 0 })
+	before := pool.Stats()
+	const n = 50
+	for i := 0; i < n; i++ {
+		o.Update(0, func(m ptm.Mem) uint64 {
+			m.Store(addr, m.Load(addr)+1)
+			return 0
+		})
+	}
+	d := pool.Stats().Sub(before)
+	if got := d.Fences(); got != 2*n {
+		t.Fatalf("%d fences for %d txs, want %d", got, n, 2*n)
+	}
+}
+
+func TestReadOnlyCannotStore(t *testing.T) {
+	o, _ := newOF(t, 1, pmem.Direct)
+	defer func() {
+		if recover() == nil {
+			t.Error("Store inside Read did not panic")
+		}
+	}()
+	o.Read(0, func(m ptm.Mem) uint64 {
+		m.Store(ptm.RootAddr(0), 1)
+		return 0
+	})
+}
+
+func runAddsUntilCrash(t *testing.T, pool *pmem.Pool, n int, failPoint int64) (completed int, crashed bool) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			if r != pmem.ErrSimulatedPowerFailure {
+				panic(r)
+			}
+			crashed = true
+		}
+		pool.InjectFailure(-1)
+	}()
+	o := New(pool, Config{Threads: 1})
+	s := seqds.ListSet{RootSlot: 0}
+	o.Update(0, func(m ptm.Mem) uint64 { s.Init(m); return 0 })
+	pool.InjectFailure(failPoint)
+	for k := 0; k < n; k++ {
+		o.Update(0, func(m ptm.Mem) uint64 {
+			s.Add(m, uint64(k)+1)
+			return 0
+		})
+		completed++
+	}
+	return completed, false
+}
+
+func checkRecovered(t *testing.T, pool *pmem.Pool, completed, n int, failPoint int64) {
+	t.Helper()
+	o := New(pool, Config{Threads: 1})
+	s := seqds.ListSet{RootSlot: 0}
+	var keys []uint64
+	o.Read(0, func(m ptm.Mem) uint64 {
+		keys = s.Keys(m)
+		return 0
+	})
+	if len(keys) < completed || len(keys) > n {
+		t.Fatalf("fail=%d: recovered %d keys, completed %d", failPoint, len(keys), completed)
+	}
+	for i, k := range keys {
+		if k != uint64(i)+1 {
+			t.Fatalf("fail=%d: recovered state not a prefix at %d", failPoint, i)
+		}
+	}
+	got := o.Update(0, func(m ptm.Mem) uint64 {
+		s.Add(m, 1<<40)
+		return s.Len(m)
+	})
+	if got != uint64(len(keys))+1 {
+		t.Fatalf("fail=%d: post-recovery insert broken", failPoint)
+	}
+}
+
+func TestSystematicCrashPoints(t *testing.T) {
+	const n = 20
+	for fail := int64(1); ; fail += 7 {
+		pool := pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 14, Regions: 2})
+		completed, crashed := runAddsUntilCrash(t, pool, n, fail)
+		if !crashed {
+			if completed != n {
+				t.Fatalf("no crash but %d/%d completed", completed, n)
+			}
+			break
+		}
+		pool.Crash(pmem.CrashConservative, nil)
+		checkRecovered(t, pool, completed, n, fail)
+	}
+}
+
+func TestAdversarialCrashPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 15
+	for fail := int64(1); ; fail += 11 {
+		pool := pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 14, Regions: 2})
+		completed, crashed := runAddsUntilCrash(t, pool, n, fail)
+		if !crashed {
+			break
+		}
+		pool.Crash(pmem.CrashAdversarial, rng)
+		checkRecovered(t, pool, completed, n, fail)
+	}
+}

@@ -1,0 +1,249 @@
+// Package onll implements the ONLL baseline (Cohen, Guerraoui, Zablotchi —
+// "The Inherent Cost of Remembering Consistently", SPAA 2018), the generic
+// NVMM technique the paper contrasts CX against in §2–§3: both read-only
+// and update operations are lock-free and durable linearizable, updates
+// execute a *single* persistence fence and reads execute none, and the
+// construction keeps a *persistent logical log* — the operations themselves
+// — while every thread owns a private volatile replica of the object.
+//
+// The consequences the paper calls out are all visible here:
+//
+//   - Because the log stores operations, each one "must have been
+//     previously encoded to a unique number" (no dynamic transactions):
+//     operations are registered up front in an OpSet and invoked by id.
+//   - Because the replicas are volatile, recovery replays the whole log.
+//   - Because the log must be durable in order, an update waits (lock-free,
+//     not wait-free) until all earlier log slots are written and covered by
+//     a fence before returning; entries are one cache line, so a recovered
+//     log prefix can never contain a torn or out-of-order entry.
+//
+// CX's improvement over this design (§3) is precisely that its queue of
+// operations is volatile — nothing about the operations is persisted, only
+// curComb and the replica it names — which is what enables dynamic
+// transactions (closures) there.
+package onll
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+)
+
+// OpFunc is a registered operation: deterministic, and re-executed on every
+// replica and at recovery.
+type OpFunc func(m ptm.Mem, args []uint64) uint64
+
+// entryWords is the fixed log-entry size: one cache line, so an entry is
+// never torn ([hdr, up to 7 args]).
+const entryWords = pmem.WordsPerLine
+
+const maxArgs = entryWords - 1
+
+// entry header: seq(40) | opID(16) | nargs(8).
+func packHdr(seq uint64, opID uint16, nargs int) uint64 {
+	return seq<<24 | uint64(opID)<<8 | uint64(nargs)
+}
+
+func unpackHdr(h uint64) (seq uint64, opID uint16, nargs int) {
+	return h >> 24, uint16(h >> 8), int(h & 0xff)
+}
+
+// Config parameterizes an ONLL instance.
+type Config struct {
+	// Threads is the number of thread ids (each gets a volatile replica).
+	Threads int
+	// Ops maps operation ids to their implementations. The same set must
+	// be registered before recovery.
+	Ops map[uint16]OpFunc
+	// ReplicaWords sizes each thread's volatile replica heap.
+	ReplicaWords uint64
+	// Init runs once on a fresh (empty-log) instance to build the
+	// initial object state; it is itself appended to the log as
+	// operation id InitOp, so recovery replays it too.
+	Init OpFunc
+}
+
+// InitOp is the reserved operation id for Config.Init.
+const InitOp uint16 = 0xffff
+
+// ONLL is the engine. The pool needs exactly 1 region (the log); the object
+// replicas live in volatile memory.
+type ONLL struct {
+	cfg      Config
+	pool     *pmem.Pool
+	log      *pmem.Region
+	capacity uint64 // entries
+
+	tail     atomic.Uint64 // next free slot (volatile; rebuilt at recovery)
+	written  []atomic.Bool // slot fully written (volatile)
+	flushed  atomic.Uint64 // all slots < flushed are durable
+	replicas []*ptm.FlatMem
+	cursors  []uint64 // per-thread replay cursor (owner-only)
+}
+
+// New creates (or recovers) an ONLL instance over pool.
+func New(pool *pmem.Pool, cfg Config) *ONLL {
+	if cfg.Threads <= 0 {
+		panic("onll: Threads must be positive")
+	}
+	if pool.Regions() != 1 {
+		panic("onll: pool must have exactly 1 region (the log)")
+	}
+	if cfg.ReplicaWords == 0 {
+		cfg.ReplicaWords = 1 << 16
+	}
+	o := &ONLL{
+		cfg:      cfg,
+		pool:     pool,
+		log:      pool.Region(0),
+		capacity: pool.RegionWords() / entryWords,
+	}
+	o.written = make([]atomic.Bool, o.capacity)
+	o.replicas = make([]*ptm.FlatMem, cfg.Threads)
+	o.cursors = make([]uint64, cfg.Threads)
+	for i := range o.replicas {
+		o.replicas[i] = ptm.NewFlatMem(cfg.ReplicaWords)
+	}
+	// Recovery: the log is self-certifying — scan the longest contiguous
+	// valid prefix.
+	n := uint64(0)
+	for n < o.capacity {
+		seq, _, _ := unpackHdr(o.log.Load(n * entryWords))
+		if seq != n+1 {
+			break
+		}
+		o.written[n].Store(true)
+		n++
+	}
+	o.tail.Store(n)
+	o.flushed.Store(n)
+	if n == 0 && cfg.Init != nil {
+		o.apply(0, InitOp, nil)
+	}
+	return o
+}
+
+// resolve returns the registered implementation of opID.
+func (o *ONLL) resolve(opID uint16) OpFunc {
+	if opID == InitOp {
+		if o.cfg.Init == nil {
+			panic("onll: log contains InitOp but Config.Init is nil")
+		}
+		return o.cfg.Init
+	}
+	fn, ok := o.cfg.Ops[opID]
+	if !ok {
+		panic(fmt.Sprintf("onll: operation %d not registered", opID))
+	}
+	return fn
+}
+
+// catchUp replays committed log entries onto tid's replica up to limit.
+func (o *ONLL) catchUp(tid int, limit uint64) {
+	rep := o.replicas[tid]
+	for o.cursors[tid] < limit {
+		slot := o.cursors[tid]
+		for !o.written[slot].Load() {
+			runtime.Gosched()
+		}
+		hdr := o.log.Load(slot * entryWords)
+		_, opID, nargs := unpackHdr(hdr)
+		args := make([]uint64, nargs)
+		for i := 0; i < nargs; i++ {
+			args[i] = o.log.Load(slot*entryWords + 1 + uint64(i))
+		}
+		o.resolve(opID)(rep, args)
+		o.cursors[tid] = slot + 1
+	}
+}
+
+// Update appends the operation to the persistent log, waits (lock-free)
+// until every earlier slot is durable, fences once, and executes the log
+// prefix on the caller's replica.
+func (o *ONLL) Update(tid int, opID uint16, args ...uint64) uint64 {
+	return o.apply(tid, opID, args)
+}
+
+func (o *ONLL) apply(tid int, opID uint16, args []uint64) uint64 {
+	if len(args) > maxArgs {
+		panic("onll: too many operation arguments")
+	}
+	slot := o.tail.Add(1) - 1
+	if slot >= o.capacity {
+		panic("onll: persistent log full (ONLL has no compaction; size the pool for the workload)")
+	}
+	base := slot * entryWords
+	for i, a := range args {
+		o.log.Store(base+1+uint64(i), a)
+	}
+	// The header word makes the entry valid; it is written last and the
+	// entry occupies a single cache line, so recovery can never observe
+	// a torn entry.
+	o.log.Store(base, packHdr(slot+1, opID, len(args)))
+	o.written[slot].Store(true)
+	// Wait for predecessors, then flush the unflushed prefix with a
+	// single fence. Lock-free: we may wait on a slower thread's write,
+	// but some thread always completes.
+	for {
+		f := o.flushed.Load()
+		if f > slot {
+			break
+		}
+		if !o.written[f].Load() {
+			runtime.Gosched()
+			continue
+		}
+		// Help: flush the contiguous written range starting at f.
+		end := f
+		for end < o.tail.Load() && end < o.capacity && o.written[end].Load() {
+			end++
+		}
+		for s := f; s < end; s++ {
+			o.log.PWB(s * entryWords)
+		}
+		o.log.PFence() // the single fence
+		for {
+			cur := o.flushed.Load()
+			if cur >= end || o.flushed.CompareAndSwap(cur, end) {
+				break
+			}
+		}
+	}
+	// Execute on the caller's replica up to and including our slot.
+	o.catchUp(tid, slot)
+	res := o.execOne(tid, slot, opID, args)
+	return res
+}
+
+// execOne applies the caller's own operation to its replica.
+func (o *ONLL) execOne(tid int, slot uint64, opID uint16, args []uint64) uint64 {
+	res := o.resolve(opID)(o.replicas[tid], args)
+	o.cursors[tid] = slot + 1
+	return res
+}
+
+// Read catches the caller's replica up to the durable prefix and runs fn on
+// it. No persistence fence is executed — ONLL's signature property.
+func (o *ONLL) Read(tid int, fn func(m ptm.Mem) uint64) uint64 {
+	o.catchUp(tid, o.flushed.Load())
+	return fn(o.replicas[tid])
+}
+
+// Name labels the construction.
+func (o *ONLL) Name() string { return "ONLL" }
+
+// Properties mirrors the §2 comparison table row.
+func (o *ONLL) Properties() ptm.Properties {
+	return ptm.Properties{
+		Log:         ptm.PersistentLogical,
+		Progress:    ptm.LockFree,
+		FencesPerTx: "1",
+		Replicas:    "N",
+	}
+}
+
+// LogLen reports the number of committed log entries (for tests).
+func (o *ONLL) LogLen() uint64 { return o.flushed.Load() }

@@ -1,0 +1,299 @@
+package onll
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+	"repro/internal/seqds"
+)
+
+// Operation ids for the test object: a counter and a queue.
+const (
+	opInc uint16 = iota + 1
+	opEnq
+	opDeq
+)
+
+var (
+	counterAddr = ptm.RootAddr(0)
+	testQueue   = seqds.Queue{RootSlot: 1}
+)
+
+func testOps() map[uint16]OpFunc {
+	return map[uint16]OpFunc{
+		opInc: func(m ptm.Mem, args []uint64) uint64 {
+			v := m.Load(counterAddr) + 1
+			m.Store(counterAddr, v)
+			return v
+		},
+		opEnq: func(m ptm.Mem, args []uint64) uint64 {
+			testQueue.Enqueue(m, args[0])
+			return 0
+		},
+		opDeq: func(m ptm.Mem, args []uint64) uint64 {
+			v, ok := testQueue.Dequeue(m)
+			if !ok {
+				return ^uint64(0)
+			}
+			return v
+		},
+	}
+}
+
+func initObj(m ptm.Mem, args []uint64) uint64 {
+	testQueue.Init(m)
+	return 0
+}
+
+func newONLL(t testing.TB, threads int, mode pmem.Mode, words uint64) (*ONLL, *pmem.Pool) {
+	t.Helper()
+	pool := pmem.New(pmem.Config{Mode: mode, RegionWords: words, Regions: 1})
+	return New(pool, Config{
+		Threads: threads,
+		Ops:     testOps(),
+		Init:    initObj,
+	}), pool
+}
+
+func TestNameAndProperties(t *testing.T) {
+	o, _ := newONLL(t, 1, pmem.Direct, 1<<12)
+	if o.Name() != "ONLL" {
+		t.Errorf("Name() = %q", o.Name())
+	}
+	p := o.Properties()
+	if p.Log != ptm.PersistentLogical || p.Progress != ptm.LockFree || p.FencesPerTx != "1" {
+		t.Errorf("Properties() = %+v", p)
+	}
+}
+
+func TestCounterSingleThread(t *testing.T) {
+	o, _ := newONLL(t, 1, pmem.Direct, 1<<12)
+	for i := uint64(1); i <= 100; i++ {
+		if got := o.Update(0, opInc); got != i {
+			t.Fatalf("inc #%d = %d", i, got)
+		}
+	}
+	if got := o.Read(0, func(m ptm.Mem) uint64 { return m.Load(counterAddr) }); got != 100 {
+		t.Fatalf("counter = %d, want 100", got)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	o, _ := newONLL(t, 1, pmem.Direct, 1<<14)
+	for i := uint64(1); i <= 50; i++ {
+		o.Update(0, opEnq, i)
+	}
+	for i := uint64(1); i <= 50; i++ {
+		if got := o.Update(0, opDeq); got != i {
+			t.Fatalf("deq = %d, want %d", got, i)
+		}
+	}
+	if got := o.Update(0, opDeq); got != ^uint64(0) {
+		t.Fatal("deq on empty queue returned a value")
+	}
+}
+
+func TestOneFencePerUpdate(t *testing.T) {
+	o, pool := newONLL(t, 1, pmem.Direct, 1<<14)
+	o.Update(0, opInc)
+	before := pool.Stats()
+	const n = 50
+	for i := 0; i < n; i++ {
+		o.Update(0, opInc)
+	}
+	if d := pool.Stats().Sub(before); d.Fences() != n {
+		t.Fatalf("%d fences for %d updates, want %d (single fence)", d.Fences(), n, n)
+	}
+}
+
+func TestReadsIssueNoFence(t *testing.T) {
+	o, pool := newONLL(t, 1, pmem.Direct, 1<<12)
+	o.Update(0, opInc)
+	before := pool.Stats()
+	for i := 0; i < 20; i++ {
+		o.Read(0, func(m ptm.Mem) uint64 { return m.Load(counterAddr) })
+	}
+	if d := pool.Stats().Sub(before); d.Fences() != 0 || d.PWBs != 0 {
+		t.Fatalf("reads issued %d fences / %d pwbs, want 0/0", d.Fences(), d.PWBs)
+	}
+}
+
+func TestConcurrentCounter(t *testing.T) {
+	const threads, per = 6, 200
+	o, _ := newONLL(t, threads, pmem.Direct, 1<<16)
+	var wg sync.WaitGroup
+	results := make([]map[uint64]bool, threads)
+	for tid := 0; tid < threads; tid++ {
+		results[tid] = make(map[uint64]bool)
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				results[tid][o.Update(tid, opInc)] = true
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if got := o.Read(0, func(m ptm.Mem) uint64 { return m.Load(counterAddr) }); got != threads*per {
+		t.Fatalf("counter = %d, want %d", got, threads*per)
+	}
+	seen := make(map[uint64]bool)
+	for _, rs := range results {
+		for r := range rs {
+			if seen[r] {
+				t.Fatalf("result %d duplicated (double execution)", r)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+func TestReplicasConverge(t *testing.T) {
+	const threads = 4
+	o, _ := newONLL(t, threads, pmem.Direct, 1<<16)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				o.Update(tid, opEnq, uint64(tid)<<32|uint64(i))
+			}
+		}(tid)
+	}
+	wg.Wait()
+	// Every replica, once caught up, must agree on the queue contents.
+	var ref []uint64
+	for tid := 0; tid < threads; tid++ {
+		var items []uint64
+		o.Read(tid, func(m ptm.Mem) uint64 {
+			items = testQueue.Items(m)
+			return 0
+		})
+		if tid == 0 {
+			ref = items
+			if len(ref) != threads*100 {
+				t.Fatalf("replica 0 has %d items, want %d", len(ref), threads*100)
+			}
+			continue
+		}
+		if len(items) != len(ref) {
+			t.Fatalf("replica %d has %d items, replica 0 has %d", tid, len(items), len(ref))
+		}
+		for i := range ref {
+			if items[i] != ref[i] {
+				t.Fatalf("replica %d diverges at %d", tid, i)
+			}
+		}
+	}
+}
+
+func TestRecoveryReplaysLog(t *testing.T) {
+	pool := pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 14, Regions: 1})
+	o := New(pool, Config{Threads: 1, Ops: testOps(), Init: initObj})
+	for i := uint64(1); i <= 30; i++ {
+		o.Update(0, opEnq, i)
+	}
+	o.Update(0, opDeq)
+	pool.Crash(pmem.CrashConservative, nil)
+	o2 := New(pool, Config{Threads: 1, Ops: testOps(), Init: initObj})
+	if got := o2.LogLen(); got != 32 { // init + 30 enq + 1 deq
+		t.Fatalf("recovered log length %d, want 32", got)
+	}
+	var items []uint64
+	o2.Read(0, func(m ptm.Mem) uint64 {
+		items = testQueue.Items(m)
+		return 0
+	})
+	if len(items) != 29 || items[0] != 2 {
+		t.Fatalf("recovered queue %v…, want 2..30", items[:min(3, len(items))])
+	}
+}
+
+func TestSystematicCrashPoints(t *testing.T) {
+	const n = 25
+	for fail := int64(1); ; fail += 5 {
+		pool := pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 13, Regions: 1})
+		completed, crashed := 0, false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if r != pmem.ErrSimulatedPowerFailure {
+						panic(r)
+					}
+					crashed = true
+				}
+				pool.InjectFailure(-1)
+			}()
+			o := New(pool, Config{Threads: 1, Ops: testOps(), Init: initObj})
+			pool.InjectFailure(fail)
+			for i := 0; i < n; i++ {
+				o.Update(0, opEnq, uint64(i)+1)
+				completed++
+			}
+		}()
+		if !crashed {
+			break
+		}
+		pool.Crash(pmem.CrashConservative, nil)
+		o := New(pool, Config{Threads: 1, Ops: testOps(), Init: initObj})
+		var items []uint64
+		o.Read(0, func(m ptm.Mem) uint64 {
+			items = testQueue.Items(m)
+			return 0
+		})
+		if len(items) < completed || len(items) > n {
+			t.Fatalf("fail=%d: recovered %d items, completed %d", fail, len(items), completed)
+		}
+		for i, v := range items {
+			if v != uint64(i)+1 {
+				t.Fatalf("fail=%d: recovered state not a prefix at %d", fail, i)
+			}
+		}
+	}
+}
+
+func TestLogFullPanics(t *testing.T) {
+	o, _ := newONLL(t, 1, pmem.Direct, 64) // 8 entries
+	defer func() {
+		if recover() == nil {
+			t.Error("full log did not panic")
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		o.Update(0, opInc)
+	}
+}
+
+func BenchmarkONLLUpdate(b *testing.B) {
+	// ONLL's log is append-only (no compaction), so a long benchmark run
+	// must periodically start a fresh instance before the log fills.
+	const capacity = (1 << 24) / entryWords
+	mk := func() *ONLL {
+		pool := pmem.New(pmem.Config{RegionWords: 1 << 24, Regions: 1})
+		return New(pool, Config{Threads: 1, Ops: testOps(), Init: initObj})
+	}
+	o := mk()
+	used := uint64(1) // the init op
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if used+2 >= capacity {
+			b.StopTimer()
+			o = mk()
+			used = 1
+			b.StartTimer()
+		}
+		o.Update(0, opInc)
+		used++
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

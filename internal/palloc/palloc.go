@@ -1,0 +1,153 @@
+// Package palloc implements the sequential persistent memory allocator used
+// by every construction in this repository. The paper's constructions
+// acquire an exclusive lock on a replica region before running user code, so
+// the allocator needs no internal synchronization — which is exactly how the
+// paper obtains wait-free allocation and deallocation: the allocator inherits
+// the progress of the construction that calls it.
+//
+// Design notes that the evaluation depends on:
+//
+//   - Blocks are rounded up to power-of-two sizes. The paper calls this out
+//     as the reason RedoDB uses roughly 2× more NVMM than RocksDB (Fig. 8),
+//     so the space overhead is preserved.
+//   - All metadata (free-list heads, bump pointer, block headers) lives
+//     inside the persistent region and is accessed through the same Mem
+//     interface as user data, so a PTM's store interposition logs and
+//     flushes allocator metadata exactly like user stores. The paper's
+//     flush-aggregation optimization feeds on this: block headers share
+//     cache lines with adjacent user data.
+//   - The allocator state is part of the region, so replicating a region
+//     byte-for-byte replicates the allocator — allocations made in one
+//     replica are valid in every replica.
+package palloc
+
+import "fmt"
+
+// Mem is the minimal word-memory interface the allocator needs. ptm.Mem
+// satisfies it.
+type Mem interface {
+	Load(addr uint64) uint64
+	Store(addr uint64, val uint64)
+}
+
+// Base is the word offset of the allocator metadata within a region,
+// matching ptm.HeapBase.
+const Base = 16
+
+// numClasses covers block sizes 2^1..2^40 words.
+const numClasses = 40
+
+// Metadata word offsets relative to Base.
+const (
+	offMagic   = 0
+	offHeapEnd = 1
+	offBump    = 2
+	offInUse   = 3
+	offFree    = 8 // free-list heads, one word per class
+	heapStart  = Base + offFree + numClasses
+)
+
+const magic = 0x70616c6c6f633031 // "palloc01"
+
+// Format initializes allocator metadata in the region viewed through m. The
+// heap occupies [heapStart, heapEnd) words. Formatting an already formatted
+// heap resets it, dropping all allocations.
+func Format(m Mem, heapEnd uint64) {
+	if heapEnd <= heapStart+4 {
+		panic(fmt.Sprintf("palloc: heap too small (%d words)", heapEnd))
+	}
+	m.Store(Base+offMagic, magic)
+	m.Store(Base+offHeapEnd, heapEnd)
+	m.Store(Base+offBump, heapStart)
+	m.Store(Base+offInUse, 0)
+	for c := 0; c < numClasses; c++ {
+		m.Store(Base+offFree+uint64(c), 0)
+	}
+}
+
+// IsFormatted reports whether the region viewed through m holds a formatted
+// heap, as recovery uses it to decide between reuse and initialization.
+func IsFormatted(m Mem) bool {
+	return m.Load(Base+offMagic) == magic
+}
+
+// classFor returns the smallest size class whose block (including the
+// one-word header) fits total words.
+func classFor(total uint64) uint64 {
+	c := uint64(1)
+	for uint64(1)<<c < total {
+		c++
+	}
+	return c
+}
+
+// Alloc allocates a block with room for at least words payload words and
+// returns the payload address, or 0 if the heap is exhausted.
+func Alloc(m Mem, words uint64) uint64 {
+	if words == 0 {
+		words = 1
+	}
+	c := classFor(words + 1)
+	if c >= numClasses {
+		return 0
+	}
+	size := uint64(1) << c
+	head := m.Load(Base + offFree + c)
+	var blk uint64
+	if head != 0 {
+		blk = head
+		m.Store(Base+offFree+c, m.Load(blk+1)) // pop free list
+	} else {
+		bump := m.Load(Base + offBump)
+		if bump+size > m.Load(Base+offHeapEnd) {
+			return 0
+		}
+		blk = bump
+		m.Store(Base+offBump, bump+size)
+	}
+	m.Store(blk, c) // block header: size class
+	m.Store(Base+offInUse, m.Load(Base+offInUse)+size)
+	return blk + 1
+}
+
+// Free returns the block whose payload starts at addr to its size-class free
+// list. Freeing an invalid address panics: persistent heap corruption must
+// not be silent.
+func Free(m Mem, addr uint64) {
+	if addr <= heapStart {
+		panic(fmt.Sprintf("palloc: Free(%d): not an allocated address", addr))
+	}
+	blk := addr - 1
+	c := m.Load(blk)
+	if c == 0 || c >= numClasses {
+		panic(fmt.Sprintf("palloc: Free(%d): corrupt block header (class %d)", addr, c))
+	}
+	m.Store(blk+1, m.Load(Base+offFree+c)) // push free list
+	m.Store(Base+offFree+c, blk)
+	m.Store(Base+offInUse, m.Load(Base+offInUse)-(uint64(1)<<c))
+}
+
+// UsableWords reports the payload capacity of the block at addr.
+func UsableWords(m Mem, addr uint64) uint64 {
+	c := m.Load(addr - 1)
+	if c == 0 || c >= numClasses {
+		panic(fmt.Sprintf("palloc: UsableWords(%d): corrupt block header", addr))
+	}
+	return (uint64(1) << c) - 1
+}
+
+// InUseWords reports the number of words currently allocated (including
+// block headers and rounding waste): the NVMM usage the paper plots in
+// Fig. 8.
+func InUseWords(m Mem) uint64 { return m.Load(Base + offInUse) }
+
+// UsedWords reports the high-water mark of the heap: every word the
+// allocator has ever handed out lies below it. CX-PUC flushes [0, UsedWords)
+// on every curComb transition, and replica copies cover the same range.
+func UsedWords(m Mem) uint64 { return m.Load(Base + offBump) }
+
+// HeapEndWords reports the configured heap end.
+func HeapEndWords(m Mem) uint64 { return m.Load(Base + offHeapEnd) }
+
+// HeapStart reports the first heap word, after the allocator metadata.
+func HeapStart() uint64 { return heapStart }

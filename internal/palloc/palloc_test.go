@@ -1,0 +1,237 @@
+package palloc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// flatMem is a trivial in-memory word array implementing Mem.
+type flatMem []uint64
+
+func (m flatMem) Load(addr uint64) uint64   { return m[addr] }
+func (m flatMem) Store(addr, val uint64)    { m[addr] = val }
+func newMem(words uint64) flatMem           { return make(flatMem, words) }
+func format(words uint64) (flatMem, uint64) { m := newMem(words); Format(m, words); return m, words }
+
+func TestFormatAndIsFormatted(t *testing.T) {
+	m := newMem(1024)
+	if IsFormatted(m) {
+		t.Fatal("fresh memory reports formatted")
+	}
+	Format(m, 1024)
+	if !IsFormatted(m) {
+		t.Fatal("formatted heap not detected")
+	}
+	if got := HeapEndWords(m); got != 1024 {
+		t.Fatalf("HeapEndWords = %d, want 1024", got)
+	}
+	if got := InUseWords(m); got != 0 {
+		t.Fatalf("InUseWords on fresh heap = %d, want 0", got)
+	}
+}
+
+func TestFormatPanicsOnTinyHeap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Format with tiny heap did not panic")
+		}
+	}()
+	Format(newMem(64), HeapStart())
+}
+
+func TestAllocReturnsWritablePayload(t *testing.T) {
+	m, _ := format(4096)
+	a := Alloc(m, 10)
+	if a == 0 {
+		t.Fatal("Alloc failed on fresh heap")
+	}
+	if a <= HeapStart() {
+		t.Fatalf("payload address %d inside metadata", a)
+	}
+	for i := uint64(0); i < 10; i++ {
+		m.Store(a+i, i+1)
+	}
+	for i := uint64(0); i < 10; i++ {
+		if m.Load(a+i) != i+1 {
+			t.Fatalf("payload word %d corrupted", i)
+		}
+	}
+	if got := UsableWords(m, a); got < 10 {
+		t.Fatalf("UsableWords = %d, want >= 10", got)
+	}
+}
+
+func TestPowerOfTwoRounding(t *testing.T) {
+	m, _ := format(1 << 16)
+	// 10 payload words + 1 header = 11 → class 4 → 16 words.
+	Alloc(m, 10)
+	if got := InUseWords(m); got != 16 {
+		t.Fatalf("InUseWords = %d, want 16 (power-of-2 rounding)", got)
+	}
+	// 1 payload word + 1 header = 2 → class 1 → 2 words.
+	Alloc(m, 1)
+	if got := InUseWords(m); got != 18 {
+		t.Fatalf("InUseWords = %d, want 18", got)
+	}
+}
+
+func TestDisjointAllocations(t *testing.T) {
+	m, _ := format(1 << 16)
+	const n = 100
+	addrs := make([]uint64, n)
+	for i := range addrs {
+		addrs[i] = Alloc(m, 5)
+		if addrs[i] == 0 {
+			t.Fatalf("Alloc %d failed", i)
+		}
+		for w := uint64(0); w < 5; w++ {
+			m.Store(addrs[i]+w, uint64(i)<<32|w)
+		}
+	}
+	for i, a := range addrs {
+		for w := uint64(0); w < 5; w++ {
+			if got := m.Load(a + w); got != uint64(i)<<32|w {
+				t.Fatalf("block %d word %d overwritten: %#x", i, w, got)
+			}
+		}
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	m, _ := format(4096)
+	a := Alloc(m, 10)
+	before := InUseWords(m)
+	Free(m, a)
+	if got := InUseWords(m); got != before-16 {
+		t.Fatalf("InUseWords after Free = %d, want %d", got, before-16)
+	}
+	b := Alloc(m, 10)
+	if b != a {
+		t.Fatalf("freed block not reused: got %d, want %d", b, a)
+	}
+}
+
+func TestFreeListIsPerClass(t *testing.T) {
+	m, _ := format(4096)
+	small := Alloc(m, 1)  // class 1
+	large := Alloc(m, 20) // class 5
+	Free(m, small)
+	Free(m, large)
+	// A class-5 request must reuse the class-5 block, not the small one.
+	if got := Alloc(m, 20); got != large {
+		t.Fatalf("class-5 alloc returned %d, want %d", got, large)
+	}
+	if got := Alloc(m, 1); got != small {
+		t.Fatalf("class-1 alloc returned %d, want %d", got, small)
+	}
+}
+
+func TestAllocZeroWords(t *testing.T) {
+	m, _ := format(4096)
+	a := Alloc(m, 0)
+	if a == 0 {
+		t.Fatal("Alloc(0) failed")
+	}
+	if got := UsableWords(m, a); got < 1 {
+		t.Fatalf("Alloc(0) usable words = %d, want >= 1", got)
+	}
+}
+
+func TestOOMReturnsZero(t *testing.T) {
+	m, end := format(HeapStart() + 16)
+	_ = end
+	if a := Alloc(m, 8); a == 0 {
+		t.Fatal("first alloc should fit")
+	}
+	if a := Alloc(m, 8); a != 0 {
+		t.Fatalf("alloc past heap end returned %d, want 0", a)
+	}
+}
+
+func TestHugeAllocReturnsZero(t *testing.T) {
+	m, _ := format(4096)
+	if a := Alloc(m, 1<<50); a != 0 {
+		t.Fatalf("huge alloc returned %d, want 0", a)
+	}
+}
+
+func TestFreeInvalidPanics(t *testing.T) {
+	m, _ := format(4096)
+	for _, addr := range []uint64{0, 1, HeapStart()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Free(%d) did not panic", addr)
+				}
+			}()
+			Free(m, addr)
+		}()
+	}
+}
+
+func TestFreeCorruptHeaderPanics(t *testing.T) {
+	m, _ := format(4096)
+	a := Alloc(m, 4)
+	m.Store(a-1, 0) // smash the header
+	defer func() {
+		if recover() == nil {
+			t.Error("Free with corrupt header did not panic")
+		}
+	}()
+	Free(m, a)
+}
+
+// Property: after any sequence of allocs and frees, live blocks never
+// overlap and InUseWords equals the sum of live block sizes.
+func TestQuickAllocFreeInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m, _ := format(1 << 16)
+		type blk struct{ addr, payload, size uint64 }
+		var live []blk
+		for _, op := range ops {
+			if op%3 != 0 && len(live) > 0 { // free
+				i := int(op) % len(live)
+				Free(m, live[i].addr)
+				live = append(live[:i], live[i+1:]...)
+				continue
+			}
+			want := uint64(op%60) + 1
+			a := Alloc(m, want)
+			if a == 0 {
+				continue
+			}
+			c := m.Load(a - 1)
+			live = append(live, blk{addr: a, payload: want, size: uint64(1) << c})
+		}
+		// InUse matches.
+		var sum uint64
+		for _, b := range live {
+			sum += b.size
+		}
+		if InUseWords(m) != sum {
+			return false
+		}
+		// No overlap: [addr-1, addr-1+size) ranges disjoint.
+		for i := range live {
+			for j := i + 1; j < len(live); j++ {
+				a, b := live[i], live[j]
+				if a.addr-1 < b.addr-1+b.size && b.addr-1 < a.addr-1+a.size {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAllocFree(b *testing.B) {
+	m, _ := format(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := Alloc(m, 8)
+		Free(m, a)
+	}
+}

@@ -1,0 +1,267 @@
+// Package pmdk implements the PMDK/libpmemobj baseline: a blocking
+// persistent transactional memory with a persistent undo log, mirroring the
+// cost model of Intel's Persistent Memory Development Kit as evaluated in
+// the paper (Figs. 4–6): concurrency through a global reader-writer lock
+// (PMDK leaves concurrency to the user), one fence per snapshotted range
+// plus two at commit, and in-place writes.
+//
+// Undo protocol, per transaction:
+//
+//  1. Before the first write to an address, its old value is appended to
+//     the persistent undo log (entry + log size flushed, then one pfence:
+//     the snapshot must be durable before the in-place write can possibly
+//     reach the medium).
+//  2. The write is applied in place and its line flushed.
+//  3. At commit, a fence orders the data writes, then the log is
+//     invalidated (size 0) and persisted with a psync.
+//
+// Recovery applies valid undo entries in reverse, rolling back the
+// interrupted transaction. Log entries are tagged with an era-qualified
+// transaction id so a partially persisted newer entry (spontaneous cache
+// eviction) is never mistaken for a committed snapshot.
+package pmdk
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/palloc"
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+)
+
+// Header slots.
+const (
+	slotMagic = 0
+	slotEra   = 1
+)
+
+const magic = 0x706d646b2d73696d // "pmdk-sim"
+
+// Log region layout: word 0 = txID, word 1 = size, entries from word 8,
+// four words each ([txID, addr, old, pad]) so an entry never straddles a
+// cache line.
+const (
+	logTxID    = 0
+	logSize    = 1
+	logEntries = 8
+	entryWords = 4
+)
+
+// PMDK is the engine. The pool must have exactly 2 regions: data + undo log.
+type PMDK struct {
+	cfg  Config
+	pool *pmem.Pool
+	data *pmem.Region
+	log  *pmem.Region
+	mu   sync.RWMutex
+
+	era    uint64
+	txSeq  uint64          // protected by mu
+	logged map[uint64]bool // addresses snapshotted in the current tx
+	nlog   uint64
+	dirty  []uint64
+}
+
+// Config parameterizes the PMDK baseline.
+type Config struct {
+	Threads int
+	Profile *ptm.Profile
+}
+
+// New creates (or recovers) a PMDK instance over pool.
+func New(pool *pmem.Pool, cfg Config) *PMDK {
+	if cfg.Threads <= 0 {
+		panic("pmdk: Threads must be positive")
+	}
+	if pool.Regions() != 2 {
+		panic("pmdk: pool must have exactly 2 regions (data + undo log)")
+	}
+	p := &PMDK{
+		cfg:    cfg,
+		pool:   pool,
+		data:   pool.Region(0),
+		log:    pool.Region(1),
+		logged: make(map[uint64]bool),
+	}
+	if pool.PersistedHeader(slotMagic) == magic {
+		p.recover()
+	} else {
+		palloc.Format(rawMem{p.data}, pool.RegionWords())
+		p.data.FlushRange(0, palloc.HeapStart())
+		p.data.PFence()
+		pool.HeaderStore(slotMagic, magic)
+		pool.HeaderStore(slotEra, 1)
+		pool.PWBHeader(slotMagic)
+		pool.PWBHeader(slotEra)
+		pool.PSync()
+	}
+	p.era = pool.HeaderLoad(slotEra)
+	return p
+}
+
+// recover rolls back an interrupted transaction and starts a new era.
+func (p *PMDK) recover() {
+	txID := p.log.Load(logTxID)
+	size := p.log.Load(logSize)
+	if size > 0 && txID != 0 {
+		for k := size; k > 0; k-- {
+			base := logEntries + (k-1)*entryWords
+			if p.log.Load(base) != txID {
+				// Entry never fenced: its in-place write was
+				// never issued either.
+				continue
+			}
+			addr, old := p.log.Load(base+1), p.log.Load(base+2)
+			if addr >= p.data.Words() {
+				panic("pmdk: corrupt undo log")
+			}
+			p.data.Store(addr, old)
+			p.data.PWB(addr)
+		}
+		p.data.PFence()
+	}
+	p.log.Store(logSize, 0)
+	p.log.PWB(logSize)
+	p.log.PFence()
+	era := p.pool.HeaderLoad(slotEra) + 1
+	p.pool.HeaderStore(slotEra, era)
+	p.pool.PWBHeader(slotEra)
+	p.pool.PSync()
+}
+
+// MaxThreads implements ptm.PTM.
+func (p *PMDK) MaxThreads() int { return p.cfg.Threads }
+
+// Name implements ptm.PTM.
+func (p *PMDK) Name() string { return "PMDK" }
+
+// Properties implements ptm.PTM. The paper's table lists PMDK at 2+2R
+// fences per transaction; this model issues 2+R (one per snapshotted range,
+// two at commit).
+func (p *PMDK) Properties() ptm.Properties {
+	return ptm.Properties{
+		Log:         ptm.PersistentPhysical,
+		Progress:    ptm.Blocking,
+		FencesPerTx: "2+R",
+		Replicas:    "1",
+	}
+}
+
+// Update implements ptm.PTM (blocking).
+func (p *PMDK) Update(tid int, fn func(ptm.Mem) uint64) uint64 {
+	txStart := now(p.cfg.Profile)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.txSeq++
+	txID := p.era<<32 | p.txSeq
+	clear(p.logged)
+	p.nlog = 0
+	p.dirty = p.dirty[:0]
+	p.log.Store(logTxID, txID)
+	p.log.PWB(logTxID)
+	lambdaStart := now(p.cfg.Profile)
+	res := fn(txMem{p: p, txID: txID})
+	p.cfg.Profile.AddLambda(since(p.cfg.Profile, lambdaStart))
+	// Commit: data durable, then log invalidated.
+	flushStart := now(p.cfg.Profile)
+	sort.Slice(p.dirty, func(i, j int) bool { return p.dirty[i] < p.dirty[j] })
+	last := ^uint64(0)
+	for _, line := range p.dirty {
+		if line != last {
+			p.data.PWB(line * pmem.WordsPerLine)
+			last = line
+		}
+	}
+	p.data.PFence()
+	p.log.Store(logSize, 0)
+	p.log.PWB(logSize)
+	p.log.PFence() // commit point: the undo log is durably invalidated
+	p.cfg.Profile.AddFlush(since(p.cfg.Profile, flushStart))
+	p.cfg.Profile.AddTx(since(p.cfg.Profile, txStart))
+	return res
+}
+
+// Read implements ptm.PTM (blocking, shared).
+func (p *PMDK) Read(tid int, fn func(ptm.Mem) uint64) uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return fn(roMem{p.data})
+}
+
+// snapshot logs the old value of addr (once per transaction) and fences so
+// the snapshot is durable before the in-place write can reach the medium.
+func (p *PMDK) snapshot(addr, txID uint64) {
+	if p.logged[addr] {
+		return
+	}
+	p.logged[addr] = true
+	base := logEntries + p.nlog*entryWords
+	if base+entryWords > p.log.Words() {
+		panic("pmdk: transaction exceeds undo log capacity")
+	}
+	p.log.Store(base+1, addr)
+	p.log.Store(base+2, p.data.Load(addr))
+	p.log.Store(base, txID)
+	p.nlog++
+	p.log.Store(logSize, p.nlog)
+	p.log.PWB(base)
+	p.log.PWB(logSize)
+	p.log.PFence()
+}
+
+// txMem is the transactional view: undo-logged in-place stores.
+type txMem struct {
+	p    *PMDK
+	txID uint64
+}
+
+func (m txMem) Load(addr uint64) uint64 { return m.p.data.Load(addr) }
+
+func (m txMem) Store(addr, val uint64) {
+	m.p.snapshot(addr, m.txID)
+	m.p.data.Store(addr, val)
+	m.p.dirty = append(m.p.dirty, addr/pmem.WordsPerLine)
+}
+
+func (m txMem) Alloc(words uint64) uint64 { return palloc.Alloc(m, words) }
+func (m txMem) Free(addr uint64)          { palloc.Free(m, addr) }
+
+// roMem is the shared read view.
+type roMem struct {
+	region *pmem.Region
+}
+
+func (m roMem) Load(addr uint64) uint64 { return m.region.Load(addr) }
+func (m roMem) Store(addr, val uint64) {
+	panic("pmdk: Store inside a read-only transaction")
+}
+func (m roMem) Alloc(words uint64) uint64 {
+	panic("pmdk: Alloc inside a read-only transaction")
+}
+func (m roMem) Free(addr uint64) {
+	panic("pmdk: Free inside a read-only transaction")
+}
+
+// rawMem formats the heap at construction.
+type rawMem struct {
+	region *pmem.Region
+}
+
+func (m rawMem) Load(addr uint64) uint64 { return m.region.Load(addr) }
+func (m rawMem) Store(addr, val uint64)  { m.region.Store(addr, val) }
+
+func now(p *ptm.Profile) time.Time {
+	if p == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func since(p *ptm.Profile, t time.Time) time.Duration {
+	if p == nil {
+		return 0
+	}
+	return time.Since(t)
+}

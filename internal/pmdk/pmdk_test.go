@@ -1,0 +1,236 @@
+package pmdk
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+	"repro/internal/seqds"
+)
+
+func newP(t testing.TB, threads int, mode pmem.Mode) (*PMDK, *pmem.Pool) {
+	t.Helper()
+	pool := pmem.New(pmem.Config{Mode: mode, RegionWords: 1 << 16, Regions: 2})
+	return New(pool, Config{Threads: threads}), pool
+}
+
+func TestNameAndProperties(t *testing.T) {
+	p, _ := newP(t, 2, pmem.Direct)
+	if p.Name() != "PMDK" {
+		t.Errorf("Name() = %q", p.Name())
+	}
+	props := p.Properties()
+	if props.Progress != ptm.Blocking || props.Replicas != "1" {
+		t.Errorf("Properties() = %+v", props)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	p, _ := newP(t, 1, pmem.Direct)
+	addr := ptm.RootAddr(0)
+	for i := 0; i < 100; i++ {
+		p.Update(0, func(m ptm.Mem) uint64 {
+			v := m.Load(addr) + 1
+			m.Store(addr, v)
+			return v
+		})
+	}
+	if got := p.Read(0, func(m ptm.Mem) uint64 { return m.Load(addr) }); got != 100 {
+		t.Fatalf("counter = %d, want 100", got)
+	}
+}
+
+func TestConcurrentCounter(t *testing.T) {
+	const threads, per = 6, 300
+	p, _ := newP(t, threads, pmem.Direct)
+	addr := ptm.RootAddr(0)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				p.Update(tid, func(m ptm.Mem) uint64 {
+					v := m.Load(addr) + 1
+					m.Store(addr, v)
+					return v
+				})
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if got := p.Read(0, func(m ptm.Mem) uint64 { return m.Load(addr) }); got != threads*per {
+		t.Fatalf("counter = %d, want %d", got, threads*per)
+	}
+}
+
+func TestSetAgainstModel(t *testing.T) {
+	p, _ := newP(t, 1, pmem.Direct)
+	s := seqds.HashSet{RootSlot: 0}
+	p.Update(0, func(m ptm.Mem) uint64 { s.Init(m); return 0 })
+	model := make(map[uint64]bool)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 800; i++ {
+		k := uint64(rng.Intn(150))
+		if rng.Intn(2) == 0 {
+			p.Update(0, func(m ptm.Mem) uint64 {
+				s.Add(m, k)
+				return 0
+			})
+			model[k] = true
+		} else {
+			got := p.Read(0, func(m ptm.Mem) uint64 {
+				if s.Contains(m, k) {
+					return 1
+				}
+				return 0
+			})
+			if (got == 1) != model[k] {
+				t.Fatalf("Contains(%d) = %d, model %v", k, got, model[k])
+			}
+		}
+	}
+}
+
+func TestFencesPerTx(t *testing.T) {
+	p, pool := newP(t, 1, pmem.Direct)
+	addr := ptm.RootAddr(0)
+	p.Update(0, func(m ptm.Mem) uint64 { m.Store(addr, 1); return 0 })
+	before := pool.Stats()
+	// One store to a fresh address: 1 snapshot fence + pfence + psync.
+	p.Update(0, func(m ptm.Mem) uint64 { m.Store(addr, 2); return 0 })
+	if d := pool.Stats().Sub(before); d.Fences() != 3 {
+		t.Fatalf("fences = %d, want 3 (2+R with R=1)", d.Fences())
+	}
+	before = pool.Stats()
+	// Two stores to the same address: snapshot once.
+	p.Update(0, func(m ptm.Mem) uint64 {
+		m.Store(addr, 3)
+		m.Store(addr, 4)
+		return 0
+	})
+	if d := pool.Stats().Sub(before); d.Fences() != 3 {
+		t.Fatalf("fences = %d, want 3 (snapshot deduped)", d.Fences())
+	}
+}
+
+func runAddsUntilCrash(t *testing.T, pool *pmem.Pool, n int, failPoint int64) (completed int, crashed bool) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			if r != pmem.ErrSimulatedPowerFailure {
+				panic(r)
+			}
+			crashed = true
+		}
+		pool.InjectFailure(-1)
+	}()
+	p := New(pool, Config{Threads: 1})
+	s := seqds.ListSet{RootSlot: 0}
+	p.Update(0, func(m ptm.Mem) uint64 { s.Init(m); return 0 })
+	pool.InjectFailure(failPoint)
+	for k := 0; k < n; k++ {
+		p.Update(0, func(m ptm.Mem) uint64 {
+			s.Add(m, uint64(k)+1)
+			return 0
+		})
+		completed++
+	}
+	return completed, false
+}
+
+func checkRecovered(t *testing.T, pool *pmem.Pool, completed, n int, failPoint int64) {
+	t.Helper()
+	p := New(pool, Config{Threads: 1})
+	s := seqds.ListSet{RootSlot: 0}
+	var keys []uint64
+	p.Read(0, func(m ptm.Mem) uint64 {
+		keys = s.Keys(m)
+		return 0
+	})
+	if len(keys) < completed || len(keys) > n {
+		t.Fatalf("fail=%d: recovered %d keys, completed %d", failPoint, len(keys), completed)
+	}
+	for i, k := range keys {
+		if k != uint64(i)+1 {
+			t.Fatalf("fail=%d: recovered state not a prefix at index %d", failPoint, i)
+		}
+	}
+	got := p.Update(0, func(m ptm.Mem) uint64 {
+		s.Add(m, 1<<40)
+		return s.Len(m)
+	})
+	if got != uint64(len(keys))+1 {
+		t.Fatalf("fail=%d: post-recovery insert broken", failPoint)
+	}
+}
+
+func TestSystematicCrashPoints(t *testing.T) {
+	const n = 20
+	for fail := int64(1); ; fail += 7 {
+		pool := pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 14, Regions: 2})
+		completed, crashed := runAddsUntilCrash(t, pool, n, fail)
+		if !crashed {
+			if completed != n {
+				t.Fatalf("no crash but %d/%d completed", completed, n)
+			}
+			break
+		}
+		pool.Crash(pmem.CrashConservative, nil)
+		checkRecovered(t, pool, completed, n, fail)
+	}
+}
+
+func TestAdversarialCrashPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const n = 15
+	for fail := int64(1); ; fail += 11 {
+		pool := pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 14, Regions: 2})
+		completed, crashed := runAddsUntilCrash(t, pool, n, fail)
+		if !crashed {
+			break
+		}
+		pool.Crash(pmem.CrashAdversarial, rng)
+		checkRecovered(t, pool, completed, n, fail)
+	}
+}
+
+func TestUndoRollsBackPartialTx(t *testing.T) {
+	// Arm the failure so it fires mid-transaction (during the many
+	// stores of a large update); after recovery the transaction must be
+	// invisible.
+	pool := pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 14, Regions: 2})
+	p := New(pool, Config{Threads: 1})
+	addr := ptm.RootAddr(0)
+	p.Update(0, func(m ptm.Mem) uint64 {
+		for i := uint64(0); i < 50; i++ {
+			m.Store(addr+i, 1000+i)
+		}
+		return 0
+	})
+	pool.InjectFailure(120) // mid-way through the second tx
+	func() {
+		defer func() {
+			if r := recover(); r != pmem.ErrSimulatedPowerFailure {
+				t.Fatalf("expected power failure, got %v", r)
+			}
+			pool.InjectFailure(-1)
+		}()
+		p.Update(0, func(m ptm.Mem) uint64 {
+			for i := uint64(0); i < 50; i++ {
+				m.Store(addr+i, 2000+i)
+			}
+			return 0
+		})
+	}()
+	pool.Crash(pmem.CrashConservative, nil)
+	p = New(pool, Config{Threads: 1})
+	for i := uint64(0); i < 50; i++ {
+		got := p.Read(0, func(m ptm.Mem) uint64 { return m.Load(addr + i) })
+		if got != 1000+i {
+			t.Fatalf("word %d = %d after rollback, want %d", i, got, 1000+i)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package pmem
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// File persistence: a Pool's *persisted image* can be written to and
+// reloaded from a file, which is how the examples survive process restarts —
+// the moral equivalent of the real system's DAX-mapped device file. Only
+// durable state travels: in Strict mode the shadow image (what a power
+// failure would leave), in Direct mode the live image (everything).
+
+// fileMagic identifies the snapshot format.
+const fileMagic = 0x706d656d2d763031 // "pmem-v01"
+
+// WriteFile atomically serializes the pool's persisted image to path. The
+// pool must be quiescent (no in-flight transactions).
+func (p *Pool) WriteFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("pmem: snapshot: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	words := p.data
+	if p.mode == Strict {
+		words = p.shadow
+	}
+	hdr := []uint64{
+		fileMagic,
+		uint64(p.mode),
+		p.regionWords,
+		uint64(len(p.regions)),
+		uint64(len(p.headers)),
+	}
+	var buf [8]byte
+	for _, v := range hdr {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		if _, err := w.Write(buf[:]); err != nil {
+			return fail(f, tmp, err)
+		}
+	}
+	for i := range p.headers {
+		v := p.headers[i].Load()
+		if p.mode == Strict {
+			v = p.shadowHdr[i].Load()
+		}
+		binary.LittleEndian.PutUint64(buf[:], v)
+		if _, err := w.Write(buf[:]); err != nil {
+			return fail(f, tmp, err)
+		}
+	}
+	for _, v := range words {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		if _, err := w.Write(buf[:]); err != nil {
+			return fail(f, tmp, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fail(f, tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(f, tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("pmem: snapshot: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+func fail(f *os.File, tmp string, err error) error {
+	f.Close()
+	os.Remove(tmp)
+	return fmt.Errorf("pmem: snapshot: %w", err)
+}
+
+// ReadFile reconstructs a Pool from a snapshot written by WriteFile. The
+// returned pool behaves as if freshly re-mapped after a restart: the loaded
+// image is both the live and (in Strict mode) the persisted content.
+func ReadFile(path string) (*Pool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pmem: load snapshot: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	readWord := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	magic, err := readWord()
+	if err != nil || magic != fileMagic {
+		return nil, fmt.Errorf("pmem: load snapshot: bad magic")
+	}
+	modeW, err := readWord()
+	if err != nil {
+		return nil, fmt.Errorf("pmem: load snapshot: %w", err)
+	}
+	regionWords, err := readWord()
+	if err != nil {
+		return nil, fmt.Errorf("pmem: load snapshot: %w", err)
+	}
+	nRegions, err := readWord()
+	if err != nil {
+		return nil, fmt.Errorf("pmem: load snapshot: %w", err)
+	}
+	nHeaders, err := readWord()
+	if err != nil {
+		return nil, fmt.Errorf("pmem: load snapshot: %w", err)
+	}
+	if nRegions == 0 || nRegions > 1<<16 || regionWords == 0 || nHeaders > 1<<16 {
+		return nil, fmt.Errorf("pmem: load snapshot: implausible geometry")
+	}
+	p := New(Config{
+		Mode:        Mode(modeW),
+		RegionWords: regionWords,
+		Regions:     int(nRegions),
+		HeaderSlots: int(nHeaders),
+	})
+	for i := 0; i < int(nHeaders); i++ {
+		v, err := readWord()
+		if err != nil {
+			return nil, fmt.Errorf("pmem: load snapshot: %w", err)
+		}
+		p.headers[i].Store(v)
+		if p.mode == Strict {
+			p.shadowHdr[i].Store(v)
+		}
+	}
+	for w := range p.data {
+		v, err := readWord()
+		if err != nil {
+			return nil, fmt.Errorf("pmem: load snapshot: %w", err)
+		}
+		p.data[w] = v
+		if p.mode == Strict {
+			p.shadow[w] = v
+		}
+	}
+	return p, nil
+}

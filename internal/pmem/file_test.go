@@ -1,0 +1,108 @@
+package pmem
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSnapshotRoundTripDirect(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pool.pmem")
+	p := New(Config{Mode: Direct, RegionWords: 128, Regions: 2, HeaderSlots: 4})
+	p.Region(0).Store(5, 42)
+	p.Region(1).Store(7, 99)
+	p.HeaderStore(1, 1234)
+	if err := p.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Regions() != 2 || q.RegionWords() != 128 {
+		t.Fatalf("geometry lost: %d regions × %d words", q.Regions(), q.RegionWords())
+	}
+	if got := q.Region(0).Load(5); got != 42 {
+		t.Fatalf("region 0 word 5 = %d", got)
+	}
+	if got := q.Region(1).Load(7); got != 99 {
+		t.Fatalf("region 1 word 7 = %d", got)
+	}
+	if got := q.HeaderLoad(1); got != 1234 {
+		t.Fatalf("header 1 = %d", got)
+	}
+}
+
+func TestSnapshotStrictPersistsOnlyDurableState(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pool.pmem")
+	p := New(Config{Mode: Strict, RegionWords: 64, Regions: 1})
+	r := p.Region(0)
+	r.Store(1, 11)
+	r.PWB(1)
+	r.PFence()     // durable
+	r.Store(2, 22) // volatile only
+	p.HeaderStore(0, 7)
+	p.PWBHeader(0)
+	p.PSync()
+	p.HeaderStore(0, 8) // volatile only
+	if err := p.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Region(0).Load(1); got != 11 {
+		t.Fatalf("durable word lost: %d", got)
+	}
+	if got := q.Region(0).Load(2); got != 0 {
+		t.Fatalf("volatile word survived the snapshot: %d", got)
+	}
+	if got := q.HeaderLoad(0); got != 7 {
+		t.Fatalf("header = %d, want the durable 7", got)
+	}
+	// The loaded pool keeps Strict semantics.
+	q.Region(0).Store(3, 33)
+	q.Crash(CrashConservative, nil)
+	if got := q.Region(0).Load(3); got != 0 {
+		t.Fatal("loaded pool lost Strict semantics")
+	}
+	if got := q.Region(0).Load(1); got != 11 {
+		t.Fatal("loaded pool lost the snapshot content on crash")
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "junk")
+	if err := os.WriteFile(path, []byte("not a pool"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSnapshotTruncatedFails(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pool.pmem")
+	p := New(Config{Mode: Direct, RegionWords: 256, Regions: 2})
+	if err := p.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}

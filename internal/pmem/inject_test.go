@@ -1,0 +1,44 @@
+package pmem
+
+import "testing"
+
+func TestInjectFailurePanicsAtNthEvent(t *testing.T) {
+	p := New(Config{Mode: Strict, RegionWords: 64, Regions: 1})
+	r := p.Region(0)
+	p.InjectFailure(3)
+	r.Store(0, 1) // event 1
+	r.Store(1, 2) // event 2
+	r.PWB(0)      // event 3
+	func() {
+		defer func() {
+			if recover() != ErrSimulatedPowerFailure {
+				t.Error("4th event did not raise power failure")
+			}
+		}()
+		r.PFence() // event 4 → boom
+	}()
+	// After the crash, the pool is reusable.
+	p.InjectFailure(-1)
+	p.Crash(CrashConservative, nil)
+	if got := r.Load(0); got != 0 {
+		t.Fatalf("unfenced store survived: %d", got)
+	}
+}
+
+func TestInjectFailureIgnoredInDirectMode(t *testing.T) {
+	p := New(Config{Mode: Direct, RegionWords: 64, Regions: 1})
+	p.InjectFailure(0)
+	p.Region(0).Store(0, 1) // must not panic
+	p.Region(0).PWB(0)
+	p.Region(0).PFence()
+}
+
+func TestInjectFailureDisarmed(t *testing.T) {
+	p := New(Config{Mode: Strict, RegionWords: 64, Regions: 1})
+	p.InjectFailure(1)
+	p.Region(0).Store(0, 1)
+	p.InjectFailure(-1)
+	for i := 0; i < 10; i++ {
+		p.Region(0).Store(0, uint64(i)) // must not panic
+	}
+}

@@ -1,0 +1,83 @@
+package pmem
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyModel injects per-instruction delays so that the relative cost of
+// persistence instructions versus computation resembles real persistent
+// memory. The defaults used by the benchmark harness are calibrated to the
+// published Optane DC PMM measurements (Izraelevitz et al., 2019): a CLWB of
+// a cached line costs on the order of tens of nanoseconds and an SFENCE that
+// must drain pending write-backs costs roughly a hundred.
+//
+// The zero value disables latency injection entirely (counts only), which is
+// what unit tests use.
+type LatencyModel struct {
+	PWB     time.Duration // per cache-line write-back
+	Fence   time.Duration // per pfence/psync
+	NTStore time.Duration // per non-temporal line store
+}
+
+// DefaultOptane is a latency model approximating Optane DC PMM behaviour.
+var DefaultOptane = LatencyModel{
+	PWB:     60 * time.Nanosecond,
+	Fence:   120 * time.Nanosecond,
+	NTStore: 40 * time.Nanosecond,
+}
+
+func (l LatencyModel) spinPWB()   { spin(l.PWB) }
+func (l LatencyModel) spinFence() { spin(l.Fence) }
+func (l LatencyModel) spinNT()    { spin(l.NTStore) }
+
+func (l LatencyModel) spinNTLines(n uint64) {
+	if l.NTStore <= 0 || n == 0 {
+		return
+	}
+	spin(time.Duration(n) * l.NTStore)
+}
+
+var (
+	calibrateOnce sync.Once
+	loopsPerNano  float64
+)
+
+// calibrate measures how many iterations of the spin loop body run per
+// nanosecond, so short delays can be injected without calling into the
+// runtime on every iteration.
+func calibrate() {
+	const probe = 1 << 20
+	start := time.Now()
+	spinLoop(probe)
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	loopsPerNano = float64(probe) / float64(elapsed)
+	if loopsPerNano <= 0 {
+		loopsPerNano = 1
+	}
+}
+
+var spinSink atomic.Uint64
+
+// spinLoop burns CPU for n iterations without being optimized away.
+func spinLoop(n uint64) {
+	acc := n
+	for i := uint64(0); i < n; i++ {
+		acc = acc*2862933555777941757 + 3037000493
+	}
+	spinSink.Store(acc)
+}
+
+// spin busy-waits for approximately d without yielding the processor, the
+// same way a stalled CLWB/SFENCE occupies the core.
+func spin(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	calibrateOnce.Do(calibrate)
+	spinLoop(uint64(float64(d) * loopsPerNano))
+}

@@ -1,0 +1,63 @@
+package pmem
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpinApproximatesDuration(t *testing.T) {
+	// The spin calibration must be within a loose factor of the target —
+	// enough for the latency model to bias relative costs correctly.
+	const target = 200 * time.Microsecond
+	start := time.Now()
+	spin(target)
+	got := time.Since(start)
+	if got < target/4 {
+		t.Fatalf("spin(%v) returned after %v (far too early)", target, got)
+	}
+	if got > target*50 {
+		t.Fatalf("spin(%v) took %v (far too long)", target, got)
+	}
+}
+
+func TestSpinZeroAndNegative(t *testing.T) {
+	spin(0)
+	spin(-time.Second) // must return immediately, not hang
+}
+
+func TestLatencyModelInjectsCost(t *testing.T) {
+	fast := New(Config{RegionWords: 1 << 10, Regions: 1})
+	slow := New(Config{
+		RegionWords: 1 << 10,
+		Regions:     1,
+		Latency: LatencyModel{
+			PWB:   2 * time.Microsecond,
+			Fence: 4 * time.Microsecond,
+		},
+	})
+	measure := func(p *Pool) time.Duration {
+		r := p.Region(0)
+		start := time.Now()
+		for i := 0; i < 200; i++ {
+			r.Store(0, uint64(i))
+			r.PWB(0)
+			r.PFence()
+		}
+		return time.Since(start)
+	}
+	// The calibration is approximate and CPU contention skews it, so only
+	// the relative effect is asserted.
+	tFast, tSlow := measure(fast), measure(slow)
+	if tSlow < 2*tFast {
+		t.Fatalf("latency model had no effect: fast=%v slow=%v", tFast, tSlow)
+	}
+}
+
+func TestDefaultOptaneIsPlausible(t *testing.T) {
+	if DefaultOptane.PWB <= 0 || DefaultOptane.Fence <= 0 || DefaultOptane.NTStore <= 0 {
+		t.Fatal("DefaultOptane has zero components")
+	}
+	if DefaultOptane.Fence < DefaultOptane.PWB {
+		t.Fatal("a fence should cost at least a write-back")
+	}
+}

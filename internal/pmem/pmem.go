@@ -1,0 +1,508 @@
+// Package pmem emulates byte-addressable non-volatile main memory (NVMM)
+// for persistent transactional memories.
+//
+// Real NVMM (e.g. Intel Optane DC PMM) is driven with a persistence flush
+// instruction per cache line (pwb, implemented with CLWB on x86) and
+// persistence fences (pfence/psync, implemented with SFENCE). Go cannot issue
+// those instructions with faithful ordering — the garbage collector and the
+// runtime move and instrument memory — so this package substitutes a
+// deterministic simulator:
+//
+//   - A Pool is a word-addressable arena split into fixed-size regions
+//     (one region per data replica in the constructions built on top).
+//   - Stores land in the "cache image" (the data array). PWB marks a cache
+//     line for write-back; PFence/PSync make previously marked lines durable
+//     by copying them to the "persisted image" (the shadow array).
+//   - Crash discards the cache image. What survives is exactly the shadow:
+//     lines that were flushed and fenced, plus (in adversarial mode) a random
+//     subset of dirty lines, modelling spontaneous cache eviction on real
+//     hardware, where a store may become durable even without a flush.
+//   - Every PWB, PFence, PSync and non-temporal store is counted, and an
+//     optional latency model injects per-instruction delays so that the
+//     relative cost of flushes versus computation resembles real PM.
+//
+// Addresses are word offsets (8-byte words) within a region; a cache line is
+// 8 words (64 bytes). Offset 0 is reserved as the nil address.
+package pmem
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// WordsPerLine is the number of 64-bit words in a simulated cache line.
+const WordsPerLine = 8
+
+// LineBytes is the size of a simulated cache line in bytes.
+const LineBytes = WordsPerLine * 8
+
+// Addr is a word offset inside a region. Addr 0 is the nil address.
+type Addr = uint64
+
+// Mode selects how faithfully the pool models the volatility of CPU caches.
+type Mode int
+
+const (
+	// Direct mode treats every store as immediately durable. Flush and
+	// fence calls only update statistics and apply latency. This is the
+	// mode used for throughput benchmarks.
+	Direct Mode = iota
+	// Strict mode maintains a separate persisted image: only cache lines
+	// that were PWB'd and then fenced reach it. Crash and recovery are
+	// available. This is the mode used by crash-consistency tests.
+	Strict
+)
+
+// Config parameterizes a Pool.
+type Config struct {
+	Mode        Mode
+	RegionWords uint64 // words per region (rounded up to a full line)
+	Regions     int    // number of regions (replicas)
+	HeaderSlots int    // number of 64-bit root/header slots (default 16)
+	Latency     LatencyModel
+}
+
+// Pool is an emulated NVMM device: a header of atomically-accessed slots
+// (where constructions keep their persistent curComb and similar roots)
+// followed by a fixed number of equally sized regions.
+type Pool struct {
+	mode        Mode
+	lat         LatencyModel
+	regionWords uint64
+	data        []uint64 // cache image, all regions back to back
+	shadow      []uint64 // persisted image (Strict mode only)
+	headers     []atomic.Uint64
+	shadowHdr   []atomic.Uint64
+	regions     []Region
+	stats       Stats
+
+	hdrMu      sync.Mutex // guards pendingHdr (Strict mode only)
+	pendingHdr []int
+
+	// failAfter counts down persistent-memory events; when it crosses
+	// zero the pool panics with ErrSimulatedPowerFailure. Negative means
+	// disabled. Only honoured in Strict mode (crash testing).
+	failAfter atomic.Int64
+}
+
+// ErrSimulatedPowerFailure is the panic value raised when an injected
+// failure point is reached (see InjectFailure). Crash-test harnesses recover
+// it, call Crash, and re-run recovery.
+var ErrSimulatedPowerFailure = &powerFailure{}
+
+type powerFailure struct{}
+
+func (*powerFailure) Error() string { return "pmem: simulated power failure" }
+
+// InjectFailure arms a failure point: after n further persistent-memory
+// events (stores, flushes, fences) the pool panics with
+// ErrSimulatedPowerFailure, simulating power loss at an arbitrary
+// instruction boundary. Only honoured in Strict mode. Pass a negative n to
+// disarm.
+func (p *Pool) InjectFailure(n int64) { p.failAfter.Store(n) }
+
+// tick advances toward an armed failure point.
+func (p *Pool) tick() {
+	if p.failAfter.Load() < 0 {
+		return
+	}
+	if p.failAfter.Add(-1) < 0 {
+		panic(ErrSimulatedPowerFailure)
+	}
+}
+
+// Region is a fixed-size window of a Pool holding one replica of the
+// persistent data. The constructions guarantee a single writer per region
+// (via an exclusive lock), so plain loads and stores are safe; atomic
+// variants are provided for hand-made lock-free structures that CAS into
+// shared persistent memory.
+type Region struct {
+	pool  *Pool
+	index int
+	base  uint64 // word offset of this region inside pool.data
+	words uint64
+
+	mu      sync.Mutex // guards pending (Strict mode only)
+	pending []uint64   // line numbers (region-relative) awaiting a fence
+}
+
+// New creates a Pool. It panics on a non-positive geometry, mirroring the
+// failure mode of mapping a zero-length device.
+func New(cfg Config) *Pool {
+	if cfg.Regions <= 0 || cfg.RegionWords == 0 {
+		panic(fmt.Sprintf("pmem: invalid geometry (%d regions × %d words)", cfg.Regions, cfg.RegionWords))
+	}
+	if cfg.HeaderSlots == 0 {
+		cfg.HeaderSlots = 16
+	}
+	rw := (cfg.RegionWords + WordsPerLine - 1) / WordsPerLine * WordsPerLine
+	p := &Pool{
+		mode:        cfg.Mode,
+		lat:         cfg.Latency,
+		regionWords: rw,
+		data:        make([]uint64, rw*uint64(cfg.Regions)),
+		headers:     make([]atomic.Uint64, cfg.HeaderSlots),
+		regions:     make([]Region, cfg.Regions),
+	}
+	if cfg.Mode == Strict {
+		p.shadow = make([]uint64, len(p.data))
+		p.shadowHdr = make([]atomic.Uint64, cfg.HeaderSlots)
+	}
+	for i := range p.regions {
+		p.regions[i] = Region{pool: p, index: i, base: uint64(i) * rw, words: rw}
+	}
+	p.failAfter.Store(-1)
+	return p
+}
+
+// Mode reports the volatility model of the pool.
+func (p *Pool) Mode() Mode { return p.mode }
+
+// Regions reports the number of regions in the pool.
+func (p *Pool) Regions() int { return len(p.regions) }
+
+// RegionWords reports the size of each region in 64-bit words.
+func (p *Pool) RegionWords() uint64 { return p.regionWords }
+
+// Region returns the i-th region.
+func (p *Pool) Region(i int) *Region { return &p.regions[i] }
+
+// Stats returns a snapshot of the persistence-instruction counters.
+func (p *Pool) Stats() StatsSnapshot { return p.stats.snapshot() }
+
+// ResetStats zeroes all counters.
+func (p *Pool) ResetStats() { p.stats.reset() }
+
+// NVMBytes reports the total simulated NVMM footprint in bytes.
+func (p *Pool) NVMBytes() uint64 {
+	return uint64(len(p.data))*8 + uint64(len(p.headers))*8
+}
+
+// ---- Header slots --------------------------------------------------------
+
+// HeaderLoad atomically reads header slot i from the cache image.
+func (p *Pool) HeaderLoad(i int) uint64 { return p.headers[i].Load() }
+
+// HeaderStore atomically writes header slot i in the cache image.
+func (p *Pool) HeaderStore(i int, v uint64) {
+	if p.mode == Strict {
+		p.tick()
+	}
+	p.headers[i].Store(v)
+}
+
+// HeaderCAS atomically compare-and-swaps header slot i in the cache image.
+func (p *Pool) HeaderCAS(i int, old, new uint64) bool {
+	return p.headers[i].CompareAndSwap(old, new)
+}
+
+// PWBHeader issues a persistence write-back for header slot i.
+func (p *Pool) PWBHeader(i int) {
+	if p.mode == Strict {
+		p.tick()
+	}
+	p.stats.pwbs.Add(1)
+	p.lat.spinPWB()
+	if p.mode == Strict {
+		p.hdrMu.Lock()
+		p.pendingHdr = append(p.pendingHdr, i)
+		p.hdrMu.Unlock()
+	}
+}
+
+// PSync issues a persistence synchronization fence (SFENCE on x86): header
+// slots flushed before this call become durable.
+func (p *Pool) PSync() {
+	if p.mode == Strict {
+		p.tick()
+	}
+	p.stats.psyncs.Add(1)
+	p.lat.spinFence()
+	if p.mode == Strict {
+		p.hdrMu.Lock()
+		for _, i := range p.pendingHdr {
+			p.shadowHdr[i].Store(p.headers[i].Load())
+		}
+		p.pendingHdr = p.pendingHdr[:0]
+		p.hdrMu.Unlock()
+	}
+}
+
+// PFenceGlobal issues a persistence fence covering the whole pool: every
+// cache line PWB'd in any region (and any flushed header) before the call
+// becomes durable. Real SFENCE has exactly this device-wide scope; the
+// per-region PFence is a modelling convenience for single-writer regions.
+func (p *Pool) PFenceGlobal() {
+	if p.mode == Strict {
+		p.tick()
+	}
+	p.stats.pfences.Add(1)
+	p.lat.spinFence()
+	if p.mode == Strict {
+		for i := range p.regions {
+			r := &p.regions[i]
+			r.mu.Lock()
+			for _, line := range r.pending {
+				r.persistLine(line)
+			}
+			r.pending = r.pending[:0]
+			r.mu.Unlock()
+		}
+		p.hdrMu.Lock()
+		for _, i := range p.pendingHdr {
+			p.shadowHdr[i].Store(p.headers[i].Load())
+		}
+		p.pendingHdr = p.pendingHdr[:0]
+		p.hdrMu.Unlock()
+	}
+}
+
+// PersistedHeader reads header slot i from the persisted image. It is only
+// meaningful in Strict mode and is intended for recovery and validation.
+func (p *Pool) PersistedHeader(i int) uint64 {
+	if p.mode != Strict {
+		return p.headers[i].Load()
+	}
+	return p.shadowHdr[i].Load()
+}
+
+// ---- Region data ---------------------------------------------------------
+
+func (r *Region) check(addr Addr) {
+	if addr >= r.words {
+		panic(fmt.Sprintf("pmem: address %d out of region bounds (%d words)", addr, r.words))
+	}
+}
+
+// Index reports the position of the region within its pool.
+func (r *Region) Index() int { return r.index }
+
+// Words reports the region size in 64-bit words.
+func (r *Region) Words() uint64 { return r.words }
+
+// Load reads the word at addr. The caller must hold exclusive or shared
+// access to the region per the construction's locking protocol.
+func (r *Region) Load(addr Addr) uint64 {
+	r.check(addr)
+	return r.pool.data[r.base+addr]
+}
+
+// Store writes the word at addr. The caller must hold exclusive access.
+func (r *Region) Store(addr Addr, v uint64) {
+	r.check(addr)
+	if r.pool.mode == Strict {
+		r.pool.tick()
+	}
+	r.pool.data[r.base+addr] = v
+}
+
+// AtomicLoad reads the word at addr with sequentially consistent ordering.
+func (r *Region) AtomicLoad(addr Addr) uint64 {
+	r.check(addr)
+	return atomic.LoadUint64(&r.pool.data[r.base+addr])
+}
+
+// AtomicStore writes the word at addr with sequentially consistent ordering.
+func (r *Region) AtomicStore(addr Addr, v uint64) {
+	r.check(addr)
+	atomic.StoreUint64(&r.pool.data[r.base+addr], v)
+}
+
+// CAS atomically compare-and-swaps the word at addr.
+func (r *Region) CAS(addr Addr, old, new uint64) bool {
+	r.check(addr)
+	return atomic.CompareAndSwapUint64(&r.pool.data[r.base+addr], old, new)
+}
+
+// PWB issues a persistence write-back for the cache line containing addr.
+func (r *Region) PWB(addr Addr) {
+	r.check(addr)
+	if r.pool.mode == Strict {
+		r.pool.tick()
+	}
+	r.pool.stats.pwbs.Add(1)
+	r.pool.lat.spinPWB()
+	if r.pool.mode == Strict {
+		line := addr / WordsPerLine
+		r.mu.Lock()
+		r.pending = append(r.pending, line)
+		r.mu.Unlock()
+	}
+}
+
+// PFence issues a persistence fence: cache lines of this region that were
+// PWB'd before the call become durable.
+func (r *Region) PFence() {
+	if r.pool.mode == Strict {
+		r.pool.tick()
+	}
+	r.pool.stats.pfences.Add(1)
+	r.pool.lat.spinFence()
+	if r.pool.mode == Strict {
+		r.mu.Lock()
+		for _, line := range r.pending {
+			r.persistLine(line)
+		}
+		r.pending = r.pending[:0]
+		r.mu.Unlock()
+	}
+}
+
+// persistLine copies one region-relative cache line from the cache image to
+// the persisted image. Caller holds r.mu in Strict mode.
+func (r *Region) persistLine(line uint64) {
+	lo := r.base + line*WordsPerLine
+	for w := lo; w < lo+WordsPerLine; w++ {
+		// Published words may be concurrently CAS'd (hand-made
+		// lock-free structures), so read atomically.
+		r.pool.shadow[w] = atomic.LoadUint64(&r.pool.data[w])
+	}
+}
+
+// NTStoreLine performs a non-temporal store of up to WordsPerLine words
+// starting at addr (which should be line-aligned for faithful accounting),
+// bypassing the cache: the line does not need a PWB, only a later fence.
+// It models MOVNTQ-based copies (the "copy using ntstore" optimization).
+func (r *Region) NTStoreLine(addr Addr, words []uint64) {
+	r.check(addr + uint64(len(words)) - 1)
+	if len(words) > WordsPerLine {
+		panic("pmem: NTStoreLine called with more than one line of data")
+	}
+	copy(r.pool.data[r.base+addr:], words)
+	r.pool.stats.ntstores.Add(1)
+	r.pool.lat.spinNT()
+	if r.pool.mode == Strict {
+		line := addr / WordsPerLine
+		r.mu.Lock()
+		r.pending = append(r.pending, line, (addr+uint64(len(words))-1)/WordsPerLine)
+		r.mu.Unlock()
+	}
+}
+
+// PersistedLoad reads the word at addr from the persisted image. It is only
+// meaningful in Strict mode and is intended for recovery and validation.
+func (r *Region) PersistedLoad(addr Addr) uint64 {
+	r.check(addr)
+	if r.pool.mode != Strict {
+		return r.pool.data[r.base+addr]
+	}
+	return r.pool.shadow[r.base+addr]
+}
+
+// CopyFrom copies n words of src into this region using regular stores. The
+// caller must hold exclusive access to the destination and at least shared
+// access to the source. The copied words still require PWB+fence to become
+// durable. Returns the number of words copied (for statistics).
+func (r *Region) CopyFrom(src *Region, n uint64) uint64 {
+	if n > r.words || n > src.words {
+		panic("pmem: CopyFrom size exceeds region")
+	}
+	copy(r.pool.data[r.base:r.base+n], src.pool.data[src.base:src.base+n])
+	r.pool.stats.wordsCopied.Add(n)
+	return n
+}
+
+// NTCopyFrom copies n words of src into this region with non-temporal
+// stores: one NT store per line and no PWBs. A fence is still required.
+func (r *Region) NTCopyFrom(src *Region, n uint64) uint64 {
+	if n > r.words || n > src.words {
+		panic("pmem: NTCopyFrom size exceeds region")
+	}
+	copy(r.pool.data[r.base:r.base+n], src.pool.data[src.base:src.base+n])
+	lines := (n + WordsPerLine - 1) / WordsPerLine
+	r.pool.stats.ntstores.Add(lines)
+	r.pool.stats.wordsCopied.Add(n)
+	r.pool.lat.spinNTLines(lines)
+	if r.pool.mode == Strict {
+		r.mu.Lock()
+		for l := uint64(0); l < lines; l++ {
+			r.pending = append(r.pending, l)
+		}
+		r.mu.Unlock()
+	}
+	return n
+}
+
+// FlushRange issues one PWB per cache line in [addr, addr+n): the
+// whole-object flush used by CX-PUC, which has no store interposition.
+func (r *Region) FlushRange(addr Addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	first := addr / WordsPerLine
+	last := (addr + n - 1) / WordsPerLine
+	for line := first; line <= last; line++ {
+		r.PWB(line * WordsPerLine)
+	}
+}
+
+// ---- Crash and recovery --------------------------------------------------
+
+// CrashPolicy selects what happens to dirty-but-unflushed cache lines at the
+// moment of a simulated power failure.
+type CrashPolicy int
+
+const (
+	// CrashConservative drops every store that was not flushed and fenced.
+	CrashConservative CrashPolicy = iota
+	// CrashAdversarial lets a random subset of dirty unflushed lines reach
+	// the persisted image, modelling spontaneous cache eviction.
+	CrashAdversarial
+)
+
+// Crash simulates a non-corrupting power failure: the cache image is
+// discarded and replaced with the persisted image. With CrashAdversarial a
+// random subset of dirty lines (data differing from shadow) is persisted
+// first, using rng. The pool must be in Strict mode.
+//
+// After Crash returns, the pool represents the freshly re-mapped NVMM: the
+// construction's Recover entry point can rebuild its volatile state from it.
+func (p *Pool) Crash(policy CrashPolicy, rng *rand.Rand) {
+	if p.mode != Strict {
+		panic("pmem: Crash requires Strict mode")
+	}
+	if policy == CrashAdversarial {
+		if rng == nil {
+			panic("pmem: CrashAdversarial requires a rand source")
+		}
+		nLines := uint64(len(p.data)) / WordsPerLine
+		for line := uint64(0); line < nLines; line++ {
+			lo := line * WordsPerLine
+			dirty := false
+			for w := lo; w < lo+WordsPerLine; w++ {
+				if atomic.LoadUint64(&p.data[w]) != p.shadow[w] {
+					dirty = true
+					break
+				}
+			}
+			if dirty && rng.Intn(2) == 0 {
+				for w := lo; w < lo+WordsPerLine; w++ {
+					p.shadow[w] = atomic.LoadUint64(&p.data[w])
+				}
+			}
+		}
+		for i := range p.headers {
+			if v := p.headers[i].Load(); v != p.shadowHdr[i].Load() && rng.Intn(2) == 0 {
+				p.shadowHdr[i].Store(v)
+			}
+		}
+	}
+	// Power is lost: the cache image is rebuilt from the persisted image.
+	for w := range p.data {
+		atomic.StoreUint64(&p.data[w], p.shadow[w])
+	}
+	for i := range p.headers {
+		p.headers[i].Store(p.shadowHdr[i].Load())
+	}
+	p.hdrMu.Lock()
+	p.pendingHdr = p.pendingHdr[:0]
+	p.hdrMu.Unlock()
+	for i := range p.regions {
+		r := &p.regions[i]
+		r.mu.Lock()
+		r.pending = r.pending[:0]
+		r.mu.Unlock()
+	}
+}

@@ -1,0 +1,446 @@
+package pmem
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newStrict(t *testing.T, words uint64, regions int) *Pool {
+	t.Helper()
+	return New(Config{Mode: Strict, RegionWords: words, Regions: regions})
+}
+
+func TestNewGeometry(t *testing.T) {
+	p := New(Config{Mode: Direct, RegionWords: 10, Regions: 3})
+	if p.Regions() != 3 {
+		t.Fatalf("Regions() = %d, want 3", p.Regions())
+	}
+	if p.RegionWords()%WordsPerLine != 0 {
+		t.Fatalf("RegionWords() = %d, not line-aligned", p.RegionWords())
+	}
+	if p.RegionWords() < 10 {
+		t.Fatalf("RegionWords() = %d, want >= 10", p.RegionWords())
+	}
+	if p.NVMBytes() == 0 {
+		t.Fatal("NVMBytes() = 0")
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	for _, cfg := range []Config{
+		{RegionWords: 0, Regions: 1},
+		{RegionWords: 8, Regions: 0},
+		{RegionWords: 8, Regions: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	p := New(Config{Mode: Direct, RegionWords: 64, Regions: 2})
+	r0, r1 := p.Region(0), p.Region(1)
+	r0.Store(5, 42)
+	r1.Store(5, 99)
+	if got := r0.Load(5); got != 42 {
+		t.Errorf("region 0 word 5 = %d, want 42", got)
+	}
+	if got := r1.Load(5); got != 99 {
+		t.Errorf("region 1 word 5 = %d, want 99 (regions must be disjoint)", got)
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	p := New(Config{Mode: Direct, RegionWords: 8, Regions: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-bounds Load did not panic")
+		}
+	}()
+	p.Region(0).Load(8)
+}
+
+func TestAtomicOps(t *testing.T) {
+	p := New(Config{Mode: Direct, RegionWords: 64, Regions: 1})
+	r := p.Region(0)
+	r.AtomicStore(3, 7)
+	if got := r.AtomicLoad(3); got != 7 {
+		t.Fatalf("AtomicLoad = %d, want 7", got)
+	}
+	if !r.CAS(3, 7, 8) {
+		t.Fatal("CAS(7->8) failed")
+	}
+	if r.CAS(3, 7, 9) {
+		t.Fatal("CAS with stale expected value succeeded")
+	}
+	if got := r.AtomicLoad(3); got != 8 {
+		t.Fatalf("after CAS, word = %d, want 8", got)
+	}
+}
+
+func TestStrictUnflushedStoreIsLostOnCrash(t *testing.T) {
+	p := newStrict(t, 64, 1)
+	r := p.Region(0)
+	r.Store(1, 11)
+	p.Crash(CrashConservative, nil)
+	if got := r.Load(1); got != 0 {
+		t.Fatalf("unflushed store survived crash: word = %d, want 0", got)
+	}
+}
+
+func TestStrictFlushedButUnfencedStoreIsLost(t *testing.T) {
+	p := newStrict(t, 64, 1)
+	r := p.Region(0)
+	r.Store(1, 11)
+	r.PWB(1)
+	// No fence: the write-back was initiated but not guaranteed ordered.
+	p.Crash(CrashConservative, nil)
+	if got := r.Load(1); got != 0 {
+		t.Fatalf("flushed-but-unfenced store survived conservative crash: %d", got)
+	}
+}
+
+func TestStrictFlushedAndFencedStoreSurvives(t *testing.T) {
+	p := newStrict(t, 64, 1)
+	r := p.Region(0)
+	r.Store(1, 11)
+	r.PWB(1)
+	r.PFence()
+	p.Crash(CrashConservative, nil)
+	if got := r.Load(1); got != 11 {
+		t.Fatalf("flushed+fenced store lost on crash: word = %d, want 11", got)
+	}
+}
+
+func TestStrictFenceCoversWholeLine(t *testing.T) {
+	p := newStrict(t, 64, 1)
+	r := p.Region(0)
+	// Words 0..7 share a cache line; flushing word 0 persists all of it.
+	for w := uint64(0); w < WordsPerLine; w++ {
+		r.Store(w, w+100)
+	}
+	r.PWB(0)
+	r.PFence()
+	// Word 8 is on the next line and was never flushed.
+	r.Store(8, 200)
+	p.Crash(CrashConservative, nil)
+	for w := uint64(0); w < WordsPerLine; w++ {
+		if got := r.Load(w); got != w+100 {
+			t.Errorf("word %d = %d, want %d", w, got, w+100)
+		}
+	}
+	if got := r.Load(8); got != 0 {
+		t.Errorf("word 8 = %d, want 0 (different line, never flushed)", got)
+	}
+}
+
+func TestStrictStoreAfterFenceIsLost(t *testing.T) {
+	p := newStrict(t, 64, 1)
+	r := p.Region(0)
+	r.Store(1, 11)
+	r.PWB(1)
+	r.PFence()
+	r.Store(1, 22) // dirty again, not flushed
+	p.Crash(CrashConservative, nil)
+	if got := r.Load(1); got != 11 {
+		t.Fatalf("word = %d, want the fenced value 11", got)
+	}
+}
+
+func TestHeaderPersistence(t *testing.T) {
+	p := newStrict(t, 64, 1)
+	p.HeaderStore(0, 77)
+	p.PWBHeader(0)
+	p.PSync()
+	p.HeaderStore(0, 88) // not persisted
+	p.Crash(CrashConservative, nil)
+	if got := p.HeaderLoad(0); got != 77 {
+		t.Fatalf("header = %d, want 77", got)
+	}
+}
+
+func TestHeaderCAS(t *testing.T) {
+	p := New(Config{Mode: Direct, RegionWords: 8, Regions: 1})
+	p.HeaderStore(1, 5)
+	if !p.HeaderCAS(1, 5, 6) {
+		t.Fatal("HeaderCAS(5->6) failed")
+	}
+	if p.HeaderCAS(1, 5, 7) {
+		t.Fatal("HeaderCAS with stale value succeeded")
+	}
+}
+
+func TestAdversarialCrashMayPersistUnflushed(t *testing.T) {
+	// With many dirty lines and a 50% eviction probability, at least one
+	// line should survive and at least one should be lost.
+	p := newStrict(t, 8*128, 1)
+	r := p.Region(0)
+	for line := uint64(0); line < 128; line++ {
+		r.Store(line*WordsPerLine, line+1)
+	}
+	p.Crash(CrashAdversarial, rand.New(rand.NewSource(1)))
+	survived, lost := 0, 0
+	for line := uint64(0); line < 128; line++ {
+		if r.Load(line*WordsPerLine) == line+1 {
+			survived++
+		} else {
+			lost++
+		}
+	}
+	if survived == 0 || lost == 0 {
+		t.Fatalf("adversarial crash not adversarial: survived=%d lost=%d", survived, lost)
+	}
+}
+
+func TestCrashRequiresStrict(t *testing.T) {
+	p := New(Config{Mode: Direct, RegionWords: 8, Regions: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("Crash on Direct pool did not panic")
+		}
+	}()
+	p.Crash(CrashConservative, nil)
+}
+
+func TestStatsCounting(t *testing.T) {
+	p := New(Config{Mode: Direct, RegionWords: 64, Regions: 1})
+	r := p.Region(0)
+	r.PWB(0)
+	r.PWB(8)
+	r.PFence()
+	p.PWBHeader(0)
+	p.PSync()
+	s := p.Stats()
+	if s.PWBs != 3 {
+		t.Errorf("PWBs = %d, want 3", s.PWBs)
+	}
+	if s.PFences != 1 {
+		t.Errorf("PFences = %d, want 1", s.PFences)
+	}
+	if s.PSyncs != 1 {
+		t.Errorf("PSyncs = %d, want 1", s.PSyncs)
+	}
+	if s.Fences() != 2 {
+		t.Errorf("Fences() = %d, want 2", s.Fences())
+	}
+	p.ResetStats()
+	if s := p.Stats(); s.PWBs != 0 || s.Fences() != 0 {
+		t.Errorf("after reset: %v", s)
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := StatsSnapshot{PWBs: 10, PFences: 4, PSyncs: 2, NTStores: 8, WordsCopied: 100}
+	b := StatsSnapshot{PWBs: 3, PFences: 1, PSyncs: 1, NTStores: 3, WordsCopied: 40}
+	d := a.Sub(b)
+	want := StatsSnapshot{PWBs: 7, PFences: 3, PSyncs: 1, NTStores: 5, WordsCopied: 60}
+	if d != want {
+		t.Fatalf("Sub = %+v, want %+v", d, want)
+	}
+	if d.String() == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+func TestFlushRange(t *testing.T) {
+	p := newStrict(t, 8*16, 1)
+	r := p.Region(0)
+	for w := uint64(0); w < 40; w++ {
+		r.Store(w, w+1)
+	}
+	r.FlushRange(0, 40) // words 0..39 → lines 0..4 → 5 pwbs
+	if s := p.Stats(); s.PWBs != 5 {
+		t.Fatalf("FlushRange issued %d pwbs, want 5", s.PWBs)
+	}
+	r.PFence()
+	p.Crash(CrashConservative, nil)
+	for w := uint64(0); w < 40; w++ {
+		if got := r.Load(w); got != w+1 {
+			t.Fatalf("word %d = %d after crash, want %d", w, got, w+1)
+		}
+	}
+	r.FlushRange(0, 0) // no-op
+	if s := p.Stats(); s.PWBs != 5 {
+		t.Fatalf("FlushRange(0,0) issued pwbs: %d", s.PWBs)
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	p := New(Config{Mode: Direct, RegionWords: 64, Regions: 2})
+	src, dst := p.Region(0), p.Region(1)
+	for w := uint64(0); w < 64; w++ {
+		src.Store(w, w*3)
+	}
+	n := dst.CopyFrom(src, 64)
+	if n != 64 {
+		t.Fatalf("CopyFrom copied %d words, want 64", n)
+	}
+	for w := uint64(0); w < 64; w++ {
+		if dst.Load(w) != w*3 {
+			t.Fatalf("dst word %d = %d, want %d", w, dst.Load(w), w*3)
+		}
+	}
+	if s := p.Stats(); s.WordsCopied != 64 {
+		t.Errorf("WordsCopied = %d, want 64", s.WordsCopied)
+	}
+}
+
+func TestNTCopyFromPersistsWithSingleFence(t *testing.T) {
+	p := newStrict(t, 8*8, 2)
+	src, dst := p.Region(0), p.Region(1)
+	for w := uint64(0); w < 64; w++ {
+		src.Store(w, w+7)
+	}
+	dst.NTCopyFrom(src, 64)
+	if s := p.Stats(); s.PWBs != 0 {
+		t.Fatalf("NT copy issued %d pwbs, want 0", s.PWBs)
+	}
+	if s := p.Stats(); s.NTStores != 8 {
+		t.Fatalf("NT copy issued %d ntstores, want 8 (one per line)", s.NTStores)
+	}
+	dst.PFence()
+	p.Crash(CrashConservative, nil)
+	for w := uint64(0); w < 64; w++ {
+		if got := dst.Load(w); got != w+7 {
+			t.Fatalf("dst word %d = %d after crash, want %d", w, got, w+7)
+		}
+	}
+}
+
+func TestNTStoreLine(t *testing.T) {
+	p := newStrict(t, 64, 1)
+	r := p.Region(0)
+	r.NTStoreLine(8, []uint64{1, 2, 3, 4, 5, 6, 7, 8})
+	r.PFence()
+	p.Crash(CrashConservative, nil)
+	for i := uint64(0); i < 8; i++ {
+		if got := r.Load(8 + i); got != i+1 {
+			t.Fatalf("word %d = %d, want %d", 8+i, got, i+1)
+		}
+	}
+}
+
+func TestNTStoreLineTooLargePanics(t *testing.T) {
+	p := New(Config{Mode: Direct, RegionWords: 64, Regions: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized NTStoreLine did not panic")
+		}
+	}()
+	p.Region(0).NTStoreLine(0, make([]uint64, WordsPerLine+1))
+}
+
+func TestConcurrentDisjointRegions(t *testing.T) {
+	const threads = 8
+	p := newStrict(t, 8*64, threads)
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := p.Region(i)
+			for w := uint64(0); w < r.Words(); w++ {
+				r.Store(w, uint64(i)<<32|w)
+				r.PWB(w)
+			}
+			r.PFence()
+		}(i)
+	}
+	wg.Wait()
+	p.Crash(CrashConservative, nil)
+	for i := 0; i < threads; i++ {
+		r := p.Region(i)
+		for w := uint64(0); w < r.Words(); w++ {
+			if got := r.Load(w); got != uint64(i)<<32|w {
+				t.Fatalf("region %d word %d = %#x", i, w, got)
+			}
+		}
+	}
+}
+
+func TestConcurrentHeaderCAS(t *testing.T) {
+	p := New(Config{Mode: Direct, RegionWords: 8, Regions: 1})
+	const threads, iters = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < iters; n++ {
+				for {
+					v := p.HeaderLoad(0)
+					if p.HeaderCAS(0, v, v+1) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.HeaderLoad(0); got != threads*iters {
+		t.Fatalf("header = %d, want %d", got, threads*iters)
+	}
+}
+
+// Property: in Strict mode, the persisted image of a word is always either
+// its initial value or some value that was stored and then flushed+fenced —
+// never an unflushed value.
+func TestQuickPersistOrdering(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		p := newStrict(t, 8*8, 1)
+		r := p.Region(0)
+		fenced := make(map[uint64]uint64) // last fenced value per word
+		pending := make(map[uint64]bool)  // lines flushed since last fence
+		current := make(map[uint64]uint64)
+		for _, op := range ops {
+			addr := uint64(op) % 64
+			switch op % 3 {
+			case 0:
+				v := uint64(op) + 1
+				r.Store(addr, v)
+				current[addr] = v
+			case 1:
+				r.PWB(addr)
+				pending[addr/WordsPerLine] = true
+			case 2:
+				r.PFence()
+				for line := range pending {
+					for w := line * WordsPerLine; w < (line+1)*WordsPerLine; w++ {
+						fenced[w] = current[w]
+					}
+				}
+				pending = make(map[uint64]bool)
+			}
+		}
+		p.Crash(CrashConservative, nil)
+		for w := uint64(0); w < 64; w++ {
+			if r.Load(w) != fenced[w] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistedLoadDirectModeFallsBack(t *testing.T) {
+	p := New(Config{Mode: Direct, RegionWords: 8, Regions: 1})
+	p.Region(0).Store(1, 42)
+	if got := p.Region(0).PersistedLoad(1); got != 42 {
+		t.Fatalf("PersistedLoad in Direct mode = %d, want 42", got)
+	}
+	p.HeaderStore(0, 9)
+	if got := p.PersistedHeader(0); got != 9 {
+		t.Fatalf("PersistedHeader in Direct mode = %d, want 9", got)
+	}
+}

@@ -1,0 +1,63 @@
+package pmem
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Stats holds the persistence-instruction counters of a Pool. All fields are
+// updated atomically and may be read concurrently through snapshot.
+type Stats struct {
+	pwbs        atomic.Uint64
+	pfences     atomic.Uint64
+	psyncs      atomic.Uint64
+	ntstores    atomic.Uint64
+	wordsCopied atomic.Uint64
+}
+
+// StatsSnapshot is an immutable copy of a Pool's counters.
+type StatsSnapshot struct {
+	PWBs        uint64 // persistence write-backs (CLWB)
+	PFences     uint64 // persistence fences (SFENCE)
+	PSyncs      uint64 // persistence synchronizations (SFENCE at commit)
+	NTStores    uint64 // non-temporal line stores (MOVNTQ)
+	WordsCopied uint64 // words moved by replica copies
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		PWBs:        s.pwbs.Load(),
+		PFences:     s.pfences.Load(),
+		PSyncs:      s.psyncs.Load(),
+		NTStores:    s.ntstores.Load(),
+		WordsCopied: s.wordsCopied.Load(),
+	}
+}
+
+func (s *Stats) reset() {
+	s.pwbs.Store(0)
+	s.pfences.Store(0)
+	s.psyncs.Store(0)
+	s.ntstores.Store(0)
+	s.wordsCopied.Store(0)
+}
+
+// Fences reports the total number of ordering instructions issued.
+func (s StatsSnapshot) Fences() uint64 { return s.PFences + s.PSyncs }
+
+// Sub returns the element-wise difference s - o, for measuring an interval.
+func (s StatsSnapshot) Sub(o StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		PWBs:        s.PWBs - o.PWBs,
+		PFences:     s.PFences - o.PFences,
+		PSyncs:      s.PSyncs - o.PSyncs,
+		NTStores:    s.NTStores - o.NTStores,
+		WordsCopied: s.WordsCopied - o.WordsCopied,
+	}
+}
+
+// String renders the snapshot as a compact single line.
+func (s StatsSnapshot) String() string {
+	return fmt.Sprintf("pwbs=%d pfences=%d psyncs=%d ntstores=%d copied=%dw",
+		s.PWBs, s.PFences, s.PSyncs, s.NTStores, s.WordsCopied)
+}

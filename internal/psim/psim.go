@@ -1,0 +1,245 @@
+// Package psim implements a P-Sim-style copy-on-write persistent universal
+// construction (Fatourou & Kallimanis's highly-efficient wait-free universal
+// construction, adapted to persistence). The paper's §1 splits wait-free
+// universal constructions into two families — copy-on-write and
+// queue-of-operations — and argues that CoW "is inefficient for large
+// objects when converted to a persistent universal construction (PUC), due
+// to the high number of pwb operations that must be executed for each cache
+// line of the new object". This package makes that claim measurable.
+//
+// The construction: operations are announced in per-thread slots; the winner
+// of a sequence CAS becomes the combiner (Herlihy's combining consensus, the
+// same mechanism Redo-PTM builds on), copies the entire current object into
+// the inactive area, applies every announced operation to the copy, flushes
+// the *whole* copy, fences, and publishes the new area with a persisted
+// header — two fences per combined batch, but O(object size) pwbs per
+// transition, which is exactly the cost CX-PUC avoids by keeping per-replica
+// cursors and Redo-PTM avoids with physical logs.
+//
+// Like CX-PUC it needs no store interposition and accepts closures.
+package psim
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/palloc"
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+)
+
+// Header slot: area<<1 | valid. The named area is the current, fully
+// durable object.
+const headerSlot = 0
+
+// desc is an announced operation.
+type desc struct {
+	fn       func(ptm.Mem) uint64
+	readOnly bool
+	result   atomic.Uint64
+	applied  atomic.Bool
+}
+
+// PSim is the engine. The pool must have exactly 2 regions (the alternating
+// object areas).
+type PSim struct {
+	cfg  Config
+	pool *pmem.Pool
+	area [2]*pmem.Region
+	cur  atomic.Int32  // current area (volatile mirror of the header)
+	seq  atomic.Uint64 // even = quiescent, odd = combining
+	reqs []atomic.Pointer[desc]
+}
+
+// Config parameterizes the engine.
+type Config struct {
+	Threads int
+	Profile *ptm.Profile
+}
+
+// New creates (or recovers) a PSim instance over pool.
+func New(pool *pmem.Pool, cfg Config) *PSim {
+	if cfg.Threads <= 0 {
+		panic("psim: Threads must be positive")
+	}
+	if pool.Regions() != 2 {
+		panic("psim: pool must have exactly 2 regions")
+	}
+	p := &PSim{
+		cfg:  cfg,
+		pool: pool,
+		reqs: make([]atomic.Pointer[desc], cfg.Threads),
+	}
+	p.area[0], p.area[1] = pool.Region(0), pool.Region(1)
+	hdr := pool.PersistedHeader(headerSlot)
+	if hdr&1 != 0 {
+		// Null recovery: the header names a fully durable area.
+		p.cur.Store(int32(hdr >> 1 & 1))
+		pool.HeaderStore(headerSlot, hdr)
+	} else {
+		palloc.Format(rawMem{p.area[0]}, pool.RegionWords())
+		p.area[0].FlushRange(0, palloc.HeapStart())
+		p.area[0].PFence()
+		pool.HeaderStore(headerSlot, 0<<1|1)
+		pool.PWBHeader(headerSlot)
+		pool.PSync()
+	}
+	return p
+}
+
+// MaxThreads implements ptm.PTM.
+func (p *PSim) MaxThreads() int { return p.cfg.Threads }
+
+// Name implements ptm.PTM.
+func (p *PSim) Name() string { return "PSim-CoW" }
+
+// Properties implements ptm.PTM: wait-free, two fences, but the log column
+// is "none" — the whole object is the write-set.
+func (p *PSim) Properties() ptm.Properties {
+	return ptm.Properties{
+		Log:         ptm.NoLog,
+		Progress:    ptm.WaitFree,
+		FencesPerTx: "2",
+		Replicas:    "2",
+	}
+}
+
+// Update implements ptm.PTM via the combining consensus.
+func (p *PSim) Update(tid int, fn func(ptm.Mem) uint64) uint64 {
+	txStart := now(p.cfg.Profile)
+	d := &desc{fn: fn}
+	p.reqs[tid].Store(d)
+	for {
+		if d.applied.Load() {
+			p.cfg.Profile.AddTx(since(p.cfg.Profile, txStart))
+			return d.result.Load()
+		}
+		s := p.seq.Load()
+		if s%2 == 1 {
+			runtime.Gosched()
+			continue
+		}
+		if !p.seq.CompareAndSwap(s, s+1) {
+			continue
+		}
+		p.combine()
+		p.seq.Store(s + 2)
+		p.cfg.Profile.AddTx(since(p.cfg.Profile, txStart))
+		return d.result.Load()
+	}
+}
+
+// combine is the CoW transition: if the announced batch mutates, copy the
+// object, apply the batch, flush everything, publish; a read-only batch
+// runs directly on the stable current area.
+func (p *PSim) combine() {
+	from := int(p.cur.Load())
+	src := p.area[from]
+	hasWrite := false
+	for t := 0; t < p.cfg.Threads; t++ {
+		if d := p.reqs[t].Load(); d != nil && !d.applied.Load() && !d.readOnly {
+			hasWrite = true
+			break
+		}
+	}
+	var dst *pmem.Region
+	if hasWrite {
+		dst = p.area[1-from]
+		copyStart := now(p.cfg.Profile)
+		used := palloc.UsedWords(rawMem{src})
+		dst.CopyFrom(src, used)
+		p.cfg.Profile.AddCopy(since(p.cfg.Profile, copyStart))
+	}
+	lambdaStart := now(p.cfg.Profile)
+	for t := 0; t < p.cfg.Threads; t++ {
+		d := p.reqs[t].Load()
+		if d == nil || d.applied.Load() {
+			continue
+		}
+		if d.readOnly {
+			// Reads see the pre-batch state on the stable source
+			// area (they linearize at the start of the round).
+			d.result.Store(d.fn(roMem{src}))
+		} else {
+			d.result.Store(d.fn(rawMem{dst}))
+		}
+		d.applied.Store(true)
+	}
+	p.cfg.Profile.AddLambda(since(p.cfg.Profile, lambdaStart))
+	if !hasWrite {
+		return
+	}
+	// Flush the entire new object — the CoW cost the paper calls out.
+	flushStart := now(p.cfg.Profile)
+	used := palloc.UsedWords(rawMem{dst})
+	dst.FlushRange(0, used)
+	dst.PFence()
+	p.pool.HeaderStore(headerSlot, uint64(1-from)<<1|1)
+	p.pool.PWBHeader(headerSlot)
+	p.pool.PSync()
+	p.cfg.Profile.AddFlush(since(p.cfg.Profile, flushStart))
+	p.cur.Store(int32(1 - from))
+}
+
+// Read implements ptm.PTM: reads are announced and executed by a combiner
+// on the stable area. Only combiners touch the areas, so no reader can race
+// with an area being rewritten.
+func (p *PSim) Read(tid int, fn func(ptm.Mem) uint64) uint64 {
+	d := &desc{fn: fn, readOnly: true}
+	p.reqs[tid].Store(d)
+	for {
+		if d.applied.Load() {
+			return d.result.Load()
+		}
+		s := p.seq.Load()
+		if s%2 == 1 {
+			runtime.Gosched()
+			continue
+		}
+		if p.seq.CompareAndSwap(s, s+1) {
+			p.combine()
+			p.seq.Store(s + 2)
+		}
+	}
+}
+
+// rawMem is the direct, uninterposed view (CoW needs no tracking).
+type rawMem struct {
+	region *pmem.Region
+}
+
+func (m rawMem) Load(addr uint64) uint64   { return m.region.Load(addr) }
+func (m rawMem) Store(addr, val uint64)    { m.region.Store(addr, val) }
+func (m rawMem) Alloc(words uint64) uint64 { return palloc.Alloc(m, words) }
+func (m rawMem) Free(addr uint64)          { palloc.Free(m, addr) }
+
+// roMem rejects mutation inside read-only transactions.
+type roMem struct {
+	region *pmem.Region
+}
+
+func (m roMem) Load(addr uint64) uint64 { return m.region.Load(addr) }
+func (m roMem) Store(addr, val uint64) {
+	panic("psim: Store inside a read-only transaction")
+}
+func (m roMem) Alloc(words uint64) uint64 {
+	panic("psim: Alloc inside a read-only transaction")
+}
+func (m roMem) Free(addr uint64) {
+	panic("psim: Free inside a read-only transaction")
+}
+
+func now(p *ptm.Profile) time.Time {
+	if p == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func since(p *ptm.Profile, t time.Time) time.Duration {
+	if p == nil {
+		return 0
+	}
+	return time.Since(t)
+}

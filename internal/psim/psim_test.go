@@ -1,0 +1,230 @@
+package psim
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+	"repro/internal/seqds"
+)
+
+func newP(t testing.TB, threads int, mode pmem.Mode) (*PSim, *pmem.Pool) {
+	t.Helper()
+	pool := pmem.New(pmem.Config{Mode: mode, RegionWords: 1 << 15, Regions: 2})
+	return New(pool, Config{Threads: threads}), pool
+}
+
+func TestNameAndProperties(t *testing.T) {
+	p, _ := newP(t, 2, pmem.Direct)
+	if p.Name() != "PSim-CoW" {
+		t.Errorf("Name() = %q", p.Name())
+	}
+	pr := p.Properties()
+	if pr.Progress != ptm.WaitFree || pr.FencesPerTx != "2" || pr.Replicas != "2" {
+		t.Errorf("Properties() = %+v", pr)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	p, _ := newP(t, 1, pmem.Direct)
+	addr := ptm.RootAddr(0)
+	for i := 0; i < 100; i++ {
+		p.Update(0, func(m ptm.Mem) uint64 {
+			v := m.Load(addr) + 1
+			m.Store(addr, v)
+			return v
+		})
+	}
+	if got := p.Read(0, func(m ptm.Mem) uint64 { return m.Load(addr) }); got != 100 {
+		t.Fatalf("counter = %d, want 100", got)
+	}
+}
+
+func TestSetAgainstModel(t *testing.T) {
+	p, _ := newP(t, 1, pmem.Direct)
+	s := seqds.ListSet{RootSlot: 0}
+	p.Update(0, func(m ptm.Mem) uint64 { s.Init(m); return 0 })
+	model := make(map[uint64]bool)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 600; i++ {
+		k := uint64(rng.Intn(100))
+		switch rng.Intn(3) {
+		case 0:
+			p.Update(0, func(m ptm.Mem) uint64 {
+				s.Add(m, k)
+				return 0
+			})
+			model[k] = true
+		case 1:
+			p.Update(0, func(m ptm.Mem) uint64 {
+				s.Remove(m, k)
+				return 0
+			})
+			delete(model, k)
+		default:
+			got := p.Read(0, func(m ptm.Mem) uint64 {
+				if s.Contains(m, k) {
+					return 1
+				}
+				return 0
+			})
+			if (got == 1) != model[k] {
+				t.Fatalf("Contains(%d) = %d, model %v", k, got, model[k])
+			}
+		}
+	}
+}
+
+func TestConcurrentCounterExactlyOnce(t *testing.T) {
+	const threads, per = 6, 200
+	p, _ := newP(t, threads, pmem.Direct)
+	addr := ptm.RootAddr(0)
+	var wg sync.WaitGroup
+	seen := make([]map[uint64]bool, threads)
+	for tid := 0; tid < threads; tid++ {
+		seen[tid] = make(map[uint64]bool)
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r := p.Update(tid, func(m ptm.Mem) uint64 {
+					v := m.Load(addr) + 1
+					m.Store(addr, v)
+					return v
+				})
+				seen[tid][r] = true
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if got := p.Read(0, func(m ptm.Mem) uint64 { return m.Load(addr) }); got != threads*per {
+		t.Fatalf("counter = %d, want %d", got, threads*per)
+	}
+	all := make(map[uint64]bool)
+	for _, s := range seen {
+		for r := range s {
+			if all[r] {
+				t.Fatalf("result %d duplicated", r)
+			}
+			all[r] = true
+		}
+	}
+}
+
+func TestTwoFencesPerUpdateSingleThread(t *testing.T) {
+	p, pool := newP(t, 1, pmem.Direct)
+	addr := ptm.RootAddr(0)
+	p.Update(0, func(m ptm.Mem) uint64 { m.Store(addr, 1); return 0 })
+	before := pool.Stats()
+	const n = 30
+	for i := 0; i < n; i++ {
+		p.Update(0, func(m ptm.Mem) uint64 {
+			m.Store(addr, m.Load(addr)+1)
+			return 0
+		})
+	}
+	d := pool.Stats().Sub(before)
+	if d.Fences() != 2*n {
+		t.Fatalf("fences = %d, want %d", d.Fences(), 2*n)
+	}
+	// The CoW signature: pwbs per tx scale with the object, far above
+	// the two words actually modified.
+	if d.PWBs/n < 5 {
+		t.Fatalf("pwbs/tx = %d — too low for whole-object CoW flushing", d.PWBs/n)
+	}
+}
+
+func TestReadOnlyBatchDoesNotCopyOrFlush(t *testing.T) {
+	p, pool := newP(t, 1, pmem.Direct)
+	addr := ptm.RootAddr(0)
+	p.Update(0, func(m ptm.Mem) uint64 { m.Store(addr, 9); return 0 })
+	before := pool.Stats()
+	for i := 0; i < 10; i++ {
+		if got := p.Read(0, func(m ptm.Mem) uint64 { return m.Load(addr) }); got != 9 {
+			t.Fatalf("Read = %d", got)
+		}
+	}
+	if d := pool.Stats().Sub(before); d.PWBs != 0 || d.Fences() != 0 || d.WordsCopied != 0 {
+		t.Fatalf("read-only rounds did persistence work: %+v", d)
+	}
+}
+
+func runAddsUntilCrash(t *testing.T, pool *pmem.Pool, n int, failPoint int64) (completed int, crashed bool) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			if r != pmem.ErrSimulatedPowerFailure {
+				panic(r)
+			}
+			crashed = true
+		}
+		pool.InjectFailure(-1)
+	}()
+	p := New(pool, Config{Threads: 1})
+	s := seqds.ListSet{RootSlot: 0}
+	p.Update(0, func(m ptm.Mem) uint64 { s.Init(m); return 0 })
+	pool.InjectFailure(failPoint)
+	for k := 0; k < n; k++ {
+		p.Update(0, func(m ptm.Mem) uint64 {
+			s.Add(m, uint64(k)+1)
+			return 0
+		})
+		completed++
+	}
+	return completed, false
+}
+
+func TestSystematicCrashPoints(t *testing.T) {
+	const n = 15
+	for fail := int64(1); ; fail += 29 {
+		pool := pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 13, Regions: 2})
+		completed, crashed := runAddsUntilCrash(t, pool, n, fail)
+		if !crashed {
+			if completed != n {
+				t.Fatalf("no crash but %d/%d completed", completed, n)
+			}
+			break
+		}
+		pool.Crash(pmem.CrashConservative, nil)
+		p := New(pool, Config{Threads: 1})
+		s := seqds.ListSet{RootSlot: 0}
+		var keys []uint64
+		p.Read(0, func(m ptm.Mem) uint64 {
+			keys = s.Keys(m)
+			return 0
+		})
+		if len(keys) < completed || len(keys) > n {
+			t.Fatalf("fail=%d: recovered %d keys, completed %d", fail, len(keys), completed)
+		}
+		for i, k := range keys {
+			if k != uint64(i)+1 {
+				t.Fatalf("fail=%d: not a prefix at %d", fail, i)
+			}
+		}
+	}
+}
+
+func TestAdversarialCrashPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const n = 12
+	for fail := int64(1); ; fail += 37 {
+		pool := pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 13, Regions: 2})
+		completed, crashed := runAddsUntilCrash(t, pool, n, fail)
+		if !crashed {
+			break
+		}
+		pool.Crash(pmem.CrashAdversarial, rng)
+		p := New(pool, Config{Threads: 1})
+		s := seqds.ListSet{RootSlot: 0}
+		var keys []uint64
+		p.Read(0, func(m ptm.Mem) uint64 {
+			keys = s.Keys(m)
+			return 0
+		})
+		if len(keys) < completed {
+			t.Fatalf("fail=%d: recovered %d keys, completed %d", fail, len(keys), completed)
+		}
+	}
+}

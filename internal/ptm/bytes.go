@@ -1,0 +1,94 @@
+package ptm
+
+// Byte-string helpers. Persistent memory is word-granular in this model, so
+// variable-length byte strings (keys and values in RedoDB) are packed into
+// words: word 0 holds the length in bytes, followed by ceil(len/8) words of
+// payload, little-endian within each word.
+
+// BytesWords returns the number of words needed to store a byte string of n
+// bytes with StoreBytes, including the length word.
+func BytesWords(n int) uint64 {
+	return 1 + (uint64(n)+7)/8
+}
+
+// StoreBytes writes b at addr through m. The caller must have allocated at
+// least BytesWords(len(b)) words at addr.
+func StoreBytes(m Mem, addr uint64, b []byte) {
+	m.Store(addr, uint64(len(b)))
+	w := addr + 1
+	for i := 0; i < len(b); i += 8 {
+		var v uint64
+		for j := 0; j < 8 && i+j < len(b); j++ {
+			v |= uint64(b[i+j]) << (8 * j)
+		}
+		m.Store(w, v)
+		w++
+	}
+}
+
+// LoadBytes reads a byte string previously written by StoreBytes at addr.
+func LoadBytes(m Mem, addr uint64) []byte {
+	n := m.Load(addr)
+	b := make([]byte, n)
+	w := addr + 1
+	for i := uint64(0); i < n; i += 8 {
+		v := m.Load(w)
+		for j := uint64(0); j < 8 && i+j < n; j++ {
+			b[i+j] = byte(v >> (8 * j))
+		}
+		w++
+	}
+	return b
+}
+
+// AllocBytes allocates space for b, writes it, and returns its address (or 0
+// if the heap is exhausted).
+func AllocBytes(m Mem, b []byte) uint64 {
+	addr := m.Alloc(BytesWords(len(b)))
+	if addr == 0 {
+		return 0
+	}
+	StoreBytes(m, addr, b)
+	return addr
+}
+
+// BytesEmitter is the optional byte-result channel a Mem may provide:
+// transactions whose result is a byte string (e.g. a key-value Get) emit it
+// through the Mem rather than writing a captured variable, because the
+// closure may be executed by a helper thread under the combining consensus —
+// a captured variable would race, the emitter routes the bytes through an
+// executor-indexed outbox with proper happens-before edges.
+type BytesEmitter interface {
+	EmitBytes(b []byte)
+}
+
+// EmitBytes sends b through m's byte-result channel. It panics if m does not
+// support one — emitting bytes from a PTM without helper-safe plumbing is a
+// correctness bug, not a soft failure.
+func EmitBytes(m Mem, b []byte) {
+	e, ok := m.(BytesEmitter)
+	if !ok {
+		panic("ptm: Mem does not support EmitBytes")
+	}
+	e.EmitBytes(b)
+}
+
+// BytesEqual reports whether the byte string at addr equals b, without
+// materializing it.
+func BytesEqual(m Mem, addr uint64, b []byte) bool {
+	if m.Load(addr) != uint64(len(b)) {
+		return false
+	}
+	w := addr + 1
+	for i := 0; i < len(b); i += 8 {
+		var v uint64
+		for j := 0; j < 8 && i+j < len(b); j++ {
+			v |= uint64(b[i+j]) << (8 * j)
+		}
+		if m.Load(w) != v {
+			return false
+		}
+		w++
+	}
+	return true
+}

@@ -1,0 +1,40 @@
+package ptm
+
+import "repro/internal/palloc"
+
+// FlatMem is a plain, non-transactional, non-persistent Mem over a word
+// array. It is the "run the sequential implementation directly" baseline:
+// tests validate data structures against it, and the constructions' results
+// are cross-checked against it.
+type FlatMem struct {
+	words   []uint64
+	emitted []byte
+}
+
+// NewFlatMem creates a FlatMem with the given capacity and a formatted heap.
+func NewFlatMem(words uint64) *FlatMem {
+	m := &FlatMem{words: make([]uint64, words)}
+	palloc.Format(m, words)
+	return m
+}
+
+// Load implements Mem.
+func (m *FlatMem) Load(addr uint64) uint64 { return m.words[addr] }
+
+// Store implements Mem.
+func (m *FlatMem) Store(addr, val uint64) { m.words[addr] = val }
+
+// Alloc implements Mem.
+func (m *FlatMem) Alloc(words uint64) uint64 { return palloc.Alloc(m, words) }
+
+// Free implements Mem.
+func (m *FlatMem) Free(addr uint64) { palloc.Free(m, addr) }
+
+// InUseWords reports the allocator's in-use word count.
+func (m *FlatMem) InUseWords() uint64 { return palloc.InUseWords(m) }
+
+// EmitBytes implements BytesEmitter trivially (no helpers exist).
+func (m *FlatMem) EmitBytes(b []byte) { m.emitted = b }
+
+// Emitted returns the byte string from the last EmitBytes call.
+func (m *FlatMem) Emitted() []byte { return m.emitted }

@@ -1,0 +1,101 @@
+package ptm
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Profile accumulates the per-phase time breakdown of update transactions
+// that Table 1 of the paper reports: applying logs, flushing to PM, copying
+// replicas, running the user's closure (lambda), and back-off sleeping.
+// A nil *Profile disables instrumentation at negligible cost.
+type Profile struct {
+	apply  atomic.Int64
+	flush  atomic.Int64
+	copy   atomic.Int64
+	lambda atomic.Int64
+	sleep  atomic.Int64
+	total  atomic.Int64
+	txs    atomic.Int64
+}
+
+// AddApply records d spent applying a physical or logical log.
+func (p *Profile) AddApply(d time.Duration) {
+	if p != nil {
+		p.apply.Add(int64(d))
+	}
+}
+
+// AddFlush records d spent issuing pwbs and fences.
+func (p *Profile) AddFlush(d time.Duration) {
+	if p != nil {
+		p.flush.Add(int64(d))
+	}
+}
+
+// AddCopy records d spent copying a replica.
+func (p *Profile) AddCopy(d time.Duration) {
+	if p != nil {
+		p.copy.Add(int64(d))
+	}
+}
+
+// AddLambda records d spent executing user closures.
+func (p *Profile) AddLambda(d time.Duration) {
+	if p != nil {
+		p.lambda.Add(int64(d))
+	}
+}
+
+// AddSleep records d spent backing off / waiting for helpers.
+func (p *Profile) AddSleep(d time.Duration) {
+	if p != nil {
+		p.sleep.Add(int64(d))
+	}
+}
+
+// AddTx records one completed update transaction of total duration d.
+func (p *Profile) AddTx(d time.Duration) {
+	if p != nil {
+		p.total.Add(int64(d))
+		p.txs.Add(1)
+	}
+}
+
+// ProfileSnapshot is an immutable view of a Profile.
+type ProfileSnapshot struct {
+	Apply, Flush, Copy, Lambda, Sleep, Total time.Duration
+	Txs                                      int64
+}
+
+// Snapshot returns the current totals.
+func (p *Profile) Snapshot() ProfileSnapshot {
+	if p == nil {
+		return ProfileSnapshot{}
+	}
+	return ProfileSnapshot{
+		Apply:  time.Duration(p.apply.Load()),
+		Flush:  time.Duration(p.flush.Load()),
+		Copy:   time.Duration(p.copy.Load()),
+		Lambda: time.Duration(p.lambda.Load()),
+		Sleep:  time.Duration(p.sleep.Load()),
+		Total:  time.Duration(p.total.Load()),
+		Txs:    p.txs.Load(),
+	}
+}
+
+// MeanTx returns the mean update-transaction latency.
+func (s ProfileSnapshot) MeanTx() time.Duration {
+	if s.Txs == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Txs)
+}
+
+// Percent returns d as a percentage of the total transaction time.
+func (s ProfileSnapshot) Percent(d time.Duration) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return 100 * float64(d) / float64(s.Total)
+}

@@ -1,0 +1,111 @@
+// Package ptm defines the common surface shared by every persistent
+// transactional memory (PTM) and persistent universal construction (PUC) in
+// this repository: the transactional memory interface that sequential data
+// structures are written against, the PTM interface the benchmark harness
+// drives, and the persistent region layout (root slots + allocator heap).
+//
+// A transaction body is an ordinary Go closure over a Mem. Exactly as in the
+// paper, the closure may be executed more than once (by the owner after a
+// consensus retry, or by a helper thread), so it must be deterministic: given
+// the same persistent state it must perform the same loads, stores and
+// allocations and return the same value. Closures must not touch volatile
+// shared state.
+package ptm
+
+// Mem is the transactional view of persistent memory inside a transaction.
+// Addresses are word offsets within the (logical) persistent region; address
+// 0 is nil. All bookkeeping — store interposition for flushing or physical
+// logging, pointer-offset adjustment across replicas — happens behind this
+// interface, which is why the same sequential data structure code runs
+// unchanged under every construction.
+type Mem interface {
+	// Load reads the 64-bit word at addr.
+	Load(addr uint64) uint64
+	// Store writes the 64-bit word at addr.
+	Store(addr uint64, val uint64)
+	// Alloc allocates a block of at least words 64-bit words from the
+	// persistent heap and returns its address, or 0 if the heap is
+	// exhausted.
+	Alloc(words uint64) uint64
+	// Free returns a block previously obtained from Alloc to the heap.
+	Free(addr uint64)
+}
+
+// PTM is a persistent transactional memory: it executes closures over
+// persistent memory with ACID semantics and durable linearizability.
+// Implementations differ in progress guarantees, logging strategy and number
+// of replicas — see Properties.
+//
+// Thread ids identify the calling goroutine and must be in
+// [0, MaxThreads()); each id must be used by at most one goroutine at a
+// time. The id doubles as the consensus slot, exactly as in the paper's
+// algorithms.
+type PTM interface {
+	// Update runs fn as a durable linearizable update transaction and
+	// returns its result. fn may be executed multiple times and by other
+	// threads; it must be deterministic.
+	Update(tid int, fn func(Mem) uint64) uint64
+	// Read runs fn as a read-only transaction and returns its result.
+	// fn must not call Store, Alloc or Free.
+	Read(tid int, fn func(Mem) uint64) uint64
+	// MaxThreads reports the number of usable thread ids.
+	MaxThreads() int
+	// Name returns the construction's short name (e.g. "RedoOpt-PTM").
+	Name() string
+	// Properties describes the construction, mirroring the comparison
+	// table in §2 of the paper.
+	Properties() Properties
+}
+
+// Progress is a progress guarantee.
+type Progress string
+
+// Progress guarantees, strongest first.
+const (
+	WaitFree Progress = "wait-free"
+	LockFree Progress = "lock-free"
+	Blocking Progress = "blocking"
+)
+
+// LogKind describes where and what a construction logs.
+type LogKind string
+
+// Log kinds: persistent vs volatile placement, logical (operations) vs
+// physical (addresses and values) content.
+const (
+	PersistentPhysical LogKind = "p-physical"
+	PersistentLogical  LogKind = "p-logical"
+	VolatileLogical    LogKind = "v-logical"
+	VolatilePhysical   LogKind = "v-physical"
+	NoLog              LogKind = "none"
+)
+
+// Properties mirrors one row of the PTM comparison table in §2.
+type Properties struct {
+	Log         LogKind
+	Progress    Progress
+	FencesPerTx string // e.g. "2" or "2+2R"
+	Replicas    string // e.g. "2N", "N+1", "1"
+}
+
+// Region layout. Every replica region has the same layout, and all
+// "pointers" stored inside it are region-relative word offsets, so a replica
+// is valid after a plain byte copy — the Go equivalent of the paper's
+// "all pointers reference the MAIN region".
+const (
+	// NumRoots is the number of persistent root slots available to
+	// applications (RootAddr(0..NumRoots-1)).
+	NumRoots = 8
+	// HeapBase is the word offset where the allocator's heap (including
+	// its metadata) begins. It is line-aligned.
+	HeapBase = 16
+)
+
+// RootAddr returns the word address of persistent root slot i. Roots live
+// inside the region, so they are versioned and replicated with the data.
+func RootAddr(i int) uint64 {
+	if i < 0 || i >= NumRoots {
+		panic("ptm: root index out of range")
+	}
+	return uint64(1 + i)
+}

@@ -1,0 +1,175 @@
+package ptm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRootAddr(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < NumRoots; i++ {
+		a := RootAddr(i)
+		if a == 0 {
+			t.Fatalf("RootAddr(%d) = 0 (nil address)", i)
+		}
+		if a >= HeapBase {
+			t.Fatalf("RootAddr(%d) = %d overlaps the heap", i, a)
+		}
+		if seen[a] {
+			t.Fatalf("RootAddr(%d) duplicates another slot", i)
+		}
+		seen[a] = true
+	}
+	for _, bad := range []int{-1, NumRoots} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RootAddr(%d) did not panic", bad)
+				}
+			}()
+			RootAddr(bad)
+		}()
+	}
+}
+
+func TestBytesWords(t *testing.T) {
+	cases := map[int]uint64{0: 1, 1: 2, 7: 2, 8: 2, 9: 3, 16: 3, 100: 14}
+	for n, want := range cases {
+		if got := BytesWords(n); got != want {
+			t.Errorf("BytesWords(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestStoreLoadBytesRoundTrip(t *testing.T) {
+	m := NewFlatMem(1 << 12)
+	for _, b := range [][]byte{
+		nil,
+		{},
+		{0},
+		{1, 2, 3},
+		[]byte("exactly8"),
+		[]byte("nine byte"),
+		bytes.Repeat([]byte{0xff}, 100),
+	} {
+		addr := m.Alloc(BytesWords(len(b)))
+		StoreBytes(m, addr, b)
+		got := LoadBytes(m, addr)
+		if !bytes.Equal(got, b) {
+			t.Errorf("round trip of %q gave %q", b, got)
+		}
+		if !BytesEqual(m, addr, b) {
+			t.Errorf("BytesEqual(%q) = false", b)
+		}
+	}
+}
+
+func TestBytesEqualNegative(t *testing.T) {
+	m := NewFlatMem(1 << 12)
+	addr := AllocBytes(m, []byte("hello"))
+	for _, other := range [][]byte{
+		[]byte("hellp"),
+		[]byte("hell"),
+		[]byte("hello!"),
+		{},
+	} {
+		if BytesEqual(m, addr, other) {
+			t.Errorf("BytesEqual(%q vs hello) = true", other)
+		}
+	}
+}
+
+func TestQuickBytesRoundTrip(t *testing.T) {
+	m := NewFlatMem(1 << 16)
+	f := func(b []byte) bool {
+		if len(b) > 1000 {
+			b = b[:1000]
+		}
+		addr := AllocBytes(m, b)
+		if addr == 0 {
+			return true // heap full; not what we're testing
+		}
+		ok := bytes.Equal(LoadBytes(m, addr), b) && BytesEqual(m, addr, b)
+		m.Free(addr)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmitBytes(t *testing.T) {
+	m := NewFlatMem(1 << 10)
+	EmitBytes(m, []byte("payload"))
+	if string(m.Emitted()) != "payload" {
+		t.Fatalf("Emitted = %q", m.Emitted())
+	}
+}
+
+type noEmit struct{ Mem }
+
+func TestEmitBytesUnsupportedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("EmitBytes on non-emitter did not panic")
+		}
+	}()
+	EmitBytes(noEmit{NewFlatMem(64)}, nil)
+}
+
+func TestFlatMemAllocFree(t *testing.T) {
+	m := NewFlatMem(1 << 12)
+	a := m.Alloc(8)
+	if a == 0 {
+		t.Fatal("Alloc failed")
+	}
+	m.Store(a, 42)
+	if m.Load(a) != 42 {
+		t.Fatal("Load after Store failed")
+	}
+	before := m.InUseWords()
+	m.Free(a)
+	if m.InUseWords() >= before {
+		t.Fatal("Free did not reduce InUseWords")
+	}
+}
+
+func TestProfile(t *testing.T) {
+	var p Profile
+	p.AddApply(10 * time.Millisecond)
+	p.AddFlush(20 * time.Millisecond)
+	p.AddCopy(30 * time.Millisecond)
+	p.AddLambda(15 * time.Millisecond)
+	p.AddSleep(25 * time.Millisecond)
+	p.AddTx(100 * time.Millisecond)
+	p.AddTx(100 * time.Millisecond)
+	s := p.Snapshot()
+	if s.Txs != 2 {
+		t.Fatalf("Txs = %d", s.Txs)
+	}
+	if s.MeanTx() != 100*time.Millisecond {
+		t.Fatalf("MeanTx = %v", s.MeanTx())
+	}
+	if got := s.Percent(s.Flush); got != 10 {
+		t.Fatalf("Percent(flush) = %v, want 10", got)
+	}
+}
+
+func TestProfileNilIsNoOp(t *testing.T) {
+	var p *Profile
+	p.AddApply(time.Second) // must not panic
+	p.AddFlush(time.Second)
+	p.AddCopy(time.Second)
+	p.AddLambda(time.Second)
+	p.AddSleep(time.Second)
+	p.AddTx(time.Second)
+	s := p.Snapshot()
+	if s.Txs != 0 || s.Total != 0 {
+		t.Fatalf("nil profile snapshot = %+v", s)
+	}
+	if s.MeanTx() != 0 || s.Percent(time.Second) != 0 {
+		t.Fatal("nil profile derived values nonzero")
+	}
+}

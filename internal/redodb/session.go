@@ -1,0 +1,124 @@
+package redodb
+
+import "repro/internal/ptm"
+
+// Session is a per-thread handle to the database. All methods are durable
+// linearizable transactions with bounded wait-free progress.
+type Session struct {
+	db  *DB
+	tid int
+}
+
+// Put stores (key, value), overwriting any previous value.
+func (s *Session) Put(key, value []byte) {
+	k, v := append([]byte(nil), key...), append([]byte(nil), value...)
+	root := s.db.root
+	s.db.eng.Update(s.tid, func(m ptm.Mem) uint64 {
+		return putLocked(m, root, k, v)
+	})
+}
+
+// Get returns the value stored under key, or (nil, false) if absent.
+func (s *Session) Get(key []byte) ([]byte, bool) {
+	k := append([]byte(nil), key...)
+	root := s.db.root
+	found, val := s.db.eng.ReadWithBytes(s.tid, func(m ptm.Mem) uint64 {
+		node, _, _ := findNode(m, root, k, hashKey(k))
+		if node == 0 {
+			return 0
+		}
+		ptm.EmitBytes(m, ptm.LoadBytes(m, m.Load(node+ndVal)))
+		return 1
+	})
+	if found == 0 {
+		return nil, false
+	}
+	if val == nil {
+		val = []byte{}
+	}
+	return val, true
+}
+
+// Has reports whether key is present, without materializing the value.
+func (s *Session) Has(key []byte) bool {
+	k := append([]byte(nil), key...)
+	root := s.db.root
+	return s.db.eng.Read(s.tid, func(m ptm.Mem) uint64 {
+		node, _, _ := findNode(m, root, k, hashKey(k))
+		if node == 0 {
+			return 0
+		}
+		return 1
+	}) == 1
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Session) Delete(key []byte) bool {
+	k := append([]byte(nil), key...)
+	root := s.db.root
+	return s.db.eng.Update(s.tid, func(m ptm.Mem) uint64 {
+		return deleteLocked(m, root, k)
+	}) == 1
+}
+
+// Len returns the number of keys.
+func (s *Session) Len() uint64 {
+	root := s.db.root
+	return s.db.eng.Read(s.tid, func(m ptm.Mem) uint64 {
+		return m.Load(m.Load(root) + hdrCount)
+	})
+}
+
+// Write applies a batch of operations as one atomic durable transaction —
+// the LevelDB WriteBatch semantics, here with serializable isolation.
+func (s *Session) Write(b *WriteBatch) {
+	ops := b.clone()
+	root := s.db.root
+	s.db.eng.Update(s.tid, func(m ptm.Mem) uint64 {
+		for _, op := range ops {
+			if op.del {
+				deleteLocked(m, root, op.key)
+			} else {
+				putLocked(m, root, op.key, op.val)
+			}
+		}
+		return 0
+	})
+}
+
+// WriteBatch collects Put/Delete operations for atomic application.
+type WriteBatch struct {
+	ops []batchOp
+}
+
+type batchOp struct {
+	key, val []byte
+	del      bool
+}
+
+// Put queues an insertion/overwrite.
+func (b *WriteBatch) Put(key, value []byte) {
+	b.ops = append(b.ops, batchOp{
+		key: append([]byte(nil), key...),
+		val: append([]byte(nil), value...),
+	})
+}
+
+// Delete queues a deletion.
+func (b *WriteBatch) Delete(key []byte) {
+	b.ops = append(b.ops, batchOp{key: append([]byte(nil), key...), del: true})
+}
+
+// Len reports the number of queued operations.
+func (b *WriteBatch) Len() int { return len(b.ops) }
+
+// Clear empties the batch for reuse.
+func (b *WriteBatch) Clear() { b.ops = b.ops[:0] }
+
+// clone snapshots the operations; the transaction closure may be
+// re-executed by helpers, so it must not alias caller-mutable state.
+func (b *WriteBatch) clone() []batchOp {
+	out := make([]batchOp, len(b.ops))
+	copy(out, b.ops)
+	return out
+}

@@ -1,0 +1,193 @@
+package rockssim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+func newDB(t testing.TB, mode pmem.Mode, words uint64) (*DB, *pmem.Pool) {
+	t.Helper()
+	pool := pmem.New(pmem.Config{Mode: mode, RegionWords: words, Regions: 3})
+	return Open(pool, Options{Threads: 4}), pool
+}
+
+func TestPutGetDelete(t *testing.T) {
+	db, _ := newDB(t, pmem.Direct, 1<<16)
+	if _, ok := db.Get([]byte("x")); ok {
+		t.Fatal("Get on empty DB found a key")
+	}
+	db.Put([]byte("x"), []byte("1"))
+	db.Put([]byte("y"), []byte("2"))
+	if v, ok := db.Get([]byte("x")); !ok || string(v) != "1" {
+		t.Fatalf("Get(x) = %q,%v", v, ok)
+	}
+	db.Put([]byte("x"), []byte("11"))
+	if v, _ := db.Get([]byte("x")); string(v) != "11" {
+		t.Fatalf("overwrite failed: %q", v)
+	}
+	if !db.Delete([]byte("x")) || db.Delete([]byte("x")) {
+		t.Fatal("Delete semantics broken")
+	}
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", db.Len())
+	}
+}
+
+func TestAgainstModel(t *testing.T) {
+	db, _ := newDB(t, pmem.Direct, 1<<20)
+	model := make(map[string]string)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 3000; i++ {
+		k := fmt.Sprintf("k%03d", rng.Intn(300))
+		switch rng.Intn(3) {
+		case 0:
+			v := fmt.Sprintf("v%d", i)
+			db.Put([]byte(k), []byte(v))
+			model[k] = v
+		case 1:
+			got := db.Delete([]byte(k))
+			_, want := model[k]
+			if got != want {
+				t.Fatalf("Delete(%s) = %v, want %v", k, got, want)
+			}
+			delete(model, k)
+		case 2:
+			got, ok := db.Get([]byte(k))
+			want, wok := model[k]
+			if ok != wok || (ok && string(got) != want) {
+				t.Fatalf("Get(%s) = %q,%v want %q,%v", k, got, ok, want, wok)
+			}
+		}
+	}
+	if db.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", db.Len(), len(model))
+	}
+}
+
+func TestWALSyncIssuesFlushes(t *testing.T) {
+	db, pool := newDB(t, pmem.Direct, 1<<16)
+	before := pool.Stats()
+	db.Put([]byte("key-000000000000"), make([]byte, 100))
+	d := pool.Stats().Sub(before)
+	// Journal copy + WAL record, each flushed and fenced.
+	if d.PFences < 2 {
+		t.Fatalf("put issued %d fences, want >= 2 (journal + WAL)", d.PFences)
+	}
+	if d.PWBs < 4 {
+		t.Fatalf("put issued %d pwbs, want >= 4 (record spans lines ×2 copies)", d.PWBs)
+	}
+}
+
+func TestCheckpointAndRecovery(t *testing.T) {
+	pool := pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 10, Regions: 3})
+	db := Open(pool, Options{})
+	const n = 200 // small WAL forces a checkpoint partway through
+	for i := 0; i < n; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if db.Checkpoints() == 0 {
+		t.Fatal("no checkpoint occurred with a small WAL")
+	}
+	pool.Crash(pmem.CrashConservative, nil)
+	db2 := Open(pool, Options{})
+	if db2.Len() != n {
+		t.Fatalf("recovered %d keys, want %d", db2.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := db2.Get([]byte(fmt.Sprintf("k%04d", i)))
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %d lost: %q,%v", i, v, ok)
+		}
+	}
+}
+
+func TestSystematicCrashPoints(t *testing.T) {
+	const n = 25
+	for fail := int64(10); ; fail += 97 {
+		pool := pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 13, Regions: 3})
+		completed, crashed := 0, false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if r != pmem.ErrSimulatedPowerFailure {
+						panic(r)
+					}
+					crashed = true
+				}
+				pool.InjectFailure(-1)
+			}()
+			db := Open(pool, Options{})
+			pool.InjectFailure(fail)
+			for i := 0; i < n; i++ {
+				db.Put([]byte(fmt.Sprintf("k%02d", i)), []byte{byte(i)})
+				completed++
+			}
+		}()
+		if !crashed {
+			break
+		}
+		pool.Crash(pmem.CrashConservative, nil)
+		db := Open(pool, Options{})
+		for i := 0; i < completed; i++ {
+			v, ok := db.Get([]byte(fmt.Sprintf("k%02d", i)))
+			if !ok || v[0] != byte(i) {
+				t.Fatalf("fail=%d: completed Put %d lost", fail, i)
+			}
+		}
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	db, _ := newDB(t, pmem.Direct, 1<<16)
+	for _, k := range []string{"c", "a", "b"} {
+		db.Put([]byte(k), []byte("x"))
+	}
+	keys := db.Keys()
+	if len(keys) != 3 || string(keys[0]) != "a" || string(keys[2]) != "c" {
+		t.Fatalf("Keys = %q", keys)
+	}
+}
+
+func TestConcurrentReadersAndWriter(t *testing.T) {
+	db, _ := newDB(t, pmem.Direct, 1<<20)
+	db.Put([]byte("hot"), []byte("v0"))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				db.Put([]byte("hot"), []byte(fmt.Sprintf("v%d", i)))
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if v, ok := db.Get([]byte("hot")); !ok || v[0] != 'v' {
+					t.Errorf("bad read %q,%v", v, ok)
+					return
+				}
+			}
+		}()
+	}
+	go func() { wg.Wait() }()
+	// Let readers finish, then stop the writer.
+	for i := 0; i < 4; i++ {
+	}
+	close(stop)
+	wg.Wait()
+	if db.VolatileBytes() == 0 {
+		t.Fatal("VolatileBytes = 0")
+	}
+}

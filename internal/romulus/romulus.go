@@ -1,0 +1,278 @@
+// Package romulus implements RomulusLR (Correia, Felber, Ramalhete — SPAA
+// 2018), the two-replica persistent transactional memory that the paper
+// positions in its design space (Fig. 1) as efficient but blocking: update
+// transactions are serialized and blocking (starvation-free), read-only
+// transactions are wait-free through a left-right mechanism, and every
+// update issues four persistence fences — the cost the CX and Redo
+// constructions cut to two.
+//
+// The construction keeps two full replicas in NVMM and guarantees at least
+// one is always consistent:
+//
+//  1. The header records {MUTATING, fresh=old side} and is synced (fence 1).
+//  2. The transaction executes in place on the write side, with interposed
+//     stores flushing their lines; a fence orders them (fence 2).
+//  3. The header records {COPYING, fresh=write side} and is synced
+//     (fence 3) — the commit point.
+//  4. Readers are toggled over to the write side; once the old side drains,
+//     the recorded modifications are patched onto it and fenced (fence 4).
+//
+// Recovery copies the side the header names fresh onto the other — whole
+// ranges, no logs ("p - physical, 2+2R" in spirit, here per modified word).
+package romulus
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/palloc"
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+	"repro/internal/rwlock"
+)
+
+// Header slot: phase<<2 | freshIdx<<1 | valid.
+const headerSlot = 0
+
+const (
+	phaseIdle = iota
+	phaseMutating
+	phaseCopying
+)
+
+func packHdr(phase, fresh int) uint64 { return uint64(phase)<<2 | uint64(fresh)<<1 | 1 }
+func unpackHdr(v uint64) (phase, fresh int) {
+	return int(v >> 2), int(v>>1) & 1
+}
+
+// Romulus is the RomulusLR engine. The pool must have exactly 2 regions.
+type Romulus struct {
+	cfg  Config
+	pool *pmem.Pool
+	inst [2]*pmem.Region
+	ri   [2]*rwlock.StrongTryRWLock // read indicators (shared mode only)
+	lr   atomic.Int32               // which instance readers use
+	mu   sync.Mutex                 // serializes update transactions
+
+	// Write-set of the running transaction (owner-only).
+	wsAddrs []uint64
+	dirty   []uint64
+}
+
+// Config parameterizes the engine.
+type Config struct {
+	Threads int
+	Profile *ptm.Profile
+}
+
+// New creates (or recovers) a RomulusLR instance over pool.
+func New(pool *pmem.Pool, cfg Config) *Romulus {
+	if cfg.Threads <= 0 {
+		panic("romulus: Threads must be positive")
+	}
+	if pool.Regions() != 2 {
+		panic("romulus: pool must have exactly 2 regions")
+	}
+	r := &Romulus{cfg: cfg, pool: pool}
+	r.inst[0], r.inst[1] = pool.Region(0), pool.Region(1)
+	r.ri[0], r.ri[1] = rwlock.New(cfg.Threads), rwlock.New(cfg.Threads)
+	hdr := pool.PersistedHeader(headerSlot)
+	if hdr&1 != 0 {
+		r.recover(hdr)
+	} else {
+		palloc.Format(rawMem{r.inst[0]}, pool.RegionWords())
+		r.inst[0].FlushRange(0, palloc.HeapStart())
+		r.inst[0].PFence()
+		r.inst[1].CopyFrom(r.inst[0], palloc.HeapStart())
+		r.inst[1].FlushRange(0, palloc.HeapStart())
+		r.inst[1].PFence()
+		pool.HeaderStore(headerSlot, packHdr(phaseIdle, 0))
+		pool.PWBHeader(headerSlot)
+		pool.PSync()
+	}
+	return r
+}
+
+// recover restores the invariant that both replicas are consistent by
+// copying the fresh side over the other.
+func (r *Romulus) recover(hdr uint64) {
+	phase, fresh := unpackHdr(hdr)
+	if phase != phaseIdle {
+		src, dst := r.inst[fresh], r.inst[1-fresh]
+		used := palloc.UsedWords(rawMem{src})
+		dst.CopyFrom(src, used)
+		dst.FlushRange(0, used)
+		dst.PFence()
+	}
+	r.lr.Store(int32(fresh))
+	r.pool.HeaderStore(headerSlot, packHdr(phaseIdle, fresh))
+	r.pool.PWBHeader(headerSlot)
+	r.pool.PSync()
+}
+
+// MaxThreads implements ptm.PTM.
+func (r *Romulus) MaxThreads() int { return r.cfg.Threads }
+
+// Name implements ptm.PTM.
+func (r *Romulus) Name() string { return "RomulusLR" }
+
+// Properties implements ptm.PTM: blocking (starvation-free) updates,
+// wait-free reads, four fences per update, two replicas.
+func (r *Romulus) Properties() ptm.Properties {
+	return ptm.Properties{
+		Log:         ptm.NoLog,
+		Progress:    ptm.Blocking,
+		FencesPerTx: "4",
+		Replicas:    "2",
+	}
+}
+
+// Update implements ptm.PTM.
+func (r *Romulus) Update(tid int, fn func(ptm.Mem) uint64) uint64 {
+	txStart := now(r.cfg.Profile)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	readSide := int(r.lr.Load())
+	writeSide := 1 - readSide
+	w := r.inst[writeSide]
+	r.wsAddrs = r.wsAddrs[:0]
+	r.dirty = r.dirty[:0]
+	// 1. Announce the mutation; the read side stays fresh.
+	r.pool.HeaderStore(headerSlot, packHdr(phaseMutating, readSide))
+	r.pool.PWBHeader(headerSlot)
+	r.pool.PSync()
+	// 2. Run in place on the write side.
+	lambdaStart := now(r.cfg.Profile)
+	res := fn(txMem{r: r, region: w})
+	r.cfg.Profile.AddLambda(since(r.cfg.Profile, lambdaStart))
+	flushStart := now(r.cfg.Profile)
+	flushLines(w, r.dirty)
+	w.PFence()
+	// 3. Commit: the write side is now the fresh one.
+	r.pool.HeaderStore(headerSlot, packHdr(phaseCopying, writeSide))
+	r.pool.PWBHeader(headerSlot)
+	r.pool.PSync()
+	r.cfg.Profile.AddFlush(since(r.cfg.Profile, flushStart))
+	// 4. Move readers over and patch the old side.
+	r.lr.Store(int32(writeSide))
+	for r.ri[readSide].Readers() != 0 {
+		// Blocking, but starvation-free: readers drain in finite
+		// steps and new readers go to the write side.
+		runtime.Gosched()
+	}
+	copyStart := now(r.cfg.Profile)
+	old := r.inst[readSide]
+	for _, addr := range r.wsAddrs {
+		old.Store(addr, w.Load(addr))
+	}
+	flushLines(old, r.dirty)
+	old.PFence()
+	r.cfg.Profile.AddCopy(since(r.cfg.Profile, copyStart))
+	// Deferred durability of the IDLE marker: the next transaction's
+	// first psync covers it, and recovery from COPYING is idempotent.
+	r.pool.HeaderStore(headerSlot, packHdr(phaseIdle, writeSide))
+	r.pool.PWBHeader(headerSlot)
+	r.cfg.Profile.AddTx(since(r.cfg.Profile, txStart))
+	return res
+}
+
+// Read implements ptm.PTM: wait-free left-right reads.
+func (r *Romulus) Read(tid int, fn func(ptm.Mem) uint64) uint64 {
+	for {
+		side := int(r.lr.Load())
+		if !r.ri[side].SharedTryLock(tid) {
+			continue
+		}
+		if int(r.lr.Load()) != side {
+			r.ri[side].SharedUnlock(tid)
+			continue
+		}
+		res := fn(roMem{region: r.inst[side]})
+		r.ri[side].SharedUnlock(tid)
+		return res
+	}
+}
+
+// txMem interposes stores for the dual-replica patch.
+type txMem struct {
+	r      *Romulus
+	region *pmem.Region
+}
+
+func (m txMem) Load(addr uint64) uint64 { return m.region.Load(addr) }
+
+func (m txMem) Store(addr, val uint64) {
+	m.region.Store(addr, val)
+	m.r.wsAddrs = append(m.r.wsAddrs, addr)
+	m.r.dirty = append(m.r.dirty, addr/pmem.WordsPerLine)
+}
+
+func (m txMem) Alloc(words uint64) uint64 { return palloc.Alloc(m, words) }
+func (m txMem) Free(addr uint64)          { palloc.Free(m, addr) }
+
+// roMem is the wait-free read view.
+type roMem struct {
+	region *pmem.Region
+}
+
+func (m roMem) Load(addr uint64) uint64 { return m.region.Load(addr) }
+func (m roMem) Store(addr, val uint64) {
+	panic("romulus: Store inside a read-only transaction")
+}
+func (m roMem) Alloc(words uint64) uint64 {
+	panic("romulus: Alloc inside a read-only transaction")
+}
+func (m roMem) Free(addr uint64) {
+	panic("romulus: Free inside a read-only transaction")
+}
+
+// rawMem formats and inspects replicas directly.
+type rawMem struct {
+	region *pmem.Region
+}
+
+func (m rawMem) Load(addr uint64) uint64 { return m.region.Load(addr) }
+func (m rawMem) Store(addr, val uint64)  { m.region.Store(addr, val) }
+
+// flushLines dedupes and flushes the given lines.
+func flushLines(region *pmem.Region, lines []uint64) {
+	if len(lines) == 0 {
+		return
+	}
+	sorted := append([]uint64(nil), lines...)
+	sortLines(sorted)
+	last := ^uint64(0)
+	for _, line := range sorted {
+		if line != last {
+			region.PWB(line * pmem.WordsPerLine)
+			last = line
+		}
+	}
+}
+
+// sortLines is a small shell sort, avoiding a sort import dependency churn.
+func sortLines(a []uint64) {
+	for gap := len(a) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(a); i++ {
+			for j := i; j >= gap && a[j-gap] > a[j]; j -= gap {
+				a[j-gap], a[j] = a[j], a[j-gap]
+			}
+		}
+	}
+}
+
+func now(p *ptm.Profile) time.Time {
+	if p == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func since(p *ptm.Profile, t time.Time) time.Duration {
+	if p == nil {
+		return 0
+	}
+	return time.Since(t)
+}

@@ -1,0 +1,273 @@
+package romulus
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+	"repro/internal/seqds"
+)
+
+func newR(t testing.TB, threads int, mode pmem.Mode) (*Romulus, *pmem.Pool) {
+	t.Helper()
+	pool := pmem.New(pmem.Config{Mode: mode, RegionWords: 1 << 16, Regions: 2})
+	return New(pool, Config{Threads: threads}), pool
+}
+
+func TestNameAndProperties(t *testing.T) {
+	r, _ := newR(t, 2, pmem.Direct)
+	if r.Name() != "RomulusLR" {
+		t.Errorf("Name() = %q", r.Name())
+	}
+	p := r.Properties()
+	if p.Progress != ptm.Blocking || p.Replicas != "2" || p.FencesPerTx != "4" {
+		t.Errorf("Properties() = %+v", p)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	r, _ := newR(t, 1, pmem.Direct)
+	addr := ptm.RootAddr(0)
+	for i := 0; i < 200; i++ {
+		r.Update(0, func(m ptm.Mem) uint64 {
+			v := m.Load(addr) + 1
+			m.Store(addr, v)
+			return v
+		})
+	}
+	if got := r.Read(0, func(m ptm.Mem) uint64 { return m.Load(addr) }); got != 200 {
+		t.Fatalf("counter = %d, want 200", got)
+	}
+}
+
+func TestBothReplicasStayConsistent(t *testing.T) {
+	// After each update both replicas must contain the same heap, since
+	// consecutive updates alternate write sides.
+	r, _ := newR(t, 1, pmem.Direct)
+	s := seqds.ListSet{RootSlot: 0}
+	r.Update(0, func(m ptm.Mem) uint64 { s.Init(m); return 0 })
+	for k := uint64(1); k <= 50; k++ {
+		r.Update(0, func(m ptm.Mem) uint64 {
+			s.Add(m, k)
+			return 0
+		})
+	}
+	// Two consecutive reads land on the same instance (no writer), so to
+	// check both sides, inspect the regions directly.
+	for side := 0; side < 2; side++ {
+		keys := s.Keys(roMem{region: r.inst[side]})
+		if len(keys) != 50 {
+			t.Fatalf("side %d has %d keys, want 50", side, len(keys))
+		}
+	}
+}
+
+func TestFourFencesPerUpdate(t *testing.T) {
+	r, pool := newR(t, 1, pmem.Direct)
+	addr := ptm.RootAddr(0)
+	r.Update(0, func(m ptm.Mem) uint64 { m.Store(addr, 1); return 0 })
+	before := pool.Stats()
+	const n = 50
+	for i := 0; i < n; i++ {
+		r.Update(0, func(m ptm.Mem) uint64 {
+			m.Store(addr, m.Load(addr)+1)
+			return 0
+		})
+	}
+	d := pool.Stats().Sub(before)
+	if got := d.Fences(); got != 4*n {
+		t.Fatalf("%d fences for %d txs, want %d (4 per tx)", got, n, 4*n)
+	}
+}
+
+func TestConcurrentCounter(t *testing.T) {
+	const threads, per = 6, 200
+	r, _ := newR(t, threads, pmem.Direct)
+	addr := ptm.RootAddr(0)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Update(tid, func(m ptm.Mem) uint64 {
+					v := m.Load(addr) + 1
+					m.Store(addr, v)
+					return v
+				})
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if got := r.Read(0, func(m ptm.Mem) uint64 { return m.Load(addr) }); got != threads*per {
+		t.Fatalf("counter = %d, want %d", got, threads*per)
+	}
+}
+
+func TestReadersNeverTornWhileWriting(t *testing.T) {
+	const readers, per = 4, 400
+	r, _ := newR(t, readers+1, pmem.Direct)
+	a, b := ptm.RootAddr(0), ptm.RootAddr(1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Update(readers, func(m ptm.Mem) uint64 {
+					m.Store(a, i)
+					m.Store(b, i)
+					return 0
+				})
+			}
+		}
+	}()
+	var torn sync.Map
+	for tid := 0; tid < readers; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if r.Read(tid, func(m ptm.Mem) uint64 {
+					if m.Load(a) != m.Load(b) {
+						return 1
+					}
+					return 0
+				}) == 1 {
+					torn.Store(tid, true)
+					return
+				}
+			}
+		}(tid)
+	}
+	go func() { wg.Wait() }()
+	// Wait for readers, then stop the writer.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	close(stop)
+	<-done
+	torn.Range(func(k, v any) bool {
+		t.Fatalf("reader %v observed a torn transaction", k)
+		return false
+	})
+}
+
+func TestSetAgainstModel(t *testing.T) {
+	r, _ := newR(t, 1, pmem.Direct)
+	s := seqds.HashSet{RootSlot: 0}
+	r.Update(0, func(m ptm.Mem) uint64 { s.Init(m); return 0 })
+	model := make(map[uint64]bool)
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 800; i++ {
+		k := uint64(rng.Intn(200))
+		if rng.Intn(2) == 0 {
+			r.Update(0, func(m ptm.Mem) uint64 {
+				s.Add(m, k)
+				return 0
+			})
+			model[k] = true
+		} else {
+			got := r.Read(0, func(m ptm.Mem) uint64 {
+				if s.Contains(m, k) {
+					return 1
+				}
+				return 0
+			})
+			if (got == 1) != model[k] {
+				t.Fatalf("Contains(%d) = %d, model %v", k, got, model[k])
+			}
+		}
+	}
+}
+
+func runAddsUntilCrash(t *testing.T, pool *pmem.Pool, n int, failPoint int64) (completed int, crashed bool) {
+	t.Helper()
+	defer func() {
+		if rec := recover(); rec != nil {
+			if rec != pmem.ErrSimulatedPowerFailure {
+				panic(rec)
+			}
+			crashed = true
+		}
+		pool.InjectFailure(-1)
+	}()
+	r := New(pool, Config{Threads: 1})
+	s := seqds.ListSet{RootSlot: 0}
+	r.Update(0, func(m ptm.Mem) uint64 { s.Init(m); return 0 })
+	pool.InjectFailure(failPoint)
+	for k := 0; k < n; k++ {
+		r.Update(0, func(m ptm.Mem) uint64 {
+			s.Add(m, uint64(k)+1)
+			return 0
+		})
+		completed++
+	}
+	return completed, false
+}
+
+func TestSystematicCrashPoints(t *testing.T) {
+	const n = 20
+	for fail := int64(1); ; fail += 7 {
+		pool := pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 14, Regions: 2})
+		completed, crashed := runAddsUntilCrash(t, pool, n, fail)
+		if !crashed {
+			if completed != n {
+				t.Fatalf("no crash but %d/%d completed", completed, n)
+			}
+			break
+		}
+		pool.Crash(pmem.CrashConservative, nil)
+		r := New(pool, Config{Threads: 1})
+		s := seqds.ListSet{RootSlot: 0}
+		var keys []uint64
+		r.Read(0, func(m ptm.Mem) uint64 {
+			keys = s.Keys(m)
+			return 0
+		})
+		if len(keys) < completed || len(keys) > n {
+			t.Fatalf("fail=%d: recovered %d keys, completed %d", fail, len(keys), completed)
+		}
+		for i, k := range keys {
+			if k != uint64(i)+1 {
+				t.Fatalf("fail=%d: not a prefix at %d", fail, i)
+			}
+		}
+	}
+}
+
+func TestAdversarialCrashPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const n = 15
+	for fail := int64(1); ; fail += 11 {
+		pool := pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 14, Regions: 2})
+		completed, crashed := runAddsUntilCrash(t, pool, n, fail)
+		if !crashed {
+			break
+		}
+		pool.Crash(pmem.CrashAdversarial, rng)
+		r := New(pool, Config{Threads: 1})
+		s := seqds.ListSet{RootSlot: 0}
+		var keys []uint64
+		r.Read(0, func(m ptm.Mem) uint64 {
+			keys = s.Keys(m)
+			return 0
+		})
+		if len(keys) < completed {
+			t.Fatalf("fail=%d: recovered %d keys, completed %d", fail, len(keys), completed)
+		}
+		for i, k := range keys {
+			if k != uint64(i)+1 {
+				t.Fatalf("fail=%d: not a prefix at %d", fail, i)
+			}
+		}
+	}
+}

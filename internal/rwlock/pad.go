@@ -1,0 +1,18 @@
+package rwlock
+
+import "sync/atomic"
+
+// paddedCounter is a per-thread read indicator padded to its own cache line
+// so that reader arrivals on different threads do not false-share.
+type paddedCounter struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// atomicInt64 is padded on both sides so the writer word does not share a
+// line with the reader counters slice header.
+type atomicInt64 struct {
+	_ [64]byte
+	atomic.Int64
+	_ [56]byte
+}

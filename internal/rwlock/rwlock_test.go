@@ -1,0 +1,254 @@
+package rwlock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewPanicsOnBadMax(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestSharedThenExclusiveFails(t *testing.T) {
+	l := New(4)
+	if !l.SharedTryLock(0) {
+		t.Fatal("SharedTryLock on free lock failed")
+	}
+	if l.ExclusiveTryLock(1) {
+		t.Fatal("ExclusiveTryLock succeeded with a reader present")
+	}
+	l.SharedUnlock(0)
+	if !l.ExclusiveTryLock(1) {
+		t.Fatal("ExclusiveTryLock on free lock failed")
+	}
+	l.ExclusiveUnlock()
+}
+
+func TestExclusiveThenSharedFails(t *testing.T) {
+	l := New(4)
+	if !l.ExclusiveTryLock(0) {
+		t.Fatal("ExclusiveTryLock on free lock failed")
+	}
+	if l.SharedTryLock(1) {
+		t.Fatal("SharedTryLock succeeded with an exclusive holder")
+	}
+	if l.ExclusiveTryLock(2) {
+		t.Fatal("second ExclusiveTryLock succeeded")
+	}
+	l.ExclusiveUnlock()
+	if !l.SharedTryLock(1) {
+		t.Fatal("SharedTryLock after unlock failed")
+	}
+	l.SharedUnlock(1)
+}
+
+func TestMultipleSharedHolders(t *testing.T) {
+	l := New(4)
+	for tid := 0; tid < 4; tid++ {
+		if !l.SharedTryLock(tid) {
+			t.Fatalf("SharedTryLock(%d) failed", tid)
+		}
+	}
+	if got := l.Readers(); got != 4 {
+		t.Fatalf("Readers() = %d, want 4", got)
+	}
+	for tid := 0; tid < 4; tid++ {
+		l.SharedUnlock(tid)
+	}
+	if got := l.Readers(); got != 0 {
+		t.Fatalf("Readers() after unlocks = %d, want 0", got)
+	}
+}
+
+func TestDowngradeAdmitsReadersBlocksWriters(t *testing.T) {
+	l := New(4)
+	if !l.ExclusiveTryLock(0) {
+		t.Fatal("ExclusiveTryLock failed")
+	}
+	l.Downgrade()
+	if !l.IsDowngraded() {
+		t.Fatal("IsDowngraded() = false after Downgrade")
+	}
+	if !l.SharedTryLock(1) {
+		t.Fatal("SharedTryLock failed on downgraded lock")
+	}
+	if l.ExclusiveTryLock(2) {
+		t.Fatal("ExclusiveTryLock succeeded on downgraded lock")
+	}
+	l.DowngradeUnlock()
+	if l.ExclusiveTryLock(2) {
+		t.Fatal("ExclusiveTryLock succeeded with reader still present")
+	}
+	l.SharedUnlock(1)
+	if !l.ExclusiveTryLock(2) {
+		t.Fatal("ExclusiveTryLock failed on free lock")
+	}
+	l.ExclusiveUnlock()
+}
+
+func TestUnlockWithoutHoldPanics(t *testing.T) {
+	for name, f := range map[string]func(*StrongTryRWLock){
+		"ExclusiveUnlock": func(l *StrongTryRWLock) { l.ExclusiveUnlock() },
+		"SharedUnlock":    func(l *StrongTryRWLock) { l.SharedUnlock(0) },
+		"Downgrade":       func(l *StrongTryRWLock) { l.Downgrade() },
+		"DowngradeUnlock": func(l *StrongTryRWLock) { l.DowngradeUnlock() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s without hold did not panic", name)
+				}
+			}()
+			f(New(2))
+		}()
+	}
+}
+
+func TestIsExclusive(t *testing.T) {
+	l := New(2)
+	if l.IsExclusive() {
+		t.Fatal("free lock reports exclusive")
+	}
+	l.ExclusiveTryLock(0)
+	if !l.IsExclusive() {
+		t.Fatal("held lock does not report exclusive")
+	}
+	l.Downgrade()
+	if l.IsExclusive() {
+		t.Fatal("downgraded lock reports exclusive")
+	}
+	l.DowngradeUnlock()
+}
+
+// TestMutualExclusionStress verifies under the race detector that exclusive
+// and shared holders never coexist and that two writers never coexist.
+func TestMutualExclusionStress(t *testing.T) {
+	const threads = 8
+	l := New(threads)
+	var exclusive atomic.Int64
+	var shared atomic.Int64
+	var violations atomic.Int64
+	deadline := time.Now().Add(200 * time.Millisecond)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				if tid%2 == 0 {
+					if l.ExclusiveTryLock(tid) {
+						if exclusive.Add(1) != 1 || shared.Load() != 0 {
+							violations.Add(1)
+						}
+						exclusive.Add(-1)
+						l.ExclusiveUnlock()
+					}
+				} else {
+					if l.SharedTryLock(tid) {
+						shared.Add(1)
+						if exclusive.Load() != 0 {
+							violations.Add(1)
+						}
+						shared.Add(-1)
+						l.SharedUnlock(tid)
+					}
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d mutual-exclusion violations", v)
+	}
+}
+
+// TestDowngradeStress exercises the downgrade path under concurrency: a
+// writer repeatedly acquires, writes, downgrades; readers validate they never
+// observe a torn value.
+func TestDowngradeStress(t *testing.T) {
+	const threads = 4
+	l := New(threads + 1)
+	var word [2]int64 // both halves must always match
+	deadline := time.Now().Add(200 * time.Millisecond)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer, tid = threads
+		defer wg.Done()
+		for i := int64(1); time.Now().Before(deadline); i++ {
+			if !l.ExclusiveTryLock(threads) {
+				continue
+			}
+			word[0] = i
+			word[1] = i
+			l.Downgrade()
+			l.DowngradeUnlock()
+		}
+	}()
+	var torn atomic.Int64
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				if !l.SharedTryLock(tid) {
+					continue
+				}
+				if word[0] != word[1] {
+					torn.Add(1)
+				}
+				l.SharedUnlock(tid)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if v := torn.Load(); v != 0 {
+		t.Fatalf("readers observed %d torn writes", v)
+	}
+}
+
+// TestFiniteSteps checks the strong-try property: trylock calls return even
+// while the lock is continuously held by someone else.
+func TestFiniteSteps(t *testing.T) {
+	l := New(2)
+	l.ExclusiveTryLock(0)
+	done := make(chan bool)
+	go func() {
+		ok1 := l.SharedTryLock(1)
+		ok2 := l.ExclusiveTryLock(1)
+		done <- ok1 || ok2
+	}()
+	select {
+	case got := <-done:
+		if got {
+			t.Fatal("trylock succeeded against an exclusive holder")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("trylock blocked: strong-try property violated")
+	}
+	l.ExclusiveUnlock()
+}
+
+func BenchmarkSharedLockUnlock(b *testing.B) {
+	l := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.SharedTryLock(0)
+		l.SharedUnlock(0)
+	}
+}
+
+func BenchmarkExclusiveLockUnlock(b *testing.B) {
+	l := New(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.ExclusiveTryLock(0)
+		l.ExclusiveUnlock()
+	}
+}

@@ -1,0 +1,90 @@
+package seqds
+
+import (
+	"testing"
+
+	"repro/internal/ptm"
+)
+
+// FuzzRBTreeOps feeds arbitrary operation streams to the red-black tree and
+// checks the full invariant set plus model agreement after every batch.
+// Each input byte encodes one operation: low 7 bits the key, high bit
+// selects add vs remove.
+func FuzzRBTreeOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0x81, 0x82, 4, 5, 0x83})
+	f.Add([]byte{0x80})
+	f.Add([]byte{127, 0xff, 127, 0xff})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 2048 {
+			ops = ops[:2048]
+		}
+		m := ptm.NewFlatMem(1 << 18)
+		tr := RBTree{RootSlot: 0}
+		tr.Init(m)
+		model := make(map[uint64]bool)
+		for _, op := range ops {
+			k := uint64(op & 0x7f)
+			if op&0x80 == 0 {
+				got := tr.Add(m, k)
+				if got == model[k] {
+					t.Fatalf("Add(%d) = %v with model %v", k, got, model[k])
+				}
+				model[k] = true
+			} else {
+				got := tr.Remove(m, k)
+				if got != model[k] {
+					t.Fatalf("Remove(%d) = %v with model %v", k, got, model[k])
+				}
+				delete(model, k)
+			}
+		}
+		if err := tr.Validate(m); err != "" {
+			t.Fatalf("invariant violated: %s (ops %v)", err, ops)
+		}
+		if int(tr.Len(m)) != len(model) {
+			t.Fatalf("Len = %d, model %d", tr.Len(m), len(model))
+		}
+		for k := range model {
+			if !tr.Contains(m, k) {
+				t.Fatalf("key %d lost", k)
+			}
+		}
+	})
+}
+
+// FuzzHashSetOps does the same for the resizable hash set, whose grow and
+// shrink paths move every node.
+func FuzzHashSetOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 0x81, 0x85})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 2048 {
+			ops = ops[:2048]
+		}
+		m := ptm.NewFlatMem(1 << 18)
+		s := HashSet{RootSlot: 0}
+		s.Init(m)
+		model := make(map[uint64]bool)
+		for _, op := range ops {
+			k := uint64(op & 0x7f)
+			if op&0x80 == 0 {
+				if s.Add(m, k) == model[k] {
+					t.Fatalf("Add(%d) disagrees with model", k)
+				}
+				model[k] = true
+			} else {
+				if s.Remove(m, k) != model[k] {
+					t.Fatalf("Remove(%d) disagrees with model", k)
+				}
+				delete(model, k)
+			}
+		}
+		if int(s.Len(m)) != len(model) {
+			t.Fatalf("Len = %d, model %d", s.Len(m), len(model))
+		}
+		for k := range model {
+			if !s.Contains(m, k) {
+				t.Fatalf("key %d lost across resizes", k)
+			}
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package seqds
+
+import "repro/internal/ptm"
+
+// HashSet is the resizable hash set of Fig. 6 (bottom): separate chaining
+// with power-of-two bucket counts, growing when the load factor exceeds 1
+// and shrinking when it falls below 1/4. Insert and delete touch allocator
+// metadata heavily, which is the behaviour the paper's store/flush
+// aggregation optimizations exploit.
+type HashSet struct {
+	RootSlot int
+}
+
+// Header layout: [bucketsAddr, nbuckets, size].
+// Bucket array: nbuckets words, each the head of a chain.
+// Chain node layout: [key, next].
+const (
+	hsBuckets  = 0
+	hsNBuckets = 1
+	hsSize     = 2
+
+	hsMinBuckets = 8
+)
+
+// Init creates an empty set.
+func (s HashSet) Init(m ptm.Mem) {
+	hdr := alloc(m, 3)
+	buckets := alloc(m, hsMinBuckets)
+	for i := uint64(0); i < hsMinBuckets; i++ {
+		m.Store(buckets+i, 0)
+	}
+	m.Store(hdr+hsBuckets, buckets)
+	m.Store(hdr+hsNBuckets, hsMinBuckets)
+	m.Store(hdr+hsSize, 0)
+	m.Store(ptm.RootAddr(s.RootSlot), hdr)
+}
+
+func (s HashSet) hdr(m ptm.Mem) uint64 { return m.Load(ptm.RootAddr(s.RootSlot)) }
+
+// Len returns the number of keys.
+func (s HashSet) Len(m ptm.Mem) uint64 { return m.Load(s.hdr(m) + hsSize) }
+
+// Buckets returns the current bucket count (for tests and ablations).
+func (s HashSet) Buckets(m ptm.Mem) uint64 { return m.Load(s.hdr(m) + hsNBuckets) }
+
+// hash mixes k with a Fibonacci multiplier; the bucket count is a power of
+// two so the high bits are folded down.
+func hsHash(k, nbuckets uint64) uint64 {
+	h := k * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	return h & (nbuckets - 1)
+}
+
+// Contains reports whether k is in the set.
+func (s HashSet) Contains(m ptm.Mem, k uint64) bool {
+	hdr := s.hdr(m)
+	buckets := m.Load(hdr + hsBuckets)
+	n := m.Load(buckets + hsHash(k, m.Load(hdr+hsNBuckets)))
+	for n != 0 {
+		if m.Load(n) == k {
+			return true
+		}
+		n = m.Load(n + 1)
+	}
+	return false
+}
+
+// Add inserts k, returning false if it was already present.
+func (s HashSet) Add(m ptm.Mem, k uint64) bool {
+	hdr := s.hdr(m)
+	buckets := m.Load(hdr + hsBuckets)
+	nb := m.Load(hdr + hsNBuckets)
+	slot := buckets + hsHash(k, nb)
+	for n := m.Load(slot); n != 0; n = m.Load(n + 1) {
+		if m.Load(n) == k {
+			return false
+		}
+	}
+	node := alloc(m, 2)
+	m.Store(node, k)
+	m.Store(node+1, m.Load(slot))
+	m.Store(slot, node)
+	size := m.Load(hdr+hsSize) + 1
+	m.Store(hdr+hsSize, size)
+	if size > nb {
+		s.resize(m, nb*2)
+	}
+	return true
+}
+
+// Remove deletes k, returning false if it was not present.
+func (s HashSet) Remove(m ptm.Mem, k uint64) bool {
+	hdr := s.hdr(m)
+	buckets := m.Load(hdr + hsBuckets)
+	nb := m.Load(hdr + hsNBuckets)
+	slot := buckets + hsHash(k, nb)
+	prev := uint64(0)
+	n := m.Load(slot)
+	for n != 0 {
+		next := m.Load(n + 1)
+		if m.Load(n) == k {
+			if prev == 0 {
+				m.Store(slot, next)
+			} else {
+				m.Store(prev+1, next)
+			}
+			m.Free(n)
+			size := m.Load(hdr+hsSize) - 1
+			m.Store(hdr+hsSize, size)
+			if nb > hsMinBuckets && size < nb/4 {
+				s.resize(m, nb/2)
+			}
+			return true
+		}
+		prev = n
+		n = next
+	}
+	return false
+}
+
+// resize rehashes every key into a new bucket array of newNB buckets and
+// frees the old array. It runs inside the caller's transaction, so a resize
+// is atomic and durable like any other update.
+func (s HashSet) resize(m ptm.Mem, newNB uint64) {
+	hdr := s.hdr(m)
+	oldBuckets := m.Load(hdr + hsBuckets)
+	oldNB := m.Load(hdr + hsNBuckets)
+	newBuckets := m.Alloc(newNB)
+	if newBuckets == 0 {
+		// Growing is optional: stay at the current size rather than
+		// fail the user's operation.
+		return
+	}
+	for i := uint64(0); i < newNB; i++ {
+		m.Store(newBuckets+i, 0)
+	}
+	for i := uint64(0); i < oldNB; i++ {
+		n := m.Load(oldBuckets + i)
+		for n != 0 {
+			next := m.Load(n + 1)
+			slot := newBuckets + hsHash(m.Load(n), newNB)
+			m.Store(n+1, m.Load(slot))
+			m.Store(slot, n)
+			n = next
+		}
+	}
+	m.Store(hdr+hsBuckets, newBuckets)
+	m.Store(hdr+hsNBuckets, newNB)
+	m.Free(oldBuckets)
+}
+
+// Keys returns all keys in unspecified order (for tests).
+func (s HashSet) Keys(m ptm.Mem) []uint64 {
+	hdr := s.hdr(m)
+	buckets := m.Load(hdr + hsBuckets)
+	nb := m.Load(hdr + hsNBuckets)
+	var out []uint64
+	for i := uint64(0); i < nb; i++ {
+		for n := m.Load(buckets + i); n != 0; n = m.Load(n + 1) {
+			out = append(out, m.Load(n))
+		}
+	}
+	return out
+}

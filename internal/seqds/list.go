@@ -1,0 +1,91 @@
+package seqds
+
+import "repro/internal/ptm"
+
+// ListSet is an ordered singly-linked-list integer set, the paper's
+// motivating data structure for Redo-PTM: update operations traverse the
+// whole prefix of the list but modify only a couple of words, so physical
+// logging lets helper threads skip the traversal.
+type ListSet struct {
+	RootSlot int
+}
+
+// Node layout: [key, next]. Header layout: [size, headNode]; the head node
+// is a sentinel with key 0 that is never removed.
+const (
+	lsKey  = 0
+	lsNext = 1
+)
+
+// Init creates an empty set.
+func (s ListSet) Init(m ptm.Mem) {
+	hdr := alloc(m, 2)
+	sentinel := alloc(m, 2)
+	m.Store(sentinel+lsKey, 0)
+	m.Store(sentinel+lsNext, 0)
+	m.Store(hdr, 0)
+	m.Store(hdr+1, sentinel)
+	m.Store(ptm.RootAddr(s.RootSlot), hdr)
+}
+
+func (s ListSet) hdr(m ptm.Mem) uint64 { return m.Load(ptm.RootAddr(s.RootSlot)) }
+
+// Len returns the number of keys in the set.
+func (s ListSet) Len(m ptm.Mem) uint64 { return m.Load(s.hdr(m)) }
+
+// find returns the last node with key < k (starting at the sentinel) and its
+// successor (0 if none).
+func (s ListSet) find(m ptm.Mem, k uint64) (prev, cur uint64) {
+	prev = m.Load(s.hdr(m) + 1)
+	cur = m.Load(prev + lsNext)
+	for cur != 0 && m.Load(cur+lsKey) < k {
+		prev = cur
+		cur = m.Load(cur + lsNext)
+	}
+	return prev, cur
+}
+
+// Contains reports whether k is in the set.
+func (s ListSet) Contains(m ptm.Mem, k uint64) bool {
+	_, cur := s.find(m, k)
+	return cur != 0 && m.Load(cur+lsKey) == k
+}
+
+// Add inserts k, returning false if it was already present.
+func (s ListSet) Add(m ptm.Mem, k uint64) bool {
+	prev, cur := s.find(m, k)
+	if cur != 0 && m.Load(cur+lsKey) == k {
+		return false
+	}
+	n := alloc(m, 2)
+	m.Store(n+lsKey, k)
+	m.Store(n+lsNext, cur)
+	m.Store(prev+lsNext, n)
+	hdr := s.hdr(m)
+	m.Store(hdr, m.Load(hdr)+1)
+	return true
+}
+
+// Remove deletes k, returning false if it was not present.
+func (s ListSet) Remove(m ptm.Mem, k uint64) bool {
+	prev, cur := s.find(m, k)
+	if cur == 0 || m.Load(cur+lsKey) != k {
+		return false
+	}
+	m.Store(prev+lsNext, m.Load(cur+lsNext))
+	m.Free(cur)
+	hdr := s.hdr(m)
+	m.Store(hdr, m.Load(hdr)-1)
+	return true
+}
+
+// Keys returns all keys in ascending order (for tests and validation).
+func (s ListSet) Keys(m ptm.Mem) []uint64 {
+	var out []uint64
+	cur := m.Load(m.Load(s.hdr(m)+1) + lsNext)
+	for cur != 0 {
+		out = append(out, m.Load(cur+lsKey))
+		cur = m.Load(cur + lsNext)
+	}
+	return out
+}

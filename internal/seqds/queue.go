@@ -1,0 +1,88 @@
+package seqds
+
+import "repro/internal/ptm"
+
+// Queue is the linked-list based persistent queue of Fig. 5: enqueue at the
+// tail, dequeue at the head, each operation allocating or freeing one node.
+// All operations touch either the head or the tail word plus allocator
+// metadata, which is what gives RedoOpt-PTM its flush-aggregation advantage
+// in the paper's queue benchmark.
+type Queue struct {
+	RootSlot int
+}
+
+// Header layout: [head, tail, size]. Node layout: [val, next]. The queue
+// keeps a sentinel head node (Michael-Scott style) so head is never 0.
+const (
+	qHead = 0
+	qTail = 1
+	qSize = 2
+)
+
+// Init creates an empty queue.
+func (q Queue) Init(m ptm.Mem) {
+	hdr := alloc(m, 3)
+	sentinel := alloc(m, 2)
+	m.Store(sentinel, 0)
+	m.Store(sentinel+1, 0)
+	m.Store(hdr+qHead, sentinel)
+	m.Store(hdr+qTail, sentinel)
+	m.Store(hdr+qSize, 0)
+	m.Store(ptm.RootAddr(q.RootSlot), hdr)
+}
+
+func (q Queue) hdr(m ptm.Mem) uint64 { return m.Load(ptm.RootAddr(q.RootSlot)) }
+
+// Len returns the number of elements.
+func (q Queue) Len(m ptm.Mem) uint64 { return m.Load(q.hdr(m) + qSize) }
+
+// Enqueue appends v at the tail.
+func (q Queue) Enqueue(m ptm.Mem, v uint64) {
+	hdr := q.hdr(m)
+	n := alloc(m, 2)
+	m.Store(n, v)
+	m.Store(n+1, 0)
+	tail := m.Load(hdr + qTail)
+	m.Store(tail+1, n)
+	m.Store(hdr+qTail, n)
+	m.Store(hdr+qSize, m.Load(hdr+qSize)+1)
+}
+
+// Dequeue removes and returns the head element; ok is false on empty.
+func (q Queue) Dequeue(m ptm.Mem) (v uint64, ok bool) {
+	hdr := q.hdr(m)
+	sentinel := m.Load(hdr + qHead)
+	first := m.Load(sentinel + 1)
+	if first == 0 {
+		return 0, false
+	}
+	v = m.Load(first)
+	// The first real node becomes the new sentinel; its value word is
+	// cleared so the queue never retains dequeued payloads.
+	m.Store(hdr+qHead, first)
+	m.Store(first, 0)
+	m.Free(sentinel)
+	m.Store(hdr+qSize, m.Load(hdr+qSize)-1)
+	return v, true
+}
+
+// Peek returns the head element without removing it; ok is false on empty.
+func (q Queue) Peek(m ptm.Mem) (v uint64, ok bool) {
+	hdr := q.hdr(m)
+	first := m.Load(m.Load(hdr+qHead) + 1)
+	if first == 0 {
+		return 0, false
+	}
+	return m.Load(first), true
+}
+
+// Items returns the queue contents from head to tail (for tests).
+func (q Queue) Items(m ptm.Mem) []uint64 {
+	var out []uint64
+	cur := m.Load(m.Load(q.hdr(m)+qHead) + 1)
+	for cur != 0 {
+		out = append(out, m.Load(cur))
+		cur = m.Load(cur + 1)
+	}
+	return out
+}

@@ -1,0 +1,413 @@
+package seqds
+
+import "repro/internal/ptm"
+
+// RBTree is the balanced red-black tree set of Fig. 6 (middle). An update
+// transaction on a strictly balanced tree touches many words (rotations and
+// recolorings along the path), which is why the paper observes negative
+// scalability for 100%-update tree workloads: the physical logs are large
+// and cannot be aggregated.
+type RBTree struct {
+	RootSlot int
+}
+
+// Header layout: [rootNode, nilNode, size].
+// Node layout: [key, left, right, parent, color].
+const (
+	rbRoot = 0
+	rbNil  = 1
+	rbSize = 2
+
+	nKey    = 0
+	nLeft   = 1
+	nRight  = 2
+	nParent = 3
+	nColor  = 4
+
+	black = 0
+	red   = 1
+)
+
+// Init creates an empty tree. A nil sentinel node (black, as in CLRS) keeps
+// the delete fixup free of special cases.
+func (t RBTree) Init(m ptm.Mem) {
+	hdr := alloc(m, 3)
+	nilNode := alloc(m, 5)
+	m.Store(nilNode+nKey, 0)
+	m.Store(nilNode+nLeft, nilNode)
+	m.Store(nilNode+nRight, nilNode)
+	m.Store(nilNode+nParent, nilNode)
+	m.Store(nilNode+nColor, black)
+	m.Store(hdr+rbRoot, nilNode)
+	m.Store(hdr+rbNil, nilNode)
+	m.Store(hdr+rbSize, 0)
+	m.Store(ptm.RootAddr(t.RootSlot), hdr)
+}
+
+func (t RBTree) hdr(m ptm.Mem) uint64 { return m.Load(ptm.RootAddr(t.RootSlot)) }
+
+// Len returns the number of keys.
+func (t RBTree) Len(m ptm.Mem) uint64 { return m.Load(t.hdr(m) + rbSize) }
+
+// Contains reports whether k is in the tree.
+func (t RBTree) Contains(m ptm.Mem, k uint64) bool {
+	hdr := t.hdr(m)
+	nilN := m.Load(hdr + rbNil)
+	x := m.Load(hdr + rbRoot)
+	for x != nilN {
+		xk := m.Load(x + nKey)
+		switch {
+		case k == xk:
+			return true
+		case k < xk:
+			x = m.Load(x + nLeft)
+		default:
+			x = m.Load(x + nRight)
+		}
+	}
+	return false
+}
+
+func (t RBTree) leftRotate(m ptm.Mem, hdr, x uint64) {
+	nilN := m.Load(hdr + rbNil)
+	y := m.Load(x + nRight)
+	yl := m.Load(y + nLeft)
+	m.Store(x+nRight, yl)
+	if yl != nilN {
+		m.Store(yl+nParent, x)
+	}
+	xp := m.Load(x + nParent)
+	m.Store(y+nParent, xp)
+	if xp == nilN {
+		m.Store(hdr+rbRoot, y)
+	} else if m.Load(xp+nLeft) == x {
+		m.Store(xp+nLeft, y)
+	} else {
+		m.Store(xp+nRight, y)
+	}
+	m.Store(y+nLeft, x)
+	m.Store(x+nParent, y)
+}
+
+func (t RBTree) rightRotate(m ptm.Mem, hdr, x uint64) {
+	nilN := m.Load(hdr + rbNil)
+	y := m.Load(x + nLeft)
+	yr := m.Load(y + nRight)
+	m.Store(x+nLeft, yr)
+	if yr != nilN {
+		m.Store(yr+nParent, x)
+	}
+	xp := m.Load(x + nParent)
+	m.Store(y+nParent, xp)
+	if xp == nilN {
+		m.Store(hdr+rbRoot, y)
+	} else if m.Load(xp+nRight) == x {
+		m.Store(xp+nRight, y)
+	} else {
+		m.Store(xp+nLeft, y)
+	}
+	m.Store(y+nRight, x)
+	m.Store(x+nParent, y)
+}
+
+// Add inserts k, returning false if it was already present.
+func (t RBTree) Add(m ptm.Mem, k uint64) bool {
+	hdr := t.hdr(m)
+	nilN := m.Load(hdr + rbNil)
+	y := nilN
+	x := m.Load(hdr + rbRoot)
+	for x != nilN {
+		y = x
+		xk := m.Load(x + nKey)
+		if k == xk {
+			return false
+		}
+		if k < xk {
+			x = m.Load(x + nLeft)
+		} else {
+			x = m.Load(x + nRight)
+		}
+	}
+	z := alloc(m, 5)
+	m.Store(z+nKey, k)
+	m.Store(z+nLeft, nilN)
+	m.Store(z+nRight, nilN)
+	m.Store(z+nParent, y)
+	m.Store(z+nColor, red)
+	if y == nilN {
+		m.Store(hdr+rbRoot, z)
+	} else if k < m.Load(y+nKey) {
+		m.Store(y+nLeft, z)
+	} else {
+		m.Store(y+nRight, z)
+	}
+	t.insertFixup(m, hdr, z)
+	m.Store(hdr+rbSize, m.Load(hdr+rbSize)+1)
+	return true
+}
+
+func (t RBTree) insertFixup(m ptm.Mem, hdr, z uint64) {
+	for {
+		zp := m.Load(z + nParent)
+		if m.Load(zp+nColor) != red {
+			break
+		}
+		zpp := m.Load(zp + nParent)
+		if zp == m.Load(zpp+nLeft) {
+			y := m.Load(zpp + nRight) // uncle
+			if m.Load(y+nColor) == red {
+				m.Store(zp+nColor, black)
+				m.Store(y+nColor, black)
+				m.Store(zpp+nColor, red)
+				z = zpp
+				continue
+			}
+			if z == m.Load(zp+nRight) {
+				z = zp
+				t.leftRotate(m, hdr, z)
+				zp = m.Load(z + nParent)
+				zpp = m.Load(zp + nParent)
+			}
+			m.Store(zp+nColor, black)
+			m.Store(zpp+nColor, red)
+			t.rightRotate(m, hdr, zpp)
+		} else {
+			y := m.Load(zpp + nLeft) // uncle
+			if m.Load(y+nColor) == red {
+				m.Store(zp+nColor, black)
+				m.Store(y+nColor, black)
+				m.Store(zpp+nColor, red)
+				z = zpp
+				continue
+			}
+			if z == m.Load(zp+nLeft) {
+				z = zp
+				t.rightRotate(m, hdr, z)
+				zp = m.Load(z + nParent)
+				zpp = m.Load(zp + nParent)
+			}
+			m.Store(zp+nColor, black)
+			m.Store(zpp+nColor, red)
+			t.leftRotate(m, hdr, zpp)
+		}
+	}
+	m.Store(m.Load(hdr+rbRoot)+nColor, black)
+}
+
+// transplant replaces subtree u with subtree v.
+func (t RBTree) transplant(m ptm.Mem, hdr, u, v uint64) {
+	nilN := m.Load(hdr + rbNil)
+	up := m.Load(u + nParent)
+	if up == nilN {
+		m.Store(hdr+rbRoot, v)
+	} else if u == m.Load(up+nLeft) {
+		m.Store(up+nLeft, v)
+	} else {
+		m.Store(up+nRight, v)
+	}
+	m.Store(v+nParent, up)
+}
+
+func (t RBTree) minimum(m ptm.Mem, hdr, x uint64) uint64 {
+	nilN := m.Load(hdr + rbNil)
+	for m.Load(x+nLeft) != nilN {
+		x = m.Load(x + nLeft)
+	}
+	return x
+}
+
+// Remove deletes k, returning false if it was not present.
+func (t RBTree) Remove(m ptm.Mem, k uint64) bool {
+	hdr := t.hdr(m)
+	nilN := m.Load(hdr + rbNil)
+	z := m.Load(hdr + rbRoot)
+	for z != nilN {
+		zk := m.Load(z + nKey)
+		if k == zk {
+			break
+		}
+		if k < zk {
+			z = m.Load(z + nLeft)
+		} else {
+			z = m.Load(z + nRight)
+		}
+	}
+	if z == nilN {
+		return false
+	}
+	y := z
+	yOrigColor := m.Load(y + nColor)
+	var x uint64
+	if m.Load(z+nLeft) == nilN {
+		x = m.Load(z + nRight)
+		t.transplant(m, hdr, z, x)
+	} else if m.Load(z+nRight) == nilN {
+		x = m.Load(z + nLeft)
+		t.transplant(m, hdr, z, x)
+	} else {
+		y = t.minimum(m, hdr, m.Load(z+nRight))
+		yOrigColor = m.Load(y + nColor)
+		x = m.Load(y + nRight)
+		if m.Load(y+nParent) == z {
+			m.Store(x+nParent, y) // meaningful even when x is the sentinel
+		} else {
+			t.transplant(m, hdr, y, x)
+			zr := m.Load(z + nRight)
+			m.Store(y+nRight, zr)
+			m.Store(zr+nParent, y)
+		}
+		t.transplant(m, hdr, z, y)
+		zl := m.Load(z + nLeft)
+		m.Store(y+nLeft, zl)
+		m.Store(zl+nParent, y)
+		m.Store(y+nColor, m.Load(z+nColor))
+	}
+	m.Free(z)
+	if yOrigColor == black {
+		t.deleteFixup(m, hdr, x)
+	}
+	m.Store(hdr+rbSize, m.Load(hdr+rbSize)-1)
+	return true
+}
+
+func (t RBTree) deleteFixup(m ptm.Mem, hdr, x uint64) {
+	for x != m.Load(hdr+rbRoot) && m.Load(x+nColor) == black {
+		xp := m.Load(x + nParent)
+		if x == m.Load(xp+nLeft) {
+			w := m.Load(xp + nRight)
+			if m.Load(w+nColor) == red {
+				m.Store(w+nColor, black)
+				m.Store(xp+nColor, red)
+				t.leftRotate(m, hdr, xp)
+				xp = m.Load(x + nParent)
+				w = m.Load(xp + nRight)
+			}
+			if m.Load(m.Load(w+nLeft)+nColor) == black && m.Load(m.Load(w+nRight)+nColor) == black {
+				m.Store(w+nColor, red)
+				x = xp
+			} else {
+				if m.Load(m.Load(w+nRight)+nColor) == black {
+					m.Store(m.Load(w+nLeft)+nColor, black)
+					m.Store(w+nColor, red)
+					t.rightRotate(m, hdr, w)
+					xp = m.Load(x + nParent)
+					w = m.Load(xp + nRight)
+				}
+				m.Store(w+nColor, m.Load(xp+nColor))
+				m.Store(xp+nColor, black)
+				m.Store(m.Load(w+nRight)+nColor, black)
+				t.leftRotate(m, hdr, xp)
+				x = m.Load(hdr + rbRoot)
+			}
+		} else {
+			w := m.Load(xp + nLeft)
+			if m.Load(w+nColor) == red {
+				m.Store(w+nColor, black)
+				m.Store(xp+nColor, red)
+				t.rightRotate(m, hdr, xp)
+				xp = m.Load(x + nParent)
+				w = m.Load(xp + nLeft)
+			}
+			if m.Load(m.Load(w+nRight)+nColor) == black && m.Load(m.Load(w+nLeft)+nColor) == black {
+				m.Store(w+nColor, red)
+				x = xp
+			} else {
+				if m.Load(m.Load(w+nLeft)+nColor) == black {
+					m.Store(m.Load(w+nRight)+nColor, black)
+					m.Store(w+nColor, red)
+					t.leftRotate(m, hdr, w)
+					xp = m.Load(x + nParent)
+					w = m.Load(xp + nLeft)
+				}
+				m.Store(w+nColor, m.Load(xp+nColor))
+				m.Store(xp+nColor, black)
+				m.Store(m.Load(w+nLeft)+nColor, black)
+				t.rightRotate(m, hdr, xp)
+				x = m.Load(hdr + rbRoot)
+			}
+		}
+	}
+	m.Store(x+nColor, black)
+}
+
+// Keys returns all keys in ascending order (for tests).
+func (t RBTree) Keys(m ptm.Mem) []uint64 {
+	hdr := t.hdr(m)
+	nilN := m.Load(hdr + rbNil)
+	var out []uint64
+	var walk func(x uint64)
+	walk = func(x uint64) {
+		if x == nilN {
+			return
+		}
+		walk(m.Load(x + nLeft))
+		out = append(out, m.Load(x+nKey))
+		walk(m.Load(x + nRight))
+	}
+	walk(m.Load(hdr + rbRoot))
+	return out
+}
+
+// Validate checks the red-black invariants: binary-search order, red nodes
+// have black children, every root-to-leaf path has the same black height,
+// and the root and sentinel are black. It returns a description of the first
+// violation, or "" if the tree is valid. Intended for tests.
+func (t RBTree) Validate(m ptm.Mem) string {
+	hdr := t.hdr(m)
+	nilN := m.Load(hdr + rbNil)
+	root := m.Load(hdr + rbRoot)
+	if m.Load(nilN+nColor) != black {
+		return "sentinel is not black"
+	}
+	if root != nilN && m.Load(root+nColor) != black {
+		return "root is not black"
+	}
+	count := uint64(0)
+	var check func(x uint64, lo, hi uint64, hasLo, hasHi bool) (int, string)
+	check = func(x uint64, lo, hi uint64, hasLo, hasHi bool) (int, string) {
+		if x == nilN {
+			return 1, ""
+		}
+		count++
+		k := m.Load(x + nKey)
+		if hasLo && k <= lo {
+			return 0, "BST order violated (low)"
+		}
+		if hasHi && k >= hi {
+			return 0, "BST order violated (high)"
+		}
+		c := m.Load(x + nColor)
+		l, r := m.Load(x+nLeft), m.Load(x+nRight)
+		if c == red && (m.Load(l+nColor) == red || m.Load(r+nColor) == red) {
+			return 0, "red node with red child"
+		}
+		if l != nilN && m.Load(l+nParent) != x {
+			return 0, "broken parent link (left)"
+		}
+		if r != nilN && m.Load(r+nParent) != x {
+			return 0, "broken parent link (right)"
+		}
+		bhl, err := check(l, lo, k, hasLo, true)
+		if err != "" {
+			return 0, err
+		}
+		bhr, err := check(r, k, hi, true, hasHi)
+		if err != "" {
+			return 0, err
+		}
+		if bhl != bhr {
+			return 0, "unequal black heights"
+		}
+		if c == black {
+			return bhl + 1, ""
+		}
+		return bhl, ""
+	}
+	if _, err := check(root, 0, 0, false, false); err != "" {
+		return err
+	}
+	if count != m.Load(hdr+rbSize) {
+		return "size mismatch"
+	}
+	return ""
+}

@@ -1,0 +1,37 @@
+// Package seqds provides the sequential persistent data structures used by
+// the paper's evaluation: the SPS swap array (Fig. 4), a linked-list based
+// queue (Fig. 5), an ordered linked-list set, a red-black tree set and a
+// resizable hash set (Fig. 6), plus a stack (the running example of the
+// paper's illustrations).
+//
+// Every structure is written against ptm.Mem, the annotated load/store
+// interface, with all internal references stored as region-relative word
+// offsets. The same code therefore runs unchanged under every construction
+// (CX-PTM, Redo-PTM and friends interpose the loads and stores; CX-PUC runs
+// it with a direct, non-interposed Mem), which is the paper's notion of a
+// sequential implementation handed to a universal construction.
+//
+// The structures keep their root reference in one of the persistent root
+// slots (ptm.RootAddr); each type is a small descriptor naming its slot, so
+// several structures coexist in the same heap — multi-object transactions in
+// the examples mutate two structures in one closure.
+package seqds
+
+import "repro/internal/ptm"
+
+// oom panics when a persistent allocation fails. Transactions in this
+// repository treat heap exhaustion as a configuration error (the pools are
+// sized by the benchmark/application), matching the paper's allocator, which
+// has no overflow story either.
+func oom() {
+	panic("seqds: persistent heap exhausted")
+}
+
+// alloc allocates or panics.
+func alloc(m ptm.Mem, words uint64) uint64 {
+	a := m.Alloc(words)
+	if a == 0 {
+		oom()
+	}
+	return a
+}

@@ -1,0 +1,420 @@
+package seqds
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ptm"
+)
+
+func mem() *ptm.FlatMem { return ptm.NewFlatMem(1 << 22) }
+
+// set is the common interface of the three set implementations, letting the
+// model-based tests run once per implementation.
+type set interface {
+	Init(m ptm.Mem)
+	Add(m ptm.Mem, k uint64) bool
+	Remove(m ptm.Mem, k uint64) bool
+	Contains(m ptm.Mem, k uint64) bool
+	Len(m ptm.Mem) uint64
+	Keys(m ptm.Mem) []uint64
+}
+
+func sets() map[string]set {
+	return map[string]set{
+		"list": ListSet{RootSlot: 0},
+		"tree": RBTree{RootSlot: 0},
+		"hash": HashSet{RootSlot: 0},
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	for name, s := range sets() {
+		t.Run(name, func(t *testing.T) {
+			m := mem()
+			s.Init(m)
+			if s.Len(m) != 0 {
+				t.Fatal("fresh set not empty")
+			}
+			if s.Contains(m, 42) {
+				t.Fatal("fresh set contains 42")
+			}
+			if !s.Add(m, 42) {
+				t.Fatal("Add(42) failed")
+			}
+			if s.Add(m, 42) {
+				t.Fatal("duplicate Add(42) succeeded")
+			}
+			if !s.Contains(m, 42) {
+				t.Fatal("Contains(42) false after Add")
+			}
+			if s.Len(m) != 1 {
+				t.Fatalf("Len = %d, want 1", s.Len(m))
+			}
+			if !s.Remove(m, 42) {
+				t.Fatal("Remove(42) failed")
+			}
+			if s.Remove(m, 42) {
+				t.Fatal("double Remove(42) succeeded")
+			}
+			if s.Contains(m, 42) || s.Len(m) != 0 {
+				t.Fatal("set not empty after Remove")
+			}
+		})
+	}
+}
+
+func TestSetAgainstModel(t *testing.T) {
+	for name, s := range sets() {
+		t.Run(name, func(t *testing.T) {
+			m := mem()
+			s.Init(m)
+			model := make(map[uint64]bool)
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 20000; i++ {
+				k := uint64(rng.Intn(500))
+				switch rng.Intn(3) {
+				case 0:
+					if got, want := s.Add(m, k), !model[k]; got != want {
+						t.Fatalf("op %d: Add(%d) = %v, want %v", i, k, got, want)
+					}
+					model[k] = true
+				case 1:
+					if got, want := s.Remove(m, k), model[k]; got != want {
+						t.Fatalf("op %d: Remove(%d) = %v, want %v", i, k, got, want)
+					}
+					delete(model, k)
+				case 2:
+					if got, want := s.Contains(m, k), model[k]; got != want {
+						t.Fatalf("op %d: Contains(%d) = %v, want %v", i, k, got, want)
+					}
+				}
+			}
+			if int(s.Len(m)) != len(model) {
+				t.Fatalf("Len = %d, model has %d", s.Len(m), len(model))
+			}
+			keys := s.Keys(m)
+			if len(keys) != len(model) {
+				t.Fatalf("Keys() returned %d, model has %d", len(keys), len(model))
+			}
+			for _, k := range keys {
+				if !model[k] {
+					t.Fatalf("Keys() contains %d not in model", k)
+				}
+			}
+		})
+	}
+}
+
+func TestListSetKeysSorted(t *testing.T) {
+	m := mem()
+	s := ListSet{RootSlot: 0}
+	s.Init(m)
+	for _, k := range []uint64{5, 1, 9, 3, 7} {
+		s.Add(m, k)
+	}
+	keys := s.Keys(m)
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatalf("list keys not sorted: %v", keys)
+	}
+}
+
+func TestRBTreeInvariantsUnderChurn(t *testing.T) {
+	m := mem()
+	tr := RBTree{RootSlot: 0}
+	tr.Init(m)
+	rng := rand.New(rand.NewSource(3))
+	live := make(map[uint64]bool)
+	for i := 0; i < 5000; i++ {
+		k := uint64(rng.Intn(800))
+		if rng.Intn(2) == 0 {
+			tr.Add(m, k)
+			live[k] = true
+		} else {
+			tr.Remove(m, k)
+			delete(live, k)
+		}
+		if i%500 == 0 {
+			if err := tr.Validate(m); err != "" {
+				t.Fatalf("op %d: %s", i, err)
+			}
+		}
+	}
+	if err := tr.Validate(m); err != "" {
+		t.Fatal(err)
+	}
+	keys := tr.Keys(m)
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("tree keys not sorted")
+	}
+	if len(keys) != len(live) {
+		t.Fatalf("tree has %d keys, model %d", len(keys), len(live))
+	}
+}
+
+func TestRBTreeQuickInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := mem()
+		tr := RBTree{RootSlot: 0}
+		tr.Init(m)
+		for _, op := range ops {
+			k := uint64(op % 128)
+			if op%2 == 0 {
+				tr.Add(m, k)
+			} else {
+				tr.Remove(m, k)
+			}
+		}
+		return tr.Validate(m) == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashSetResizes(t *testing.T) {
+	m := mem()
+	s := HashSet{RootSlot: 0}
+	s.Init(m)
+	start := s.Buckets(m)
+	for k := uint64(0); k < 1000; k++ {
+		s.Add(m, k)
+	}
+	grown := s.Buckets(m)
+	if grown <= start {
+		t.Fatalf("buckets did not grow: %d -> %d", start, grown)
+	}
+	for k := uint64(0); k < 1000; k++ {
+		if !s.Contains(m, k) {
+			t.Fatalf("key %d lost across resize", k)
+		}
+	}
+	for k := uint64(0); k < 1000; k++ {
+		s.Remove(m, k)
+	}
+	if got := s.Buckets(m); got >= grown {
+		t.Fatalf("buckets did not shrink: %d -> %d", grown, got)
+	}
+}
+
+func TestHashSetMemoryReclaimed(t *testing.T) {
+	m := mem()
+	s := HashSet{RootSlot: 0}
+	s.Init(m)
+	base := m.InUseWords()
+	for k := uint64(0); k < 5000; k++ {
+		s.Add(m, k)
+	}
+	for k := uint64(0); k < 5000; k++ {
+		s.Remove(m, k)
+	}
+	// Everything except the header/bucket floor must have been freed.
+	if got := m.InUseWords(); got > base+4*hsMinBuckets {
+		t.Fatalf("in-use words after churn = %d, want near %d", got, base)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	m := mem()
+	q := Queue{RootSlot: 0}
+	q.Init(m)
+	if _, ok := q.Dequeue(m); ok {
+		t.Fatal("Dequeue on empty queue succeeded")
+	}
+	if _, ok := q.Peek(m); ok {
+		t.Fatal("Peek on empty queue succeeded")
+	}
+	for i := uint64(1); i <= 100; i++ {
+		q.Enqueue(m, i)
+	}
+	if q.Len(m) != 100 {
+		t.Fatalf("Len = %d, want 100", q.Len(m))
+	}
+	if v, ok := q.Peek(m); !ok || v != 1 {
+		t.Fatalf("Peek = %d,%v, want 1,true", v, ok)
+	}
+	for i := uint64(1); i <= 100; i++ {
+		v, ok := q.Dequeue(m)
+		if !ok || v != i {
+			t.Fatalf("Dequeue = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if q.Len(m) != 0 {
+		t.Fatalf("Len after drain = %d", q.Len(m))
+	}
+}
+
+func TestQueueInterleaved(t *testing.T) {
+	m := mem()
+	q := Queue{RootSlot: 0}
+	q.Init(m)
+	var model []uint64
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 10000; i++ {
+		if rng.Intn(2) == 0 {
+			v := rng.Uint64()
+			q.Enqueue(m, v)
+			model = append(model, v)
+		} else {
+			v, ok := q.Dequeue(m)
+			if ok != (len(model) > 0) {
+				t.Fatalf("op %d: Dequeue ok = %v, model len %d", i, ok, len(model))
+			}
+			if ok {
+				if v != model[0] {
+					t.Fatalf("op %d: Dequeue = %d, want %d", i, v, model[0])
+				}
+				model = model[1:]
+			}
+		}
+	}
+	items := q.Items(m)
+	if len(items) != len(model) {
+		t.Fatalf("Items len = %d, model %d", len(items), len(model))
+	}
+	for i := range model {
+		if items[i] != model[i] {
+			t.Fatalf("Items[%d] = %d, want %d", i, items[i], model[i])
+		}
+	}
+}
+
+func TestQueueNoLeak(t *testing.T) {
+	m := mem()
+	q := Queue{RootSlot: 0}
+	q.Init(m)
+	q.Enqueue(m, 1)
+	q.Dequeue(m)
+	base := m.InUseWords()
+	for i := 0; i < 1000; i++ {
+		q.Enqueue(m, uint64(i))
+		q.Dequeue(m)
+	}
+	if got := m.InUseWords(); got != base {
+		t.Fatalf("enq/deq churn leaked: %d -> %d words", base, got)
+	}
+}
+
+func TestStackLIFO(t *testing.T) {
+	m := mem()
+	s := Stack{RootSlot: 0}
+	s.Init(m)
+	if _, ok := s.Pop(m); ok {
+		t.Fatal("Pop on empty stack succeeded")
+	}
+	for i := uint64(1); i <= 50; i++ {
+		s.Push(m, i)
+	}
+	if v, ok := s.Peek(m); !ok || v != 50 {
+		t.Fatalf("Peek = %d,%v, want 50,true", v, ok)
+	}
+	for i := uint64(50); i >= 1; i-- {
+		v, ok := s.Pop(m)
+		if !ok || v != i {
+			t.Fatalf("Pop = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if s.Len(m) != 0 {
+		t.Fatal("stack not empty after draining")
+	}
+}
+
+func TestSPS(t *testing.T) {
+	m := mem()
+	s := SPS{RootSlot: 0}
+	s.Init(m, 100)
+	if s.Len(m) != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len(m))
+	}
+	wantSum := uint64(99 * 100 / 2)
+	if got := s.Sum(m); got != wantSum {
+		t.Fatalf("Sum = %d, want %d", got, wantSum)
+	}
+	s.Swap(m, 3, 97)
+	if s.Get(m, 3) != 97 || s.Get(m, 97) != 3 {
+		t.Fatalf("Swap failed: a[3]=%d a[97]=%d", s.Get(m, 3), s.Get(m, 97))
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		s.Swap(m, uint64(rng.Intn(100)), uint64(rng.Intn(100)))
+	}
+	if got := s.Sum(m); got != wantSum {
+		t.Fatalf("Sum after swaps = %d, want %d (swap must preserve sum)", got, wantSum)
+	}
+}
+
+func TestMultipleStructuresShareHeap(t *testing.T) {
+	m := mem()
+	l := ListSet{RootSlot: 0}
+	q := Queue{RootSlot: 1}
+	tr := RBTree{RootSlot: 2}
+	l.Init(m)
+	q.Init(m)
+	tr.Init(m)
+	for k := uint64(0); k < 200; k++ {
+		l.Add(m, k)
+		q.Enqueue(m, k)
+		tr.Add(m, k*2)
+	}
+	if l.Len(m) != 200 || q.Len(m) != 200 || tr.Len(m) != 200 {
+		t.Fatalf("lens: %d %d %d", l.Len(m), q.Len(m), tr.Len(m))
+	}
+	for k := uint64(0); k < 200; k++ {
+		if !l.Contains(m, k) || !tr.Contains(m, k*2) {
+			t.Fatalf("key %d missing after interleaved use", k)
+		}
+	}
+	if err := tr.Validate(m); err != "" {
+		t.Fatal(err)
+	}
+}
+
+func TestOOMPanics(t *testing.T) {
+	m := ptm.NewFlatMem(600) // tiny heap
+	s := ListSet{RootSlot: 0}
+	s.Init(m)
+	defer func() {
+		if recover() == nil {
+			t.Error("Add on exhausted heap did not panic")
+		}
+	}()
+	for k := uint64(0); k < 10000; k++ {
+		s.Add(m, k)
+	}
+}
+
+func BenchmarkRBTreeAddRemove(b *testing.B) {
+	m := mem()
+	tr := RBTree{RootSlot: 0}
+	tr.Init(m)
+	for k := uint64(0); k < 10000; k++ {
+		tr.Add(m, k*2)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(rng.Intn(20000))
+		if tr.Remove(m, k) {
+			tr.Add(m, k)
+		}
+	}
+}
+
+func BenchmarkHashSetAddRemove(b *testing.B) {
+	m := mem()
+	s := HashSet{RootSlot: 0}
+	s.Init(m)
+	for k := uint64(0); k < 10000; k++ {
+		s.Add(m, k)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(rng.Intn(10000))
+		if s.Remove(m, k) {
+			s.Add(m, k)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package seqds
+
+import "repro/internal/ptm"
+
+// SPS is the swap benchmark array (Fig. 4): a persistent array of 64-bit
+// integers whose entries are exchanged pairwise by transactions.
+type SPS struct {
+	RootSlot int
+}
+
+// sps block layout: [len, data0, data1, ...]
+
+// Init allocates the array with n entries, entry i initialized to i.
+func (s SPS) Init(m ptm.Mem, n uint64) {
+	s.InitEmpty(m, n)
+	s.FillRange(m, 0, n)
+}
+
+// InitEmpty allocates the array with n zero entries. Combined with
+// FillRange it lets large arrays be initialized in several transactions,
+// bounding per-transaction write-set sizes.
+func (s SPS) InitEmpty(m ptm.Mem, n uint64) {
+	blk := alloc(m, n+1)
+	m.Store(blk, n)
+	m.Store(ptm.RootAddr(s.RootSlot), blk)
+}
+
+// FillRange sets entries [lo, hi) to their index values.
+func (s SPS) FillRange(m ptm.Mem, lo, hi uint64) {
+	blk := m.Load(ptm.RootAddr(s.RootSlot))
+	for i := lo; i < hi; i++ {
+		m.Store(blk+1+i, i)
+	}
+}
+
+// Len returns the number of entries.
+func (s SPS) Len(m ptm.Mem) uint64 {
+	return m.Load(m.Load(ptm.RootAddr(s.RootSlot)))
+}
+
+// Get returns entry i.
+func (s SPS) Get(m ptm.Mem, i uint64) uint64 {
+	blk := m.Load(ptm.RootAddr(s.RootSlot))
+	return m.Load(blk + 1 + i)
+}
+
+// Swap exchanges entries i and j, the paper's unit of work: two modified
+// memory words per swap.
+func (s SPS) Swap(m ptm.Mem, i, j uint64) {
+	blk := m.Load(ptm.RootAddr(s.RootSlot))
+	a, b := m.Load(blk+1+i), m.Load(blk+1+j)
+	m.Store(blk+1+i, b)
+	m.Store(blk+1+j, a)
+}
+
+// Sum returns the sum of all entries. Swaps preserve it, so it serves as a
+// cheap consistency check after crashes.
+func (s SPS) Sum(m ptm.Mem) uint64 {
+	blk := m.Load(ptm.RootAddr(s.RootSlot))
+	n := m.Load(blk)
+	var sum uint64
+	for i := uint64(0); i < n; i++ {
+		sum += m.Load(blk + 1 + i)
+	}
+	return sum
+}

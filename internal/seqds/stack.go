@@ -1,0 +1,57 @@
+package seqds
+
+import "repro/internal/ptm"
+
+// Stack is a persistent linked stack — the data structure used in the
+// paper's Figures 2 and 3 to illustrate CX and Redo-PTM.
+type Stack struct {
+	RootSlot int
+}
+
+// Header layout: [top, size]. Node layout: [val, next].
+
+// Init creates an empty stack.
+func (s Stack) Init(m ptm.Mem) {
+	hdr := alloc(m, 2)
+	m.Store(hdr, 0)
+	m.Store(hdr+1, 0)
+	m.Store(ptm.RootAddr(s.RootSlot), hdr)
+}
+
+func (s Stack) hdr(m ptm.Mem) uint64 { return m.Load(ptm.RootAddr(s.RootSlot)) }
+
+// Len returns the number of elements.
+func (s Stack) Len(m ptm.Mem) uint64 { return m.Load(s.hdr(m) + 1) }
+
+// Push adds v on top of the stack.
+func (s Stack) Push(m ptm.Mem, v uint64) {
+	hdr := s.hdr(m)
+	n := alloc(m, 2)
+	m.Store(n, v)
+	m.Store(n+1, m.Load(hdr))
+	m.Store(hdr, n)
+	m.Store(hdr+1, m.Load(hdr+1)+1)
+}
+
+// Pop removes and returns the top element; ok is false on empty.
+func (s Stack) Pop(m ptm.Mem) (v uint64, ok bool) {
+	hdr := s.hdr(m)
+	top := m.Load(hdr)
+	if top == 0 {
+		return 0, false
+	}
+	v = m.Load(top)
+	m.Store(hdr, m.Load(top+1))
+	m.Free(top)
+	m.Store(hdr+1, m.Load(hdr+1)-1)
+	return v, true
+}
+
+// Peek returns the top element without removing it; ok is false on empty.
+func (s Stack) Peek(m ptm.Mem) (v uint64, ok bool) {
+	top := m.Load(s.hdr(m))
+	if top == 0 {
+		return 0, false
+	}
+	return m.Load(top), true
+}

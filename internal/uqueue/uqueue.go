@@ -1,0 +1,171 @@
+// Package uqueue provides the wait-free queue of mutations that establishes
+// the linearization order in the CX universal construction (the "turn
+// queue" of Ramalhete & Correia). Only enqueue is needed: nodes are never
+// dequeued — each Combined replica keeps its own cursor into the list and the
+// construction advances a shared head (the "door") for logical reclamation.
+//
+// Enqueue is wait-free through operation announcement and helping, following
+// the structure of the Kogan-Petrank wait-free queue: a thread announces its
+// pending enqueue in a per-thread slot with a monotonically increasing phase
+// number, then helps every announced operation with a phase at most its own
+// until its own operation is complete. Every node is assigned a ticket — its
+// 1-based position in the linearization — before the tail advances past it.
+//
+// Physical memory reclamation is delegated to the garbage collector; the CX
+// paper's hazard-pointer scheme is only needed in non-GC languages. The
+// externally visible effect of reclamation — replica invalidation when a
+// node leaves the reclamation window — is reproduced by AdvanceHead.
+package uqueue
+
+import "sync/atomic"
+
+// Node is one entry of the mutation queue. Nodes are single-use: enqueueing
+// the same node twice corrupts the queue.
+type Node[T any] struct {
+	Val    T
+	next   atomic.Pointer[Node[T]]
+	ticket atomic.Uint64
+	enqTid int32
+}
+
+// Next returns the successor of n, or nil if n is the last linked node.
+func (n *Node[T]) Next() *Node[T] { return n.next.Load() }
+
+// Ticket returns the node's 1-based position in the linearization order, or
+// 0 if the node has been linked but its enqueue has not yet been finished by
+// any helper. The sentinel has ticket 0.
+func (n *Node[T]) Ticket() uint64 { return n.ticket.Load() }
+
+// opDesc announces a pending enqueue. Descriptors are immutable; state
+// transitions replace the whole descriptor.
+type opDesc[T any] struct {
+	phase   uint64
+	pending bool
+	node    *Node[T]
+}
+
+// Queue is a wait-free multi-producer queue of Nodes.
+type Queue[T any] struct {
+	head     atomic.Pointer[Node[T]] // reclamation door; moves forward only
+	tail     atomic.Pointer[Node[T]]
+	state    []atomic.Pointer[opDesc[T]]
+	maxPhase atomic.Uint64
+}
+
+// New creates a queue usable by thread ids 0..maxThreads-1. The queue starts
+// with a sentinel node carrying ticket 0.
+func New[T any](maxThreads int) *Queue[T] {
+	if maxThreads <= 0 {
+		panic("uqueue: maxThreads must be positive")
+	}
+	q := &Queue[T]{state: make([]atomic.Pointer[opDesc[T]], maxThreads)}
+	sentinel := &Node[T]{enqTid: -1}
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	done := &opDesc[T]{}
+	for i := range q.state {
+		q.state[i].Store(done)
+	}
+	return q
+}
+
+// Head returns the current reclamation door. Nodes before the door are
+// considered reclaimed: a replica whose cursor is older than the door must be
+// rebuilt by copying from the most recent replica.
+func (q *Queue[T]) Head() *Node[T] { return q.head.Load() }
+
+// Tail returns the most recently finished node (the node the next enqueue
+// will link after). Immediately after New it returns the sentinel.
+func (q *Queue[T]) Tail() *Node[T] { return q.tail.Load() }
+
+// Enqueue appends a new node holding val on behalf of thread tid and returns
+// it. It is wait-free: it completes in a bounded number of steps regardless
+// of the progress of other threads.
+func (q *Queue[T]) Enqueue(tid int, val T) *Node[T] {
+	node := &Node[T]{Val: val, enqTid: int32(tid)}
+	phase := q.maxPhase.Add(1)
+	q.state[tid].Store(&opDesc[T]{phase: phase, pending: true, node: node})
+	q.help(phase)
+	q.helpFinish()
+	return node
+}
+
+// help completes every announced operation with phase at most the given one.
+func (q *Queue[T]) help(phase uint64) {
+	for tid := range q.state {
+		d := q.state[tid].Load()
+		if d.pending && d.phase <= phase {
+			q.helpEnq(tid, d.phase)
+		}
+	}
+}
+
+// isStillPending reports whether thread tid has an unfinished operation with
+// phase at most the given one.
+func (q *Queue[T]) isStillPending(tid int, phase uint64) bool {
+	d := q.state[tid].Load()
+	return d.pending && d.phase <= phase
+}
+
+// helpEnq links thread tid's announced node at the tail. Multiple helpers
+// may run concurrently for the same operation; exactly one link CAS wins.
+func (q *Queue[T]) helpEnq(tid int, phase uint64) {
+	for q.isStillPending(tid, phase) {
+		last := q.tail.Load()
+		next := last.next.Load()
+		if last != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			// The queue is mid-enqueue: finish it and retry.
+			q.helpFinish()
+			continue
+		}
+		d := q.state[tid].Load()
+		if !d.pending || d.phase > phase {
+			return
+		}
+		if last.next.CompareAndSwap(nil, d.node) {
+			q.helpFinish()
+			return
+		}
+	}
+}
+
+// helpFinish completes a half-done enqueue: assigns the linked node its
+// ticket, retires the owner's announcement, and swings the tail. The ticket
+// is always assigned and the announcement always retired before the tail
+// advances past the node, so a node reachable from Tail always has a ticket.
+func (q *Queue[T]) helpFinish() {
+	last := q.tail.Load()
+	next := last.next.Load()
+	if next == nil {
+		return
+	}
+	tid := next.enqTid
+	cur := q.state[tid].Load()
+	if last != q.tail.Load() {
+		return
+	}
+	next.ticket.CompareAndSwap(0, last.ticket.Load()+1)
+	if cur.pending && cur.node == next {
+		q.state[tid].CompareAndSwap(cur, &opDesc[T]{phase: cur.phase, pending: false, node: next})
+	}
+	q.tail.CompareAndSwap(last, next)
+}
+
+// AdvanceHead moves the reclamation door forward to n, which must be a node
+// of this queue at or after the current door. Nodes before n become
+// unreachable through the queue and are eventually collected once no replica
+// cursor references them. AdvanceHead never moves the door backwards.
+func (q *Queue[T]) AdvanceHead(n *Node[T]) {
+	for {
+		h := q.head.Load()
+		if h.Ticket() >= n.Ticket() {
+			return
+		}
+		if q.head.CompareAndSwap(h, n) {
+			return
+		}
+	}
+}

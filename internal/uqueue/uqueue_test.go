@@ -1,0 +1,263 @@
+package uqueue
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func drain[T any](q *Queue[T]) []T {
+	var out []T
+	for n := q.Head().Next(); n != nil; n = n.Next() {
+		out = append(out, n.Val)
+	}
+	return out
+}
+
+func TestNewPanicsOnBadMax(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New[int](0)
+}
+
+func TestSequentialEnqueue(t *testing.T) {
+	q := New[int](1)
+	for i := 1; i <= 5; i++ {
+		n := q.Enqueue(0, i*10)
+		if got := n.Ticket(); got != uint64(i) {
+			t.Fatalf("node %d ticket = %d, want %d", i, got, i)
+		}
+	}
+	got := drain(q)
+	want := []int{10, 20, 30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d nodes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if q.Tail().Ticket() != 5 {
+		t.Fatalf("Tail ticket = %d, want 5", q.Tail().Ticket())
+	}
+}
+
+func TestSentinelProperties(t *testing.T) {
+	q := New[int](2)
+	if q.Head() != q.Tail() {
+		t.Fatal("empty queue: head != tail")
+	}
+	if q.Head().Ticket() != 0 {
+		t.Fatalf("sentinel ticket = %d, want 0", q.Head().Ticket())
+	}
+	if q.Head().Next() != nil {
+		t.Fatal("sentinel has a successor in an empty queue")
+	}
+}
+
+func TestConcurrentEnqueueNoLossNoDup(t *testing.T) {
+	const threads = 8
+	const perThread = 2000
+	q := New[uint64](threads)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < perThread; i++ {
+				q.Enqueue(tid, uint64(tid)<<32|uint64(i))
+			}
+		}(tid)
+	}
+	wg.Wait()
+	vals := drain(q)
+	if len(vals) != threads*perThread {
+		t.Fatalf("queue holds %d nodes, want %d", len(vals), threads*perThread)
+	}
+	seen := make(map[uint64]bool, len(vals))
+	for _, v := range vals {
+		if seen[v] {
+			t.Fatalf("duplicate value %#x", v)
+		}
+		seen[v] = true
+	}
+	// Per-thread FIFO: values of each thread appear in insertion order.
+	lastIdx := make(map[uint64]int64, threads)
+	for tid := range lastIdx {
+		lastIdx[tid] = -1
+	}
+	for _, v := range vals {
+		tid, i := v>>32, int64(v&0xffffffff)
+		if prev, ok := lastIdx[tid]; ok && i <= prev {
+			t.Fatalf("thread %d out of order: %d after %d", tid, i, prev)
+		}
+		lastIdx[tid] = i
+	}
+}
+
+func TestTicketsAreDenseAndOrdered(t *testing.T) {
+	const threads = 4
+	const perThread = 1000
+	q := New[int](threads)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < perThread; i++ {
+				q.Enqueue(tid, 0)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	want := uint64(1)
+	for n := q.Head().Next(); n != nil; n = n.Next() {
+		if n.Ticket() != want {
+			t.Fatalf("ticket = %d, want %d", n.Ticket(), want)
+		}
+		want++
+	}
+	if want != threads*perThread+1 {
+		t.Fatalf("last ticket %d, want %d", want-1, threads*perThread)
+	}
+}
+
+func TestEnqueueReturnsOwnNode(t *testing.T) {
+	const threads = 6
+	q := New[int](threads)
+	var wg sync.WaitGroup
+	nodes := make([]*Node[int], threads)
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			nodes[tid] = q.Enqueue(tid, tid)
+		}(tid)
+	}
+	wg.Wait()
+	for tid, n := range nodes {
+		if n.Val != tid {
+			t.Fatalf("node for thread %d carries %d", tid, n.Val)
+		}
+		if n.Ticket() == 0 {
+			t.Fatalf("node for thread %d has no ticket", tid)
+		}
+		// The returned node must be reachable in the list.
+		found := false
+		for m := q.Head().Next(); m != nil; m = m.Next() {
+			if m == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("node for thread %d not linked", tid)
+		}
+	}
+}
+
+func TestAdvanceHead(t *testing.T) {
+	q := New[int](1)
+	var third *Node[int]
+	for i := 1; i <= 5; i++ {
+		n := q.Enqueue(0, i)
+		if i == 3 {
+			third = n
+		}
+	}
+	q.AdvanceHead(third)
+	if q.Head() != third {
+		t.Fatalf("head ticket = %d, want 3", q.Head().Ticket())
+	}
+	got := drain(q)
+	if len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Fatalf("after advance, remaining = %v, want [4 5]", got)
+	}
+	// Never moves backwards.
+	q.AdvanceHead(q.Head())
+	first := q.Head()
+	q.AdvanceHead(first)
+	if q.Head().Ticket() != 3 {
+		t.Fatalf("head moved: ticket %d", q.Head().Ticket())
+	}
+}
+
+func TestConcurrentAdvanceHeadMonotonic(t *testing.T) {
+	const threads = 4
+	q := New[int](threads)
+	nodes := make([]*Node[int], 0, 1000)
+	for i := 0; i < 1000; i++ {
+		nodes = append(nodes, q.Enqueue(0, i))
+	}
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := tid; i < len(nodes); i += threads {
+				q.AdvanceHead(nodes[i])
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if got := q.Head().Ticket(); got != 1000 {
+		t.Fatalf("final head ticket = %d, want 1000", got)
+	}
+}
+
+func BenchmarkEnqueueUncontended(b *testing.B) {
+	q := New[int](1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(0, i)
+	}
+}
+
+// TestQuickArbitraryInterleavings drives the queue with random per-thread
+// enqueue counts and validates global ticket density and per-thread FIFO.
+func TestQuickArbitraryInterleavings(t *testing.T) {
+	f := func(counts []uint8) bool {
+		if len(counts) == 0 {
+			return true
+		}
+		if len(counts) > 8 {
+			counts = counts[:8]
+		}
+		q := New[uint64](len(counts))
+		var wg sync.WaitGroup
+		total := 0
+		for tid, c := range counts {
+			n := int(c % 64)
+			total += n
+			wg.Add(1)
+			go func(tid, n int) {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					q.Enqueue(tid, uint64(tid)<<32|uint64(i))
+				}
+			}(tid, n)
+		}
+		wg.Wait()
+		want := uint64(1)
+		last := make(map[uint64]int64)
+		for n := q.Head().Next(); n != nil; n = n.Next() {
+			if n.Ticket() != want {
+				return false
+			}
+			want++
+			tid, i := n.Val>>32, int64(n.Val&0xffffffff)
+			if prev, ok := last[tid]; ok && i <= prev {
+				return false
+			}
+			last[tid] = i
+		}
+		return int(want)-1 == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
