@@ -118,11 +118,7 @@ func newRunner(name string, pool *pmem.Pool) (*kvRunner, error) {
 			},
 			insert: func(i int) { o.Update(0, 1, uint64(i)+1) },
 			verify: func(completed, n int) error {
-				var keys []uint64
-				o.Read(0, func(m ptm.Mem) uint64 {
-					keys = set.Keys(m)
-					return 0
-				})
+				keys := seqds.ReadSlice(o, 0, set.Keys)
 				if len(keys) < completed || len(keys) > n {
 					return fmt.Errorf("recovered %d keys, completed %d of %d", len(keys), completed, n)
 				}
@@ -175,11 +171,7 @@ func newRunner(name string, pool *pmem.Pool) (*kvRunner, error) {
 				})
 			},
 			verify: func(completed, n int) error {
-				var keys []uint64
-				p.Read(0, func(m ptm.Mem) uint64 {
-					keys = set.Keys(m)
-					return 0
-				})
+				keys := seqds.ReadSlice(p, 0, set.Keys)
 				if len(keys) < completed || len(keys) > n {
 					return fmt.Errorf("recovered %d keys, completed %d of %d", len(keys), completed, n)
 				}

@@ -1,0 +1,142 @@
+// Command pmemvet runs the repro static-analysis suite (internal/analysis)
+// over the module: determinism and purity of transaction closures (puredet),
+// the read-only contract of Read closures (readonly), flush-before-fence
+// ordering on pmem call sites (fenceorder), and literal thread ids against
+// configured thread counts (tidrange).
+//
+// Usage:
+//
+//	go run ./cmd/pmemvet ./...          # whole module
+//	go run ./cmd/pmemvet ./internal/core/redo ./examples/bank
+//
+// Diagnostics print as file:line:col: analyzer: message, one per line, and a
+// non-empty run exits 1. A violation can be silenced — with a mandatory
+// justification — by the directive
+//
+//	//pmemvet:allow <analyzer> -- <reason>
+//
+// on the flagged line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pmemvet [packages]\n\npackages are ./dir or ./... patterns; default ./...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmemvet:", err)
+		os.Exit(2)
+	}
+
+	var pkgs []*analysis.Pkg
+	seen := make(map[string]bool)
+	add := func(units []*analysis.Pkg) {
+		for _, u := range units {
+			key := u.Path + "/" + u.Unit
+			if !seen[key] {
+				seen[key] = true
+				pkgs = append(pkgs, u)
+			}
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			units, err := loader.LoadAll()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pmemvet:", err)
+				os.Exit(2)
+			}
+			add(units)
+		case strings.HasSuffix(pat, "/..."):
+			root := strings.TrimSuffix(pat, "/...")
+			subs, err := goDirsUnder(root)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pmemvet:", err)
+				os.Exit(2)
+			}
+			for _, dir := range subs {
+				units, err := loader.LoadDir(dir)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "pmemvet:", err)
+					os.Exit(2)
+				}
+				add(units)
+			}
+		default:
+			units, err := loader.LoadDir(pat)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pmemvet:", err)
+				os.Exit(2)
+			}
+			add(units)
+		}
+	}
+	if errs := loader.Errors(); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "pmemvet: type error:", e)
+		}
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(pkgs, loader.Fset, analysis.All())
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(".", pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "pmemvet: %d problem(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// goDirsUnder lists directories under root (inclusive) containing Go files,
+// skipping testdata, hidden and underscore-prefixed directories.
+func goDirsUnder(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}

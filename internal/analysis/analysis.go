@@ -1,0 +1,301 @@
+// Package analysis is pmemvet: a static-analysis suite for the persistence
+// and transaction disciplines that this repository's constructions rely on
+// but the Go compiler cannot check. Every PTM/PUC executes transaction
+// closures through helping and re-execution, so closures must be
+// deterministic and side-effect free (puredet); read-only closures must not
+// mutate (readonly); code driving pmem.Pool directly must flush every
+// mutated line before fencing and must fence every header publish
+// (fenceorder); and literal thread ids must fit the construction's
+// configured thread count (tidrange).
+//
+// The suite is built on go/parser, go/ast and go/types only — no
+// golang.org/x/tools — so the module keeps its empty dependency list. See
+// DESIGN.md, "Static checks".
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// An Analyzer checks one invariant over a loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// A Pass is one analyzer applied to one package unit.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Pkg
+	Fset     *token.FileSet
+	Prog     *Program
+	diags    *[]Diagnostic
+}
+
+// Report records a diagnostic at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns every analyzer in the suite.
+func All() []*Analyzer {
+	return []*Analyzer{PureDet, ReadOnly, FenceOrder, TidRange}
+}
+
+// allowRe matches suppression directives: a comment of the form
+//
+//	//pmemvet:allow <analyzer> -- <reason>
+//
+// on the flagged line or the line directly above it silences that analyzer
+// there. The reason is mandatory; undocumented suppressions defeat the point
+// of the checker.
+var allowRe = regexp.MustCompile(`^//pmemvet:allow\s+([a-z]+)\s+--\s+\S`)
+
+// Run applies the given analyzers to the given packages and returns the
+// surviving diagnostics sorted by position. Diagnostics on a test ("test")
+// unit that fall in non-test files are dropped, since the base unit already
+// reported them.
+func Run(pkgs []*Pkg, fset *token.FileSet, analyzers []*Analyzer) []Diagnostic {
+	allowed := collectAllows(pkgs, fset)
+	prog := NewProgram(fset, pkgs)
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		testOnly := pkg.Unit == "test"
+		var testFiles map[string]bool
+		if testOnly {
+			testFiles = make(map[string]bool)
+			for _, f := range pkg.Files {
+				name := fset.Position(f.Pos()).Filename
+				if strings.HasSuffix(name, "_test.go") {
+					testFiles[name] = true
+				}
+			}
+		}
+		for _, a := range analyzers {
+			var local []Diagnostic
+			pass := &Pass{Analyzer: a, Pkg: pkg, Fset: fset, Prog: prog, diags: &local}
+			a.Run(pass)
+			for _, d := range local {
+				if testOnly && !testFiles[d.Pos.Filename] {
+					continue
+				}
+				if allowed[allowKey{d.Pos.Filename, d.Pos.Line, a.Name}] ||
+					allowed[allowKey{d.Pos.Filename, d.Pos.Line - 1, a.Name}] {
+					continue
+				}
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+func collectAllows(pkgs []*Pkg, fset *token.FileSet) map[allowKey]bool {
+	out := make(map[allowKey]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := allowRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					out[allowKey{pos.Filename, pos.Line, m[1]}] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ---- shared type helpers -------------------------------------------------
+
+// isPtmMem reports whether t is the ptm.Mem transactional-memory interface
+// (any interface named Mem declared in a package named ptm, so fixture
+// copies of the interface are recognized too).
+func isPtmMem(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if _, ok := n.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Mem" && obj.Pkg() != nil && obj.Pkg().Name() == "ptm"
+}
+
+// isTxnFuncType reports whether t is the transaction-closure type
+// func(ptm.Mem) uint64 shared by every construction's Update/Read (and by
+// psim, onefile, romulus and friends, which reuse it).
+func isTxnFuncType(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	if !isPtmMem(sig.Params().At(0).Type()) {
+		return false
+	}
+	basic, ok := sig.Results().At(0).Type().(*types.Basic)
+	return ok && basic.Kind() == types.Uint64
+}
+
+// calleeFunc resolves the static callee of a call, or nil for indirect and
+// built-in calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// calleeSig returns the signature of a call's callee, or nil.
+func calleeSig(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// txnClosure describes a transaction closure found flowing into a
+// construction entry point.
+type txnClosure struct {
+	fn       *ast.FuncLit
+	call     *ast.CallExpr // the Update/Read/... call it flows into
+	method   string        // callee method/function name ("Update", "Read", ...)
+	readOnly bool          // flowed into a parameter of a method named Read*
+}
+
+// txnClosures finds every function literal whose type flows into a
+// parameter of type func(ptm.Mem) uint64, either directly as a call argument
+// or through a single local variable assignment (fn := func(...){...};
+// eng.Update(0, fn)).
+func txnClosures(pkg *Pkg, root ast.Node) []txnClosure {
+	info := pkg.Info
+	// Map local variables assigned exactly one FuncLit, for the one-hop
+	// flow. Reassigned variables are dropped (conservative).
+	litOf := make(map[types.Object]*ast.FuncLit)
+	dropped := make(map[types.Object]bool)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if lit, ok := rhs.(*ast.FuncLit); ok && litOf[obj] == nil && !dropped[obj] {
+			litOf[obj] = lit
+		} else {
+			dropped[obj] = true
+			delete(litOf, obj)
+		}
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+			for i := range as.Lhs {
+				if _, ok := as.Rhs[i].(*ast.FuncLit); ok {
+					record(as.Lhs[i], as.Rhs[i])
+				}
+			}
+		}
+		return true
+	})
+
+	var out []txnClosure
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sig := calleeSig(info, call)
+		if sig == nil {
+			return true
+		}
+		name := ""
+		if f := calleeFunc(info, call); f != nil {
+			name = f.Name()
+		}
+		for i, arg := range call.Args {
+			pi := i
+			if sig.Variadic() && pi >= sig.Params().Len() {
+				pi = sig.Params().Len() - 1
+			}
+			if pi >= sig.Params().Len() {
+				continue
+			}
+			if !isTxnFuncType(sig.Params().At(pi).Type()) {
+				continue
+			}
+			ro := strings.HasPrefix(name, "Read")
+			switch a := ast.Unparen(arg).(type) {
+			case *ast.FuncLit:
+				out = append(out, txnClosure{fn: a, call: call, method: name, readOnly: ro})
+			case *ast.Ident:
+				obj := info.Uses[a]
+				if lit := litOf[obj]; lit != nil {
+					out = append(out, txnClosure{fn: lit, call: call, method: name, readOnly: ro})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

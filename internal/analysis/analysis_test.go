@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the quoted regexes of a `// want "..." "..."` golden
+// expectation comment. Both double-quoted and backquoted strings are
+// accepted (backquotes keep regex metacharacters readable).
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+var wantArgRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// runFixture loads one fixture package under testdata/src and checks the
+// analyzer's diagnostics against the `// want` comments: every want must be
+// matched by a diagnostic on its line, and every diagnostic must be matched
+// by a want.
+func runFixture(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	if errs := loader.Errors(); len(errs) > 0 {
+		t.Fatalf("fixture %s has type errors: %v", fixture, errs[0])
+	}
+
+	type wantKey struct {
+		file string
+		line int
+	}
+	wants := make(map[wantKey][]string)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := loader.Fset.Position(c.Pos())
+					key := wantKey{pos.Filename, pos.Line}
+					for _, q := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+						if q[1] != "" {
+							wants[key] = append(wants[key], q[1])
+						} else {
+							wants[key] = append(wants[key], q[2])
+						}
+					}
+				}
+			}
+		}
+	}
+
+	diags := Run(pkgs, loader.Fset, []*Analyzer{a})
+	matched := make(map[string]bool) // "file:line:i" -> want consumed
+	for _, d := range diags {
+		key := wantKey{d.Pos.Filename, d.Pos.Line}
+		ok := false
+		for i, w := range wants[key] {
+			id := fmt.Sprintf("%s:%d:%d", key.file, key.line, i)
+			if matched[id] {
+				continue
+			}
+			re, err := regexp.Compile(w)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", key.file, key.line, w, err)
+			}
+			if re.MatchString(d.Message) {
+				matched[id] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for i, w := range ws {
+			id := fmt.Sprintf("%s:%d:%d", key.file, key.line, i)
+			if !matched[id] {
+				t.Errorf("%s:%d: no %s diagnostic matched want %q", key.file, key.line, a.Name, w)
+			}
+		}
+	}
+}
+
+func TestPureDetFixtures(t *testing.T)    { runFixture(t, PureDet, "puredet") }
+func TestReadOnlyFixtures(t *testing.T)   { runFixture(t, ReadOnly, "readonly") }
+func TestFenceOrderFixtures(t *testing.T) { runFixture(t, FenceOrder, "fenceorder") }
+func TestTidRangeFixtures(t *testing.T)   { runFixture(t, TidRange, "tidrange") }
+
+// TestPmemvetClean runs the whole suite over the repository itself, so a
+// plain `go test ./...` fails the moment a new violation is introduced,
+// even where CI is not wired up. This is the same check `ci.sh` runs via
+// cmd/pmemvet.
+func TestPmemvetClean(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	var diags []Diagnostic
+	for _, d := range Run(pkgs, loader.Fset, All()) {
+		diags = append(diags, d)
+	}
+	if len(diags) > 0 {
+		var b strings.Builder
+		for _, d := range diags {
+			fmt.Fprintf(&b, "  %s\n", d)
+		}
+		t.Errorf("pmemvet found %d violation(s) in the repository:\n%s", len(diags), b.String())
+	}
+}
+
+// TestAllowDirectiveRequiresReason pins the suppression grammar: a bare
+// directive without the `-- reason` tail must not silence anything.
+func TestAllowDirectiveRequiresReason(t *testing.T) {
+	for text, want := range map[string]bool{
+		"//pmemvet:allow readonly -- asserts the runtime panic": true,
+		"//pmemvet:allow readonly":                              false,
+		"//pmemvet:allow readonly --":                           false,
+		"//pmemvet:allow readonly -- ":                          false,
+		"// pmemvet:allow readonly -- spaced out":               false,
+	} {
+		if got := allowRe.MatchString(text); got != want {
+			t.Errorf("allowRe.MatchString(%q) = %v, want %v", text, got, want)
+		}
+	}
+}

@@ -1,0 +1,599 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FenceOrder checks the persistence-ordering discipline over direct
+// pmem.Pool / pmem.Region call sites, the recipe every construction in this
+// repository follows (Izraelevitz et al.'s pwb-per-mutated-line, ordered by
+// fences — the discipline whose violations Ben-David et al. and Marathe et
+// al. identify as the dominant source of durability bugs):
+//
+//   - A plain Store to a region must be covered by a PWB of that line (or a
+//     FlushRange / a helper that flushes the region) before any PFence /
+//     PFenceGlobal on that region along the same path. An unflushed store at
+//     a fence means the fence does not make it durable: in Direct-mode tests
+//     nothing fails, and the bug surfaces only as a flaky crash test.
+//   - A bulk CopyFrom must be covered by a FlushRange before a fence
+//     (NTCopyFrom / NTStoreLine bypass the cache and need no pwb).
+//   - A header publish (HeaderStore / HeaderCAS) must be flushed with
+//     PWBHeader before the PSync / PFenceGlobal that is supposed to make it
+//     durable, and a function that publishes a header must issue a trailing
+//     PSync / PFenceGlobal before returning.
+//
+// The analysis is intra-procedural over each function body (branches fork
+// the tracking state and merge by union; loop bodies are evaluated once),
+// with one inter-procedural assist: same-package helpers that flush a
+// region parameter (e.g. romulus.flushLines) count as covering flushes at
+// their call sites. Stores made by callees are not propagated — each
+// function is responsible for the fences it issues itself.
+//
+// AtomicStore and CAS are deliberately exempt: the hand-made lock-free
+// queues flush CAS'd locations selectively (FHMP elides tail flushes by
+// design, rebuilding the tail by traversal on recovery), so the plain-store
+// discipline does not apply to them. The pmem package itself (which
+// implements the primitives) and _test.go files (crash tests intentionally
+// construct partially-flushed states) are skipped.
+var FenceOrder = &Analyzer{
+	Name: "fenceorder",
+	Doc:  "stores must be flushed before fences; header publishes need a trailing fence",
+	Run:  runFenceOrder,
+}
+
+const bulkAddr = "<copied range>"
+
+func runFenceOrder(pass *Pass) {
+	if pass.Pkg.Path == "repro/internal/pmem" || strings.HasSuffix(pass.Pkg.Path, "/internal/pmem") {
+		return
+	}
+	if pass.Pkg.Unit != "base" {
+		return
+	}
+	fo := &fenceOrder{pass: pass, info: pass.Pkg.Info}
+	fo.flushHelpers = collectFlushHelpers(pass.Pkg)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fo.checkFunc(fd.Body)
+			// Function literals are separate execution contexts (they
+			// may run at another time or on another goroutine), so each
+			// is checked as its own function.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					fo.checkFunc(lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// fenceState tracks, along one path, which stored addresses still await a
+// flush and which header publishes still await a fence.
+type fenceState struct {
+	// dirty[receiver][addrExpr] = position of the uncovered Store.
+	dirty map[string]map[string]token.Pos
+	// hdrDirty[slotExpr] = position of the unflushed HeaderStore/CAS.
+	hdrDirty map[string]token.Pos
+	// hdrPending is the position of the latest header publish not yet
+	// followed by a PSync/PFenceGlobal (NoPos if none).
+	hdrPending token.Pos
+}
+
+func newFenceState() *fenceState {
+	return &fenceState{
+		dirty:    make(map[string]map[string]token.Pos),
+		hdrDirty: make(map[string]token.Pos),
+	}
+}
+
+func (s *fenceState) clone() *fenceState {
+	c := newFenceState()
+	for r, m := range s.dirty {
+		cm := make(map[string]token.Pos, len(m))
+		for a, p := range m {
+			cm[a] = p
+		}
+		c.dirty[r] = cm
+	}
+	for a, p := range s.hdrDirty {
+		c.hdrDirty[a] = p
+	}
+	c.hdrPending = s.hdrPending
+	return c
+}
+
+// merge unions other into s (the conservative join: dirty in any branch is
+// dirty after the merge).
+func (s *fenceState) merge(other *fenceState) {
+	for r, m := range other.dirty {
+		if s.dirty[r] == nil {
+			s.dirty[r] = make(map[string]token.Pos, len(m))
+		}
+		for a, p := range m {
+			if _, ok := s.dirty[r][a]; !ok {
+				s.dirty[r][a] = p
+			}
+		}
+	}
+	for a, p := range other.hdrDirty {
+		if _, ok := s.hdrDirty[a]; !ok {
+			s.hdrDirty[a] = p
+		}
+	}
+	if !s.hdrPending.IsValid() {
+		s.hdrPending = other.hdrPending
+	}
+}
+
+type fenceOrder struct {
+	pass         *Pass
+	info         *types.Info
+	flushHelpers map[*types.Func][]int // callee -> indices of flushed params (-1 = receiver)
+}
+
+func (fo *fenceOrder) checkFunc(body *ast.BlockStmt) {
+	st := newFenceState()
+	terminated := fo.stmt(body, st)
+	if !terminated {
+		fo.endChecks(st, body.End())
+	}
+}
+
+// endChecks runs at every return and at fall-off: a header published on
+// this path must have been flushed and fenced by now.
+func (fo *fenceOrder) endChecks(st *fenceState, end token.Pos) {
+	for slot, pos := range st.hdrDirty {
+		fo.pass.Report(pos, "header slot %s stored but neither flushed (PWBHeader) nor fenced by function end: the publish may never become durable", slot)
+		delete(st.hdrDirty, slot)
+	}
+	if st.hdrPending.IsValid() {
+		fo.pass.Report(st.hdrPending, "header publish without a trailing PSync/PFenceGlobal on this path: the new header value is flushed but not durably ordered")
+		st.hdrPending = token.NoPos
+	}
+}
+
+// stmt evaluates one statement, mutating st; it returns true if the path
+// terminates (return / panic-free analysis treats branch statements as
+// terminating their path contribution).
+func (fo *fenceOrder) stmt(s ast.Stmt, st *fenceState) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			if fo.stmt(sub, st) {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			fo.stmt(s.Init, st)
+		}
+		fo.calls(s.Cond, st)
+		thenSt := st.clone()
+		thenTerm := fo.stmt(s.Body, thenSt)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = fo.stmt(s.Else, elseSt)
+		}
+		*st = *newFenceState()
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			st.merge(elseSt)
+		case elseTerm:
+			st.merge(thenSt)
+		default:
+			st.merge(thenSt)
+			st.merge(elseSt)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			fo.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			fo.calls(s.Cond, st)
+		}
+		bodySt := st.clone()
+		term := fo.stmt(s.Body, bodySt)
+		if s.Post != nil && !term {
+			fo.stmt(s.Post, bodySt)
+		}
+		if !term {
+			// Loops are assumed to run at least once: the body state
+			// replaces the entry state, so flush helper loops
+			// (for s := f; s < end; s++ { region.PWB(...) }) count as
+			// covering flushes. The zero-iteration path is deliberately
+			// dropped — a conditionally-skipped flush loop is the rare
+			// case, an always-entered one the common case.
+			*st = *bodySt
+		}
+	case *ast.RangeStmt:
+		fo.calls(s.X, st)
+		bodySt := st.clone()
+		if !fo.stmt(s.Body, bodySt) {
+			*st = *bodySt // assume at least one iteration, as for ForStmt
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			fo.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			fo.calls(s.Tag, st)
+		}
+		fo.caseBodies(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		fo.caseBodies(s.Body, st)
+	case *ast.SelectStmt:
+		fo.caseBodies(s.Body, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			fo.calls(r, st)
+		}
+		fo.endChecks(st, s.Pos())
+		return true
+	case *ast.BranchStmt:
+		return true // break/continue/goto: stop tracking this path
+	case *ast.LabeledStmt:
+		return fo.stmt(s.Stmt, st)
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred/spawned work runs in another context; skip.
+	case nil:
+	default:
+		fo.calls(s, st)
+	}
+	return false
+}
+
+// caseBodies merges every case clause of a switch/select, plus the
+// fall-through (no matching case) state.
+func (fo *fenceOrder) caseBodies(body *ast.BlockStmt, st *fenceState) {
+	orig := st.clone()
+	merged := newFenceState()
+	merged.merge(orig)
+	for _, cc := range body.List {
+		var stmts []ast.Stmt
+		switch cc := cc.(type) {
+		case *ast.CaseClause:
+			stmts = cc.Body
+		case *ast.CommClause:
+			stmts = cc.Body
+		}
+		caseSt := orig.clone()
+		term := false
+		for _, sub := range stmts {
+			if fo.stmt(sub, caseSt) {
+				term = true
+				break
+			}
+		}
+		if !term {
+			merged.merge(caseSt)
+		}
+	}
+	*st = *merged
+}
+
+// calls processes every pmem call under n in source order, without
+// descending into nested function literals.
+func (fo *fenceOrder) calls(n ast.Node, st *fenceState) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			fo.call(call, st)
+		}
+		return true
+	})
+}
+
+// call interprets a single call expression against the tracking state.
+func (fo *fenceOrder) call(call *ast.CallExpr, st *fenceState) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		fo.helperCall(call, st)
+		return
+	}
+	recvKind := fo.pmemRecv(sel.X)
+	if recvKind == "" {
+		fo.helperCall(call, st)
+		return
+	}
+	recv := exprString(sel.X)
+	name := sel.Sel.Name
+	arg := func(i int) string {
+		if i < len(call.Args) {
+			return exprString(call.Args[i])
+		}
+		return ""
+	}
+	switch recvKind + "." + name {
+	case "Region.Store":
+		fo.markDirty(st, recv, arg(0), call.Pos())
+	case "Region.CopyFrom":
+		fo.markDirty(st, recv, bulkAddr, call.Pos())
+	case "Region.NTStoreLine", "Region.NTCopyFrom":
+		// Non-temporal: bypasses the cache, needs only a fence.
+	case "Region.PWB":
+		fo.flushAddr(st, recv, arg(0))
+	case "Region.FlushRange":
+		delete(st.dirty, recv)
+	case "Region.PFence":
+		for a, pos := range st.dirty[recv] {
+			fo.reportUnflushed(call, recv, a, pos)
+		}
+		delete(st.dirty, recv)
+	case "Pool.HeaderStore", "Pool.HeaderCAS":
+		st.hdrDirty[arg(0)] = call.Pos()
+		st.hdrPending = call.Pos()
+	case "Pool.PWBHeader":
+		if _, ok := st.hdrDirty[arg(0)]; ok {
+			delete(st.hdrDirty, arg(0))
+		} else {
+			// Unresolvable slot expression: assume it covers everything.
+			clear(st.hdrDirty)
+		}
+	case "Pool.PSync":
+		for slot, pos := range st.hdrDirty {
+			fo.pass.Report(call.Pos(), "PSync with unflushed header store of slot %s (stored at line %d, no PWBHeader in between): the fence does not make it durable", slot, fo.pass.Fset.Position(pos).Line)
+		}
+		clear(st.hdrDirty)
+		st.hdrPending = token.NoPos
+	case "Pool.PFenceGlobal":
+		for recv, m := range st.dirty {
+			for a, pos := range m {
+				fo.reportUnflushed(call, recv, a, pos)
+			}
+		}
+		clear(st.dirty)
+		for slot, pos := range st.hdrDirty {
+			fo.pass.Report(call.Pos(), "PFenceGlobal with unflushed header store of slot %s (stored at line %d, no PWBHeader in between): the fence does not make it durable", slot, fo.pass.Fset.Position(pos).Line)
+		}
+		clear(st.hdrDirty)
+		st.hdrPending = token.NoPos
+	}
+}
+
+func (fo *fenceOrder) reportUnflushed(fence *ast.CallExpr, recv, addr string, storePos token.Pos) {
+	what := fmt.Sprintf("Store(%s)", addr)
+	missing := "PWB"
+	if addr == bulkAddr {
+		what = "CopyFrom"
+		missing = "FlushRange"
+	}
+	fo.pass.Report(fence.Pos(), "fence on %s with unflushed %s (stored at line %d, no %s in between): the fence does not make it durable", recv, what, fo.pass.Fset.Position(storePos).Line, missing)
+}
+
+// markDirty records an uncovered store.
+func (fo *fenceOrder) markDirty(st *fenceState, recv, addr string, pos token.Pos) {
+	if st.dirty[recv] == nil {
+		st.dirty[recv] = make(map[string]token.Pos)
+	}
+	if _, ok := st.dirty[recv][addr]; !ok {
+		st.dirty[recv][addr] = pos
+	}
+}
+
+// flushAddr clears the dirty entries a PWB covers. A pwb flushes the whole
+// cache line, so entries sharing the flushed address's base term (Store(n),
+// Store(n+1), PWB(n) — nodes are line-aligned) are cleared together. A pwb
+// whose address matches nothing we track (e.g. computed line addresses like
+// PWB(line*WordsPerLine)) is assumed to cover the receiver's outstanding
+// stores — the analyzer only insists that *some* flush separates a plain
+// store from the fence.
+func (fo *fenceOrder) flushAddr(st *fenceState, recv, addr string) {
+	m := st.dirty[recv]
+	if len(m) == 0 {
+		return
+	}
+	base := baseTerm(addr)
+	matched := false
+	for a := range m {
+		if a != bulkAddr && baseTerm(a) == base {
+			delete(m, a)
+			matched = true
+		}
+	}
+	if !matched {
+		// Keep bulk dirtiness: a single-line pwb cannot cover a copy.
+		for a := range m {
+			if a != bulkAddr {
+				delete(m, a)
+			}
+		}
+	}
+	if len(m) == 0 {
+		delete(st.dirty, recv)
+	}
+}
+
+// helperCall applies flush summaries: calling a same-package helper that
+// flushes one of its region parameters counts as flushing the argument.
+func (fo *fenceOrder) helperCall(call *ast.CallExpr, st *fenceState) {
+	if len(fo.flushHelpers) == 0 || len(st.dirty) == 0 {
+		return
+	}
+	callee := calleeFunc(fo.info, call)
+	if callee == nil {
+		return
+	}
+	params, ok := fo.flushHelpers[callee]
+	if !ok {
+		return
+	}
+	clearRooted := func(root string) {
+		for recv := range st.dirty {
+			if recv == root || strings.HasPrefix(recv, root+".") {
+				delete(st.dirty, recv)
+			}
+		}
+	}
+	for _, pi := range params {
+		if pi == -1 {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				clearRooted(exprString(sel.X))
+			}
+		} else if pi < len(call.Args) {
+			clearRooted(exprString(call.Args[pi]))
+		}
+	}
+}
+
+// pmemRecv classifies a method receiver expression as a pmem Region or Pool
+// (directly or through a pointer), returning "" otherwise.
+func (fo *fenceOrder) pmemRecv(x ast.Expr) string {
+	tv, ok := fo.info.Types[x]
+	if !ok {
+		return ""
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "pmem" {
+		return ""
+	}
+	switch obj.Name() {
+	case "Region", "Pool":
+		return obj.Name()
+	}
+	return ""
+}
+
+// collectFlushHelpers finds functions that issue PWB/FlushRange on a value
+// rooted at one of their parameters (or their receiver), e.g.
+// flushLines(region *pmem.Region, lines []uint64).
+func collectFlushHelpers(pkg *Pkg) map[*types.Func][]int {
+	out := make(map[*types.Func][]int)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			// Parameter (and receiver) names eligible for rooting.
+			idx := make(map[string]int)
+			if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				idx[fd.Recv.List[0].Names[0].Name] = -1
+			}
+			pi := 0
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					idx[name.Name] = pi
+					pi++
+				}
+				if len(field.Names) == 0 {
+					pi++
+				}
+			}
+			seen := make(map[int]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "PWB", "FlushRange":
+				default:
+					return true
+				}
+				if root := rootIdent(sel.X); root != nil {
+					if i, ok := idx[root.Name]; ok && !seen[i] {
+						seen[i] = true
+						out[obj] = append(out[obj], i)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// exprString renders an expression canonically (space-free), so that
+// syntactically equal addresses compare equal regardless of source spacing.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.BinaryExpr:
+		return exprString(e.X) + e.Op.String() + exprString(e.Y)
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(e.X)
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.CallExpr:
+		parts := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			parts[i] = exprString(a)
+		}
+		return exprString(e.Fun) + "(" + strings.Join(parts, ",") + ")"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.CompositeLit:
+		return "{…}"
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+// baseTerm reduces an address expression to the term that determines its
+// cache line for nearby offsets: conversions are stripped and the left
+// operand of +/- chains is taken (base+1, base+2 → base). Multiplications
+// and other shapes stay opaque.
+func baseTerm(s string) string {
+	for {
+		switch {
+		case strings.HasPrefix(s, "uint64(") && strings.HasSuffix(s, ")"):
+			s = s[len("uint64(") : len(s)-1]
+		default:
+			// Cut at the first top-level + or -.
+			depth := 0
+			for i, r := range s {
+				switch r {
+				case '(', '[':
+					depth++
+				case ')', ']':
+					depth--
+				case '+', '-':
+					if depth == 0 && i > 0 {
+						return s[:i]
+					}
+				}
+			}
+			return s
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Pkg is one type-checked unit of the module: either a package's non-test
+// files (Unit == "base"), the package augmented with its in-package _test.go
+// files (Unit == "test"), or the external foo_test package (Unit == "xtest").
+// Only base units serve as import targets; test units exist solely so the
+// analyzers can see test code.
+type Pkg struct {
+	Path  string // import path, e.g. "repro/internal/ptm"
+	Dir   string
+	Unit  string // "base", "test" or "xtest"
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks every package of a module using only the
+// standard library: module-internal imports are resolved by walking the
+// module tree, everything else is handed to the go/importer source importer
+// (which compiles the standard library from $GOROOT/src). This sidesteps the
+// golang.org/x/tools dependency that go/packages would bring in, matching
+// the repository's empty go.mod.
+type Loader struct {
+	Fset    *token.FileSet
+	root    string // module root directory (holds go.mod)
+	modPath string // module path from go.mod
+
+	std  types.ImporterFrom
+	base map[string]*Pkg // import path -> base unit (import target)
+	errs []error
+}
+
+// NewLoader creates a loader for the module rooted at or above dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer unavailable")
+	}
+	return &Loader{
+		Fset:    fset,
+		root:    root,
+		modPath: modPath,
+		std:     std,
+		base:    make(map[string]*Pkg),
+	}, nil
+}
+
+// Root returns the module root directory.
+func (l *Loader) Root() string { return l.root }
+
+// ModPath returns the module path declared in go.mod.
+func (l *Loader) ModPath() string { return l.modPath }
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadAll loads every package under the module root, skipping testdata,
+// hidden and underscore-prefixed directories. It returns all units (base,
+// test and xtest) in deterministic order.
+func (l *Loader) LoadAll() ([]*Pkg, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var out []*Pkg
+	for _, dir := range dirs {
+		units, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, units...)
+	}
+	if len(l.errs) > 0 {
+		return out, fmt.Errorf("analysis: %d type error(s), first: %v", len(l.errs), l.errs[0])
+	}
+	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir loads the package in a single directory (which must be inside the
+// module), returning its base unit plus, when test files exist, the test and
+// xtest units.
+func (l *Loader) LoadDir(dir string) ([]*Pkg, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("analysis: %s is outside module %s", dir, l.root)
+	}
+	path := l.modPath
+	if rel != "." {
+		path = l.modPath + "/" + filepath.ToSlash(rel)
+	}
+
+	// The base unit may already be cached from an on-demand import; it must
+	// be reused, not re-checked, or the module would contain two distinct
+	// *types.Package instances for one import path and every cross-package
+	// assignment between them would fail to type-check.
+	bp := l.base[path]
+	base, inTest, xTest, err := l.parseDir(dir, bp != nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Pkg
+	if bp == nil {
+		bp, err = l.check(path, dir, "base", base)
+		if err != nil {
+			return nil, err
+		}
+		if bp != nil {
+			l.base[path] = bp
+		}
+	}
+	if bp != nil {
+		out = append(out, bp)
+	}
+	var baseFiles []*ast.File
+	if bp != nil {
+		baseFiles = bp.Files
+	}
+	if len(inTest) > 0 {
+		tp, err := l.check(path, dir, "test", append(append([]*ast.File{}, baseFiles...), inTest...))
+		if err != nil {
+			return nil, err
+		}
+		if tp != nil {
+			out = append(out, tp)
+		}
+	}
+	if len(xTest) > 0 {
+		xp, err := l.check(path+"_test", dir, "xtest", xTest)
+		if err != nil {
+			return nil, err
+		}
+		if xp != nil {
+			out = append(out, xp)
+		}
+	}
+	return out, nil
+}
+
+// parseDir splits a directory's files into non-test, in-package test and
+// external test files. With skipBase set, non-test files are not parsed
+// (the caller already holds their syntax from the base-unit cache; parsing
+// them again would give the same functions different positions and break
+// cross-unit object matching).
+func (l *Loader) parseDir(dir string, skipBase bool) (base, inTest, xTest []*ast.File, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasPrefix(e.Name(), ".") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if skipBase && !strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		switch {
+		case !strings.HasSuffix(name, "_test.go"):
+			base = append(base, f)
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			xTest = append(xTest, f)
+		default:
+			inTest = append(inTest, f)
+		}
+	}
+	return base, inTest, xTest, nil
+}
+
+// check type-checks one unit. Type errors are collected rather than fatal so
+// a single bad file does not hide every other diagnostic.
+func (l *Loader) check(path, dir, unit string, files []*ast.File) (*Pkg, error) {
+	if len(files) == 0 {
+		return nil, nil
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	cfg := &types.Config{
+		Importer: (*modImporter)(l),
+		Error:    func(err error) { l.errs = append(l.errs, err) },
+	}
+	tpkg, _ := cfg.Check(path, l.Fset, files, info)
+	return &Pkg{Path: path, Dir: dir, Unit: unit, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Errors returns the type errors accumulated so far.
+func (l *Loader) Errors() []error { return l.errs }
+
+// modImporter resolves module-internal imports through the loader and
+// everything else through the standard-library source importer.
+type modImporter Loader
+
+func (m *modImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *modImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(m)
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		if p, ok := l.base[path]; ok {
+			return p.Types, nil
+		}
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+		dir := filepath.Join(l.root, filepath.FromSlash(rel))
+		base, _, _, err := l.parseDir(dir, false)
+		if err != nil {
+			return nil, err
+		}
+		p, err := l.check(path, dir, "base", base)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+		}
+		l.base[path] = p
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}

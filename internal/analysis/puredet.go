@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PureDet enforces the determinism contract on transaction closures: any
+// closure flowing into a func(ptm.Mem) uint64 parameter (ptm.PTM.Update and
+// Read, and the same-shaped entry points of psim, onefile, romulus, pmdk)
+// may be executed more than once and by other threads — the paper's helping
+// mechanism (§3) — so given the same persistent state it must perform the
+// same loads, stores and allocations and return the same value.
+//
+// Flagged inside a transaction closure:
+//   - clock reads, timers, math/rand, runtime calls (directly or through
+//     statically resolvable helpers);
+//   - channel operations, select, and go statements;
+//   - map iteration whose body issues persistent stores (Go randomizes
+//     iteration order, so the store sequence differs between executions);
+//   - writes to variables captured from the enclosing function: when a
+//     helper re-executes the closure, those writes race with the owner and
+//     duplicate on retry. Results must flow out through the return value
+//     (or ptm.EmitBytes, which is executor-indexed).
+var PureDet = &Analyzer{
+	Name: "puredet",
+	Doc:  "transaction closures must be deterministic and free of captured-state writes",
+	Run:  runPureDet,
+}
+
+func runPureDet(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, cl := range txnClosures(pass.Pkg, file) {
+			checkClosurePurity(pass, info, cl)
+		}
+	}
+}
+
+func checkClosurePurity(pass *Pass, info *types.Info, cl txnClosure) {
+	fn := cl.fn
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Report(n.Pos(), "transaction closure starts a goroutine; closures may be re-executed by helpers and must be deterministic")
+		case *ast.SendStmt:
+			pass.Report(n.Pos(), "transaction closure sends on a channel; closures may be re-executed by helpers and must be deterministic")
+		case *ast.SelectStmt:
+			pass.Report(n.Pos(), "transaction closure uses select; closures may be re-executed by helpers and must be deterministic")
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				pass.Report(n.Pos(), "transaction closure receives from a channel; closures may be re-executed by helpers and must be deterministic")
+			}
+		case *ast.CallExpr:
+			if name := nondetCallName(info, n); name != "" {
+				pass.Report(n.Pos(), "transaction closure calls %s; closures may be re-executed by helpers and must be deterministic", name)
+				return true
+			}
+			if callee := pass.Prog.resolve(info, n); callee != nil {
+				if reason, ok := pass.Prog.Nondet(callee); ok {
+					pass.Report(n.Pos(), "transaction closure calls %s, which %s; closures may be re-executed by helpers and must be deterministic", callee.Name(), reason)
+				}
+			}
+		case *ast.RangeStmt:
+			checkMapRange(pass, info, n)
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkCapturedWrite(pass, info, fn, lhs, n.Tok.String())
+			}
+		case *ast.IncDecStmt:
+			checkCapturedWrite(pass, info, fn, n.X, n.Tok.String())
+		}
+		return true
+	})
+}
+
+// checkMapRange flags `for k := range m { ... Store ... }`: map iteration
+// order is randomized per execution, so a re-executed closure would issue
+// its stores in a different order (and, with Alloc in the body, produce a
+// different heap layout) than the consensus execution.
+func checkMapRange(pass *Pass, info *types.Info, rs *ast.RangeStmt) {
+	tv, ok := info.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	feeds := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if memMutatorName(info, call) != "" {
+			feeds = true
+		} else if callee := pass.Prog.resolve(info, call); callee != nil && passesMemArg(info, call) {
+			if _, ok := pass.Prog.Mutates(callee); ok {
+				feeds = true
+			}
+		}
+		return !feeds
+	})
+	if feeds {
+		pass.Report(rs.Pos(), "map iteration feeding persistent stores inside a transaction closure: iteration order is nondeterministic, so re-execution diverges")
+	}
+}
+
+// checkCapturedWrite flags assignments whose target is rooted at a variable
+// declared outside the closure.
+func checkCapturedWrite(pass *Pass, info *types.Info, fn *ast.FuncLit, lhs ast.Expr, tok string) {
+	root := rootIdent(lhs)
+	if root == nil || root.Name == "_" {
+		return
+	}
+	obj, ok := info.Uses[root].(*types.Var)
+	if !ok {
+		// Defs means `:=` declared it here, inside the closure.
+		return
+	}
+	if obj.IsField() {
+		return
+	}
+	if obj.Pos() >= fn.Pos() && obj.Pos() <= fn.End() {
+		return // declared inside the closure (or one of its params)
+	}
+	pass.Report(lhs.Pos(), "transaction closure writes captured variable %q (%s): re-executions by helper threads race and duplicate the write; return results instead", root.Name, tok)
+}
+
+// rootIdent unwraps selector/index/star/paren chains to the base identifier
+// of an assignable expression.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// ReadOnly enforces ptm.PTM.Read's contract: a closure passed to a method
+// named Read (or ReadWithBytes, or any Read*-shaped entry point with a
+// func(ptm.Mem) uint64 parameter) must not call Store, Alloc or Free on the
+// Mem it receives — directly or through helpers like seqds.Queue.Enqueue.
+//
+// At runtime a violation panics on the constructions whose read view rejects
+// mutation (redo, psim, romulus) — but only on the execution path actually
+// taken, only in the variants exercised, and in CX-PTM it silently corrupts
+// the replica instead, because CX hands read closures the same interposed
+// view as updates. The static check covers all paths on every construction.
+var ReadOnly = &Analyzer{
+	Name: "readonly",
+	Doc:  "read-only transaction closures must not call Store, Alloc or Free",
+	Run:  runReadOnly,
+}
+
+func runReadOnly(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, cl := range txnClosures(pass.Pkg, file) {
+			if !cl.readOnly {
+				continue
+			}
+			ast.Inspect(cl.fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name := memMutatorName(info, call); name != "" {
+					pass.Report(call.Pos(), "read-only transaction closure calls (ptm.Mem).%s; Read closures must not mutate (move this into an Update)", name)
+					return true
+				}
+				if callee := pass.Prog.resolve(info, call); callee != nil && passesMemArg(info, call) {
+					if reason, ok := pass.Prog.Mutates(callee); ok {
+						pass.Report(call.Pos(), "read-only transaction closure calls %s, which %s; Read closures must not mutate (move this into an Update)", callee.Name(), reason)
+					}
+				}
+				return true
+			})
+		}
+	}
+}

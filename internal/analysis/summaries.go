@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Program is the whole set of loaded units plus function-level summaries
+// computed by a fixed point over the static call graph. Summaries let the
+// closure checkers see through helpers: a Read closure calling
+// seqds.Queue.Enqueue is flagged even though the Store happens two calls
+// down.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Pkg
+
+	// decls maps every function/method object to its syntax.
+	decls map[*types.Func]*ast.FuncDecl
+	// declInfo maps the object to the types.Info of the unit that owns
+	// its body (needed to resolve calls inside that body).
+	declInfo map[*types.Func]*types.Info
+
+	// mutates: the function may call Store/Alloc/Free on a ptm.Mem that
+	// is passed to it. reason is the chain root, e.g. "calls
+	// (ptm.Mem).Store".
+	mutates map[*types.Func]string
+	// nondet: the function may observe nondeterminism (clock, rand,
+	// runtime, channels, goroutines). reason names the root cause.
+	nondet map[*types.Func]string
+}
+
+// NewProgram indexes the units and computes both summaries.
+func NewProgram(fset *token.FileSet, pkgs []*Pkg) *Program {
+	p := &Program{
+		Fset:     fset,
+		Pkgs:     pkgs,
+		decls:    make(map[*types.Func]*ast.FuncDecl),
+		declInfo: make(map[*types.Func]*types.Info),
+		mutates:  make(map[*types.Func]string),
+		nondet:   make(map[*types.Func]string),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				p.decls[obj] = fd
+				p.declInfo[obj] = pkg.Info
+			}
+		}
+	}
+	p.computeSummaries()
+	return p
+}
+
+// Mutates reports whether fn may mutate a ptm.Mem handed to it, with the
+// root cause.
+func (p *Program) Mutates(fn *types.Func) (string, bool) {
+	r, ok := p.mutates[fn]
+	return r, ok
+}
+
+// Nondet reports whether fn may behave nondeterministically, with the root
+// cause.
+func (p *Program) Nondet(fn *types.Func) (string, bool) {
+	r, ok := p.nondet[fn]
+	return r, ok
+}
+
+// memMutatorName returns the method name if call is x.Store / x.Alloc /
+// x.Free on a value whose static type is the ptm.Mem interface.
+func memMutatorName(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Store", "Alloc", "Free":
+	default:
+		return ""
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || !isPtmMem(tv.Type) {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// passesMemArg reports whether any argument of call has static type ptm.Mem.
+func passesMemArg(info *types.Info, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if tv, ok := info.Types[arg]; ok && isPtmMem(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// directNondet returns a description of the first direct nondeterminism
+// source in n (nil body parts are fine to pass), or "".
+//
+// Sources: clock reads and timers (time.Now & friends), math/rand,
+// runtime.*, channel operations, select, and go statements. These are
+// exactly the things a re-executed transaction closure must not do: a
+// helper thread replaying the closure would observe different values and
+// diverge from the consensus execution.
+func directNondet(info *types.Info, n ast.Node) (reason string, pos token.Pos) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			reason, pos = "starts a goroutine", n.Pos()
+		case *ast.SendStmt:
+			reason, pos = "sends on a channel", n.Pos()
+		case *ast.SelectStmt:
+			reason, pos = "uses select", n.Pos()
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				reason, pos = "receives from a channel", n.Pos()
+			}
+		case *ast.CallExpr:
+			if name := nondetCallName(info, n); name != "" {
+				reason, pos = "calls "+name, n.Pos()
+			}
+		}
+		return reason == ""
+	})
+	return reason, pos
+}
+
+// nondetCallName returns a printable name if call targets a known
+// nondeterminism source package (time's clock readers, math/rand, runtime).
+func nondetCallName(info *types.Info, call *ast.CallExpr) string {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		switch f.Name() {
+		case "Now", "Since", "Until", "Sleep", "After", "Tick", "NewTimer", "NewTicker":
+			return "time." + f.Name()
+		}
+	case "math/rand", "math/rand/v2":
+		return f.Pkg().Name() + "." + f.Name()
+	case "runtime":
+		return "runtime." + f.Name()
+	}
+	return ""
+}
+
+// computeSummaries seeds both summaries from function bodies, then closes
+// them over static calls until nothing changes. Interface-dispatched calls
+// (other than on ptm.Mem itself) are not resolved; that keeps the checker
+// free of false positives at the cost of missing dynamic dispatch, which
+// the fixture tests document.
+func (p *Program) computeSummaries() {
+	// Seed.
+	for fn, decl := range p.decls {
+		info := p.declInfo[fn]
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name := memMutatorName(info, call); name != "" {
+				if _, done := p.mutates[fn]; !done {
+					p.mutates[fn] = "calls (ptm.Mem)." + name
+				}
+			}
+			return true
+		})
+		if reason, _ := directNondet(info, decl.Body); reason != "" {
+			p.nondet[fn] = reason
+		}
+	}
+	// Propagate.
+	for changed := true; changed; {
+		changed = false
+		for fn, decl := range p.decls {
+			info := p.declInfo[fn]
+			_, hasMut := p.mutates[fn]
+			_, hasND := p.nondet[fn]
+			if hasMut && hasND {
+				continue
+			}
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := p.resolve(info, call)
+				if callee == nil {
+					return true
+				}
+				if !hasMut {
+					if _, ok := p.mutates[callee]; ok && passesMemArg(info, call) {
+						p.mutates[fn] = "calls " + callee.Name() + ", which " + p.mutates[callee]
+						hasMut, changed = true, true
+					}
+				}
+				if !hasND {
+					if _, ok := p.nondet[callee]; ok {
+						p.nondet[fn] = "calls " + callee.Name() + ", which " + p.nondet[callee]
+						hasND, changed = true, true
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// resolve maps a call to the *types.Func whose body we have, looking the
+// object up across units by position (base and test units type-check the
+// same files into distinct objects).
+func (p *Program) resolve(info *types.Info, call *ast.CallExpr) *types.Func {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return nil
+	}
+	if _, ok := p.decls[f]; ok {
+		return f
+	}
+	// Cross-unit: find a declared function with the same position.
+	for cand := range p.decls {
+		if cand.Pos() == f.Pos() && cand.Name() == f.Name() {
+			return cand
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+// Package fenceorder is a pmemvet fixture: positive and negative cases for
+// the flush-before-fence dataflow checker.
+package fenceorder
+
+import "repro/internal/pmem"
+
+// --- positive cases ---------------------------------------------------------
+
+func storeWithoutPWB(r *pmem.Region) {
+	r.Store(8, 1)
+	r.PFence() // want "unflushed Store"
+}
+
+func publishWithoutPWBHeader(p *pmem.Pool) {
+	p.HeaderStore(0, 1)
+	p.PSync() // want "unflushed header store"
+}
+
+func publishWithoutTrailingFence(p *pmem.Pool) {
+	p.HeaderStore(0, 1) // want "header publish without a trailing PSync/PFenceGlobal"
+	p.PWBHeader(0)
+}
+
+func copyWithoutFlushRange(dst, src *pmem.Region) {
+	dst.CopyFrom(src, 64)
+	dst.PFence() // want "unflushed CopyFrom"
+}
+
+func conditionallyUnflushed(r *pmem.Region, dirty bool) {
+	if dirty {
+		r.Store(8, 1)
+	}
+	r.PFence() // want "unflushed Store"
+}
+
+func globalFenceSeesAllRegions(a, b *pmem.Region, p *pmem.Pool) {
+	a.Store(8, 1)
+	a.PWB(8)
+	b.Store(16, 2)
+	p.PFenceGlobal() // want `unflushed Store\(16\)`
+}
+
+// --- negative cases ---------------------------------------------------------
+
+func storeFlushedThenFenced(r *pmem.Region) {
+	r.Store(8, 1)
+	r.PWB(8)
+	r.PFence()
+}
+
+// adjacentWordsShareALine: PWB flushes a whole cache line, so nearby
+// offsets off the same base are covered by one pwb.
+func adjacentWordsShareALine(r *pmem.Region, base uint64) {
+	r.Store(base, 1)
+	r.Store(base+1, 2)
+	r.PWB(base)
+	r.PFence()
+}
+
+func flushRangeCoversCopy(dst, src *pmem.Region) {
+	dst.CopyFrom(src, 64)
+	dst.FlushRange(0, 64)
+	dst.PFence()
+}
+
+func nonTemporalNeedsNoFlush(r *pmem.Region, words []uint64) {
+	r.NTStoreLine(0, words)
+	r.PFence()
+}
+
+func fullPublishSequence(p *pmem.Pool) {
+	p.HeaderStore(0, 1)
+	p.PWBHeader(0)
+	p.PSync()
+}
+
+func bothBranchesFlushed(r *pmem.Region, dirty bool) {
+	if dirty {
+		r.Store(8, 1)
+		r.PWB(8)
+	} else {
+		r.Store(16, 2)
+		r.PWB(16)
+	}
+	r.PFence()
+}
+
+// flushLoop mirrors onll's helping loop: the pwb addresses are computed, so
+// they match no tracked store expression, and the loop body is assumed to
+// run at least once — the fence is considered covered.
+func flushLoop(r *pmem.Region, from, to uint64) {
+	r.Store(from*8, 1)
+	for s := from; s < to; s++ {
+		r.PWB(s * 8)
+	}
+	r.PFence()
+}
+
+// flushAll is a flush helper: calling it counts as flushing its region
+// argument (the romulus flushLines pattern).
+func flushAll(r *pmem.Region, n uint64) {
+	r.FlushRange(0, n)
+}
+
+func helperFlush(r *pmem.Region) {
+	r.Store(8, 1)
+	flushAll(r, 64)
+	r.PFence()
+}
+
+// storeWithoutFenceInFunction never fences, so this function owes nothing:
+// the caller issuing the fence is responsible (the redo replay pattern).
+func storeWithoutFenceInFunction(r *pmem.Region) {
+	r.Store(8, 1)
+	r.PWB(8)
+}

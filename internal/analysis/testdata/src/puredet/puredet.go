@@ -1,0 +1,122 @@
+// Package puredet is a pmemvet fixture: positive and negative cases for the
+// determinism checker. Lines carrying a golden-expectation comment must
+// produce a matching diagnostic; all other lines must stay silent.
+package puredet
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/ptm"
+)
+
+// engine mimics a construction entry point: any method with a
+// func(ptm.Mem) uint64 parameter is a transaction boundary.
+type engine struct{}
+
+func (engine) Update(tid int, fn func(ptm.Mem) uint64) uint64 { return fn(nil) }
+func (engine) Read(tid int, fn func(ptm.Mem) uint64) uint64   { return fn(nil) }
+
+// --- positive cases ---------------------------------------------------------
+
+func clockInsideClosure(e engine) uint64 {
+	return e.Update(0, func(m ptm.Mem) uint64 {
+		return uint64(time.Now().UnixNano()) // want "calls time.Now"
+	})
+}
+
+func randInsideClosure(e engine) uint64 {
+	return e.Update(0, func(m ptm.Mem) uint64 {
+		return uint64(rand.Int63()) // want "calls rand.Int63"
+	})
+}
+
+func capturedWrite(e engine) uint64 {
+	var count uint64
+	e.Update(0, func(m ptm.Mem) uint64 {
+		count++ // want "writes captured variable"
+		return 0
+	})
+	return count
+}
+
+func channelReceive(e engine, ch chan uint64) uint64 {
+	return e.Update(0, func(m ptm.Mem) uint64 {
+		return <-ch // want "receives from a channel"
+	})
+}
+
+func mapRangeFeedingStore(e engine, vals map[uint64]uint64) {
+	e.Update(0, func(m ptm.Mem) uint64 {
+		for k, v := range vals { // want "map iteration feeding persistent stores"
+			m.Store(k, v)
+		}
+		return 0
+	})
+}
+
+// nowHelper hides the clock read one call away; the fixed-point summary
+// must still see it.
+func nowHelper() uint64 { return uint64(time.Now().UnixNano()) }
+
+func transitiveClock(e engine) uint64 {
+	return e.Update(0, func(m ptm.Mem) uint64 {
+		return nowHelper() // want "calls nowHelper, which calls time.Now"
+	})
+}
+
+// --- negative cases ---------------------------------------------------------
+
+// pureClosure only loads, stores and computes: deterministic, nothing
+// escapes except the return value.
+func pureClosure(e engine) uint64 {
+	return e.Update(0, func(m ptm.Mem) uint64 {
+		v := m.Load(8) + 1
+		m.Store(8, v)
+		return v
+	})
+}
+
+// capturedRead reads (but never writes) enclosing state; re-execution sees
+// the same value, so this is allowed.
+func capturedRead(e engine, delta uint64) uint64 {
+	return e.Update(0, func(m ptm.Mem) uint64 {
+		v := m.Load(8) + delta
+		m.Store(8, v)
+		return v
+	})
+}
+
+// localWrites mutate variables declared inside the closure; each execution
+// gets a fresh copy.
+func localWrites(e engine) uint64 {
+	return e.Update(0, func(m ptm.Mem) uint64 {
+		sum := uint64(0)
+		for i := uint64(0); i < 4; i++ {
+			sum += m.Load(i)
+		}
+		return sum
+	})
+}
+
+// sliceRangeWithStore is fine: slice iteration order is deterministic, only
+// map iteration is randomized.
+func sliceRangeWithStore(e engine, vals []uint64) {
+	e.Update(0, func(m ptm.Mem) uint64 {
+		for i, v := range vals {
+			m.Store(uint64(i), v)
+		}
+		return 0
+	})
+}
+
+// rngOutsideClosure draws randomness before entering the transaction — the
+// closure itself is a pure function of the drawn value. This is the
+// workload-generator pattern used by internal/bench.
+func rngOutsideClosure(e engine, rng *rand.Rand) {
+	k := uint64(rng.Int63())
+	e.Update(0, func(m ptm.Mem) uint64 {
+		m.Store(8, k)
+		return 0
+	})
+}

@@ -1,0 +1,93 @@
+// Package readonly is a pmemvet fixture: positive and negative cases for
+// the Read-closure mutation checker.
+package readonly
+
+import "repro/internal/ptm"
+
+type engine struct{}
+
+func (engine) Update(tid int, fn func(ptm.Mem) uint64) uint64 { return fn(nil) }
+func (engine) Read(tid int, fn func(ptm.Mem) uint64) uint64   { return fn(nil) }
+
+// --- positive cases ---------------------------------------------------------
+
+func storeInRead(e engine) uint64 {
+	return e.Read(0, func(m ptm.Mem) uint64 {
+		m.Store(8, 1) // want `calls \(ptm\.Mem\)\.Store`
+		return m.Load(8)
+	})
+}
+
+func allocInRead(e engine) uint64 {
+	return e.Read(0, func(m ptm.Mem) uint64 {
+		return m.Alloc(4) // want `calls \(ptm\.Mem\)\.Alloc`
+	})
+}
+
+func freeInRead(e engine) {
+	e.Read(0, func(m ptm.Mem) uint64 {
+		m.Free(m.Load(0)) // want `calls \(ptm\.Mem\)\.Free`
+		return 0
+	})
+}
+
+// push hides the Store one call away; the mutation summary must carry it
+// back to the Read closure.
+func push(m ptm.Mem, v uint64) {
+	top := m.Load(0)
+	m.Store(top+1, v)
+	m.Store(0, top+1)
+}
+
+func transitiveStoreInRead(e engine) {
+	e.Read(0, func(m ptm.Mem) uint64 {
+		push(m, 7) // want "calls push, which calls"
+		return 0
+	})
+}
+
+// The one-hop variable flow must be tracked too: the closure is assigned to
+// a local before reaching Read.
+func storeViaVariable(e engine) {
+	fn := func(m ptm.Mem) uint64 {
+		m.Store(8, 1) // want `calls \(ptm\.Mem\)\.Store`
+		return 0
+	}
+	e.Read(0, fn)
+}
+
+// --- negative cases ---------------------------------------------------------
+
+// loadsOnly is the intended shape of a read transaction.
+func loadsOnly(e engine) uint64 {
+	return e.Read(0, func(m ptm.Mem) uint64 {
+		sum := uint64(0)
+		for i := uint64(0); i < 8; i++ {
+			sum += m.Load(i)
+		}
+		return sum
+	})
+}
+
+// storeInUpdate is not readonly's business — update closures may mutate.
+func storeInUpdate(e engine) uint64 {
+	return e.Update(0, func(m ptm.Mem) uint64 {
+		m.Store(8, 1)
+		return 0
+	})
+}
+
+// pureHelperInRead calls a helper that only loads; no diagnostic.
+func sum(m ptm.Mem, n uint64) uint64 {
+	s := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		s += m.Load(i)
+	}
+	return s
+}
+
+func pureHelperInRead(e engine) uint64 {
+	return e.Read(0, func(m ptm.Mem) uint64 {
+		return sum(m, 8)
+	})
+}

@@ -1,0 +1,81 @@
+// Package tidrange is a pmemvet fixture: positive and negative cases for
+// the literal-thread-id range checker.
+package tidrange
+
+import "repro/internal/ptm"
+
+// Engine mimics a construction sized by Config.Threads.
+type Config struct {
+	Threads int
+	Verbose bool
+}
+
+type Engine struct{ n int }
+
+func New(cfg Config) *Engine { return &Engine{cfg.Threads} }
+
+func (e *Engine) Update(tid int, fn func(ptm.Mem) uint64) uint64 { return 0 }
+func (e *Engine) Read(tid int, fn func(ptm.Mem) uint64) uint64   { return 0 }
+
+// Queue mimes the handmade constructors, which take a bare threads param.
+type Queue struct{ n int }
+
+func NewQueue(threads int) *Queue { return &Queue{threads} }
+
+func (q *Queue) Enqueue(tid int, v uint64) {}
+
+// --- positive cases ---------------------------------------------------------
+
+func tidEqualToCount() {
+	e := New(Config{Threads: 2})
+	e.Update(2, nil) // want "thread id 2 out of range"
+}
+
+func tidAboveCount() {
+	e := New(Config{Threads: 2})
+	e.Read(7, nil) // want "thread id 7 out of range"
+}
+
+func negativeTid() {
+	e := New(Config{Threads: 4})
+	e.Update(-1, nil) // want "thread id -1 out of range"
+}
+
+const workers = 3
+
+func namedConstantTid() {
+	e := New(Config{Threads: workers})
+	e.Update(workers, nil) // want "thread id 3 out of range"
+}
+
+func bareThreadsParam() {
+	q := NewQueue(2)
+	q.Enqueue(2, 9) // want "thread id 2 out of range"
+}
+
+// --- negative cases ---------------------------------------------------------
+
+func tidsInRange() {
+	e := New(Config{Threads: 2})
+	e.Update(0, nil)
+	e.Update(1, nil)
+	e.Read(1, nil)
+	q := NewQueue(4)
+	q.Enqueue(3, 9)
+}
+
+func variableTidIsNotChecked(tid int) {
+	e := New(Config{Threads: 2})
+	e.Update(tid, nil) // dynamic: nothing to prove statically
+}
+
+func variableThreadCountIsNotTracked(n int) {
+	e := New(Config{Threads: n})
+	e.Update(9, nil) // count unknown at compile time
+}
+
+func reassignedEngineIsDropped(n int) {
+	e := New(Config{Threads: 1})
+	e = New(Config{Threads: n})
+	e.Update(5, nil) // count no longer known
+}

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// TidRange checks literal thread ids against the construction's configured
+// thread count. Every construction sizes its per-thread state (announce
+// arrays, combiner slots, sequence logs) from Config.Threads / a `threads`
+// constructor parameter, and indexes it with the caller-supplied tid without
+// bounds checks — the paper's model gives each thread a fixed id in
+// [0, maxThreads). An out-of-range literal tid panics at runtime on the
+// first call, or worse, silently aliases another thread's slot where the
+// state is stored in a shared flat region.
+//
+// The analysis is intra-functional: it tracks variables initialized from a
+// constructor call whose configuration carries a constant thread count
+// (a composite literal with a Threads field, or a constant argument to a
+// parameter named threads/maxThreads), then checks constant arguments
+// passed to parameters named "tid" on method calls through those variables.
+var TidRange = &Analyzer{
+	Name: "tidrange",
+	Doc:  "literal thread ids must be < the construction's configured thread count",
+	Run:  runTidRange,
+}
+
+func runTidRange(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkTidRange(pass, info, fd.Body)
+		}
+	}
+}
+
+func checkTidRange(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	// engines maps a local variable to the constant thread count its
+	// constructor was configured with. Reassignment drops the binding.
+	engines := make(map[*types.Var]int64)
+
+	// First pass: collect constructor bindings, in source order; second
+	// pass inline — since bindings only flow forward through method calls
+	// and Go evaluates in order within the body walk, a single Inspect
+	// handling both is sufficient (the constructor assignment always
+	// precedes the use in these idioms; out-of-order uses just go
+	// unchecked, which is conservative).
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Lhs {
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj, _ := objOf(info, id).(*types.Var)
+				if obj == nil {
+					continue
+				}
+				if count, ok := threadCountOf(info, n.Rhs[i]); ok {
+					engines[obj] = count
+				} else {
+					delete(engines, obj)
+				}
+			}
+		case *ast.CallExpr:
+			checkTidArgs(pass, info, engines, n)
+		}
+		return true
+	})
+}
+
+// objOf resolves an identifier's object through either Defs (`:=`) or Uses
+// (`=`).
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// threadCountOf inspects an expression and, if it is a call carrying a
+// constant thread-count configuration, returns that count. Two idioms are
+// recognized:
+//
+//	eng := redo.New(pool, redo.Config{Threads: 2, ...})   // Threads field
+//	q := handmade.NewFHMP(region, 4)                      // threads param
+//
+// Calls that derive the count from a variable return !ok — nothing to
+// check statically.
+func threadCountOf(info *types.Info, rhs ast.Expr) (int64, bool) {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return 0, false
+	}
+	// Idiom 1: any composite-literal argument with a constant field named
+	// Threads (redo.Config, cx.Config, redodb.Options, ...).
+	for _, arg := range call.Args {
+		lit, ok := ast.Unparen(arg).(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || key.Name != "Threads" {
+				continue
+			}
+			if v, ok := constIntValue(info, kv.Value); ok {
+				return v, true
+			}
+			return 0, false
+		}
+	}
+	// Idiom 2: a constant argument whose parameter is named threads or
+	// maxThreads.
+	sig := calleeSig(info, call)
+	if sig == nil {
+		return 0, false
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break
+		}
+		switch sig.Params().At(i).Name() {
+		case "threads", "maxThreads", "nThreads":
+			if v, ok := constIntValue(info, arg); ok {
+				return v, true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// checkTidArgs flags out-of-range constant tids on method calls through a
+// tracked engine variable.
+func checkTidArgs(pass *Pass, info *types.Info, engines map[*types.Var]int64, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recv := ast.Unparen(sel.X)
+	id, ok := recv.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj, _ := info.Uses[id].(*types.Var)
+	if obj == nil {
+		return
+	}
+	count, tracked := engines[obj]
+	if !tracked {
+		return
+	}
+	sig := calleeSig(info, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break
+		}
+		if sig.Params().At(i).Name() != "tid" {
+			continue
+		}
+		v, ok := constIntValue(info, arg)
+		if !ok {
+			continue
+		}
+		if v < 0 || v >= count {
+			pass.Report(arg.Pos(), "thread id %d out of range for %s, which was configured with %d thread(s): tids must be in [0, %d)", v, id.Name, count, count)
+		}
+	}
+}
+
+// constIntValue evaluates e as a compile-time integer constant (literals and
+// named constants both work, via types.Info).
+func constIntValue(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	if !exact {
+		return 0, false
+	}
+	return v, true
+}

@@ -49,11 +49,7 @@ func FuzzEngineCrashPoint(f *testing.F) {
 		}()
 		pool.Crash(pmem.CrashConservative, nil)
 		p := eng.NewOnPool(1, pool)
-		var keys []uint64
-		p.Read(0, func(m ptm.Mem) uint64 {
-			keys = set.Keys(m)
-			return 0
-		})
+		keys := seqds.ReadSlice(p, 0, set.Keys)
 		if len(keys) < completed || len(keys) > n {
 			t.Fatalf("%s fail=%d: recovered %d keys, completed %d",
 				eng.Name, failPoint, len(keys), completed)

@@ -51,11 +51,7 @@ func recoverAndCheck(t *testing.T, pool *pmem.Pool, interpose bool, completed, n
 	pool.Crash(pmem.CrashConservative, nil)
 	e := New(pool, Config{Threads: 1, Interpose: interpose})
 	s := seqds.ListSet{RootSlot: 0}
-	keys := make([]uint64, 0, n)
-	e.Read(0, func(m ptm.Mem) uint64 {
-		keys = s.Keys(m)
-		return 0
-	})
+	keys := seqds.ReadSlice(e, 0, s.Keys)
 	if len(keys) < completed {
 		t.Fatalf("recovered %d keys, but %d inserts had completed", len(keys), completed)
 	}
@@ -128,11 +124,7 @@ func TestAdversarialCrashPoints(t *testing.T) {
 		pool.Crash(pmem.CrashAdversarial, rng)
 		e := New(pool, Config{Threads: 1, Interpose: true})
 		s := seqds.ListSet{RootSlot: 0}
-		var keys []uint64
-		e.Read(0, func(m ptm.Mem) uint64 {
-			keys = s.Keys(m)
-			return 0
-		})
+		keys := seqds.ReadSlice(e, 0, s.Keys)
 		if len(keys) < completed {
 			t.Fatalf("fail=%d: recovered %d keys, %d completed", fail, len(keys), completed)
 		}
@@ -163,11 +155,7 @@ func TestDoubleCrash(t *testing.T) {
 	pool.Crash(pmem.CrashConservative, nil)
 	// Third era: everything from both eras must be present.
 	e = New(pool, Config{Threads: 1, Interpose: true})
-	var keys []uint64
-	e.Read(0, func(m ptm.Mem) uint64 {
-		keys = s.Keys(m)
-		return 0
-	})
+	keys := seqds.ReadSlice(e, 0, s.Keys)
 	if len(keys) != 2*n {
 		t.Fatalf("recovered %d keys after two eras, want %d", len(keys), 2*n)
 	}
@@ -244,14 +232,14 @@ func TestCrashAfterInvalidationCopies(t *testing.T) {
 	}
 	pool.Crash(pmem.CrashConservative, nil)
 	e2 := New(pool, Config{Threads: threads, Interpose: true})
-	var missing int
-	e2.Read(0, func(m ptm.Mem) uint64 {
+	missing := e2.Read(0, func(m ptm.Mem) uint64 {
+		var missing uint64
 		for k := uint64(1); k <= threads*per; k++ {
 			if !s.Contains(m, k) {
 				missing++
 			}
 		}
-		return 0
+		return missing
 	})
 	if missing != 0 {
 		t.Fatalf("%d completed inserts lost after crash (copied replica content was not durable; %d copies occurred)",

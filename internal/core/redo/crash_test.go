@@ -42,11 +42,7 @@ func checkRecovered(t *testing.T, pool *pmem.Pool, v Variant, completed, n int, 
 	t.Helper()
 	e := New(pool, Config{Threads: 1, Variant: v})
 	s := seqds.ListSet{RootSlot: 0}
-	var keys []uint64
-	e.Read(0, func(m ptm.Mem) uint64 {
-		keys = s.Keys(m)
-		return 0
-	})
+	keys := seqds.ReadSlice(e, 0, s.Keys)
 	if len(keys) < completed {
 		t.Fatalf("fail=%d: recovered %d keys, %d completed", failPoint, len(keys), completed)
 	}
@@ -134,11 +130,7 @@ func TestDoubleCrashAcrossEras(t *testing.T) {
 	}
 	pool.Crash(pmem.CrashConservative, nil)
 	e = New(pool, Config{Threads: 1, Variant: Opt})
-	var keys []uint64
-	e.Read(0, func(m ptm.Mem) uint64 {
-		keys = s.Keys(m)
-		return 0
-	})
+	keys := seqds.ReadSlice(e, 0, s.Keys)
 	if len(keys) != 2*n {
 		t.Fatalf("recovered %d keys after two eras, want %d", len(keys), 2*n)
 	}

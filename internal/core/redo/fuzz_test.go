@@ -46,11 +46,7 @@ func FuzzCrashPoint(f *testing.F) {
 		}()
 		pool.Crash(pmem.CrashConservative, nil)
 		e := New(pool, Config{Threads: 1, Variant: variant})
-		var keys []uint64
-		e.Read(0, func(m ptm.Mem) uint64 {
-			keys = s.Keys(m)
-			return 0
-		})
+		keys := seqds.ReadSlice(e, 0, s.Keys)
 		if len(keys) < completed || len(keys) > n {
 			t.Fatalf("fail=%d variant=%v: recovered %d keys, completed %d",
 				failPoint, variant, len(keys), completed)

@@ -54,8 +54,8 @@ func TestCopiedReplicaContentIsDurable(t *testing.T) {
 			}
 			pool.Crash(pmem.CrashConservative, nil)
 			e2 := New(pool, Config{Threads: threads, Variant: v})
-			missing := 0
-			e2.Read(0, func(m ptm.Mem) uint64 {
+			missing := e2.Read(0, func(m ptm.Mem) uint64 {
+				var missing uint64
 				for k := uint64(1); k <= keys; k++ {
 					if !s.Contains(m, (k*2654435761)%1000000) {
 						missing++
@@ -64,7 +64,7 @@ func TestCopiedReplicaContentIsDurable(t *testing.T) {
 				if !s.Contains(m, 42) {
 					missing++
 				}
-				return 0
+				return missing
 			})
 			if missing != 0 {
 				t.Fatalf("%s: %d completed inserts lost after copy+crash", v, missing)

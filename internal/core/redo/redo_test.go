@@ -386,6 +386,7 @@ func TestReadOnlyTransactionCannotStore(t *testing.T) {
 		}
 	}()
 	e.Read(0, func(m ptm.Mem) uint64 {
+		//pmemvet:allow readonly -- this test asserts the runtime rejection of exactly this violation
 		m.Store(ptm.RootAddr(0), 1)
 		return 0
 	})

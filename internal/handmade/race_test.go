@@ -1,0 +1,52 @@
+package handmade
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRaceSmoke is a short high-contention workload meant for `go test
+// -race`: concurrent producers and consumers on both hand-made queues,
+// exercising the lock-free CAS paths, the per-thread allocators and FHMP's
+// deliberate tail-flush elision. Coarse accounting only — the race detector
+// is the real assertion.
+func TestRaceSmoke(t *testing.T) {
+	const threads, perThread = 4, 50
+	for name, q := range queues(t, threads) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			var popped sync.Map
+			for tid := 0; tid < threads; tid++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					for i := 0; i < perThread; i++ {
+						q.Enqueue(tid, uint64(tid)<<32|uint64(i)+1)
+						if v, ok := q.Dequeue(tid); ok {
+							if _, dup := popped.LoadOrStore(v, true); dup {
+								t.Errorf("value %d dequeued twice", v)
+							}
+						}
+					}
+				}(tid)
+			}
+			wg.Wait()
+			// Drain: everything enqueued and not yet dequeued must come
+			// out exactly once.
+			for {
+				v, ok := q.Dequeue(0)
+				if !ok {
+					break
+				}
+				if _, dup := popped.LoadOrStore(v, true); dup {
+					t.Errorf("value %d dequeued twice during drain", v)
+				}
+			}
+			count := 0
+			popped.Range(func(_, _ any) bool { count++; return true })
+			if count != threads*perThread {
+				t.Fatalf("dequeued %d distinct values, want %d", count, threads*perThread)
+			}
+		})
+	}
+}

@@ -233,6 +233,7 @@ func TestReadOnlyCannotStore(t *testing.T) {
 		}
 	}()
 	o.Read(0, func(m ptm.Mem) uint64 {
+		//pmemvet:allow readonly -- this test asserts the runtime rejection of exactly this violation
 		m.Store(ptm.RootAddr(0), 1)
 		return 0
 	})
@@ -267,11 +268,7 @@ func checkRecovered(t *testing.T, pool *pmem.Pool, completed, n int, failPoint i
 	t.Helper()
 	o := New(pool, Config{Threads: 1})
 	s := seqds.ListSet{RootSlot: 0}
-	var keys []uint64
-	o.Read(0, func(m ptm.Mem) uint64 {
-		keys = s.Keys(m)
-		return 0
-	})
+	keys := seqds.ReadSlice(o, 0, s.Keys)
 	if len(keys) < completed || len(keys) > n {
 		t.Fatalf("fail=%d: recovered %d keys, completed %d", failPoint, len(keys), completed)
 	}

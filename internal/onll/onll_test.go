@@ -167,11 +167,7 @@ func TestReplicasConverge(t *testing.T) {
 	// Every replica, once caught up, must agree on the queue contents.
 	var ref []uint64
 	for tid := 0; tid < threads; tid++ {
-		var items []uint64
-		o.Read(tid, func(m ptm.Mem) uint64 {
-			items = testQueue.Items(m)
-			return 0
-		})
+		items := seqds.ReadSlice(o, tid, testQueue.Items)
 		if tid == 0 {
 			ref = items
 			if len(ref) != threads*100 {
@@ -202,11 +198,7 @@ func TestRecoveryReplaysLog(t *testing.T) {
 	if got := o2.LogLen(); got != 32 { // init + 30 enq + 1 deq
 		t.Fatalf("recovered log length %d, want 32", got)
 	}
-	var items []uint64
-	o2.Read(0, func(m ptm.Mem) uint64 {
-		items = testQueue.Items(m)
-		return 0
-	})
+	items := seqds.ReadSlice(o2, 0, testQueue.Items)
 	if len(items) != 29 || items[0] != 2 {
 		t.Fatalf("recovered queue %v…, want 2..30", items[:min(3, len(items))])
 	}
@@ -239,11 +231,7 @@ func TestSystematicCrashPoints(t *testing.T) {
 		}
 		pool.Crash(pmem.CrashConservative, nil)
 		o := New(pool, Config{Threads: 1, Ops: testOps(), Init: initObj})
-		var items []uint64
-		o.Read(0, func(m ptm.Mem) uint64 {
-			items = testQueue.Items(m)
-			return 0
-		})
+		items := seqds.ReadSlice(o, 0, testQueue.Items)
 		if len(items) < completed || len(items) > n {
 			t.Fatalf("fail=%d: recovered %d items, completed %d", fail, len(items), completed)
 		}

@@ -145,11 +145,7 @@ func checkRecovered(t *testing.T, pool *pmem.Pool, completed, n int, failPoint i
 	t.Helper()
 	p := New(pool, Config{Threads: 1})
 	s := seqds.ListSet{RootSlot: 0}
-	var keys []uint64
-	p.Read(0, func(m ptm.Mem) uint64 {
-		keys = s.Keys(m)
-		return 0
-	})
+	keys := seqds.ReadSlice(p, 0, s.Keys)
 	if len(keys) < completed || len(keys) > n {
 		t.Fatalf("fail=%d: recovered %d keys, completed %d", failPoint, len(keys), completed)
 	}

@@ -74,9 +74,15 @@ func New(pool *pmem.Pool, cfg Config) *PSim {
 	p.area[0], p.area[1] = pool.Region(0), pool.Region(1)
 	hdr := pool.PersistedHeader(headerSlot)
 	if hdr&1 != 0 {
-		// Null recovery: the header names a fully durable area.
+		// Null recovery: the header names a fully durable area. The
+		// rewrite must still be flushed and fenced: HeaderStore only
+		// updates the cached header image, and a later crash must not
+		// be able to observe a stale shadow (redo and cx recovery fence
+		// their header rewrites the same way).
 		p.cur.Store(int32(hdr >> 1 & 1))
 		pool.HeaderStore(headerSlot, hdr)
+		pool.PWBHeader(headerSlot)
+		pool.PSync()
 	} else {
 		palloc.Format(rawMem{p.area[0]}, pool.RegionWords())
 		p.area[0].FlushRange(0, palloc.HeapStart())

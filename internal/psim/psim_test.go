@@ -190,11 +190,7 @@ func TestSystematicCrashPoints(t *testing.T) {
 		pool.Crash(pmem.CrashConservative, nil)
 		p := New(pool, Config{Threads: 1})
 		s := seqds.ListSet{RootSlot: 0}
-		var keys []uint64
-		p.Read(0, func(m ptm.Mem) uint64 {
-			keys = s.Keys(m)
-			return 0
-		})
+		keys := seqds.ReadSlice(p, 0, s.Keys)
 		if len(keys) < completed || len(keys) > n {
 			t.Fatalf("fail=%d: recovered %d keys, completed %d", fail, len(keys), completed)
 		}
@@ -218,11 +214,7 @@ func TestAdversarialCrashPoints(t *testing.T) {
 		pool.Crash(pmem.CrashAdversarial, rng)
 		p := New(pool, Config{Threads: 1})
 		s := seqds.ListSet{RootSlot: 0}
-		var keys []uint64
-		p.Read(0, func(m ptm.Mem) uint64 {
-			keys = s.Keys(m)
-			return 0
-		})
+		keys := seqds.ReadSlice(p, 0, s.Keys)
 		if len(keys) < completed {
 			t.Fatalf("fail=%d: recovered %d keys, completed %d", fail, len(keys), completed)
 		}

@@ -1,0 +1,40 @@
+package psim
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+)
+
+// TestRaceSmoke is a short high-contention workload meant for `go test
+// -race`: concurrent updaters and readers share one engine, exercising the
+// announce array, the CAS-published current-area switch and the
+// copy-on-write path. It asserts only coarse correctness (no lost updates);
+// the race detector is the real assertion.
+func TestRaceSmoke(t *testing.T) {
+	const threads, perThread = 4, 60
+	p, _ := newP(t, threads, pmem.Direct)
+	addr := ptm.RootAddr(0)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < perThread; i++ {
+				p.Update(tid, func(m ptm.Mem) uint64 {
+					v := m.Load(addr) + 1
+					m.Store(addr, v)
+					return v
+				})
+				p.Read(tid, func(m ptm.Mem) uint64 { return m.Load(addr) })
+			}
+		}(tid)
+	}
+	wg.Wait()
+	got := p.Read(0, func(m ptm.Mem) uint64 { return m.Load(addr) })
+	if got != threads*perThread {
+		t.Fatalf("counter = %d, want %d (lost updates)", got, threads*perThread)
+	}
+}

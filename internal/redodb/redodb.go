@@ -110,10 +110,8 @@ func (db *DB) Session(tid int) *Session {
 // NVMUsedBytes reports the persistent-heap bytes in use (Fig. 8's NVMM
 // usage, including the power-of-two rounding waste of the allocator).
 func (db *DB) NVMUsedBytes() uint64 {
-	var words uint64
-	db.eng.Read(0, func(m ptm.Mem) uint64 {
-		words = palloc.InUseWords(memShim{m})
-		return 0
+	words := db.eng.Read(0, func(m ptm.Mem) uint64 {
+		return palloc.InUseWords(memShim{m})
 	})
 	return words * 8
 }

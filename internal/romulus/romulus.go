@@ -172,6 +172,7 @@ func (r *Romulus) Update(tid int, fn func(ptm.Mem) uint64) uint64 {
 	r.cfg.Profile.AddCopy(since(r.cfg.Profile, copyStart))
 	// Deferred durability of the IDLE marker: the next transaction's
 	// first psync covers it, and recovery from COPYING is idempotent.
+	//pmemvet:allow fenceorder -- deliberate fence elision: recovery from COPYING replays the same copy, so the IDLE marker only needs to be durable by the next transaction's first PSync
 	r.pool.HeaderStore(headerSlot, packHdr(phaseIdle, writeSide))
 	r.pool.PWBHeader(headerSlot)
 	r.cfg.Profile.AddTx(since(r.cfg.Profile, txStart))

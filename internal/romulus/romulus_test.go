@@ -228,11 +228,7 @@ func TestSystematicCrashPoints(t *testing.T) {
 		pool.Crash(pmem.CrashConservative, nil)
 		r := New(pool, Config{Threads: 1})
 		s := seqds.ListSet{RootSlot: 0}
-		var keys []uint64
-		r.Read(0, func(m ptm.Mem) uint64 {
-			keys = s.Keys(m)
-			return 0
-		})
+		keys := seqds.ReadSlice(r, 0, s.Keys)
 		if len(keys) < completed || len(keys) > n {
 			t.Fatalf("fail=%d: recovered %d keys, completed %d", fail, len(keys), completed)
 		}
@@ -256,11 +252,7 @@ func TestAdversarialCrashPoints(t *testing.T) {
 		pool.Crash(pmem.CrashAdversarial, rng)
 		r := New(pool, Config{Threads: 1})
 		s := seqds.ListSet{RootSlot: 0}
-		var keys []uint64
-		r.Read(0, func(m ptm.Mem) uint64 {
-			keys = s.Keys(m)
-			return 0
-		})
+		keys := seqds.ReadSlice(r, 0, s.Keys)
 		if len(keys) < completed {
 			t.Fatalf("fail=%d: recovered %d keys, completed %d", fail, len(keys), completed)
 		}

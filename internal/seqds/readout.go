@@ -1,0 +1,31 @@
+package seqds
+
+import "repro/internal/ptm"
+
+// Reader is the read-only half of a construction: every engine in this
+// module (redo, cx, psim, onefile, romulus, pmdk, onll) exposes this method.
+type Reader interface {
+	Read(tid int, fn func(ptm.Mem) uint64) uint64
+}
+
+// ReadSlice extracts a variable-length word sequence from persistent state
+// through single-word read-only transactions: one to learn the length, then
+// one per element. This is the pattern the PTM contract requires — closure
+// results must flow out through the return value, never through writes to
+// captured variables, because closures may be re-executed (by helper
+// threads, or by the same thread on an optimistic-read retry).
+//
+// The extraction is not atomic: concurrent updates between the length read
+// and the element reads can skew the result. Use it from quiescent state
+// (recovery checks, single-threaded verification), or fall back to an
+// engine's byte-result channel (redo.ReadWithBytes + ptm.EmitBytes) when a
+// consistent bulk snapshot is needed under concurrency.
+func ReadSlice(e Reader, tid int, get func(ptm.Mem) []uint64) []uint64 {
+	n := e.Read(tid, func(m ptm.Mem) uint64 { return uint64(len(get(m))) })
+	out := make([]uint64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		idx := i
+		out = append(out, e.Read(tid, func(m ptm.Mem) uint64 { return get(m)[idx] }))
+	}
+	return out
+}
