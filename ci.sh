@@ -11,3 +11,8 @@ go vet ./...
 go run ./cmd/pmemvet ./...
 go test ./...
 go test -race ./internal/core/... ./internal/ptm/... ./internal/psim/... ./internal/handmade/...
+
+# Bounded crash-consistency smoke: a coarse-stride sweep over every engine
+# under both crash models. The full sweeps (default stride, -nested,
+# -corrupt) are the acceptance run, not the per-commit gate.
+go run ./cmd/crashcheck -ops 8 -stride 11

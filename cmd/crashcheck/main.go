@@ -5,41 +5,44 @@
 // verifies that recovery yields a consistent state containing every
 // completed transaction. Both the conservative model (unflushed lines are
 // lost) and the adversarial model (unflushed dirty lines may spuriously
-// persist, as with cache evictions) are exercised.
+// persist with word-granularity tearing, as with cache evictions) are
+// exercised.
 //
-//	crashcheck                  # all engines, default stride
+// Beyond the single-crash sweep, -nested explores *pairs* of crash points —
+// crash the workload, then crash recovery itself at every instruction
+// boundary, recover fully, verify — and -corrupt flips bits in the spans
+// each engine declares unreachable from committed state, asserting recovery
+// either succeeds with a correct answer or fails with a typed corruption
+// error, never a panic or a silent wrong answer.
+//
+//	crashcheck                        # all engines, single-crash sweep
 //	crashcheck -engine CX-PTM -ops 40 -stride 3
+//	crashcheck -nested                # crash-during-recovery pairs
+//	crashcheck -corrupt -seed 7       # bit flips in stale spans
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"strings"
 
-	"repro/internal/bench"
-	"repro/internal/onll"
-	"repro/internal/pmem"
-	"repro/internal/ptm"
-	"repro/internal/redodb"
-	"repro/internal/rockssim"
-	"repro/internal/seqds"
+	"repro/internal/chaos"
 )
 
 func main() {
 	var (
-		engine = flag.String("engine", "all", "engine name, 'redodb', 'rockssim' or 'all'")
-		ops    = flag.Int("ops", 25, "insert transactions per crash run")
-		stride = flag.Int64("stride", 7, "crash-point stride in PM instructions")
+		engine  = flag.String("engine", "all", "engine name(s, comma-separated) or 'all'")
+		ops     = flag.Int("ops", 25, "insert transactions per crash run")
+		stride  = flag.Int64("stride", 0, "crash-point stride in PM instructions (0 = auto)")
+		stride2 = flag.Int64("stride2", 1, "recovery crash-point stride for -nested")
+		nested  = flag.Bool("nested", false, "sweep (first, second) crash-point pairs: crash during recovery")
+		corrupt = flag.Bool("corrupt", false, "flip bits in stale spans after each crash")
+		seed    = flag.Int64("seed", 2020, "RNG seed for adversarial tearing and bit-flip placement")
 	)
 	flag.Parse()
 
-	names := []string{
-		"RedoOpt-PTM", "RedoTimed-PTM", "Redo-PTM",
-		"CX-PTM", "CX-PUC", "OneFile", "RomulusLR", "PSim-CoW", "PMDK",
-		"ONLL", "redodb", "rockssim",
-	}
+	names := chaos.Engines()
 	if *engine != "all" {
 		names = strings.Split(*engine, ",")
 	}
@@ -50,206 +53,45 @@ func main() {
 			if adversarial {
 				label = "adversarial"
 			}
-			crashes, err := sweep(name, *ops, *stride, adversarial)
-			if err != nil {
-				fmt.Printf("%-14s %-13s FAIL: %v\n", name, label, err)
-				failed = true
-				continue
+			opts := chaos.Options{
+				Ops:         *ops,
+				Stride:      *stride,
+				Stride2:     *stride2,
+				Adversarial: adversarial,
+				Seed:        *seed,
 			}
-			fmt.Printf("%-14s %-13s OK (%d crash points, all recovered consistently)\n",
-				name, label, crashes)
+			switch {
+			case *nested:
+				pairs, err := chaos.NestedSweep(name, opts)
+				if err != nil {
+					fmt.Printf("%-14s %-13s FAIL: %v\n", name, label, err)
+					failed = true
+					continue
+				}
+				fmt.Printf("%-14s %-13s OK (%d nested crash pairs, all recovered consistently)\n",
+					name, label, pairs)
+			case *corrupt:
+				flips, err := chaos.CorruptionSweep(name, opts)
+				if err != nil {
+					fmt.Printf("%-14s %-13s FAIL: %v\n", name, label, err)
+					failed = true
+					continue
+				}
+				fmt.Printf("%-14s %-13s OK (%d bit flips, none panicked or corrupted an answer)\n",
+					name, label, flips)
+			default:
+				crashes, err := chaos.Sweep(name, opts)
+				if err != nil {
+					fmt.Printf("%-14s %-13s FAIL: %v\n", name, label, err)
+					failed = true
+					continue
+				}
+				fmt.Printf("%-14s %-13s OK (%d crash points, all recovered consistently)\n",
+					name, label, crashes)
+			}
 		}
 	}
 	if failed {
 		os.Exit(1)
-	}
-}
-
-// kvRunner abstracts "insert key i, then verify after recovery" over the
-// PTMs (via a list set) and the two KV stores.
-type kvRunner struct {
-	fresh  func(pool *pmem.Pool) // construct engine over pool
-	insert func(i int)           // one durable insert transaction
-	verify func(completed, n int) error
-}
-
-func newRunner(name string, pool *pmem.Pool) (*kvRunner, error) {
-	switch name {
-	case "redodb":
-		var s *redodb.Session
-		return &kvRunner{
-			fresh: func(p *pmem.Pool) {
-				s = redodb.Open(p, redodb.Options{Threads: 1}).Session(0)
-			},
-			insert: func(i int) {
-				s.Put([]byte(fmt.Sprintf("k%03d", i)), []byte{byte(i)})
-			},
-			verify: func(completed, n int) error {
-				for i := 0; i < completed; i++ {
-					v, ok := s.Get([]byte(fmt.Sprintf("k%03d", i)))
-					if !ok || v[0] != byte(i) {
-						return fmt.Errorf("completed put %d lost", i)
-					}
-				}
-				return nil
-			},
-		}, nil
-	case "ONLL":
-		var o *onll.ONLL
-		set := seqds.ListSet{RootSlot: 0}
-		ops := map[uint16]onll.OpFunc{
-			1: func(m ptm.Mem, args []uint64) uint64 {
-				if set.Add(m, args[0]) {
-					return 1
-				}
-				return 0
-			},
-		}
-		return &kvRunner{
-			fresh: func(p *pmem.Pool) {
-				o = onll.New(p, onll.Config{
-					Threads: 1,
-					Ops:     ops,
-					Init: func(m ptm.Mem, args []uint64) uint64 {
-						set.Init(m)
-						return 0
-					},
-				})
-			},
-			insert: func(i int) { o.Update(0, 1, uint64(i)+1) },
-			verify: func(completed, n int) error {
-				keys := seqds.ReadSlice(o, 0, set.Keys)
-				if len(keys) < completed || len(keys) > n {
-					return fmt.Errorf("recovered %d keys, completed %d of %d", len(keys), completed, n)
-				}
-				for i, k := range keys {
-					if k != uint64(i)+1 {
-						return fmt.Errorf("recovered state not a prefix at %d", i)
-					}
-				}
-				return nil
-			},
-		}, nil
-	case "rockssim":
-		var db *rockssim.DB
-		return &kvRunner{
-			fresh: func(p *pmem.Pool) { db = rockssim.Open(p, rockssim.Options{}) },
-			insert: func(i int) {
-				db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte{byte(i)})
-			},
-			verify: func(completed, n int) error {
-				for i := 0; i < completed; i++ {
-					v, ok := db.Get([]byte(fmt.Sprintf("k%03d", i)))
-					if !ok || v[0] != byte(i) {
-						return fmt.Errorf("completed put %d lost", i)
-					}
-				}
-				return nil
-			},
-		}, nil
-	default:
-		eng, err := bench.EngineByName(name)
-		if err != nil {
-			return nil, err
-		}
-		var p ptm.PTM
-		set := seqds.ListSet{RootSlot: 0}
-		return &kvRunner{
-			fresh: func(pool *pmem.Pool) {
-				p = rebuild(eng, pool)
-				p.Update(0, func(m ptm.Mem) uint64 {
-					if m.Load(ptm.RootAddr(0)) == 0 {
-						set.Init(m)
-					}
-					return 0
-				})
-			},
-			insert: func(i int) {
-				p.Update(0, func(m ptm.Mem) uint64 {
-					set.Add(m, uint64(i)+1)
-					return 0
-				})
-			},
-			verify: func(completed, n int) error {
-				keys := seqds.ReadSlice(p, 0, set.Keys)
-				if len(keys) < completed || len(keys) > n {
-					return fmt.Errorf("recovered %d keys, completed %d of %d", len(keys), completed, n)
-				}
-				for i, k := range keys {
-					if k != uint64(i)+1 {
-						return fmt.Errorf("recovered state not a prefix at %d", i)
-					}
-				}
-				return nil
-			},
-		}, nil
-	}
-}
-
-// engineRegions mirrors the factories' replica counts for a strict pool.
-func poolFor(name string) *pmem.Pool {
-	regions := 2
-	switch name {
-	case "rockssim":
-		regions = 3
-	case "ONLL":
-		regions = 1
-	}
-	return pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 14, Regions: regions})
-}
-
-// rebuild instantiates a bench engine over an existing strict pool. The
-// bench factories create their own pools, so crashcheck goes through the
-// engine-specific constructors indirectly: it relies on each construction's
-// New adopting a recovered pool.
-func rebuild(eng bench.Engine, pool *pmem.Pool) ptm.PTM {
-	return eng.NewOnPool(1, pool)
-}
-
-func sweep(name string, n int, stride int64, adversarial bool) (int, error) {
-	rng := rand.New(rand.NewSource(2020))
-	crashes := 0
-	for fail := int64(1); ; fail += stride {
-		pool := poolFor(name)
-		r, err := newRunner(name, pool)
-		if err != nil {
-			return crashes, err
-		}
-		completed := 0
-		crashed := false
-		func() {
-			defer func() {
-				if rec := recover(); rec != nil {
-					if rec != pmem.ErrSimulatedPowerFailure {
-						panic(rec)
-					}
-					crashed = true
-				}
-				pool.InjectFailure(-1)
-			}()
-			r.fresh(pool)
-			pool.InjectFailure(fail)
-			for i := 0; i < n; i++ {
-				r.insert(i)
-				completed++
-			}
-		}()
-		if !crashed {
-			if completed != n {
-				return crashes, fmt.Errorf("no crash but only %d/%d completed", completed, n)
-			}
-			return crashes, nil
-		}
-		crashes++
-		if adversarial {
-			pool.Crash(pmem.CrashAdversarial, rng)
-		} else {
-			pool.Crash(pmem.CrashConservative, nil)
-		}
-		r2, _ := newRunner(name, pool)
-		r2.fresh(pool)
-		if err := r2.verify(completed, n); err != nil {
-			return crashes, fmt.Errorf("crash point %d: %w", fail, err)
-		}
 	}
 }

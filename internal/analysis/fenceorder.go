@@ -25,6 +25,13 @@ import (
 //     PWBHeader before the PSync / PFenceGlobal that is supposed to make it
 //     durable, and a function that publishes a header must issue a trailing
 //     PSync / PFenceGlobal before returning.
+//   - A function whose name starts with Recover/recover is a publish path
+//     for the whole recovered image: beyond the rules above, it must leave
+//     no region store unflushed and no flushed line unfenced when it
+//     returns. Recovery runs exactly once before mutators resume — there is
+//     no later transaction whose commit fence would sweep up the leftovers,
+//     and the nested-failure model crashes recovery itself, so anything it
+//     repaired but did not fence is silently lost on the next failure.
 //
 // The analysis is intra-procedural over each function body (branches fork
 // the tracking state and merge by union; loop bodies are evaluated once),
@@ -62,13 +69,13 @@ func runFenceOrder(pass *Pass) {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			fo.checkFunc(fd.Body)
+			fo.checkFunc(fd.Body, isRecoverName(fd.Name.Name))
 			// Function literals are separate execution contexts (they
 			// may run at another time or on another goroutine), so each
 			// is checked as its own function.
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				if lit, ok := n.(*ast.FuncLit); ok {
-					fo.checkFunc(lit.Body)
+					fo.checkFunc(lit.Body, false)
 				}
 				return true
 			})
@@ -86,12 +93,17 @@ type fenceState struct {
 	// hdrPending is the position of the latest header publish not yet
 	// followed by a PSync/PFenceGlobal (NoPos if none).
 	hdrPending token.Pos
+	// pwbPending[receiver] = position of the first flush (PWB / FlushRange
+	// / non-temporal store) on that region not yet ordered by a PFence /
+	// PFenceGlobal. Only recover* publish paths insist this drains.
+	pwbPending map[string]token.Pos
 }
 
 func newFenceState() *fenceState {
 	return &fenceState{
-		dirty:    make(map[string]map[string]token.Pos),
-		hdrDirty: make(map[string]token.Pos),
+		dirty:      make(map[string]map[string]token.Pos),
+		hdrDirty:   make(map[string]token.Pos),
+		pwbPending: make(map[string]token.Pos),
 	}
 }
 
@@ -108,6 +120,9 @@ func (s *fenceState) clone() *fenceState {
 		c.hdrDirty[a] = p
 	}
 	c.hdrPending = s.hdrPending
+	for r, p := range s.pwbPending {
+		c.pwbPending[r] = p
+	}
 	return c
 }
 
@@ -132,24 +147,42 @@ func (s *fenceState) merge(other *fenceState) {
 	if !s.hdrPending.IsValid() {
 		s.hdrPending = other.hdrPending
 	}
+	for r, p := range other.pwbPending {
+		if _, ok := s.pwbPending[r]; !ok {
+			s.pwbPending[r] = p
+		}
+	}
 }
 
 type fenceOrder struct {
 	pass         *Pass
 	info         *types.Info
 	flushHelpers map[*types.Func][]int // callee -> indices of flushed params (-1 = receiver)
+	inRecover    bool                  // current function is a recover* publish path
 }
 
-func (fo *fenceOrder) checkFunc(body *ast.BlockStmt) {
+// isRecoverName reports whether a function participates in recovery by
+// naming convention (Recover, recover, recoverLog, RecoverAll, ...).
+func isRecoverName(name string) bool {
+	return strings.HasPrefix(name, "Recover") || strings.HasPrefix(name, "recover")
+}
+
+func (fo *fenceOrder) checkFunc(body *ast.BlockStmt, isRecover bool) {
+	saved := fo.inRecover
+	fo.inRecover = isRecover
 	st := newFenceState()
 	terminated := fo.stmt(body, st)
 	if !terminated {
 		fo.endChecks(st, body.End())
 	}
+	fo.inRecover = saved
 }
 
 // endChecks runs at every return and at fall-off: a header published on
-// this path must have been flushed and fenced by now.
+// this path must have been flushed and fenced by now. A recover* function
+// is additionally a publish path for every region it touched: recovery runs
+// once, before any mutator, so a store it leaves unflushed — or a flush it
+// leaves unfenced — is repaired state that the next crash silently discards.
 func (fo *fenceOrder) endChecks(st *fenceState, end token.Pos) {
 	for slot, pos := range st.hdrDirty {
 		fo.pass.Report(pos, "header slot %s stored but neither flushed (PWBHeader) nor fenced by function end: the publish may never become durable", slot)
@@ -158,6 +191,22 @@ func (fo *fenceOrder) endChecks(st *fenceState, end token.Pos) {
 	if st.hdrPending.IsValid() {
 		fo.pass.Report(st.hdrPending, "header publish without a trailing PSync/PFenceGlobal on this path: the new header value is flushed but not durably ordered")
 		st.hdrPending = token.NoPos
+	}
+	if fo.inRecover {
+		for recv, m := range st.dirty {
+			for a, pos := range m {
+				what := fmt.Sprintf("Store(%s)", a)
+				if a == bulkAddr {
+					what = "CopyFrom"
+				}
+				fo.pass.Report(pos, "recovery path leaves %s on %s unflushed at function end: the repaired state is lost on the next crash", what, recv)
+			}
+			delete(st.dirty, recv)
+		}
+		for recv, pos := range st.pwbPending {
+			fo.pass.Report(pos, "recovery path flushes %s but never fences it before returning: the repaired state is not durably ordered", recv)
+			delete(st.pwbPending, recv)
+		}
 	}
 }
 
@@ -327,15 +376,19 @@ func (fo *fenceOrder) call(call *ast.CallExpr, st *fenceState) {
 		fo.markDirty(st, recv, bulkAddr, call.Pos())
 	case "Region.NTStoreLine", "Region.NTCopyFrom":
 		// Non-temporal: bypasses the cache, needs only a fence.
+		fo.markPending(st, recv, call.Pos())
 	case "Region.PWB":
 		fo.flushAddr(st, recv, arg(0))
+		fo.markPending(st, recv, call.Pos())
 	case "Region.FlushRange":
 		delete(st.dirty, recv)
+		fo.markPending(st, recv, call.Pos())
 	case "Region.PFence":
 		for a, pos := range st.dirty[recv] {
 			fo.reportUnflushed(call, recv, a, pos)
 		}
 		delete(st.dirty, recv)
+		delete(st.pwbPending, recv)
 	case "Pool.HeaderStore", "Pool.HeaderCAS":
 		st.hdrDirty[arg(0)] = call.Pos()
 		st.hdrPending = call.Pos()
@@ -359,6 +412,7 @@ func (fo *fenceOrder) call(call *ast.CallExpr, st *fenceState) {
 			}
 		}
 		clear(st.dirty)
+		clear(st.pwbPending)
 		for slot, pos := range st.hdrDirty {
 			fo.pass.Report(call.Pos(), "PFenceGlobal with unflushed header store of slot %s (stored at line %d, no PWBHeader in between): the fence does not make it durable", slot, fo.pass.Fset.Position(pos).Line)
 		}
@@ -384,6 +438,13 @@ func (fo *fenceOrder) markDirty(st *fenceState, recv, addr string, pos token.Pos
 	}
 	if _, ok := st.dirty[recv][addr]; !ok {
 		st.dirty[recv][addr] = pos
+	}
+}
+
+// markPending records a flush awaiting its ordering fence.
+func (fo *fenceOrder) markPending(st *fenceState, recv string, pos token.Pos) {
+	if _, ok := st.pwbPending[recv]; !ok {
+		st.pwbPending[recv] = pos
 	}
 }
 

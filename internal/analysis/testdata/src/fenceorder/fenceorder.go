@@ -114,3 +114,50 @@ func storeWithoutFenceInFunction(r *pmem.Region) {
 	r.Store(8, 1)
 	r.PWB(8)
 }
+
+// --- recovery paths ----------------------------------------------------------
+// Functions named Recover*/recover* are publish paths: any repair they make
+// must be flushed AND fenced before they return, because the caller assumes
+// the recovered image survives an immediate second crash.
+
+func recoverLeavesUnflushed(r *pmem.Region) {
+	r.Store(8, 1) // want "recovery path leaves"
+}
+
+func recoverFlushWithoutFence(r *pmem.Region) {
+	r.Store(8, 1)
+	r.PWB(8) // want "recovery path flushes"
+}
+
+// recoverPSyncIsNotEnough: PSync orders header slots only; region lines
+// flushed during repair still need a PFence.
+func recoverPSyncIsNotEnough(r *pmem.Region, p *pmem.Pool) {
+	r.Store(8, 1)
+	r.PWB(8) // want "recovery path flushes"
+	p.HeaderStore(0, 1)
+	p.PWBHeader(0)
+	p.PSync()
+}
+
+func recoverRepairAndFence(r *pmem.Region) {
+	r.Store(8, 1)
+	r.PWB(8)
+	r.PFence()
+}
+
+func RecoverThenPublish(r *pmem.Region, p *pmem.Pool) {
+	r.Store(8, 1)
+	r.PWB(8)
+	r.PFence()
+	p.HeaderStore(0, 1)
+	p.PWBHeader(0)
+	p.PSync()
+}
+
+func recoverGlobalFenceCoversAll(a, b *pmem.Region, p *pmem.Pool) {
+	a.Store(8, 1)
+	a.PWB(8)
+	b.CopyFrom(a, 64)
+	b.FlushRange(0, 64)
+	p.PFenceGlobal()
+}

@@ -1,0 +1,199 @@
+// Package chaos is the crash-consistency checking engine behind cmd/crashcheck:
+// systematic single-crash sweeps, nested-crash (crash-during-recovery) sweeps
+// in the model of Ben-David et al., and a corruption sweep that flips bits in
+// the spans each engine declares unreachable from committed state.
+//
+// Every engine is driven through the same deterministic workload — insert
+// keys 0..n-1, one durable transaction each — so a checker can count the
+// completed transactions at the moment of a simulated power failure and then
+// assert, after recovery, that the surviving state is exactly a prefix of
+// the workload containing at least every completed insert.
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/core/cx"
+	"repro/internal/core/redo"
+	"repro/internal/onefile"
+	"repro/internal/onll"
+	"repro/internal/pmdk"
+	"repro/internal/pmem"
+	"repro/internal/psim"
+	"repro/internal/ptm"
+	"repro/internal/redodb"
+	"repro/internal/rockssim"
+	"repro/internal/romulus"
+	"repro/internal/seqds"
+)
+
+// Engines lists every sweep target: the nine PTM/PUC constructions plus the
+// ONLL one-line-log and the two key-value stores.
+func Engines() []string {
+	return []string{
+		"RedoOpt-PTM", "RedoTimed-PTM", "Redo-PTM",
+		"CX-PTM", "CX-PUC", "OneFile", "RomulusLR", "PSim-CoW", "PMDK",
+		"ONLL", "redodb", "rockssim",
+	}
+}
+
+// Runner abstracts "insert key i, then verify after recovery" over the PTMs
+// (via a list set) and the two KV stores. Fresh constructs or recovers the
+// engine over a pool; a new Runner must be used for every recovery so no
+// volatile state leaks across a simulated crash.
+type Runner struct {
+	Fresh  func(pool *pmem.Pool) // construct engine over pool
+	Insert func(i int)           // one durable insert transaction
+	Verify func(completed, n int) error
+}
+
+// NewRunner builds the deterministic workload driver for one engine.
+func NewRunner(name string) (*Runner, error) {
+	switch name {
+	case "redodb":
+		var s *redodb.Session
+		return &Runner{
+			Fresh: func(p *pmem.Pool) {
+				s = redodb.Open(p, redodb.Options{Threads: 1}).Session(0)
+			},
+			Insert: func(i int) {
+				s.Put([]byte(fmt.Sprintf("k%03d", i)), []byte{byte(i)})
+			},
+			Verify: func(completed, n int) error {
+				for i := 0; i < completed; i++ {
+					v, ok := s.Get([]byte(fmt.Sprintf("k%03d", i)))
+					if !ok || v[0] != byte(i) {
+						return fmt.Errorf("completed put %d lost", i)
+					}
+				}
+				return nil
+			},
+		}, nil
+	case "ONLL":
+		var o *onll.ONLL
+		set := seqds.ListSet{RootSlot: 0}
+		ops := map[uint16]onll.OpFunc{
+			1: func(m ptm.Mem, args []uint64) uint64 {
+				if set.Add(m, args[0]) {
+					return 1
+				}
+				return 0
+			},
+		}
+		return &Runner{
+			Fresh: func(p *pmem.Pool) {
+				o = onll.New(p, onll.Config{
+					Threads: 1,
+					Ops:     ops,
+					Init: func(m ptm.Mem, args []uint64) uint64 {
+						set.Init(m)
+						return 0
+					},
+				})
+			},
+			Insert: func(i int) { o.Update(0, 1, uint64(i)+1) },
+			Verify: func(completed, n int) error {
+				keys := seqds.ReadSlice(o, 0, set.Keys)
+				return verifyPrefix(keys, completed, n)
+			},
+		}, nil
+	case "rockssim":
+		var db *rockssim.DB
+		return &Runner{
+			Fresh: func(p *pmem.Pool) { db = rockssim.Open(p, rockssim.Options{}) },
+			Insert: func(i int) {
+				db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte{byte(i)})
+			},
+			Verify: func(completed, n int) error {
+				for i := 0; i < completed; i++ {
+					v, ok := db.Get([]byte(fmt.Sprintf("k%03d", i)))
+					if !ok || v[0] != byte(i) {
+						return fmt.Errorf("completed put %d lost", i)
+					}
+				}
+				return nil
+			},
+		}, nil
+	default:
+		eng, err := bench.EngineByName(name)
+		if err != nil {
+			return nil, err
+		}
+		var p ptm.PTM
+		set := seqds.ListSet{RootSlot: 0}
+		return &Runner{
+			Fresh: func(pool *pmem.Pool) {
+				p = eng.NewOnPool(1, pool)
+				p.Update(0, func(m ptm.Mem) uint64 {
+					if m.Load(ptm.RootAddr(0)) == 0 {
+						set.Init(m)
+					}
+					return 0
+				})
+			},
+			Insert: func(i int) {
+				p.Update(0, func(m ptm.Mem) uint64 {
+					set.Add(m, uint64(i)+1)
+					return 0
+				})
+			},
+			Verify: func(completed, n int) error {
+				keys := seqds.ReadSlice(p, 0, set.Keys)
+				return verifyPrefix(keys, completed, n)
+			},
+		}, nil
+	}
+}
+
+// verifyPrefix asserts keys is 1..k for some completed <= k <= n.
+func verifyPrefix(keys []uint64, completed, n int) error {
+	if len(keys) < completed || len(keys) > n {
+		return fmt.Errorf("recovered %d keys, completed %d of %d", len(keys), completed, n)
+	}
+	for i, k := range keys {
+		if k != uint64(i)+1 {
+			return fmt.Errorf("recovered state not a prefix at %d", i)
+		}
+	}
+	return nil
+}
+
+// PoolFor allocates a strict-mode pool sized for one engine, mirroring the
+// factories' replica counts for a single-thread instance.
+func PoolFor(name string) *pmem.Pool {
+	regions := 2
+	switch name {
+	case "rockssim":
+		regions = 3
+	case "ONLL":
+		regions = 1
+	}
+	return pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 14, Regions: regions})
+}
+
+// StaleRangesFor resolves the engine's declaration of which spans committed
+// state does not reach — the corruption sweep's bit-flip targets.
+func StaleRangesFor(name string) (func(*pmem.Pool) []pmem.Range, error) {
+	switch name {
+	case "RedoOpt-PTM", "RedoTimed-PTM", "Redo-PTM":
+		return redo.StaleRanges, nil
+	case "CX-PTM", "CX-PUC":
+		return cx.StaleRanges, nil
+	case "OneFile":
+		return onefile.StaleRanges, nil
+	case "RomulusLR":
+		return romulus.StaleRanges, nil
+	case "PSim-CoW":
+		return psim.StaleRanges, nil
+	case "PMDK":
+		return pmdk.StaleRanges, nil
+	case "ONLL":
+		return onll.StaleRanges, nil
+	case "redodb":
+		return redodb.StaleRanges, nil
+	case "rockssim":
+		return rockssim.StaleRanges, nil
+	}
+	return nil, fmt.Errorf("chaos: no stale-range map for engine %q", name)
+}

@@ -1,0 +1,84 @@
+package chaos
+
+import "testing"
+
+// fastEngines is a cheap representative subset for smoke tests: one
+// replica-based PTM, the one-line log, and a KV store.
+var fastEngines = []string{"RedoOpt-PTM", "ONLL", "rockssim"}
+
+func TestSweepSmoke(t *testing.T) {
+	for _, name := range fastEngines {
+		for _, adv := range []bool{false, true} {
+			crashes, err := Sweep(name, Options{Ops: 6, Stride: 23, Adversarial: adv})
+			if err != nil {
+				t.Errorf("%s adversarial=%v: %v", name, adv, err)
+			}
+			if crashes == 0 {
+				t.Errorf("%s adversarial=%v: no crash points explored", name, adv)
+			}
+		}
+	}
+}
+
+func TestNestedSweepSmoke(t *testing.T) {
+	for _, name := range fastEngines {
+		for _, adv := range []bool{false, true} {
+			pairs, err := NestedSweep(name, Options{Ops: 6, Stride: 43, Stride2: 3, Adversarial: adv})
+			if err != nil {
+				t.Errorf("%s adversarial=%v: %v", name, adv, err)
+			}
+			if pairs == 0 {
+				t.Errorf("%s adversarial=%v: no crash pairs explored", name, adv)
+			}
+		}
+	}
+}
+
+func TestCorruptionSweepSmoke(t *testing.T) {
+	for _, name := range fastEngines {
+		flips, err := CorruptionSweep(name, Options{Ops: 6, Stride: 23, Flips: 2})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if flips == 0 {
+			t.Errorf("%s: no bit flips exercised", name)
+		}
+	}
+}
+
+func TestStaleRangesForEveryEngine(t *testing.T) {
+	for _, name := range Engines() {
+		if _, err := StaleRangesFor(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := StaleRangesFor("nope"); err == nil {
+		t.Error("StaleRangesFor(nope) did not fail")
+	}
+}
+
+// FuzzNestedCrashPoint feeds arbitrary (first, second) crash-point pairs to
+// the nested checker: crash the workload after `first` persistent-memory
+// events, crash recovery after `second` more, recover fully, verify. Any
+// pair must recover consistently under both crash models.
+func FuzzNestedCrashPoint(f *testing.F) {
+	f.Add(int64(1), int64(1))
+	f.Add(int64(7), int64(2))
+	f.Add(int64(23), int64(5))
+	f.Add(int64(57), int64(1))
+	f.Add(int64(113), int64(9))
+	f.Fuzz(func(t *testing.T, first, second int64) {
+		// Bound the points so a wild input cannot make the workload
+		// run for minutes; the workload outruns large values anyway.
+		first %= 4096
+		second %= 4096
+		for _, name := range []string{"RedoOpt-PTM", "ONLL"} {
+			for _, adv := range []bool{false, true} {
+				opts := Options{Ops: 6, Adversarial: adv, Seed: first ^ second<<13 | 1}
+				if err := CheckPair(name, opts, first, second); err != nil {
+					t.Errorf("%s adversarial=%v pair (%d,%d): %v", name, adv, first, second, err)
+				}
+			}
+		}
+	})
+}

@@ -19,7 +19,6 @@
 package cx
 
 import (
-	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -141,7 +140,7 @@ func New(pool *pmem.Pool, cfg Config) *CX {
 		// is required on the first update transaction" after restart.
 		_, cur = unpackCurComb(packed)
 		if cur >= len(c.combs) {
-			panic(fmt.Sprintf("cx: recovered region index %d out of range", cur))
+			panic(pmem.Corruptf("cx", "recovered curComb names region %d of %d", cur, len(c.combs)))
 		}
 		// Ticket numbering restarts with the fresh queue: rewrite the
 		// header for the new era so monotonic updates work.

@@ -1,0 +1,24 @@
+package cx
+
+import "repro/internal/pmem"
+
+// StaleRanges reports the regions that committed state does not reach:
+// every replica other than the one the persisted curComb names. Recovery
+// leaves the other replicas' heads invalid, so the first writer to claim
+// one copies the named replica over it before any load — bit flips there
+// must never surface. With no valid header nothing is committed and every
+// region is fair game.
+func StaleRanges(pool *pmem.Pool) []pmem.Range {
+	packed := pool.PersistedHeader(headerSlot)
+	cur := -1
+	if packed != 0 {
+		_, cur = unpackCurComb(packed)
+	}
+	var ranges []pmem.Range
+	for i := 0; i < pool.Regions(); i++ {
+		if i != cur {
+			ranges = append(ranges, pool.WholeRegion(i))
+		}
+	}
+	return ranges
+}

@@ -1,0 +1,43 @@
+package redo
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/seqds"
+)
+
+// TestRecoverIsIdempotent recovers the same crashed pool repeatedly:
+// recovery of an already-recovered image must reproduce the same logical
+// state and issue exactly the same persistence work each time, so a crashed
+// recovery can always be re-run from the top (the nested-failure model).
+func TestRecoverIsIdempotent(t *testing.T) {
+	for _, v := range []Variant{Opt, Timed, Base} {
+		t.Run(v.String(), func(t *testing.T) {
+			pool := strictPool()
+			_, crashed := runAddsUntilCrash(t, pool, v, 20, 57)
+			if !crashed {
+				t.Fatal("failure point never fired")
+			}
+			pool.Crash(pmem.CrashConservative, nil)
+			var stats [3]pmem.StatsSnapshot
+			var keys [3][]uint64
+			for i := range stats {
+				pool.ResetStats()
+				e := New(pool, Config{Threads: 1, Variant: v})
+				stats[i] = pool.Stats()
+				s := seqds.ListSet{RootSlot: 0}
+				keys[i] = seqds.ReadSlice(e, 0, s.Keys)
+				pool.Crash(pmem.CrashConservative, nil)
+			}
+			if !reflect.DeepEqual(keys[1], keys[0]) || !reflect.DeepEqual(keys[2], keys[1]) {
+				t.Fatalf("recovered state drifted across recoveries: %v / %v / %v",
+					keys[0], keys[1], keys[2])
+			}
+			if stats[1] != stats[2] {
+				t.Fatalf("recovery work drifted: %+v vs %+v", stats[1], stats[2])
+			}
+		})
+	}
+}

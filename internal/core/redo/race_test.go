@@ -1,0 +1,45 @@
+package redo
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+)
+
+// TestRaceSmoke is a short high-contention workload meant for `go test
+// -race`: concurrent updaters and readers share one engine per variant,
+// exercising the announce ring, the flat-combining funnel and the replica
+// hand-off. It asserts only coarse correctness (no lost updates); the race
+// detector is the real assertion.
+func TestRaceSmoke(t *testing.T) {
+	const threads, perThread = 4, 60
+	for _, v := range []Variant{Opt, Timed, Base} {
+		t.Run(v.String(), func(t *testing.T) {
+			pool := pmem.New(pmem.Config{Mode: pmem.Direct, RegionWords: 1 << 12, Regions: threads + 1})
+			e := New(pool, Config{Threads: threads, Variant: v})
+			addr := ptm.RootAddr(0)
+			var wg sync.WaitGroup
+			for tid := 0; tid < threads; tid++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					for i := 0; i < perThread; i++ {
+						e.Update(tid, func(m ptm.Mem) uint64 {
+							v := m.Load(addr) + 1
+							m.Store(addr, v)
+							return v
+						})
+						e.Read(tid, func(m ptm.Mem) uint64 { return m.Load(addr) })
+					}
+				}(tid)
+			}
+			wg.Wait()
+			got := e.Read(0, func(m ptm.Mem) uint64 { return m.Load(addr) })
+			if got != threads*perThread {
+				t.Fatalf("counter = %d, want %d (lost updates)", got, threads*perThread)
+			}
+		})
+	}
+}

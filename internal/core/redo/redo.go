@@ -219,7 +219,7 @@ func New(pool *pmem.Pool, cfg Config) *Redo {
 	if packed := pool.PersistedHeader(headerSlot); packed&headerValid != 0 {
 		cur = idxOf(packed &^ headerValid)
 		if cur >= len(e.combs) {
-			panic("redo: recovered region index out of range")
+			panic(pmem.Corruptf("redo", "recovered curComb names region %d of %d", cur, len(e.combs)))
 		}
 		// New era: sequence numbering restarts with fresh states.
 		pool.HeaderStore(headerSlot, headerValid|pack(0, 0, cur))

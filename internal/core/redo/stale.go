@@ -1,0 +1,23 @@
+package redo
+
+import "repro/internal/pmem"
+
+// StaleRanges reports the regions that committed state does not reach:
+// every replica other than the one the persisted curComb names. Recovery
+// adopts only the named replica; the others are rebuilt by copy before
+// first use, so bit flips in them must never surface. With no valid header
+// nothing is committed and every region is fair game.
+func StaleRanges(pool *pmem.Pool) []pmem.Range {
+	packed := pool.PersistedHeader(headerSlot)
+	cur := -1
+	if packed&headerValid != 0 {
+		cur = idxOf(packed &^ headerValid)
+	}
+	var ranges []pmem.Range
+	for i := 0; i < pool.Regions(); i++ {
+		if i != cur {
+			ranges = append(ranges, pool.WholeRegion(i))
+		}
+	}
+	return ranges
+}

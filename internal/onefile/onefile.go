@@ -115,44 +115,94 @@ func New(pool *pmem.Pool, cfg Config) *OneFile {
 	return o
 }
 
+// logCRC checksums a log slot's committed fields (seq, size, entries); the
+// checksum word certifies that a slot claiming the committed sequence really
+// is the committed log and not a stale slot whose header happened to decay
+// (or be corrupted) into a matching value.
+func logCRC(seq, size uint64, entries []uint64) uint64 {
+	fields := make([]uint64, 0, 2+len(entries))
+	fields = append(fields, seq, size)
+	fields = append(fields, entries...)
+	return pmem.ChecksumWords(fields...)
+}
+
 // recover replays the redo log of the last committed transaction, whose
 // in-place writes may not have been durable at the crash.
+//
+// The three phases run in an order that keeps recovery re-entrant under a
+// second crash at any PM instruction:
+//
+//  1. replay the committed log into the data region and fence — rerunnable,
+//     the log is only read;
+//  2. durably clear both log headers — once the replayed data is fenced the
+//     logs are dead weight, and the new era reuses small sequence numbers,
+//     so a leftover log claiming one of them would be replayed after a
+//     later crash;
+//  3. durably reset the commit marker, opening the new era.
+//
+// A crash between 2 and 3 leaves commit = K with no matching log; re-entry
+// skips the replay (the data is already durable from phase 1's fence) and
+// repeats phases 2–3.
 func (o *OneFile) recover() {
 	commit := o.pool.HeaderLoad(slotCommit)
-	if commit == 0 {
-		return
-	}
-	for half := uint64(0); half < 2; half++ {
-		base := half * (o.logs.Words() / 2)
-		if o.logs.Load(base) != commit {
-			continue
-		}
-		size := o.logs.Load(base + 1)
-		for k := uint64(0); k < size; k++ {
-			addr := o.logs.Load(base + 2 + 2*k)
-			val := o.logs.Load(base + 3 + 2*k)
-			if addr >= o.data.Words() {
-				panic("onefile: corrupt redo log")
+	halfWords := o.logs.Words() / 2
+	if commit != 0 {
+		for half := uint64(0); half < 2; half++ {
+			base := half * halfWords
+			if o.logs.Load(base) != commit {
+				continue
 			}
-			o.data.Store(addr, val)
-			o.data.PWB(addr)
+			size := o.logs.Load(base + 1)
+			if 3+2*size > halfWords {
+				panic(pmem.Corruptf("onefile", "committed log claims %d entries, slot holds %d words", size, halfWords))
+			}
+			entries := make([]uint64, 2*size)
+			for k := range entries {
+				entries[k] = o.logs.Load(base + 3 + uint64(k))
+			}
+			if o.logs.Load(base+2) != logCRC(commit, size, entries) {
+				panic(pmem.Corruptf("onefile", "committed log %d fails its checksum", commit))
+			}
+			for k := uint64(0); k < size; k++ {
+				addr, val := entries[2*k], entries[2*k+1]
+				if addr >= o.data.Words() {
+					panic(pmem.Corruptf("onefile", "committed log writes address %d outside the data region", addr))
+				}
+				o.data.Store(addr, val)
+				o.data.PWB(addr)
+			}
+			o.data.PFence()
+			break
 		}
-		o.data.PFence()
-		break
 	}
-	// New era: restart sequence numbering so volatile seq matches.
-	o.pool.HeaderStore(slotCommit, 0)
-	o.pool.PWBHeader(slotCommit)
-	o.pool.PSync()
-	// Durably clear stale log headers: the new era reuses small sequence
-	// numbers, and a leftover log claiming one of them would be replayed
-	// after a second crash.
 	for half := uint64(0); half < 2; half++ {
-		base := half * (o.logs.Words() / 2)
+		base := half * halfWords
 		o.logs.Store(base, 0)
 		o.logs.PWB(base)
 	}
 	o.logs.PFence()
+	// New era: restart sequence numbering so volatile seq matches.
+	o.pool.HeaderStore(slotCommit, 0)
+	o.pool.PWBHeader(slotCommit)
+	o.pool.PSync()
+}
+
+// StaleRanges reports the log halves that the committed state does not
+// reach — every half whose persisted sequence word differs from the commit
+// marker. The corruption sweep flips bits there; the checksum keeps a
+// decayed stale slot from impersonating the committed log.
+func StaleRanges(pool *pmem.Pool) []pmem.Range {
+	logs := pool.Region(1)
+	commit := pool.PersistedHeader(slotCommit)
+	halfWords := logs.Words() / 2
+	var ranges []pmem.Range
+	for half := uint64(0); half < 2; half++ {
+		base := half * halfWords
+		if commit == 0 || logs.PersistedLoad(base) != commit {
+			ranges = append(ranges, pmem.Range{Region: 1, Start: base, Words: halfWords})
+		}
+	}
+	return ranges
 }
 
 // MaxThreads implements ptm.PTM.
@@ -229,16 +279,19 @@ func (o *OneFile) runOne(d *desc) {
 	// commit marker is always intact, even when a crash lets partially
 	// written newer log lines reach the medium.
 	base := (txSeq % 2) * (o.logs.Words() / 2)
-	if 2+2*uint64(len(o.wsAddrs)) > o.logs.Words()/2 {
+	if 3+2*uint64(len(o.wsAddrs)) > o.logs.Words()/2 {
 		panic("onefile: transaction write-set exceeds log capacity")
 	}
+	entries := make([]uint64, 0, 2*len(o.wsAddrs))
 	for k, addr := range o.wsAddrs {
-		o.logs.Store(base+2+2*uint64(k), addr)
-		o.logs.Store(base+3+2*uint64(k), o.wsVals[addr])
+		o.logs.Store(base+3+2*uint64(k), addr)
+		o.logs.Store(base+4+2*uint64(k), o.wsVals[addr])
+		entries = append(entries, addr, o.wsVals[addr])
 	}
 	o.logs.Store(base+1, uint64(len(o.wsAddrs)))
+	o.logs.Store(base+2, logCRC(txSeq, uint64(len(o.wsAddrs)), entries))
 	o.logs.Store(base, txSeq)
-	o.logs.FlushRange(base, 2+2*uint64(len(o.wsAddrs)))
+	o.logs.FlushRange(base, 3+2*uint64(len(o.wsAddrs)))
 	// 3. One global fence: orders the log and the previous transaction's
 	// in-place writes.
 	o.pool.PFenceGlobal()

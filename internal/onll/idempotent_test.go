@@ -1,0 +1,56 @@
+package onll
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/seqds"
+)
+
+// TestRecoverIsIdempotent recovers the same crashed pool repeatedly:
+// recovery of an already-recovered image must reproduce the same logical
+// state and issue exactly the same persistence work each time — once a torn
+// log tail has been truncated, re-running the prefix scan does no further
+// writes, so a crashed recovery can always be re-run from the top (the
+// nested-failure model).
+func TestRecoverIsIdempotent(t *testing.T) {
+	pool := pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 13, Regions: 1})
+	crashed := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if r != pmem.ErrSimulatedPowerFailure {
+					panic(r)
+				}
+				crashed = true
+			}
+			pool.InjectFailure(-1)
+		}()
+		o := New(pool, Config{Threads: 1, Ops: testOps(), Init: initObj})
+		pool.InjectFailure(37)
+		for i := 0; i < 25; i++ {
+			o.Update(0, opEnq, uint64(i)+1)
+		}
+	}()
+	if !crashed {
+		t.Fatal("failure point never fired")
+	}
+	pool.Crash(pmem.CrashConservative, nil)
+	var stats [3]pmem.StatsSnapshot
+	var items [3][]uint64
+	for i := range stats {
+		pool.ResetStats()
+		o := New(pool, Config{Threads: 1, Ops: testOps(), Init: initObj})
+		stats[i] = pool.Stats()
+		items[i] = seqds.ReadSlice(o, 0, testQueue.Items)
+		pool.Crash(pmem.CrashConservative, nil)
+	}
+	if !reflect.DeepEqual(items[1], items[0]) || !reflect.DeepEqual(items[2], items[1]) {
+		t.Fatalf("recovered state drifted across recoveries: %v / %v / %v",
+			items[0], items[1], items[2])
+	}
+	if stats[1] != stats[2] {
+		t.Fatalf("recovery work drifted: %+v vs %+v", stats[1], stats[2])
+	}
+}

@@ -36,19 +36,31 @@ import (
 // replica and at recovery.
 type OpFunc func(m ptm.Mem, args []uint64) uint64
 
-// entryWords is the fixed log-entry size: one cache line, so an entry is
-// never torn ([hdr, up to 7 args]).
+// entryWords is the fixed log-entry size: one cache line ([hdr, up to 7
+// args]). A line is flushed as a unit, but persistent memory only guarantees
+// 8-byte write atomicity, so an *unfenced* entry evicted at power loss can
+// still tear at word granularity — the header therefore embeds a checksum
+// over the payload, and recovery rejects any entry whose checksum does not
+// match (see recoverLog).
 const entryWords = pmem.WordsPerLine
 
 const maxArgs = entryWords - 1
 
-// entry header: seq(40) | opID(16) | nargs(8).
-func packHdr(seq uint64, opID uint16, nargs int) uint64 {
-	return seq<<24 | uint64(opID)<<8 | uint64(nargs)
+// entry header: seq(24) | chk(16) | opID(16) | nargs(8). chk certifies the
+// payload (opID, nargs, args), so a torn entry — header word persisted
+// without its argument words — is detected at recovery.
+func packHdr(seq uint64, opID uint16, nargs int, args []uint64) uint64 {
+	return seq<<40 | uint64(entryChk(opID, nargs, args))<<24 |
+		uint64(opID)<<8 | uint64(nargs)
 }
 
-func unpackHdr(h uint64) (seq uint64, opID uint16, nargs int) {
-	return h >> 24, uint16(h >> 8), int(h & 0xff)
+func unpackHdr(h uint64) (seq uint64, chk uint16, opID uint16, nargs int) {
+	return h >> 40, uint16(h >> 24), uint16(h >> 8), int(h & 0xff)
+}
+
+// entryChk is the 16-bit payload checksum embedded in the entry header.
+func entryChk(opID uint16, nargs int, args []uint64) uint16 {
+	return uint16(pmem.ChecksumWords(append([]uint64{uint64(opID)<<8 | uint64(nargs)}, args...)...))
 }
 
 // Config parameterizes an ONLL instance.
@@ -101,29 +113,88 @@ func New(pool *pmem.Pool, cfg Config) *ONLL {
 		log:      pool.Region(0),
 		capacity: pool.RegionWords() / entryWords,
 	}
+	if o.capacity >= 1<<24 {
+		// Sequence numbers are 24 bits wide; larger pools would wrap.
+		o.capacity = 1<<24 - 1
+	}
 	o.written = make([]atomic.Bool, o.capacity)
 	o.replicas = make([]*ptm.FlatMem, cfg.Threads)
 	o.cursors = make([]uint64, cfg.Threads)
 	for i := range o.replicas {
 		o.replicas[i] = ptm.NewFlatMem(cfg.ReplicaWords)
 	}
-	// Recovery: the log is self-certifying — scan the longest contiguous
-	// valid prefix.
-	n := uint64(0)
-	for n < o.capacity {
-		seq, _, _ := unpackHdr(o.log.Load(n * entryWords))
-		if seq != n+1 {
-			break
-		}
-		o.written[n].Store(true)
-		n++
-	}
+	n := o.recoverLog()
 	o.tail.Store(n)
 	o.flushed.Store(n)
 	if n == 0 && cfg.Init != nil {
 		o.apply(0, InitOp, nil)
 	}
 	return o
+}
+
+// validEntry reports whether log slot holds a well-formed entry: the right
+// sequence number, a plausible argument count and a payload that matches the
+// checksum embedded in the header.
+func validEntry(log *pmem.Region, slot uint64) bool {
+	seq, chk, opID, nargs := unpackHdr(log.Load(slot * entryWords))
+	if seq != slot+1 || nargs > maxArgs {
+		return false
+	}
+	args := make([]uint64, nargs)
+	for i := 0; i < nargs; i++ {
+		args[i] = log.Load(slot*entryWords + 1 + uint64(i))
+	}
+	return chk == entryChk(opID, nargs, args)
+}
+
+// recoverLog is ONLL's recovery procedure: the log is self-certifying, so it
+// scans the longest contiguous valid prefix and then durably truncates any
+// torn tail entry — a header word that persisted (spontaneous eviction on an
+// adversarial crash) without its payload or sequence predecessor. Zeroing
+// the tail is idempotent: a crash inside recoverLog leaves either the old
+// torn header or the zero, and both rescan to the same prefix.
+func (o *ONLL) recoverLog() uint64 {
+	n := uint64(0)
+	for n < o.capacity {
+		if !validEntry(o.log, n) {
+			break
+		}
+		o.written[n].Store(true)
+		n++
+	}
+	if n < o.capacity {
+		at := n * entryWords
+		if o.log.Load(at) != 0 {
+			o.log.Store(at, 0)
+			o.log.PWB(at)
+			o.log.PFence()
+		}
+	}
+	return n
+}
+
+// CommittedEntries scans pool's log (region 0) and reports the length of the
+// longest valid prefix, without constructing an instance. Chaos harnesses
+// use it to locate the durable/stale boundary.
+func CommittedEntries(pool *pmem.Pool) uint64 {
+	log := pool.Region(0)
+	capacity := pool.RegionWords() / entryWords
+	n := uint64(0)
+	for n < capacity && validEntry(log, n) {
+		n++
+	}
+	return n
+}
+
+// StaleRanges reports the spans of the pool that committed state does not
+// reach: everything past the valid log prefix. Bit flips there must be
+// detected or ignored by recovery, never replayed.
+func StaleRanges(pool *pmem.Pool) []pmem.Range {
+	from := CommittedEntries(pool) * entryWords
+	if total := pool.RegionWords(); from < total {
+		return []pmem.Range{{Region: 0, Start: from, Words: total - from}}
+	}
+	return nil
 }
 
 // resolve returns the registered implementation of opID.
@@ -150,7 +221,7 @@ func (o *ONLL) catchUp(tid int, limit uint64) {
 			runtime.Gosched()
 		}
 		hdr := o.log.Load(slot * entryWords)
-		_, opID, nargs := unpackHdr(hdr)
+		_, _, opID, nargs := unpackHdr(hdr)
 		args := make([]uint64, nargs)
 		for i := 0; i < nargs; i++ {
 			args[i] = o.log.Load(slot*entryWords + 1 + uint64(i))
@@ -179,10 +250,10 @@ func (o *ONLL) apply(tid int, opID uint16, args []uint64) uint64 {
 	for i, a := range args {
 		o.log.Store(base+1+uint64(i), a)
 	}
-	// The header word makes the entry valid; it is written last and the
-	// entry occupies a single cache line, so recovery can never observe
-	// a torn entry.
-	o.log.Store(base, packHdr(slot+1, opID, len(args)))
+	// The header word makes the entry valid; it is written last and
+	// carries a checksum over the payload, so recovery rejects an entry
+	// whose header persisted (torn eviction) without its arguments.
+	o.log.Store(base, packHdr(slot+1, opID, len(args), args))
 	o.written[slot].Store(true)
 	// Wait for predecessors, then flush the unflushed prefix with a
 	// single fence. Lock-free: we may wait on a slower thread's write,

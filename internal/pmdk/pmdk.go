@@ -40,8 +40,11 @@ const (
 const magic = 0x706d646b2d73696d // "pmdk-sim"
 
 // Log region layout: word 0 = txID, word 1 = size, entries from word 8,
-// four words each ([txID, addr, old, pad]) so an entry never straddles a
-// cache line.
+// four words each ([txID, addr, old, crc]) so an entry never straddles a
+// cache line. The crc closes the torn-entry window of the adversarial
+// model: a spuriously evicted entry line may persist its txID word while
+// addr/old keep a previous transaction's durable values — era-qualified
+// tags alone cannot catch that, a checksum over all three words does.
 const (
 	logTxID    = 0
 	logSize    = 1
@@ -101,11 +104,17 @@ func New(pool *pmem.Pool, cfg Config) *PMDK {
 	return p
 }
 
-// recover rolls back an interrupted transaction and starts a new era.
+// recover rolls back an interrupted transaction and starts a new era. Every
+// phase is re-entrant under a second crash: the rollback only reads the log
+// (re-running it re-applies the same old values), the log invalidation is a
+// single durable word, and a repeated era bump merely skips an era number.
 func (p *PMDK) recover() {
 	txID := p.log.Load(logTxID)
 	size := p.log.Load(logSize)
 	if size > 0 && txID != 0 {
+		if logEntries+size*entryWords > p.log.Words() {
+			panic(pmem.Corruptf("pmdk", "undo log claims %d entries, region holds %d words", size, p.log.Words()))
+		}
 		for k := size; k > 0; k-- {
 			base := logEntries + (k-1)*entryWords
 			if p.log.Load(base) != txID {
@@ -114,8 +123,15 @@ func (p *PMDK) recover() {
 				continue
 			}
 			addr, old := p.log.Load(base+1), p.log.Load(base+2)
+			if p.log.Load(base+3) != pmem.ChecksumWords(txID, addr, old) {
+				// Torn entry: the line was spuriously evicted
+				// mid-write, persisting the txID word around stale
+				// neighbours. The snapshot was never fenced, so the
+				// in-place write it guards was never issued — skip.
+				continue
+			}
 			if addr >= p.data.Words() {
-				panic("pmdk: corrupt undo log")
+				panic(pmem.Corruptf("pmdk", "undo entry %d rolls back address %d outside the data region", k-1, addr))
 			}
 			p.data.Store(addr, old)
 			p.data.PWB(addr)
@@ -129,6 +145,23 @@ func (p *PMDK) recover() {
 	p.pool.HeaderStore(slotEra, era)
 	p.pool.PWBHeader(slotEra)
 	p.pool.PSync()
+}
+
+// StaleRanges reports the undo-log span past the durably recorded size:
+// those entries belong to no transaction the rollback will consult. Entries
+// below the size watermark are live — their era-qualified tag is what the
+// rollback trusts — so they are not offered to the corruption sweep.
+func StaleRanges(pool *pmem.Pool) []pmem.Range {
+	log := pool.Region(1)
+	size := log.PersistedLoad(logSize)
+	if log.PersistedLoad(logTxID) == 0 {
+		size = 0 // rollback is disabled: every entry is dead
+	}
+	from := logEntries + size*entryWords
+	if words := log.Words(); from < words {
+		return []pmem.Range{{Region: 1, Start: from, Words: words - from}}
+	}
+	return nil
 }
 
 // MaxThreads implements ptm.PTM.
@@ -201,8 +234,10 @@ func (p *PMDK) snapshot(addr, txID uint64) {
 	if base+entryWords > p.log.Words() {
 		panic("pmdk: transaction exceeds undo log capacity")
 	}
+	old := p.data.Load(addr)
 	p.log.Store(base+1, addr)
-	p.log.Store(base+2, p.data.Load(addr))
+	p.log.Store(base+2, old)
+	p.log.Store(base+3, pmem.ChecksumWords(txID, addr, old))
 	p.log.Store(base, txID)
 	p.nlog++
 	p.log.Store(logSize, p.nlog)

@@ -1,0 +1,131 @@
+package pmem
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+)
+
+// Corruption model. A simulated power failure (Crash) is *non-corrupting*:
+// what survives is a prefix-consistent mixture of fenced lines and, in
+// adversarial mode, torn remnants of dirty lines. Real media additionally
+// suffer bit-rot and torn internal writes that no amount of fencing
+// prevents. The helpers below inject exactly that class of damage into the
+// persisted image, so recovery paths can be audited for the contract of the
+// chaos sweep: recovery must either succeed or fail with a typed
+// *CorruptionError — never panic with an untyped value and never return a
+// silently wrong answer.
+
+// CorruptionError is the typed failure recovery paths raise (via panic, since
+// the constructors of the constructions have no error return) when persistent
+// state fails an integrity check. Harnesses recover it and treat it as a
+// detected — therefore acceptable — outcome, unlike an arbitrary panic.
+type CorruptionError struct {
+	Component string // which engine or structure detected the damage
+	Detail    string
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("pmem: corrupt state (%s): %s", e.Component, e.Detail)
+}
+
+// Corruptf builds a *CorruptionError; engines panic with it from recovery.
+func Corruptf(component, format string, args ...any) *CorruptionError {
+	return &CorruptionError{Component: component, Detail: fmt.Sprintf(format, args...)}
+}
+
+// AsCorruption reports whether a recovered panic value is a typed corruption
+// report or a simulated power failure wrapped around one.
+func AsCorruption(v any) (*CorruptionError, bool) {
+	ce, ok := v.(*CorruptionError)
+	return ce, ok
+}
+
+// Range names a span of words inside one region. Engines export the ranges
+// that are *not* reachable from their committed state (stale replicas, log
+// tails past the durable prefix, scratch areas) so the corruption sweep knows
+// where bit flips must be harmless.
+type Range struct {
+	Region int
+	Start  Addr   // first word of the span
+	Words  uint64 // length in words
+}
+
+// WholeRegion is the Range covering all of region i of pool p.
+func (p *Pool) WholeRegion(i int) Range {
+	return Range{Region: i, Start: 0, Words: p.regionWords}
+}
+
+// CorruptLine tears one cache line of a region's persisted image: a random
+// non-empty subset of its words is overwritten with random values. The cache
+// image is damaged identically, modelling a re-map of the corrupted medium.
+// Strict mode only.
+func (p *Pool) CorruptLine(region int, line uint64, rng *rand.Rand) {
+	if p.mode != Strict {
+		panic("pmem: CorruptLine requires Strict mode")
+	}
+	r := &p.regions[region]
+	lo := r.base + line*WordsPerLine
+	if line*WordsPerLine >= r.words {
+		panic(fmt.Sprintf("pmem: CorruptLine %d out of region bounds", line))
+	}
+	hit := false
+	for w := lo; w < lo+WordsPerLine; w++ {
+		if rng.Intn(2) == 0 {
+			v := rng.Uint64()
+			p.shadow[w] = v
+			atomic.StoreUint64(&p.data[w], v)
+			hit = true
+		}
+	}
+	if !hit { // guarantee at least one damaged word
+		w := lo + uint64(rng.Intn(WordsPerLine))
+		v := rng.Uint64()
+		p.shadow[w] = v
+		atomic.StoreUint64(&p.data[w], v)
+	}
+}
+
+// FlipBit flips a single bit of one word in both the persisted and cache
+// images, modelling bit-rot discovered at re-map time. Strict mode only.
+func (p *Pool) FlipBit(region int, addr Addr, bit uint) {
+	if p.mode != Strict {
+		panic("pmem: FlipBit requires Strict mode")
+	}
+	r := &p.regions[region]
+	r.check(addr)
+	w := r.base + addr
+	v := p.shadow[w] ^ (1 << (bit % 64))
+	p.shadow[w] = v
+	atomic.StoreUint64(&p.data[w], v)
+}
+
+// Clone returns an independent deep copy of the pool: both images, all
+// header slots and the pending flush lists. Statistics start at zero and any
+// armed failure point is NOT carried over. Clone lets a chaos sweep fork one
+// post-crash state into many recovery experiments without replaying the
+// workload that produced it. The pool must be quiescent.
+func (p *Pool) Clone() *Pool {
+	q := New(Config{
+		Mode:        p.mode,
+		RegionWords: p.regionWords,
+		Regions:     len(p.regions),
+		HeaderSlots: len(p.headers),
+		Latency:     p.lat,
+	})
+	copy(q.data, p.data)
+	if p.mode == Strict {
+		copy(q.shadow, p.shadow)
+		for i := range p.shadowHdr {
+			q.shadowHdr[i].Store(p.shadowHdr[i].Load())
+		}
+	}
+	for i := range p.headers {
+		q.headers[i].Store(p.headers[i].Load())
+	}
+	q.pendingHdr = append(q.pendingHdr, p.pendingHdr...)
+	for i := range p.regions {
+		q.regions[i].pending = append(q.regions[i].pending, p.regions[i].pending...)
+	}
+	return q
+}

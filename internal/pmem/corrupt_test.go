@@ -1,0 +1,168 @@
+package pmem
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestInjectFailureSurvivesCrash(t *testing.T) {
+	// The nested-failure model: a counter armed before (or across) Crash
+	// stays armed, so recovery code itself can be interrupted.
+	p := New(Config{Mode: Strict, RegionWords: 64, Regions: 1})
+	r := p.Region(0)
+	r.Store(0, 1)
+	r.PWB(0)
+	r.PFence()
+	p.Crash(CrashConservative, nil)
+	p.InjectFailure(2)
+	if got := p.InjectRemaining(); got != 2 {
+		t.Fatalf("InjectRemaining = %d after arming, want 2", got)
+	}
+	r.Store(1, 2) // event 1 — "recovery" begins
+	p.Crash(CrashConservative, nil)
+	if got := p.InjectRemaining(); got != 1 {
+		t.Fatalf("Crash disturbed the armed counter: remaining = %d, want 1", got)
+	}
+	r.Store(1, 2) // event 2: the counter reaches zero
+	func() {
+		defer func() {
+			if recover() != ErrSimulatedPowerFailure {
+				t.Error("armed counter did not survive Crash")
+			}
+		}()
+		r.PWB(1) // event 3 → boom: recovery crashed mid-flight
+	}()
+	p.InjectFailure(-1)
+}
+
+func TestCorruptLineTearsPersistedImage(t *testing.T) {
+	p := New(Config{Mode: Strict, RegionWords: 64, Regions: 1})
+	r := p.Region(0)
+	for i := uint64(0); i < WordsPerLine; i++ {
+		r.Store(i, 100+i)
+		r.PWB(i)
+	}
+	r.PFence()
+	p.CorruptLine(0, 0, rand.New(rand.NewSource(1)))
+	p.Crash(CrashConservative, nil) // expose the persisted image
+	damaged := 0
+	for i := uint64(0); i < WordsPerLine; i++ {
+		if r.Load(i) != 100+i {
+			damaged++
+		}
+	}
+	if damaged == 0 {
+		t.Fatal("CorruptLine damaged no words")
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	p := New(Config{Mode: Strict, RegionWords: 64, Regions: 1})
+	r := p.Region(0)
+	r.Store(3, 0b1000)
+	r.PWB(3)
+	r.PFence()
+	p.FlipBit(0, 3, 3)
+	if got := r.Load(3); got != 0 {
+		t.Fatalf("cache image after flip = %b, want 0", got)
+	}
+	p.Crash(CrashConservative, nil)
+	if got := r.Load(3); got != 0 {
+		t.Fatalf("persisted image after flip = %b, want 0", got)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	p := New(Config{Mode: Strict, RegionWords: 64, Regions: 2, HeaderSlots: 4})
+	r := p.Region(0)
+	r.Store(5, 55)
+	r.PWB(5)
+	r.PFence()
+	r.Store(6, 66) // volatile: in cache, not yet persisted
+	p.HeaderStore(1, 11)
+	p.PWBHeader(1)
+	p.PSync()
+	p.InjectFailure(100)
+
+	q := p.Clone()
+	p.InjectFailure(-1)
+	if got := q.InjectRemaining(); got >= 0 {
+		t.Fatalf("clone inherited the armed failure point: %d", got)
+	}
+	if got := q.Region(0).Load(5); got != 55 {
+		t.Fatalf("clone word 5 = %d, want 55", got)
+	}
+	if got := q.Region(0).Load(6); got != 66 {
+		t.Fatalf("clone cache word 6 = %d, want 66", got)
+	}
+	if got := q.HeaderLoad(1); got != 11 {
+		t.Fatalf("clone header 1 = %d, want 11", got)
+	}
+	// Pending (unfenced) state was cloned too: a crash must drop word 6 in
+	// both pools, independently.
+	q.Region(0).Store(7, 77)
+	q.Crash(CrashConservative, nil)
+	if got := q.Region(0).Load(6); got != 0 {
+		t.Fatalf("clone kept unfenced word across crash: %d", got)
+	}
+	if got := p.Region(0).Load(6); got != 66 {
+		t.Fatalf("crashing the clone disturbed the original: %d", got)
+	}
+	p.Crash(CrashConservative, nil)
+	if got := p.Region(0).Load(6); got != 0 {
+		t.Fatalf("original kept unfenced word across crash: %d", got)
+	}
+}
+
+func TestHeaderCRCPair(t *testing.T) {
+	p := New(Config{Mode: Strict, RegionWords: 64, Regions: 1, HeaderSlots: 4})
+	// Never written: zero value, no error.
+	if v, err := p.HeaderLoadCRC(0); v != 0 || err != nil {
+		t.Fatalf("unwritten pair = (%d, %v), want (0, nil)", v, err)
+	}
+	p.HeaderStoreCRC(0, 0xfeedface)
+	if v, err := p.HeaderLoadCRC(0); v != 0xfeedface || err != nil {
+		t.Fatalf("pair = (%#x, %v), want (0xfeedface, nil)", v, err)
+	}
+	p.PWBHeader(0)
+	p.PWBHeader(1)
+	p.PSync()
+	if v, err := p.PersistedHeaderCRC(0); v != 0xfeedface || err != nil {
+		t.Fatalf("persisted pair = (%#x, %v)", v, err)
+	}
+	// Tamper with the value: the tag no longer matches.
+	p.HeaderStore(0, 0xfeedfacf)
+	if _, err := p.HeaderLoadCRC(0); !errors.Is(err, ErrCorruptHeader) {
+		t.Fatalf("tampered pair: err = %v, want ErrCorruptHeader", err)
+	}
+	// Tamper with the tag instead.
+	p.HeaderStore(0, 0xfeedface)
+	p.HeaderStore(1, p.HeaderLoad(1)^1)
+	if _, err := p.HeaderLoadCRC(0); !errors.Is(err, ErrCorruptHeader) {
+		t.Fatalf("tampered tag: err = %v, want ErrCorruptHeader", err)
+	}
+}
+
+func TestChecksumWords(t *testing.T) {
+	a := ChecksumWords(1, 2, 3)
+	if a != ChecksumWords(1, 2, 3) {
+		t.Fatal("ChecksumWords not deterministic")
+	}
+	if a == ChecksumWords(1, 2, 4) || a == ChecksumWords(3, 2, 1) || a == ChecksumWords(1, 2) {
+		t.Fatal("ChecksumWords collides on trivial variations")
+	}
+}
+
+func TestCorruptionError(t *testing.T) {
+	err := Corruptf("widget", "slot %d bad", 7)
+	if err.Error() != "pmem: corrupt state (widget): slot 7 bad" {
+		t.Fatalf("Error() = %q", err.Error())
+	}
+	if ce, ok := AsCorruption(any(err)); !ok || ce.Component != "widget" {
+		t.Fatalf("AsCorruption = (%v, %v)", ce, ok)
+	}
+	if _, ok := AsCorruption("just a string"); ok {
+		t.Fatal("AsCorruption accepted a plain string")
+	}
+}

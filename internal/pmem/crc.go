@@ -1,0 +1,80 @@
+package pmem
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc64"
+)
+
+// CRC-protected header slots. A construction that keeps a write-once root in
+// a header slot (a format magic, fixed geometry) can pair it with a checksum
+// in the adjacent slot. On restart the pair distinguishes three states that a
+// bare slot cannot: never written (both zero), intact (tag matches) and
+// corrupted (anything else). Without the tag, a bit-rotted magic is
+// indistinguishable from "never formatted" and recovery would silently
+// reformat — destroying the pool's contents.
+//
+// The pairing is only crash-atomic for write-once slots: an in-place update
+// of value and tag is two separate header stores, and an adversarial crash
+// between them leaves a torn pair. Frequently republished roots must stay
+// single-word (see rockssim's packed commit word).
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// ErrCorruptHeader is returned by HeaderLoadCRC/PersistedHeaderCRC when a
+// slot's checksum tag does not match its value.
+var ErrCorruptHeader = errors.New("pmem: header slot fails CRC check")
+
+// ChecksumWords returns the CRC-64/ECMA of the given words in order.
+// Engines use it to guard persistent records (log entries, WAL records)
+// whose lines can tear at word granularity under an adversarial crash.
+func ChecksumWords(words ...uint64) uint64 {
+	var buf [8]byte
+	crc := crc64.New(crcTable)
+	for _, w := range words {
+		binary.LittleEndian.PutUint64(buf[:], w)
+		crc.Write(buf[:])
+	}
+	return crc.Sum64()
+}
+
+// headerTag computes the checksum stored alongside slot i holding v. The
+// slot index is mixed in so a value copied to the wrong slot is rejected.
+func headerTag(i int, v uint64) uint64 {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(i))
+	binary.LittleEndian.PutUint64(buf[8:], v)
+	return crc64.Checksum(buf[:], crcTable)
+}
+
+// HeaderStoreCRC writes v to header slot i and its checksum tag to slot i+1.
+// Both slots still need PWBHeader and a PSync to become durable.
+func (p *Pool) HeaderStoreCRC(i int, v uint64) {
+	p.HeaderStore(i, v)
+	p.HeaderStore(i+1, headerTag(i, v))
+}
+
+// HeaderLoadCRC reads the CRC-protected slot i from the cache image. A pair
+// that was never written (value and tag both zero) reads as 0 without error.
+func (p *Pool) HeaderLoadCRC(i int) (uint64, error) {
+	return checkPair(i, p.headers[i].Load(), p.headers[i+1].Load())
+}
+
+// PersistedHeaderCRC reads the CRC-protected slot i from the persisted
+// image; it is the recovery-time counterpart of HeaderLoadCRC.
+func (p *Pool) PersistedHeaderCRC(i int) (uint64, error) {
+	if p.mode != Strict {
+		return p.HeaderLoadCRC(i)
+	}
+	return checkPair(i, p.shadowHdr[i].Load(), p.shadowHdr[i+1].Load())
+}
+
+func checkPair(i int, v, tag uint64) (uint64, error) {
+	if v == 0 && tag == 0 {
+		return 0, nil // never written
+	}
+	if tag != headerTag(i, v) {
+		return 0, ErrCorruptHeader
+	}
+	return v, nil
+}

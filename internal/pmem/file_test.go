@@ -1,6 +1,8 @@
 package pmem
 
 import (
+	"encoding/binary"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -104,5 +106,78 @@ func TestSnapshotTruncatedFails(t *testing.T) {
 	}
 	if _, err := ReadFile(path); err == nil {
 		t.Fatal("truncated snapshot accepted")
+	}
+}
+
+// TestSnapshotTypedErrors damages a valid snapshot in each characteristic
+// way and asserts ReadFile reports the matching sentinel, so callers can
+// distinguish "partial write, retry the copy" from "the medium lied".
+func TestSnapshotTypedErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pool.pmem")
+	p := New(Config{Mode: Strict, RegionWords: 128, Regions: 2, HeaderSlots: 4})
+	r := p.Region(0)
+	r.Store(9, 1234)
+	r.PWB(9)
+	r.PFence()
+	if err := p.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:16] }, ErrTruncatedSnapshot},
+		{"truncated body", func(b []byte) []byte { return b[:len(b)-24] }, ErrTruncatedSnapshot},
+		{"missing checksum", func(b []byte) []byte { return b[:len(b)-8] }, ErrTruncatedSnapshot},
+		{"empty file", func(b []byte) []byte { return nil }, ErrTruncatedSnapshot},
+		{"bit flip in data", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)/2] ^= 0x10
+			return c
+		}, ErrCorruptSnapshot},
+		{"bit flip in checksum", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-1] ^= 1
+			return c
+		}, ErrCorruptSnapshot},
+		{"wrong magic", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			binary.LittleEndian.PutUint64(c[0:8], 0x6465616462656566)
+			return c
+		}, ErrCorruptSnapshot},
+		{"future version", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			binary.LittleEndian.PutUint64(c[8:16], 99)
+			return c
+		}, ErrCorruptSnapshot},
+		{"trailing bytes", func(b []byte) []byte { return append(append([]byte(nil), b...), 0, 0, 0, 0, 0, 0, 0, 0) }, ErrCorruptSnapshot},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := os.WriteFile(path, tc.mutate(good), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := ReadFile(path)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("ReadFile error = %v, want %v", err, tc.want)
+			}
+		})
+	}
+	// The pristine bytes still load, and carry the durable word.
+	if err := os.WriteFile(path, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Region(0).Load(9); got != 1234 {
+		t.Fatalf("durable word = %d, want 1234", got)
 	}
 }

@@ -101,7 +101,19 @@ func (*powerFailure) Error() string { return "pmem: simulated power failure" }
 // ErrSimulatedPowerFailure, simulating power loss at an arbitrary
 // instruction boundary. Only honoured in Strict mode. Pass a negative n to
 // disarm.
+//
+// An armed counter survives Crash: Crash itself issues no persistent-memory
+// events and never disarms, so a harness can crash the pool, arm a second
+// failure point, and invoke recovery — the nested-failure model of
+// Ben-David et al., where recovery code is itself interrupted by power loss.
 func (p *Pool) InjectFailure(n int64) { p.failAfter.Store(n) }
+
+// InjectRemaining reports the armed failure counter: the number of
+// persistent-memory events left before the simulated power failure fires,
+// or a negative value when no failure point is armed (or one already
+// fired). Harnesses measure a workload's event count by arming a counter
+// too large to fire, running the workload, and subtracting.
+func (p *Pool) InjectRemaining() int64 { return p.failAfter.Load() }
 
 // tick advances toward an armed failure point.
 func (p *Pool) tick() {
@@ -448,14 +460,21 @@ const (
 	// CrashConservative drops every store that was not flushed and fenced.
 	CrashConservative CrashPolicy = iota
 	// CrashAdversarial lets a random subset of dirty unflushed lines reach
-	// the persisted image, modelling spontaneous cache eviction.
+	// the persisted image, modelling spontaneous cache eviction — and tears
+	// the evicted lines at word granularity: persistent memory guarantees
+	// 8-byte write atomicity, not 64-byte, so a line in flight at power
+	// loss may land with only some of its words updated.
 	CrashAdversarial
 )
 
 // Crash simulates a non-corrupting power failure: the cache image is
 // discarded and replaced with the persisted image. With CrashAdversarial a
-// random subset of dirty lines (data differing from shadow) is persisted
-// first, using rng. The pool must be in Strict mode.
+// random subset of dirty lines (data differing from shadow) is partially
+// persisted first, using rng. The pool must be in Strict mode.
+//
+// Crash issues no persistent-memory events and leaves any armed failure
+// point (InjectFailure) armed, so a second failure can be injected into the
+// recovery that follows.
 //
 // After Crash returns, the pool represents the freshly re-mapped NVMM: the
 // construction's Recover entry point can rebuild its volatile state from it.
@@ -478,8 +497,12 @@ func (p *Pool) Crash(policy CrashPolicy, rng *rand.Rand) {
 				}
 			}
 			if dirty && rng.Intn(2) == 0 {
+				// Torn eviction: each word of the line persists
+				// independently (8-byte atomicity).
 				for w := lo; w < lo+WordsPerLine; w++ {
-					p.shadow[w] = atomic.LoadUint64(&p.data[w])
+					if rng.Intn(2) == 0 {
+						p.shadow[w] = atomic.LoadUint64(&p.data[w])
+					}
 				}
 			}
 		}

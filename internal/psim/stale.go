@@ -1,0 +1,23 @@
+package psim
+
+import "repro/internal/pmem"
+
+// StaleRanges reports the area that committed state does not reach: the
+// copy-on-write side the persisted header does not name. Recovery adopts
+// only the named area, and the first combine after restart copies it over
+// the other side before any load, so bit flips there must never surface.
+// With no valid header nothing is committed and both areas are fair game.
+func StaleRanges(pool *pmem.Pool) []pmem.Range {
+	hdr := pool.PersistedHeader(headerSlot)
+	cur := -1
+	if hdr&1 != 0 {
+		cur = int(hdr >> 1 & 1)
+	}
+	var ranges []pmem.Range
+	for i := 0; i < pool.Regions(); i++ {
+		if i != cur {
+			ranges = append(ranges, pool.WholeRegion(i))
+		}
+	}
+	return ranges
+}

@@ -1,0 +1,59 @@
+package redodb
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+// TestRecoverIsIdempotent recovers the same crashed pool repeatedly:
+// RedoDB has null recovery, so reopening an already-recovered image must
+// reproduce the same logical state and issue exactly the same persistence
+// work each time (the nested-failure model).
+func TestRecoverIsIdempotent(t *testing.T) {
+	pool := pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 14, Regions: 2})
+	crashed := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if r != pmem.ErrSimulatedPowerFailure {
+					panic(r)
+				}
+				crashed = true
+			}
+			pool.InjectFailure(-1)
+		}()
+		s := Open(pool, Options{Threads: 1}).Session(0)
+		pool.InjectFailure(300)
+		for i := 0; i < 25; i++ {
+			s.Put([]byte(fmt.Sprintf("k%03d", i)), []byte{byte(i)})
+		}
+	}()
+	if !crashed {
+		t.Fatal("failure point never fired")
+	}
+	pool.Crash(pmem.CrashConservative, nil)
+	var stats [3]pmem.StatsSnapshot
+	var states [3][]string
+	for i := range stats {
+		pool.ResetStats()
+		s := Open(pool, Options{Threads: 1}).Session(0)
+		stats[i] = pool.Stats()
+		for j := 0; j < 25; j++ {
+			k := fmt.Sprintf("k%03d", j)
+			if v, ok := s.Get([]byte(k)); ok {
+				states[i] = append(states[i], fmt.Sprintf("%s=%x", k, v))
+			}
+		}
+		pool.Crash(pmem.CrashConservative, nil)
+	}
+	if !reflect.DeepEqual(states[1], states[0]) || !reflect.DeepEqual(states[2], states[1]) {
+		t.Fatalf("recovered state drifted across recoveries: %v / %v / %v",
+			states[0], states[1], states[2])
+	}
+	if stats[1] != stats[2] {
+		t.Fatalf("recovery work drifted: %+v vs %+v", stats[1], stats[2])
+	}
+}

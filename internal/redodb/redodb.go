@@ -73,6 +73,9 @@ func Open(pool *pmem.Pool, opts Options) *DB {
 		Profile:  opts.Profile,
 	})
 	db := &DB{eng: eng, pool: pool, root: ptm.RootAddr(opts.RootSlot)}
+	// Reject a structurally-corrupt recovered map with a typed error before
+	// running any transaction that would chase its pointers.
+	db.validate()
 	// Initialize the map on first open; a recovered pool already holds it.
 	db.eng.Update(0, func(m ptm.Mem) uint64 {
 		if m.Load(db.root) != 0 {

@@ -39,14 +39,29 @@ const (
 	regionJournal    = 2
 )
 
-// Header slots.
+// Header slots. The magic is CRC-protected (write-once pair in slots 0–1)
+// so a bit-rotted magic is reported as corruption instead of silently
+// reformatting the pool. The commit word packs the WAL era and the
+// checkpoint length into a single slot: header slots persist with 8-byte
+// atomicity, so a one-word commit can never be observed torn — the
+// era-and-length pair advances atomically even under adversarial eviction.
 const (
-	slotMagic      = 0
-	slotCheckpoint = 1 // committed checkpoint length in words
-	slotWALSeq     = 2 // era counter for WAL records
+	slotMagic    = 0
+	slotMagicCRC = 1 // checksum tag of slotMagic (HeaderStoreCRC pair)
+	slotCommit   = 2 // era(40) | checkpoint length in words (24)
 )
 
 const magic = 0x726f636b7373696d // "rockssim"
+
+// ckptLenBits is the width of the checkpoint-length field in the commit
+// word; checkpoint regions must be smaller than 1<<ckptLenBits words.
+const ckptLenBits = 24
+
+func packCommit(era, ckptLen uint64) uint64 { return era<<ckptLenBits | ckptLen }
+
+func unpackCommit(v uint64) (era, ckptLen uint64) {
+	return v >> ckptLenBits, v & (1<<ckptLenBits - 1)
+}
 
 // DB is the simulated RocksDB instance.
 type DB struct {
@@ -77,10 +92,15 @@ type Options struct {
 }
 
 // Open creates or recovers a DB over pool (3 regions: checkpoint, WAL,
-// journal).
+// journal). On a pool whose persistent state fails an integrity check it
+// panics with a typed *pmem.CorruptionError; it never reformats a pool that
+// carries evidence of committed data.
 func Open(pool *pmem.Pool, opts Options) *DB {
 	if pool.Regions() != 3 {
 		panic("rockssim: pool must have 3 regions (checkpoint, WAL, journal)")
+	}
+	if pool.RegionWords() >= 1<<ckptLenBits {
+		panic("rockssim: region larger than the commit word's length field")
 	}
 	db := &DB{
 		opts:  opts,
@@ -90,24 +110,42 @@ func Open(pool *pmem.Pool, opts Options) *DB {
 		jrnl:  pool.Region(regionJournal),
 		table: make(map[string][]byte),
 	}
-	if pool.PersistedHeader(slotMagic) == magic {
+	m, err := pool.PersistedHeaderCRC(slotMagic)
+	if err != nil {
+		// A torn magic pair can only arise while formatting (the pair is
+		// written once, before the first commit): with committed data it
+		// is medium corruption; without, an interrupted format.
+		if c := pool.PersistedHeader(slotCommit); c != 0 {
+			panic(pmem.Corruptf("rockssim", "magic header fails CRC with committed state %#x", c))
+		}
+		m = 0
+	}
+	if m == magic {
 		db.recover()
+	} else if m != 0 {
+		panic(pmem.Corruptf("rockssim", "bad magic %#x", m))
 	} else {
-		pool.HeaderStore(slotMagic, magic)
-		pool.HeaderStore(slotCheckpoint, 0)
-		pool.HeaderStore(slotWALSeq, 1)
+		// Format. The magic pair is made durable before the first commit
+		// word so recovery can always tell "never formatted" from
+		// "formatted, nothing committed yet".
+		pool.HeaderStoreCRC(slotMagic, magic)
 		pool.PWBHeader(slotMagic)
-		pool.PWBHeader(slotCheckpoint)
-		pool.PWBHeader(slotWALSeq)
+		pool.PWBHeader(slotMagicCRC)
+		pool.PSync()
+		pool.HeaderStore(slotCommit, packCommit(1, 0))
+		pool.PWBHeader(slotCommit)
 		pool.PSync()
 		db.seq = 1
 	}
 	return db
 }
 
-// WAL record: [seq, op, klen, vlen, key..., val...], word-packed strings,
-// op 1 = put, 2 = delete. A record is valid if its seq matches the current
-// era (records of older eras are pre-truncation leftovers).
+// WAL record: [seq, op, klen, vlen, crc, key..., val...], word-packed
+// strings, op 1 = put, 2 = delete. A record is valid if its seq matches the
+// current era (records of older eras are logically truncated leftovers) and
+// its trailing fields match crc — the checksum is what lets recovery detect
+// a record torn at word granularity by an adversarial crash and truncate
+// the WAL there instead of replaying garbage.
 
 func packWords(b []byte) []uint64 {
 	out := make([]uint64, (len(b)+7)/8)
@@ -135,7 +173,7 @@ const pageWords = 4096 / 8
 // flushed and fenced, then the in-place WAL page(s) (ext4 data journalling).
 func (db *DB) appendWAL(op uint64, key, val []byte) {
 	kw, vw := packWords(key), packWords(val)
-	need := 4 + uint64(len(kw)) + uint64(len(vw))
+	need := 5 + uint64(len(kw)) + uint64(len(vw))
 	if db.walAt+need > db.wal.Words() {
 		db.checkpoint()
 	}
@@ -149,13 +187,15 @@ func (db *DB) appendWAL(op uint64, key, val []byte) {
 	if firstPage+pagesLen > db.wal.Words() {
 		pagesLen = db.wal.Words() - firstPage
 	}
+	crc := recordCRC(db.seq, op, uint64(len(key)), uint64(len(val)), kw, vw)
 	write := func(r *pmem.Region) {
 		w := at
 		r.Store(w, db.seq)
 		r.Store(w+1, op)
 		r.Store(w+2, uint64(len(key)))
 		r.Store(w+3, uint64(len(val)))
-		w += 4
+		r.Store(w+4, crc)
+		w += 5
 		for _, x := range kw {
 			r.Store(w, x)
 			w++
@@ -176,8 +216,23 @@ func (db *DB) appendWAL(op uint64, key, val []byte) {
 	}
 }
 
+// recordCRC checksums every field of a WAL record except the crc word.
+func recordCRC(seq, op, klen, vlen uint64, kw, vw []uint64) uint64 {
+	fields := make([]uint64, 0, 4+len(kw)+len(vw))
+	fields = append(fields, seq, op, klen, vlen)
+	fields = append(fields, kw...)
+	fields = append(fields, vw...)
+	return pmem.ChecksumWords(fields...)
+}
+
 // checkpoint serializes the whole table into the checkpoint region and
-// truncates the WAL (RocksDB memtable flush + WAL rotation).
+// truncates the WAL (RocksDB memtable flush + WAL rotation). The commit is
+// a single packed header word (era+1, length): until it is durable the old
+// checkpoint and the old era's WAL remain the recovery source, so a crash
+// anywhere inside checkpoint is invisible; once it is durable the new
+// checkpoint alone reconstructs the table. Both orderings recover the same
+// committed contents — there is no window where either image is trusted
+// while incomplete.
 func (db *DB) checkpoint() {
 	keys := make([]string, 0, len(db.table))
 	for k := range db.table {
@@ -206,53 +261,55 @@ func (db *DB) checkpoint() {
 	}
 	db.ckpt.FlushRange(0, w)
 	db.ckpt.PFence()
-	db.pool.HeaderStore(slotCheckpoint, w)
-	db.pool.PWBHeader(slotCheckpoint)
-	// New WAL era: old records are invalidated by the seq bump.
+	// New WAL era: old records are invalidated by the era bump, committed
+	// in the same 8-byte atomic word as the checkpoint length.
 	db.seq++
-	db.pool.HeaderStore(slotWALSeq, db.seq)
-	db.pool.PWBHeader(slotWALSeq)
+	db.pool.HeaderStore(slotCommit, packCommit(db.seq, w))
+	db.pool.PWBHeader(slotCommit)
 	db.pool.PSync()
 	db.walAt = 0
 	db.checkpoints++
 }
 
-// recover rebuilds the memtable from the checkpoint plus valid WAL records.
+// recover rebuilds the memtable from the checkpoint plus valid WAL records,
+// then flushes the recovered table as a fresh checkpoint (RocksDB's flush-
+// after-WAL-replay), which logically truncates any torn WAL tail: replay
+// stops at the first record whose era or checksum fails, and the era bump
+// of the recovery checkpoint invalidates everything after the durable
+// prefix. A second crash anywhere inside recover re-enters it with the same
+// committed state (the replay is read-only and the checkpoint publish is a
+// single word), so recovery is idempotent and re-entrant.
 func (db *DB) recover() {
-	db.seq = db.pool.HeaderLoad(slotWALSeq)
-	ckptLen := db.pool.HeaderLoad(slotCheckpoint)
-	if ckptLen > 0 {
-		n := db.ckpt.Load(0)
-		w := uint64(1)
-		for i := uint64(0); i < n; i++ {
-			kl, vl := db.ckpt.Load(w), db.ckpt.Load(w+1)
-			w += 2
-			kw := make([]uint64, (kl+7)/8)
-			for j := range kw {
-				kw[j] = db.ckpt.Load(w)
-				w++
-			}
-			vw := make([]uint64, (vl+7)/8)
-			for j := range vw {
-				vw[j] = db.ckpt.Load(w)
-				w++
-			}
-			db.table[string(unpackWords(kw, kl))] = unpackWords(vw, vl)
-		}
+	era, ckptLen := unpackCommit(db.pool.PersistedHeader(slotCommit))
+	if era == 0 {
+		// Formatting was interrupted after the magic pair became durable
+		// but before the first commit word did; no write has ever
+		// committed, so (re)publishing the empty era is safe.
+		db.seq = 1
+		db.pool.HeaderStore(slotCommit, packCommit(1, 0))
+		db.pool.PWBHeader(slotCommit)
+		db.pool.PSync()
+		return
 	}
-	// Replay the WAL of the current era.
+	db.seq = era
+	db.loadCheckpoint(ckptLen)
+	// Replay the WAL of the current era up to the first invalid record.
 	at := uint64(0)
-	for at+4 <= db.wal.Words() {
+	for at+5 <= db.wal.Words() {
 		if db.wal.Load(at) != db.seq {
 			break
 		}
 		op := db.wal.Load(at + 1)
 		kl, vl := db.wal.Load(at+2), db.wal.Load(at+3)
-		need := 4 + (kl+7)/8 + (vl+7)/8
-		if op != 1 && op != 2 || at+need > db.wal.Words() {
+		crc := db.wal.Load(at + 4)
+		if op != 1 && op != 2 || kl > db.wal.Words()*8 || vl > db.wal.Words()*8 {
 			break
 		}
-		w := at + 4
+		need := 5 + (kl+7)/8 + (vl+7)/8
+		if at+need > db.wal.Words() {
+			break
+		}
+		w := at + 5
 		kw := make([]uint64, (kl+7)/8)
 		for j := range kw {
 			kw[j] = db.wal.Load(w)
@@ -263,6 +320,9 @@ func (db *DB) recover() {
 			vw[j] = db.wal.Load(w)
 			w++
 		}
+		if crc != recordCRC(db.seq, op, kl, vl, kw, vw) {
+			break // torn record: truncate the WAL here
+		}
 		key := string(unpackWords(kw, kl))
 		if op == 1 {
 			db.table[key] = unpackWords(vw, vl)
@@ -271,7 +331,45 @@ func (db *DB) recover() {
 		}
 		at += need
 	}
-	db.walAt = at
+	db.checkpoint()
+	db.checkpoints-- // recovery flushes don't count as workload checkpoints
+}
+
+// loadCheckpoint parses the committed checkpoint image. The commit word
+// vouches only for [0, ckptLen); any internal inconsistency — counts or
+// lengths pointing outside the committed span — means the medium corrupted
+// committed state, which recovery must report, not replay.
+func (db *DB) loadCheckpoint(ckptLen uint64) {
+	if ckptLen == 0 {
+		return
+	}
+	if ckptLen > db.ckpt.Words() {
+		panic(pmem.Corruptf("rockssim", "checkpoint length %d exceeds region", ckptLen))
+	}
+	n := db.ckpt.Load(0)
+	w := uint64(1)
+	for i := uint64(0); i < n; i++ {
+		if w+2 > ckptLen {
+			panic(pmem.Corruptf("rockssim", "checkpoint entry %d/%d outside committed span", i, n))
+		}
+		kl, vl := db.ckpt.Load(w), db.ckpt.Load(w+1)
+		w += 2
+		kwn, vwn := (kl+7)/8, (vl+7)/8
+		if kl > ckptLen*8 || vl > ckptLen*8 || w+kwn+vwn > ckptLen {
+			panic(pmem.Corruptf("rockssim", "checkpoint entry %d/%d has implausible lengths (%d,%d)", i, n, kl, vl))
+		}
+		kw := make([]uint64, kwn)
+		for j := range kw {
+			kw[j] = db.ckpt.Load(w)
+			w++
+		}
+		vw := make([]uint64, vwn)
+		for j := range vw {
+			vw[j] = db.ckpt.Load(w)
+			w++
+		}
+		db.table[string(unpackWords(kw, kl))] = unpackWords(vw, vl)
+	}
 }
 
 // Name labels the engine in benchmark output.
@@ -340,7 +438,56 @@ func (db *DB) Checkpoints() uint64 {
 func (db *DB) UsedNVMBytes() uint64 {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return (db.pool.HeaderLoad(slotCheckpoint) + 2*db.walAt) * 8
+	_, ckptLen := unpackCommit(db.pool.HeaderLoad(slotCommit))
+	return (ckptLen + 2*db.walAt) * 8
+}
+
+// walTail scans the WAL's persisted image and returns the word offset just
+// past the last valid record of era (the same walk recovery performs).
+func walTail(pool *pmem.Pool, era uint64) uint64 {
+	wal := pool.Region(regionWAL)
+	at := uint64(0)
+	for at+5 <= wal.Words() {
+		if wal.PersistedLoad(at) != era {
+			break
+		}
+		op := wal.PersistedLoad(at + 1)
+		kl, vl := wal.PersistedLoad(at+2), wal.PersistedLoad(at+3)
+		if op != 1 && op != 2 || kl > wal.Words()*8 || vl > wal.Words()*8 {
+			break
+		}
+		need := 5 + (kl+7)/8 + (vl+7)/8
+		if at+need > wal.Words() {
+			break
+		}
+		fields := make([]uint64, 0, need-1)
+		fields = append(fields, era, op, kl, vl)
+		for w := at + 5; w < at+need; w++ {
+			fields = append(fields, wal.PersistedLoad(w))
+		}
+		if wal.PersistedLoad(at+4) != pmem.ChecksumWords(fields...) {
+			break
+		}
+		at += need
+	}
+	return at
+}
+
+// StaleRanges reports the spans of the pool that committed state does not
+// reach: the whole journal copy (never read at recovery), the checkpoint
+// region past the committed length, and the WAL past the last valid record
+// of the committed era. The corruption sweep flips bits there and recovery
+// must stay correct.
+func StaleRanges(pool *pmem.Pool) []pmem.Range {
+	ranges := []pmem.Range{pool.WholeRegion(regionJournal)}
+	era, ckptLen := unpackCommit(pool.PersistedHeader(slotCommit))
+	if words := pool.RegionWords(); ckptLen < words {
+		ranges = append(ranges, pmem.Range{Region: regionCheckpoint, Start: ckptLen, Words: words - ckptLen})
+	}
+	if tail, words := walTail(pool, era), pool.RegionWords(); tail < words {
+		ranges = append(ranges, pmem.Range{Region: regionWAL, Start: tail, Words: words - tail})
+	}
+	return ranges
 }
 
 // VolatileBytes estimates the memtable's volatile footprint.

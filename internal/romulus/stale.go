@@ -1,0 +1,22 @@
+package romulus
+
+import "repro/internal/pmem"
+
+// StaleRanges reports the replica that committed state does not reach.
+// Romulus only has one: while a mutation is in flight (MUTATING/COPYING)
+// the non-fresh side is about to be overwritten — by recovery's copy or by
+// the patch step — so bit flips there must never surface. In the IDLE phase
+// *both* sides are live (the next writer mutates the non-fresh side in
+// place, trusting it equals the fresh one), so nothing is stale. With no
+// valid header nothing is committed and both sides are fair game.
+func StaleRanges(pool *pmem.Pool) []pmem.Range {
+	hdr := pool.PersistedHeader(headerSlot)
+	if hdr&1 == 0 {
+		return []pmem.Range{pool.WholeRegion(0), pool.WholeRegion(1)}
+	}
+	phase, fresh := unpackHdr(hdr)
+	if phase == phaseIdle {
+		return nil
+	}
+	return []pmem.Range{pool.WholeRegion(1 - fresh)}
+}
