@@ -16,3 +16,9 @@ go test -race ./internal/core/... ./internal/ptm/... ./internal/psim/... ./inter
 # under both crash models. The full sweeps (default stride, -nested,
 # -corrupt) are the acceptance run, not the per-commit gate.
 go run ./cmd/crashcheck -ops 8 -stride 11
+
+# Tracked bench trajectory: sharded RedoDB ops/s and persistence
+# instructions per tx at 1 and 8 shards (fillrandom + readrandom). The
+# four 0.25 s cells keep the whole emission well under 30 s; the output
+# file is checked in so reviewers can diff the trajectory across PRs.
+go run ./cmd/dbbench -json BENCH_pr3.json -shards 1,8 -keys 10000 -secs 0.25 -threads 4

@@ -6,6 +6,8 @@
 //	dbbench -fig fig7 -keys 100000
 //	dbbench -fig fig8
 //	dbbench -fig fig9 -threads 1,2,4,8
+//	dbbench -fig sharding -shards 1,2,4,8
+//	dbbench -json BENCH_pr3.json -shards 1,8 -keys 10000 -secs 0.25
 //
 // The paper ran 10^6 and 10^7 keys (16-byte keys, 100-byte values) on real
 // Optane; -keys scales the database so the suite completes on a laptop.
@@ -25,23 +27,30 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "fig7 | fig8 | fig9 | all")
-		keys    = flag.Uint64("keys", 100_000, "distinct keys (paper: 1e6 and 1e7)")
-		threads = flag.String("threads", "1,2,4,8", "comma-separated thread counts")
-		secs    = flag.Float64("secs", 1.0, "seconds per data point (paper: 20)")
-		optane  = flag.Bool("optane", true, "inject Optane-like pwb/fence latencies")
+		fig      = flag.String("fig", "all", "fig7 | fig8 | fig9 | sharding | all")
+		keys     = flag.Uint64("keys", 100_000, "distinct keys (paper: 1e6 and 1e7)")
+		threads  = flag.String("threads", "1,2,4,8", "comma-separated thread counts")
+		secs     = flag.Float64("secs", 1.0, "seconds per data point (paper: 20)")
+		optane   = flag.Bool("optane", true, "inject Optane-like pwb/fence latencies")
+		shards   = flag.String("shards", "1,2,4,8", "comma-separated shard counts for the sharding figure")
+		jsonPath = flag.String("json", "", "write tracked sharded-bench entries to this file and exit")
 	)
 	flag.Parse()
 
-	var ts []int
-	for _, part := range strings.Split(*threads, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n <= 0 {
-			fmt.Fprintf(os.Stderr, "bad thread count %q\n", part)
-			os.Exit(2)
+	parseInts := func(s, what string) []int {
+		var out []int
+		for _, part := range strings.Split(s, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "bad %s %q\n", what, part)
+				os.Exit(2)
+			}
+			out = append(out, n)
 		}
-		ts = append(ts, n)
+		return out
 	}
+	ts := parseInts(*threads, "thread count")
+	sh := parseInts(*shards, "shard count")
 	// Size regions for ~40 words per pair plus headroom; WAL/journal and
 	// checkpoint regions use the same size.
 	words := uint64(1) << 16
@@ -58,6 +67,18 @@ func main() {
 	if *optane {
 		cfg.Lat = pmem.DefaultOptane
 	}
+	if *jsonPath != "" {
+		// Tracked-benchmark mode: measure the sharded front-end at each
+		// shard count and persist the trajectory file; threads is the max
+		// of -threads so CI runs stay one bounded cell per workload.
+		entries := bench.ShardingEntries(cfg, sh, ts[len(ts)-1])
+		if err := bench.WriteBenchJSON(*jsonPath, entries); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d entries to %s\n", len(entries), *jsonPath)
+		return
+	}
 	switch *fig {
 	case "fig7":
 		bench.Fig7(cfg)
@@ -65,10 +86,13 @@ func main() {
 		bench.Fig8(cfg)
 	case "fig9":
 		bench.Fig9(cfg)
+	case "sharding":
+		bench.FigSharding(cfg, sh)
 	case "all":
 		bench.Fig7(cfg)
 		bench.Fig8(cfg)
 		bench.Fig9(cfg)
+		bench.FigSharding(cfg, sh)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)

@@ -115,6 +115,44 @@ func storeWithoutFenceInFunction(r *pmem.Region) {
 	r.PWB(8)
 }
 
+// --- intent publish ---------------------------------------------------------
+// The sharded coordinator's batch-intent publish: a payload span plus header
+// slots at distinct named constants, all flushed and fenced before the status
+// flag is stored. Distinct named constants live on unrelated cache lines, so
+// each needs its own pwb — one pwb on the first slot covers none of the rest.
+
+const (
+	fixSeq    uint64 = 17
+	fixLen    uint64 = 18
+	fixCRC    uint64 = 19
+	fixStatus uint64 = 16
+)
+
+func intentPublishSharedPWB(r *pmem.Region) {
+	r.Store(fixSeq, 7)
+	r.Store(fixLen, 3)
+	r.Store(fixCRC, 0xbeef)
+	r.PWB(fixSeq)
+	r.PFence() // want `unflushed Store\(fixLen\)` `unflushed Store\(fixCRC\)`
+}
+
+func intentPublishFull(r *pmem.Region, words []uint64) {
+	for i, w := range words {
+		r.Store(24+uint64(i), w)
+	}
+	r.FlushRange(24, uint64(len(words)))
+	r.Store(fixSeq, 7)
+	r.Store(fixLen, uint64(len(words)))
+	r.Store(fixCRC, 0xbeef)
+	r.PWB(fixSeq)
+	r.PWB(fixLen)
+	r.PWB(fixCRC)
+	r.PFence()
+	r.Store(fixStatus, 1)
+	r.PWB(fixStatus)
+	r.PFence()
+}
+
 // --- recovery paths ----------------------------------------------------------
 // Functions named Recover*/recover* are publish paths: any repair they make
 // must be flushed AND fenced before they return, because the caller assumes

@@ -89,11 +89,12 @@ func (k *rocksKV) Count(tid int) uint64  { return uint64(k.db.Len()) }
 func (k *rocksKV) NVMBytes() uint64      { return k.db.UsedNVMBytes() }
 func (k *rocksKV) VolatileBytes() uint64 { return k.db.VolatileBytes() }
 
-func (k *redoKV) poolOf() *pmem.Pool  { return k.pool }
-func (k *rocksKV) poolOf() *pmem.Pool { return k.pool }
+func (k *redoKV) srcOf() StatSource  { return k.pool }
+func (k *rocksKV) srcOf() StatSource { return k.pool }
 
-// pooled lets the runners reach the underlying pool for stats.
-type pooled interface{ poolOf() *pmem.Pool }
+// pooled lets the runners reach the underlying stat source (a pool, or a
+// pool group for the sharded engine).
+type pooled interface{ srcOf() StatSource }
 
 // dbKey renders db_bench's 16-byte keys.
 func dbKey(i uint64) []byte { return []byte(fmt.Sprintf("%016d", i)) }
@@ -125,7 +126,7 @@ func Fig7(cfg DBConfig) {
 			for _, threads := range cfg.Threads {
 				kv := mk()
 				fill(kv, cfg.Keys)
-				pool := kv.(pooled).poolOf()
+				pool := kv.(pooled).srcOf()
 				pool.ResetStats()
 				rngs := makeRNGs(threads + 1)
 				var res Result
@@ -218,7 +219,7 @@ func Fig9(cfg DBConfig) {
 	} {
 		for _, threads := range cfg.Threads {
 			kv := mk()
-			pool := kv.(pooled).poolOf()
+			pool := kv.(pooled).srcOf()
 			pool.ResetStats()
 			rngs := makeRNGs(threads)
 			res := RunThroughput(pool, threads, cfg.Dur, func(tid, i int) {

@@ -45,10 +45,18 @@ func (r Result) FencesPerOp() float64 {
 	return float64(r.Stats.Fences()) / float64(r.Ops)
 }
 
+// StatSource is anything that reports persistence-instruction counters: a
+// single *pmem.Pool or a multi-pool *pmem.Group (sharded engines), so every
+// engine's pwbs/tx and pfences/tx stay reportable through one interface.
+type StatSource interface {
+	Stats() pmem.StatsSnapshot
+	ResetStats()
+}
+
 // RunThroughput drives op from threads goroutines for about dur and returns
 // the aggregate throughput. op receives the thread id and a per-thread
 // iteration counter; it must perform exactly one logical operation.
-func RunThroughput(pool *pmem.Pool, threads int, dur time.Duration, op func(tid, i int)) Result {
+func RunThroughput(pool StatSource, threads int, dur time.Duration, op func(tid, i int)) Result {
 	before := pool.Stats()
 	var stop atomic.Bool
 	counts := make([]uint64, threads*8) // padded: one cache line apart

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/pmem"
+	"repro/internal/shardeddb"
+)
+
+// shardedKV adapts the sharded RedoDB front-end to the KV harness.
+type shardedKV struct {
+	db       *shardeddb.DB
+	group    *pmem.Group
+	sessions []*shardeddb.Session
+	shards   int
+}
+
+// NewShardedKV creates a sharded RedoDB sized for cfg: each shard's regions
+// get a 2/K slice of the configured words (the allocator's power-of-two
+// rounding wants headroom over a perfect 1/K split), floored so tiny
+// configurations still format.
+func NewShardedKV(cfg DBConfig, maxThreads, shards int) KV {
+	words := cfg.Words / uint64(shards) * 2
+	if words < 1<<13 {
+		words = 1 << 13
+	}
+	g := shardeddb.NewGroup(shardeddb.GroupConfig{
+		Shards:     shards,
+		Threads:    maxThreads,
+		ShardWords: words,
+		Mode:       pmem.Direct,
+		Latency:    cfg.Lat,
+	})
+	db := shardeddb.Open(g, shardeddb.Options{Threads: maxThreads})
+	kv := &shardedKV{db: db, group: g, shards: shards, sessions: make([]*shardeddb.Session, maxThreads)}
+	for i := range kv.sessions {
+		kv.sessions[i] = db.Session(i)
+	}
+	return kv
+}
+
+func (k *shardedKV) Name() string                 { return fmt.Sprintf("RedoDB-x%d", k.shards) }
+func (k *shardedKV) Put(tid int, key, val []byte) { k.sessions[tid].Put(key, val) }
+func (k *shardedKV) Get(tid int, key []byte) ([]byte, bool) {
+	return k.sessions[tid].Get(key)
+}
+func (k *shardedKV) Count(tid int) uint64  { return k.sessions[tid].Len() }
+func (k *shardedKV) NVMBytes() uint64      { return k.group.NVMBytes() }
+func (k *shardedKV) VolatileBytes() uint64 { return 0 }
+func (k *shardedKV) srcOf() StatSource     { return k.group }
+
+// FigSharding prints the scaling figure: fillrandom and readrandom
+// throughput of the sharded front-end at each shard count, with unsharded
+// RedoDB as the 1-shard baseline sanity row.
+func FigSharding(cfg DBConfig, shardCounts []int) {
+	for _, workload := range []string{"fillrandom", "readrandom"} {
+		PrintHeader(cfg.Out, fmt.Sprintf("Sharding — %s, %d keys", workload, cfg.Keys))
+		for _, shards := range shardCounts {
+			for _, threads := range cfg.Threads {
+				res := runSharded(cfg, workload, shards, threads)
+				PrintResult(cfg.Out, res)
+			}
+		}
+	}
+}
+
+// runSharded measures one (workload, shards, threads) cell.
+func runSharded(cfg DBConfig, workload string, shards, threads int) Result {
+	kv := NewShardedKV(cfg, threads, shards)
+	src := kv.(pooled).srcOf()
+	rngs := makeRNGs(threads)
+	if workload == "readrandom" {
+		fill(kv, cfg.Keys)
+	}
+	src.ResetStats()
+	var res Result
+	switch workload {
+	case "fillrandom":
+		res = RunThroughput(src, threads, cfg.Dur, func(tid, i int) {
+			kv.Put(tid, dbKey(rngs[tid].intn(cfg.Keys)), dbValue)
+		})
+	case "readrandom":
+		res = RunThroughput(src, threads, cfg.Dur, func(tid, i int) {
+			kv.Get(tid, dbKey(rngs[tid].intn(cfg.Keys)))
+		})
+	default:
+		panic("bench: unknown sharded workload " + workload)
+	}
+	res.Engine = kv.Name()
+	return res
+}
+
+// BenchEntry is one tracked benchmark measurement, serialized to the
+// checked-in BENCH_*.json trajectory files.
+type BenchEntry struct {
+	Workload     string  `json:"workload"`
+	Engine       string  `json:"engine"`
+	Shards       int     `json:"shards"`
+	Threads      int     `json:"threads"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	PWBsPerTx    float64 `json:"pwbs_per_tx"`
+	PFencesPerTx float64 `json:"pfences_per_tx"`
+}
+
+// ShardingEntries runs the tracked-benchmark cells: fillrandom and
+// readrandom at each shard count.
+func ShardingEntries(cfg DBConfig, shardCounts []int, threads int) []BenchEntry {
+	var out []BenchEntry
+	for _, workload := range []string{"fillrandom", "readrandom"} {
+		for _, shards := range shardCounts {
+			res := runSharded(cfg, workload, shards, threads)
+			out = append(out, BenchEntry{
+				Workload:     workload,
+				Engine:       res.Engine,
+				Shards:       shards,
+				Threads:      threads,
+				OpsPerSec:    res.OpsPerSec(),
+				PWBsPerTx:    res.PWBsPerOp(),
+				PFencesPerTx: res.FencesPerOp(),
+			})
+		}
+	}
+	return out
+}
+
+// WriteBenchJSON writes entries to path as indented JSON.
+func WriteBenchJSON(path string, entries []BenchEntry) error {
+	b, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -26,36 +26,104 @@ import (
 	"repro/internal/rockssim"
 	"repro/internal/romulus"
 	"repro/internal/seqds"
+	"repro/internal/shardeddb"
 )
 
-// Engines lists every sweep target: the nine PTM/PUC constructions plus the
-// ONLL one-line-log and the two key-value stores.
+// Engines lists every sweep target: the nine PTM/PUC constructions, the
+// ONLL one-line-log, the two key-value stores, and the sharded RedoDB
+// front-end at each acceptance shard count (its only multi-pool engine —
+// the shardeddb runners sweep the cross-shard batch coordinator's crash
+// points).
 func Engines() []string {
 	return []string{
 		"RedoOpt-PTM", "RedoTimed-PTM", "Redo-PTM",
 		"CX-PTM", "CX-PUC", "OneFile", "RomulusLR", "PSim-CoW", "PMDK",
 		"ONLL", "redodb", "rockssim",
+		"shardeddb-1", "shardeddb-2", "shardeddb-8",
 	}
 }
 
+// shardsOf reports the shard count of a "shardeddb-K" engine name, or 0.
+func shardsOf(name string) int {
+	var k int
+	if _, err := fmt.Sscanf(name, "shardeddb-%d", &k); err == nil && k > 0 {
+		return k
+	}
+	return 0
+}
+
 // Runner abstracts "insert key i, then verify after recovery" over the PTMs
-// (via a list set) and the two KV stores. Fresh constructs or recovers the
-// engine over a pool; a new Runner must be used for every recovery so no
-// volatile state leaks across a simulated crash.
+// (via a list set) and the KV stores. Fresh constructs or recovers the
+// engine over a pool group (single-pool engines use pool 0); a new Runner
+// must be used for every recovery so no volatile state leaks across a
+// simulated crash.
 type Runner struct {
-	Fresh  func(pool *pmem.Pool) // construct engine over pool
-	Insert func(i int)           // one durable insert transaction
+	Fresh  func(g *pmem.Group) // construct engine over the group
+	Insert func(i int)         // one durable insert transaction
 	Verify func(completed, n int) error
 }
 
 // NewRunner builds the deterministic workload driver for one engine.
 func NewRunner(name string) (*Runner, error) {
+	if shards := shardsOf(name); shards > 0 {
+		// The shardeddb workload inserts CROSS-SHARD batches: every insert
+		// writes two keys whose prefixes scatter to different shards, so a
+		// crash point inside the coordinator protocol (publish intent,
+		// per-shard applies, complete) is exercised at every sweep step.
+		// Verify asserts the batches survived all-or-nothing in order.
+		var s *shardeddb.Session
+		key := func(prefix byte, i int) []byte {
+			return []byte(fmt.Sprintf("%c%03d", prefix, i))
+		}
+		return &Runner{
+			Fresh: func(g *pmem.Group) {
+				s = shardeddb.Open(g, shardeddb.Options{Threads: 1}).Session(0)
+			},
+			Insert: func(i int) {
+				b := &shardeddb.WriteBatch{}
+				b.Put(key('a', i), []byte{byte(i)})
+				b.Put(key('b', i), []byte{byte(i) ^ 0xff})
+				s.Write(b)
+			},
+			Verify: func(completed, n int) error {
+				applied := 0
+				for i := 0; i < n; i++ {
+					va, oka := s.Get(key('a', i))
+					vb, okb := s.Get(key('b', i))
+					if oka != okb {
+						return fmt.Errorf("batch %d recovered torn (a=%v b=%v)", i, oka, okb)
+					}
+					if !oka {
+						// Inserts are sequential: once one batch is
+						// absent, every later one must be too.
+						for j := i + 1; j < n; j++ {
+							if _, ok := s.Get(key('a', j)); ok {
+								return fmt.Errorf("batch %d survived but %d did not", j, i)
+							}
+							if _, ok := s.Get(key('b', j)); ok {
+								return fmt.Errorf("batch %d survived torn after gap at %d", j, i)
+							}
+						}
+						break
+					}
+					if va[0] != byte(i) || vb[0] != byte(i)^0xff {
+						return fmt.Errorf("batch %d recovered with wrong values %x/%x", i, va, vb)
+					}
+					applied++
+				}
+				if applied < completed {
+					return fmt.Errorf("completed batch lost: %d applied < %d completed", applied, completed)
+				}
+				return nil
+			},
+		}, nil
+	}
 	switch name {
 	case "redodb":
 		var s *redodb.Session
 		return &Runner{
-			Fresh: func(p *pmem.Pool) {
-				s = redodb.Open(p, redodb.Options{Threads: 1}).Session(0)
+			Fresh: func(g *pmem.Group) {
+				s = redodb.Open(g.Pool(0), redodb.Options{Threads: 1}).Session(0)
 			},
 			Insert: func(i int) {
 				s.Put([]byte(fmt.Sprintf("k%03d", i)), []byte{byte(i)})
@@ -82,8 +150,8 @@ func NewRunner(name string) (*Runner, error) {
 			},
 		}
 		return &Runner{
-			Fresh: func(p *pmem.Pool) {
-				o = onll.New(p, onll.Config{
+			Fresh: func(g *pmem.Group) {
+				o = onll.New(g.Pool(0), onll.Config{
 					Threads: 1,
 					Ops:     ops,
 					Init: func(m ptm.Mem, args []uint64) uint64 {
@@ -101,7 +169,7 @@ func NewRunner(name string) (*Runner, error) {
 	case "rockssim":
 		var db *rockssim.DB
 		return &Runner{
-			Fresh: func(p *pmem.Pool) { db = rockssim.Open(p, rockssim.Options{}) },
+			Fresh: func(g *pmem.Group) { db = rockssim.Open(g.Pool(0), rockssim.Options{}) },
 			Insert: func(i int) {
 				db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte{byte(i)})
 			},
@@ -123,8 +191,8 @@ func NewRunner(name string) (*Runner, error) {
 		var p ptm.PTM
 		set := seqds.ListSet{RootSlot: 0}
 		return &Runner{
-			Fresh: func(pool *pmem.Pool) {
-				p = eng.NewOnPool(1, pool)
+			Fresh: func(g *pmem.Group) {
+				p = eng.NewOnPool(1, g.Pool(0))
 				p.Update(0, func(m ptm.Mem) uint64 {
 					if m.Load(ptm.RootAddr(0)) == 0 {
 						set.Init(m)
@@ -159,9 +227,16 @@ func verifyPrefix(keys []uint64, completed, n int) error {
 	return nil
 }
 
-// PoolFor allocates a strict-mode pool sized for one engine, mirroring the
-// factories' replica counts for a single-thread instance.
-func PoolFor(name string) *pmem.Pool {
+// GroupFor allocates the strict-mode pool group for one engine: a single
+// pool wrapped in a group for the single-pool engines (mirroring the
+// factories' replica counts for a single-thread instance), and the
+// coordinator-plus-shards layout for shardeddb.
+func GroupFor(name string) *pmem.Group {
+	if shards := shardsOf(name); shards > 0 {
+		return shardeddb.NewGroup(shardeddb.GroupConfig{
+			Shards: shards, Threads: 1, Mode: pmem.Strict,
+		})
+	}
 	regions := 2
 	switch name {
 	case "rockssim":
@@ -169,31 +244,46 @@ func PoolFor(name string) *pmem.Pool {
 	case "ONLL":
 		regions = 1
 	}
-	return pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 14, Regions: regions})
+	pool := pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 14, Regions: regions})
+	return pmem.NewGroup(pool)
+}
+
+// onPool lifts a single-pool stale-range declaration to the group form.
+func onPool(f func(*pmem.Pool) []pmem.Range) func(*pmem.Group) []pmem.GroupRange {
+	return func(g *pmem.Group) []pmem.GroupRange {
+		var out []pmem.GroupRange
+		for _, r := range f(g.Pool(0)) {
+			out = append(out, pmem.GroupRange{Pool: 0, Range: r})
+		}
+		return out
+	}
 }
 
 // StaleRangesFor resolves the engine's declaration of which spans committed
 // state does not reach — the corruption sweep's bit-flip targets.
-func StaleRangesFor(name string) (func(*pmem.Pool) []pmem.Range, error) {
+func StaleRangesFor(name string) (func(*pmem.Group) []pmem.GroupRange, error) {
+	if shardsOf(name) > 0 {
+		return shardeddb.StaleRanges, nil
+	}
 	switch name {
 	case "RedoOpt-PTM", "RedoTimed-PTM", "Redo-PTM":
-		return redo.StaleRanges, nil
+		return onPool(redo.StaleRanges), nil
 	case "CX-PTM", "CX-PUC":
-		return cx.StaleRanges, nil
+		return onPool(cx.StaleRanges), nil
 	case "OneFile":
-		return onefile.StaleRanges, nil
+		return onPool(onefile.StaleRanges), nil
 	case "RomulusLR":
-		return romulus.StaleRanges, nil
+		return onPool(romulus.StaleRanges), nil
 	case "PSim-CoW":
-		return psim.StaleRanges, nil
+		return onPool(psim.StaleRanges), nil
 	case "PMDK":
-		return pmdk.StaleRanges, nil
+		return onPool(pmdk.StaleRanges), nil
 	case "ONLL":
-		return onll.StaleRanges, nil
+		return onPool(onll.StaleRanges), nil
 	case "redodb":
-		return redodb.StaleRanges, nil
+		return onPool(redodb.StaleRanges), nil
 	case "rockssim":
-		return rockssim.StaleRanges, nil
+		return onPool(rockssim.StaleRanges), nil
 	}
 	return nil, fmt.Errorf("chaos: no stale-range map for engine %q", name)
 }

@@ -3,8 +3,9 @@ package chaos
 import "testing"
 
 // fastEngines is a cheap representative subset for smoke tests: one
-// replica-based PTM, the one-line log, and a KV store.
-var fastEngines = []string{"RedoOpt-PTM", "ONLL", "rockssim"}
+// replica-based PTM, the one-line log, a KV store, and the multi-pool
+// sharded front-end (whose runner crosses the batch coordinator).
+var fastEngines = []string{"RedoOpt-PTM", "ONLL", "rockssim", "shardeddb-2"}
 
 func TestSweepSmoke(t *testing.T) {
 	for _, name := range fastEngines {
@@ -72,7 +73,7 @@ func FuzzNestedCrashPoint(f *testing.F) {
 		// run for minutes; the workload outruns large values anyway.
 		first %= 4096
 		second %= 4096
-		for _, name := range []string{"RedoOpt-PTM", "ONLL"} {
+		for _, name := range []string{"RedoOpt-PTM", "ONLL", "shardeddb-2"} {
 			for _, adv := range []bool{false, true} {
 				opts := Options{Ops: 6, Adversarial: adv, Seed: first ^ second<<13 | 1}
 				if err := CheckPair(name, opts, first, second); err != nil {

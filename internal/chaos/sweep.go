@@ -49,11 +49,11 @@ func (o Options) withDefaults() Options {
 // sweep explores when no stride is given.
 const nestedFirstPoints = 256
 
-func crash(pool *pmem.Pool, adversarial bool, rng *rand.Rand) {
+func crash(g *pmem.Group, adversarial bool, rng *rand.Rand) {
 	if adversarial {
-		pool.Crash(pmem.CrashAdversarial, rng)
+		g.Crash(pmem.CrashAdversarial, rng)
 	} else {
-		pool.Crash(pmem.CrashConservative, nil)
+		g.Crash(pmem.CrashConservative, nil)
 	}
 }
 
@@ -82,11 +82,11 @@ func run(fn func()) (crashed bool, cerr *pmem.CorruptionError) {
 
 // workload recovers (or formats) the engine on pool, arms a failure point
 // fail instructions later, and runs the insert workload.
-func workload(pool *pmem.Pool, r *Runner, n int, fail int64) (completed int, crashed bool, err error) {
+func workload(g *pmem.Group, r *Runner, n int, fail int64) (completed int, crashed bool, err error) {
 	crashed, cerr := run(func() {
-		r.Fresh(pool)
+		r.Fresh(g)
 		if fail > 0 {
-			pool.InjectFailure(fail)
+			g.InjectFailure(fail)
 		}
 		for i := 0; i < n; i++ {
 			r.Insert(i)
@@ -103,19 +103,19 @@ func workload(pool *pmem.Pool, r *Runner, n int, fail int64) (completed int, cra
 // workload issues, including initial formatting: it arms a failure counter
 // too large to fire and reads back what remains.
 func MeasureEvents(name string, ops int) (int64, error) {
-	pool := PoolFor(name)
+	g := GroupFor(name)
 	r, err := NewRunner(name)
 	if err != nil {
 		return 0, err
 	}
 	const huge = int64(1) << 60
-	r.Fresh(pool)
-	pool.InjectFailure(huge)
+	r.Fresh(g)
+	g.InjectFailure(huge)
 	for i := 0; i < ops; i++ {
 		r.Insert(i)
 	}
-	n := huge - pool.InjectRemaining()
-	pool.InjectFailure(-1)
+	n := huge - g.InjectRemaining()
+	g.InjectFailure(-1)
 	return n, nil
 }
 
@@ -133,12 +133,12 @@ func Sweep(name string, o Options) (int, error) {
 	rng := rand.New(rand.NewSource(o.Seed))
 	crashes := 0
 	for fail := int64(1); ; fail += stride {
-		pool := PoolFor(name)
+		g := GroupFor(name)
 		r, err := NewRunner(name)
 		if err != nil {
 			return crashes, err
 		}
-		completed, crashed, err := workload(pool, r, o.Ops, fail)
+		completed, crashed, err := workload(g, r, o.Ops, fail)
 		if err != nil {
 			return crashes, fmt.Errorf("crash point %d: %w", fail, err)
 		}
@@ -149,13 +149,13 @@ func Sweep(name string, o Options) (int, error) {
 			return crashes, nil
 		}
 		crashes++
-		crash(pool, o.Adversarial, rng)
-		pool.InjectFailure(-1)
+		crash(g, o.Adversarial, rng)
+		g.InjectFailure(-1)
 		r2, err := NewRunner(name)
 		if err != nil {
 			return crashes, err
 		}
-		if _, cerr := run(func() { r2.Fresh(pool) }); cerr != nil {
+		if _, cerr := run(func() { r2.Fresh(g) }); cerr != nil {
 			return crashes, fmt.Errorf("crash point %d: recovery reported corruption: %w", fail, cerr)
 		}
 		if err := r2.Verify(completed, o.Ops); err != nil {
@@ -200,12 +200,12 @@ func NestedSweep(name string, o Options) (int, error) {
 	rng := rand.New(rand.NewSource(o.Seed))
 	pairs := 0
 	for first := int64(1); ; first += stride1 {
-		pool := PoolFor(name)
+		g := GroupFor(name)
 		r, err := NewRunner(name)
 		if err != nil {
 			return pairs, err
 		}
-		completed, crashed, err := workload(pool, r, o.Ops, first)
+		completed, crashed, err := workload(g, r, o.Ops, first)
 		if err != nil {
 			return pairs, fmt.Errorf("first point %d: %w", first, err)
 		}
@@ -215,12 +215,12 @@ func NestedSweep(name string, o Options) (int, error) {
 			}
 			return pairs, nil
 		}
-		crash(pool, o.Adversarial, rng)
-		base := pool.Clone()
+		crash(g, o.Adversarial, rng)
+		base := g.Clone()
 		for second := int64(1); ; second += stride2 {
-			p2 := base.Clone()
+			g2 := base.Clone()
 			pairs++
-			done, err := nestedRecover(name, p2, second, o.Adversarial, rng, completed, o.Ops)
+			done, err := nestedRecover(name, g2, second, o.Adversarial, rng, completed, o.Ops)
 			if err != nil {
 				return pairs, fmt.Errorf("pair (%d,%d): %w", first, second, err)
 			}
@@ -235,25 +235,25 @@ func NestedSweep(name string, o Options) (int, error) {
 // point fires mid-recovery, the pool is crashed again and recovered to
 // completion. Either way the final state is verified. done reports that
 // recovery ran to completion without firing — the inner sweep is exhausted.
-func nestedRecover(name string, pool *pmem.Pool, second int64, adversarial bool, rng *rand.Rand, completed, n int) (done bool, err error) {
+func nestedRecover(name string, g *pmem.Group, second int64, adversarial bool, rng *rand.Rand, completed, n int) (done bool, err error) {
 	r, err := NewRunner(name)
 	if err != nil {
 		return false, err
 	}
 	crashed, cerr := run(func() {
-		pool.InjectFailure(second)
-		r.Fresh(pool)
+		g.InjectFailure(second)
+		r.Fresh(g)
 	})
-	pool.InjectFailure(-1)
+	g.InjectFailure(-1)
 	if cerr != nil {
 		return false, fmt.Errorf("first recovery reported corruption: %w", cerr)
 	}
 	if crashed {
-		crash(pool, adversarial, rng)
+		crash(g, adversarial, rng)
 		if r, err = NewRunner(name); err != nil {
 			return false, err
 		}
-		if _, cerr := run(func() { r.Fresh(pool) }); cerr != nil {
+		if _, cerr := run(func() { r.Fresh(g) }); cerr != nil {
 			return false, fmt.Errorf("second recovery reported corruption: %w", cerr)
 		}
 	}
@@ -272,20 +272,20 @@ func CheckPair(name string, o Options, first, second int64) error {
 	}
 	o = o.withDefaults()
 	rng := rand.New(rand.NewSource(o.Seed))
-	pool := PoolFor(name)
+	g := GroupFor(name)
 	r, err := NewRunner(name)
 	if err != nil {
 		return err
 	}
-	completed, crashed, err := workload(pool, r, o.Ops, first)
+	completed, crashed, err := workload(g, r, o.Ops, first)
 	if err != nil {
 		return err
 	}
 	if !crashed {
 		return nil
 	}
-	crash(pool, o.Adversarial, rng)
-	_, err = nestedRecover(name, pool, second, o.Adversarial, rng, completed, o.Ops)
+	crash(g, o.Adversarial, rng)
+	_, err = nestedRecover(name, g, second, o.Adversarial, rng, completed, o.Ops)
 	return err
 }
 
@@ -308,21 +308,21 @@ func CorruptionSweep(name string, o Options) (int, error) {
 	rng := rand.New(rand.NewSource(o.Seed))
 	flips := 0
 	for fail := int64(1); ; fail += stride {
-		pool := PoolFor(name)
+		g := GroupFor(name)
 		r, err := NewRunner(name)
 		if err != nil {
 			return flips, err
 		}
-		completed, crashed, err := workload(pool, r, o.Ops, fail)
+		completed, crashed, err := workload(g, r, o.Ops, fail)
 		if err != nil {
 			return flips, fmt.Errorf("crash point %d: %w", fail, err)
 		}
 		if !crashed {
 			return flips, nil
 		}
-		crash(pool, o.Adversarial, rng)
-		pool.InjectFailure(-1)
-		stale := ranges(pool)
+		crash(g, o.Adversarial, rng)
+		g.InjectFailure(-1)
+		stale := ranges(g)
 		var total uint64
 		for _, rg := range stale {
 			total += rg.Words
@@ -331,15 +331,15 @@ func CorruptionSweep(name string, o Options) (int, error) {
 			continue // everything durable is reachable; nothing to corrupt
 		}
 		for k := 0; k < o.Flips; k++ {
-			p2 := pool.Clone()
-			region, addr := pickWord(stale, uint64(rng.Int63n(int64(total))))
-			p2.FlipBit(region, addr, uint(rng.Intn(64)))
+			g2 := g.Clone()
+			pi, region, addr := pickWord(stale, uint64(rng.Int63n(int64(total))))
+			g2.Pool(pi).FlipBit(region, addr, uint(rng.Intn(64)))
 			flips++
 			r2, err := NewRunner(name)
 			if err != nil {
 				return flips, err
 			}
-			crashed2, cerr := run(func() { r2.Fresh(p2) })
+			crashed2, cerr := run(func() { r2.Fresh(g2) })
 			if crashed2 {
 				return flips, fmt.Errorf("crash point %d flip %d: spurious power failure", fail, k)
 			}
@@ -353,14 +353,15 @@ func CorruptionSweep(name string, o Options) (int, error) {
 	}
 }
 
-// pickWord maps a flat index over the concatenated ranges to (region, addr).
-func pickWord(ranges []pmem.Range, i uint64) (int, pmem.Addr) {
+// pickWord maps a flat index over the concatenated ranges to (pool, region,
+// addr).
+func pickWord(ranges []pmem.GroupRange, i uint64) (int, int, pmem.Addr) {
 	for _, rg := range ranges {
 		if i < rg.Words {
-			return rg.Region, rg.Start + i
+			return rg.Pool, rg.Region, rg.Start + i
 		}
 		i -= rg.Words
 	}
 	last := ranges[len(ranges)-1]
-	return last.Region, last.Start + last.Words - 1
+	return last.Pool, last.Region, last.Start + last.Words - 1
 }

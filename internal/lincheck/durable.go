@@ -1,0 +1,77 @@
+package lincheck
+
+import "math/bits"
+
+// Durable linearizability (Izraelevitz, Mendes & Scott): a crash-prone
+// history is durably linearizable iff the history obtained by treating each
+// crash as an operation boundary is linearizable, where
+//
+//   - every operation that COMPLETED before a crash must be present — its
+//     effect survives recovery and its recorded result must be legal; and
+//   - every operation IN FLIGHT at a crash may have taken effect or not,
+//     but the choice must be consistent with everything observed afterwards
+//     (an in-flight put either landed — and then every later get agrees —
+//     or vanished entirely; never half of each).
+//
+// The checker below searches over those choices: each pending operation is
+// either dropped from the history or kept with a wildcard result, and the
+// remaining history must linearize. Real-time precedence across the crash is
+// expressed through timestamps: a harness records a pending operation's
+// Return as the crash time, so it precedes every post-recovery operation,
+// exactly as the durable order requires.
+
+// DurableOp is one operation of a crash-prone history.
+type DurableOp struct {
+	Op
+	// Pending marks an operation that was in flight when a crash killed
+	// its thread: its Result was lost (ignored by the checker) and its
+	// effect may or may not have reached persistence. The harness must set
+	// its Return to the crash timestamp — after every operation that
+	// completed before the crash, before every operation called after
+	// recovery.
+	Pending bool
+}
+
+// maxPending bounds the 2^p search over in-flight subsets. Harnesses produce
+// at most one pending operation per thread per crash, so real histories sit
+// far below this.
+const maxPending = 16
+
+// CheckDurable reports whether the crash-prone history is durably
+// linearizable with respect to model.
+func CheckDurable(model Model, history []DurableOp) bool {
+	var pending []int
+	for i, op := range history {
+		if op.Pending {
+			pending = append(pending, i)
+		}
+	}
+	if len(pending) > maxPending {
+		panic("lincheck: too many pending operations for the durable search")
+	}
+	// Try every took-effect/vanished assignment for the pending set. Start
+	// from the all-effective mask purely as a heuristic: a correct engine
+	// usually either finished the operation or tore nothing, so high masks
+	// tend to succeed early.
+	for mask := (1 << len(pending)) - 1; mask >= 0; mask-- {
+		ops := make([]Op, 0, len(history))
+		wild := make([]bool, 0, len(history))
+		drop := make(map[int]bool, bits.OnesCount(uint(mask)))
+		for bit, idx := range pending {
+			if mask&(1<<bit) == 0 {
+				drop[idx] = true
+			}
+		}
+		for i, op := range history {
+			if drop[i] {
+				continue
+			}
+			ops = append(ops, op.Op)
+			wild = append(wild, op.Pending)
+		}
+		if checkWild(model, ops, wild) {
+			return true
+		}
+	}
+	return false
+}

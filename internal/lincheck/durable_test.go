@@ -1,0 +1,209 @@
+package lincheck
+
+import "testing"
+
+// d builds a completed durable op.
+func d(thread int, call, ret int64, kind string, arg, arg2, result uint64) DurableOp {
+	return DurableOp{Op: Op{Thread: thread, Call: call, Return: ret, Kind: kind, Arg: arg, Arg2: arg2, Result: result}}
+}
+
+// p builds a pending (in-flight-at-crash) durable op; ret is the crash time.
+func p(thread int, call, crash int64, kind string, arg, arg2 uint64) DurableOp {
+	return DurableOp{Op: Op{Thread: thread, Call: call, Return: crash, Kind: kind, Arg: arg, Arg2: arg2}, Pending: true}
+}
+
+// TestCheckDurableTable is the accept/reject table for the durable checker:
+// each case is a crash-prone history with a known verdict, covering the
+// clauses of durable linearizability one at a time.
+func TestCheckDurableTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		history []DurableOp
+		want    bool
+	}{
+		{
+			// No crash, no pending ops: plain linearizability.
+			name: "accept/sequential-no-crash",
+			history: []DurableOp{
+				d(0, 1, 2, "put", 1, 10, 0),
+				d(0, 3, 4, "get", 1, 0, 10),
+			},
+			want: true,
+		},
+		{
+			// A put completed before the crash (at t=5) must survive it.
+			name: "accept/completed-survives-crash",
+			history: []DurableOp{
+				d(0, 1, 2, "put", 1, 10, 0),
+				// crash at 5; recovery reads it back
+				d(0, 6, 7, "get", 1, 0, 10),
+			},
+			want: true,
+		},
+		{
+			// A completed put whose effect vanished after the crash: the
+			// defining violation of durable linearizability.
+			name: "reject/completed-lost-at-crash",
+			history: []DurableOp{
+				d(0, 1, 2, "put", 1, 10, 0),
+				// crash at 5; the value is gone
+				d(0, 6, 7, "get", 1, 0, 0),
+			},
+			want: false,
+		},
+		{
+			// In-flight put at the crash (t=5): landing is legal.
+			name: "accept/pending-took-effect",
+			history: []DurableOp{
+				p(0, 1, 5, "put", 1, 10),
+				d(0, 6, 7, "get", 1, 0, 10),
+			},
+			want: true,
+		},
+		{
+			// In-flight put at the crash: vanishing is legal too.
+			name: "accept/pending-vanished",
+			history: []DurableOp{
+				p(0, 1, 5, "put", 1, 10),
+				d(0, 6, 7, "get", 1, 0, 0),
+			},
+			want: true,
+		},
+		{
+			// But the choice must be consistent: one post-crash reader
+			// sees the in-flight put, a later one does not.
+			name: "reject/pending-inconsistent",
+			history: []DurableOp{
+				p(0, 1, 5, "put", 1, 10),
+				d(0, 6, 7, "get", 1, 0, 10),
+				d(0, 8, 9, "get", 1, 0, 0),
+			},
+			want: false,
+		},
+		{
+			// Two in-flight puts to different keys may land independently:
+			// here one landed and the other vanished.
+			name: "accept/pending-land-independently",
+			history: []DurableOp{
+				p(0, 1, 5, "put", 1, 10),
+				p(1, 1, 5, "put", 2, 20),
+				d(0, 6, 7, "get", 1, 0, 10),
+				d(0, 8, 9, "get", 2, 0, 0),
+			},
+			want: true,
+		},
+		{
+			// A read that completed BEFORE the crash already constrains the
+			// pending choice: get saw the in-flight put, so it must also be
+			// visible after recovery.
+			name: "reject/pre-crash-read-pins-pending",
+			history: []DurableOp{
+				p(0, 1, 5, "put", 1, 10),
+				d(1, 2, 3, "get", 1, 0, 10), // observed it before the crash
+				d(1, 6, 7, "get", 1, 0, 0),  // gone after recovery
+			},
+			want: false,
+		},
+		{
+			// Real-time order across the crash: a put called only AFTER
+			// recovery cannot explain a pre-crash read.
+			name: "reject/effect-from-the-future",
+			history: []DurableOp{
+				d(0, 1, 2, "get", 1, 0, 99),
+				d(0, 6, 7, "put", 1, 99, 0),
+			},
+			want: false,
+		},
+		{
+			// Torn multi-op visibility: thread 0 completed put(1)=10 then
+			// crashed while put(2)=20 was in flight. Legal: key 2 may be
+			// absent. The completed key 1 must not be.
+			name: "accept/half-finished-pair",
+			history: []DurableOp{
+				d(0, 1, 2, "put", 1, 10, 0),
+				p(0, 3, 5, "put", 2, 20),
+				d(0, 6, 7, "get", 1, 0, 10),
+				d(0, 8, 9, "get", 2, 0, 0),
+			},
+			want: true,
+		},
+		{
+			// Deletes across a crash: a completed del must stay deleted.
+			name: "reject/completed-delete-resurrected",
+			history: []DurableOp{
+				d(0, 1, 2, "put", 1, 10, 0),
+				d(0, 3, 4, "del", 1, 0, 1),
+				d(0, 6, 7, "get", 1, 0, 10),
+			},
+			want: false,
+		},
+		{
+			// Two crashes: survive the first, then an in-flight del at the
+			// second (t=10) may or may not land — absent afterwards is fine.
+			name: "accept/two-crashes",
+			history: []DurableOp{
+				d(0, 1, 2, "put", 1, 10, 0),
+				// crash at 5
+				d(0, 6, 7, "get", 1, 0, 10),
+				p(0, 8, 10, "del", 1, 0),
+				// crash at 10
+				d(0, 11, 12, "get", 1, 0, 0),
+			},
+			want: true,
+		},
+		{
+			// A pending op's unknown result is a wildcard, but its EFFECT
+			// still has to replay legally: a pending overwrite that lands
+			// must leave its own value, not an invented one.
+			name: "reject/pending-effect-is-not-arbitrary",
+			history: []DurableOp{
+				d(0, 1, 2, "put", 1, 10, 0),
+				p(0, 3, 5, "put", 1, 20),
+				d(0, 6, 7, "get", 1, 0, 30),
+			},
+			want: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := CheckDurable(KVModel{}, tc.history); got != tc.want {
+				t.Fatalf("CheckDurable = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCheckWildcardStillChecked: a wild result never weakens the precedence
+// rules — only the result comparison of that one op.
+func TestCheckWildcardStillChecked(t *testing.T) {
+	// get at t=1..2 sees 10, but the only put is pending from t=3: even as
+	// a wildcard it cannot linearize before an op that returned before it
+	// was called.
+	h := []DurableOp{
+		d(0, 1, 2, "get", 1, 0, 10),
+		p(0, 3, 5, "put", 1, 10),
+	}
+	if CheckDurable(KVModel{}, h) {
+		t.Fatal("pending op was allowed to take effect before its call")
+	}
+}
+
+// TestKVModelTable exercises the KV model used by the durable suites.
+func TestKVModelTable(t *testing.T) {
+	ops := []Op{
+		{Call: 1, Return: 2, Kind: "get", Arg: 7, Result: 0},
+		{Call: 3, Return: 4, Kind: "put", Arg: 7, Arg2: 1, Result: 0},
+		{Call: 5, Return: 6, Kind: "put", Arg: 7, Arg2: 2, Result: 0},
+		{Call: 7, Return: 8, Kind: "get", Arg: 7, Result: 2},
+		{Call: 9, Return: 10, Kind: "del", Arg: 7, Result: 1},
+		{Call: 11, Return: 12, Kind: "del", Arg: 7, Result: 0},
+	}
+	if !Check(KVModel{}, ops) {
+		t.Fatal("legal sequential KV history rejected")
+	}
+	bad := append([]Op(nil), ops...)
+	bad[3].Result = 1 // stale read
+	if Check(KVModel{}, bad) {
+		t.Fatal("stale KV read accepted")
+	}
+}

@@ -24,6 +24,7 @@ type Op struct {
 	Return int64 // timestamp after completion
 	Kind   string
 	Arg    uint64
+	Arg2   uint64 // second argument (e.g. the value of a KV put)
 	Result uint64
 }
 
@@ -42,20 +43,42 @@ type Model interface {
 
 // Check reports whether history is linearizable with respect to model.
 func Check(model Model, history []Op) bool {
-	ops := append([]Op(nil), history...)
-	sort.Slice(ops, func(i, j int) bool { return ops[i].Call < ops[j].Call })
+	return checkWild(model, history, nil)
+}
+
+// checkWild is Check with an optional wildcard flag per history entry:
+// a wild operation's recorded Result is ignored and any result the model
+// produces is accepted. Durable-linearizability checking uses this for
+// operations that were in flight at a crash, whose return value was lost
+// with the power.
+func checkWild(model Model, history []Op, wild []bool) bool {
+	type entry struct {
+		op   Op
+		wild bool
+	}
+	entries := make([]entry, len(history))
+	for i, op := range history {
+		entries[i] = entry{op: op, wild: wild != nil && wild[i]}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].op.Call < entries[j].op.Call })
 	c := &checker{
 		model: model,
-		ops:   ops,
-		done:  make([]bool, len(ops)),
+		ops:   make([]Op, len(entries)),
+		wild:  make([]bool, len(entries)),
+		done:  make([]bool, len(entries)),
 		memo:  make(map[string]bool),
 	}
-	return c.search(model.Init(), len(ops))
+	for i, e := range entries {
+		c.ops[i] = e.op
+		c.wild[i] = e.wild
+	}
+	return c.search(model.Init(), len(c.ops))
 }
 
 type checker struct {
 	model Model
 	ops   []Op
+	wild  []bool
 	done  []bool
 	memo  map[string]bool
 }
@@ -83,7 +106,7 @@ func (c *checker) search(state any, remaining int) bool {
 			continue
 		}
 		next, res := c.model.Step(state, op)
-		if res != op.Result {
+		if !c.wild[i] && res != op.Result {
 			continue
 		}
 		c.done[i] = true
@@ -209,3 +232,87 @@ func (SetModel) Step(state any, op Op) (any, uint64) {
 
 // Key implements Model.
 func (SetModel) Key(state any) string { return state.(setState).sorted }
+
+// KVModel specifies a key-value map over uint64 keys and values: "put"
+// (Arg=key, Arg2=value) returns 0; "get" (Arg=key) returns the value or 0
+// when absent — so histories must use nonzero values; "del" (Arg=key)
+// returns 1 if the key was present.
+type KVModel struct{}
+
+// kvState is an immutable canonical map representation.
+type kvState struct {
+	sorted string // "[k=v k=v ...]" in ascending key order
+}
+
+func encodeKV(m map[uint64]uint64) kvState {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := "["
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%d=%d", k, m[k])
+	}
+	return kvState{sorted: out + "]"}
+}
+
+func decodeKV(s kvState) map[uint64]uint64 {
+	m := make(map[uint64]uint64)
+	var k, v uint64
+	var in, after bool
+	flush := func() {
+		if in {
+			m[k] = v
+		}
+		k, v, in, after = 0, 0, false, false
+	}
+	for _, ch := range s.sorted {
+		switch {
+		case ch >= '0' && ch <= '9':
+			if after {
+				v = v*10 + uint64(ch-'0')
+			} else {
+				k = k*10 + uint64(ch-'0')
+			}
+			in = true
+		case ch == '=':
+			after = true
+		default:
+			flush()
+		}
+	}
+	flush()
+	return m
+}
+
+// Init implements Model.
+func (KVModel) Init() any { return kvState{sorted: "[]"} }
+
+// Step implements Model.
+func (KVModel) Step(state any, op Op) (any, uint64) {
+	m := decodeKV(state.(kvState))
+	switch op.Kind {
+	case "put":
+		if op.Arg2 == 0 {
+			panic("lincheck: KVModel put with zero value (0 means absent)")
+		}
+		m[op.Arg] = op.Arg2
+		return encodeKV(m), 0
+	case "get":
+		return state, m[op.Arg]
+	case "del":
+		if _, ok := m[op.Arg]; !ok {
+			return state, 0
+		}
+		delete(m, op.Arg)
+		return encodeKV(m), 1
+	}
+	panic("lincheck: unknown kv op " + op.Kind)
+}
+
+// Key implements Model.
+func (KVModel) Key(state any) string { return state.(kvState).sorted }

@@ -1,0 +1,107 @@
+package pmem
+
+import "math/rand"
+
+// Group ties several pools to one failure domain. A sharded construction
+// places each shard on its own Pool plus a coordinator Pool; physically those
+// are DIMMs behind the same power supply, so a power failure hits all of them
+// at the same instant. NewGroup models that by rewiring every member pool to
+// a single shared injector: persistent-memory events anywhere in the group
+// draw down one budget, and once the failure fires every thread of every
+// member pool dies at its next event.
+//
+// Group also aggregates the per-pool statistics, so pwbs/tx and pfences/tx
+// stay reportable for multi-pool engines exactly as for single-pool ones.
+type Group struct {
+	pools []*Pool
+	inj   *injector
+}
+
+// NewGroup builds a Group over the given pools and rewires them to a shared
+// injector. The pools must be quiescent and must all share the same Mode.
+// The previous per-pool injectors are discarded, so any individually armed
+// failure point is dropped; arm failures through the Group from then on.
+func NewGroup(pools ...*Pool) *Group {
+	if len(pools) == 0 {
+		panic("pmem: NewGroup needs at least one pool")
+	}
+	for _, p := range pools[1:] {
+		if p.mode != pools[0].mode {
+			panic("pmem: NewGroup pools must share a Mode")
+		}
+	}
+	g := &Group{pools: pools, inj: newInjector()}
+	for _, p := range pools {
+		p.inj = g.inj
+	}
+	return g
+}
+
+// Len reports the number of member pools.
+func (g *Group) Len() int { return len(g.pools) }
+
+// Pool returns the i-th member pool.
+func (g *Group) Pool(i int) *Pool { return g.pools[i] }
+
+// InjectFailure arms a group-wide failure point: after n further
+// persistent-memory events across ALL member pools the next event panics with
+// ErrSimulatedPowerFailure. Semantics otherwise match Pool.InjectFailure,
+// including surviving Crash for the nested-failure model.
+func (g *Group) InjectFailure(n int64) { g.inj.arm(n) }
+
+// InjectRemaining reports the armed group-wide failure counter (see
+// Pool.InjectRemaining).
+func (g *Group) InjectRemaining() int64 { return g.inj.failAfter.Load() }
+
+// Crash simulates power loss over the whole group: every member pool's cache
+// image is discarded at once (see Pool.Crash). The armed failure counter is
+// left as-is so a second failure can interrupt the recovery that follows.
+func (g *Group) Crash(policy CrashPolicy, rng *rand.Rand) {
+	for _, p := range g.pools {
+		p.Crash(policy, rng)
+	}
+}
+
+// Clone deep-copies every member pool into a new Group with a fresh, disarmed
+// injector and zeroed statistics (see Pool.Clone). The group must be
+// quiescent.
+func (g *Group) Clone() *Group {
+	clones := make([]*Pool, len(g.pools))
+	for i, p := range g.pools {
+		clones[i] = p.Clone()
+	}
+	return NewGroup(clones...)
+}
+
+// Stats sums the persistence-instruction counters over all member pools.
+func (g *Group) Stats() StatsSnapshot {
+	var sum StatsSnapshot
+	for _, p := range g.pools {
+		sum = sum.add(p.Stats())
+	}
+	return sum
+}
+
+// ResetStats zeroes the counters of every member pool.
+func (g *Group) ResetStats() {
+	for _, p := range g.pools {
+		p.ResetStats()
+	}
+}
+
+// NVMBytes reports the total simulated NVMM footprint across the group.
+func (g *Group) NVMBytes() uint64 {
+	var sum uint64
+	for _, p := range g.pools {
+		sum += p.NVMBytes()
+	}
+	return sum
+}
+
+// GroupRange names a span of words inside one region of one member pool —
+// the multi-pool analogue of Range, used by sharded engines to declare their
+// stale (corruptible) spans to the corruption sweep.
+type GroupRange struct {
+	Pool int
+	Range
+}

@@ -1,0 +1,167 @@
+package pmem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func groupOf(t *testing.T, n int) *Group {
+	t.Helper()
+	pools := make([]*Pool, n)
+	for i := range pools {
+		pools[i] = New(Config{Mode: Strict, RegionWords: 256, Regions: 1})
+	}
+	return NewGroup(pools...)
+}
+
+// A group-wide failure budget is drawn down by events on any member pool.
+func TestGroupSharedBudget(t *testing.T) {
+	g := groupOf(t, 2)
+	g.InjectFailure(3)
+	r0, r1 := g.Pool(0).Region(0), g.Pool(1).Region(0)
+	r0.Store(1, 10) // event 1 on pool 0
+	r1.Store(1, 20) // event 2 on pool 1
+	func() {
+		defer func() {
+			if recover() != ErrSimulatedPowerFailure {
+				t.Fatalf("expected simulated power failure on 4th event")
+			}
+		}()
+		r0.Store(2, 30) // event 3
+		r1.Store(2, 40) // event 4: budget exhausted, must panic
+		t.Fatalf("stores past the budget did not panic")
+	}()
+}
+
+// After the failure fires, every member pool keeps panicking on its next
+// event (all threads observe the power loss), until InjectFailure resets it.
+func TestGroupFiredLatchesAcrossPools(t *testing.T) {
+	g := groupOf(t, 2)
+	g.InjectFailure(0)
+	mustPanic := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() != ErrSimulatedPowerFailure {
+				t.Fatalf("expected simulated power failure")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { g.Pool(0).Region(0).Store(1, 1) })
+	// A different pool of the same group is dead too.
+	mustPanic(func() { g.Pool(1).Region(0).Store(1, 1) })
+	mustPanic(func() { g.Pool(1).Region(0).PWB(1) })
+
+	g.InjectFailure(-1) // disarm clears the latch
+	g.Pool(0).Region(0).Store(1, 1)
+	g.Pool(1).Region(0).Store(1, 1)
+}
+
+// Crash hits every member pool: unfenced stores are lost everywhere, fenced
+// ones survive everywhere, and the armed counter is left in place.
+func TestGroupCrashCoversAllPools(t *testing.T) {
+	g := groupOf(t, 3)
+	for i := 0; i < g.Len(); i++ {
+		r := g.Pool(i).Region(0)
+		r.Store(8, uint64(100+i))
+		r.PWB(8)
+		r.PFence()
+		r.Store(16, uint64(200+i)) // never fenced
+	}
+	g.InjectFailure(7)
+	g.Crash(CrashConservative, nil)
+	if got := g.InjectRemaining(); got != 7 {
+		t.Fatalf("armed counter did not survive Crash: %d", got)
+	}
+	g.InjectFailure(-1)
+	for i := 0; i < g.Len(); i++ {
+		r := g.Pool(i).Region(0)
+		if got := r.Load(8); got != uint64(100+i) {
+			t.Fatalf("pool %d: fenced store lost: %d", i, got)
+		}
+		if got := r.Load(16); got != 0 {
+			t.Fatalf("pool %d: unfenced store survived conservative crash: %d", i, got)
+		}
+	}
+}
+
+// Clone forks the whole group: same contents, fresh disarmed injector,
+// zeroed stats; mutations do not leak between original and clone.
+func TestGroupClone(t *testing.T) {
+	g := groupOf(t, 2)
+	g.Pool(0).Region(0).Store(8, 42)
+	g.Pool(0).Region(0).PWB(8)
+	g.Pool(0).Region(0).PFence()
+	g.InjectFailure(5)
+
+	c := g.Clone()
+	if got := c.InjectRemaining(); got >= 0 {
+		t.Fatalf("clone inherited an armed failure point: %d", got)
+	}
+	if got := c.Stats().PWBs; got != 0 {
+		t.Fatalf("clone inherited stats: %d pwbs", got)
+	}
+	if got := c.Pool(0).Region(0).Load(8); got != 42 {
+		t.Fatalf("clone missing data: %d", got)
+	}
+	g.InjectFailure(-1)
+	c.Pool(0).Region(0).Store(8, 7)
+	if got := g.Pool(0).Region(0).Load(8); got != 42 {
+		t.Fatalf("clone mutation leaked into original: %d", got)
+	}
+	// Clone's injector is independent of the original's.
+	c.InjectFailure(0)
+	g.Pool(0).Region(0).Store(9, 1) // original stays disarmed
+}
+
+// Stats aggregates over member pools; ResetStats clears all of them.
+func TestGroupStatsAggregate(t *testing.T) {
+	g := groupOf(t, 2)
+	g.Pool(0).Region(0).PWB(0)
+	g.Pool(1).Region(0).PWB(0)
+	g.Pool(1).Region(0).PFence()
+	s := g.Stats()
+	if s.PWBs != 2 || s.PFences != 1 {
+		t.Fatalf("bad aggregate: %v", s)
+	}
+	g.ResetStats()
+	if s := g.Stats(); s.PWBs != 0 || s.PFences != 0 {
+		t.Fatalf("reset did not clear: %v", s)
+	}
+	if g.NVMBytes() != 2*g.Pool(0).NVMBytes() {
+		t.Fatalf("NVMBytes not summed")
+	}
+}
+
+// Adversarial group crash with a shared rng stays deterministic per seed.
+func TestGroupCrashAdversarialDeterministic(t *testing.T) {
+	build := func() *Group {
+		g := groupOf(t, 2)
+		for i := 0; i < g.Len(); i++ {
+			r := g.Pool(i).Region(0)
+			for a := Addr(8); a < 64; a++ {
+				r.Store(a, a*uint64(i+1))
+			}
+		}
+		return g
+	}
+	snap := func(g *Group) []uint64 {
+		var out []uint64
+		for i := 0; i < g.Len(); i++ {
+			r := g.Pool(i).Region(0)
+			for a := Addr(0); a < 64; a++ {
+				out = append(out, r.PersistedLoad(a))
+			}
+		}
+		return out
+	}
+	g1, g2 := build(), build()
+	g1.Crash(CrashAdversarial, rand.New(rand.NewSource(7)))
+	g2.Crash(CrashAdversarial, rand.New(rand.NewSource(7)))
+	a, b := snap(g1), snap(g2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("adversarial crash not deterministic at word %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -81,10 +81,36 @@ type Pool struct {
 	hdrMu      sync.Mutex // guards pendingHdr (Strict mode only)
 	pendingHdr []int
 
+	// inj is the armed-failure state. Every pool starts with its own
+	// injector; NewGroup rewires the member pools to one shared injector so
+	// a multi-pool subsystem observes a single global event budget.
+	inj *injector
+}
+
+// injector is the countdown behind InjectFailure. It is shared by every pool
+// of a Group: persistent-memory events anywhere in the group draw from one
+// budget, exactly as a single power supply feeds every DIMM of a machine.
+type injector struct {
 	// failAfter counts down persistent-memory events; when it crosses
-	// zero the pool panics with ErrSimulatedPowerFailure. Negative means
-	// disabled. Only honoured in Strict mode (crash testing).
+	// zero the owning pool panics with ErrSimulatedPowerFailure. Negative
+	// means disabled. Only honoured in Strict mode (crash testing).
 	failAfter atomic.Int64
+	// fired latches after the countdown crosses zero: every subsequent
+	// event panics too, so concurrent threads all observe the power loss
+	// instead of only the thread that happened to issue the n-th event.
+	// InjectFailure (arming or disarming) resets the latch.
+	fired atomic.Bool
+}
+
+func newInjector() *injector {
+	inj := &injector{}
+	inj.failAfter.Store(-1)
+	return inj
+}
+
+func (inj *injector) arm(n int64) {
+	inj.fired.Store(false)
+	inj.failAfter.Store(n)
 }
 
 // ErrSimulatedPowerFailure is the panic value raised when an injected
@@ -106,21 +132,28 @@ func (*powerFailure) Error() string { return "pmem: simulated power failure" }
 // events and never disarms, so a harness can crash the pool, arm a second
 // failure point, and invoke recovery — the nested-failure model of
 // Ben-David et al., where recovery code is itself interrupted by power loss.
-func (p *Pool) InjectFailure(n int64) { p.failAfter.Store(n) }
+func (p *Pool) InjectFailure(n int64) { p.inj.arm(n) }
 
 // InjectRemaining reports the armed failure counter: the number of
 // persistent-memory events left before the simulated power failure fires,
 // or a negative value when no failure point is armed (or one already
 // fired). Harnesses measure a workload's event count by arming a counter
 // too large to fire, running the workload, and subtracting.
-func (p *Pool) InjectRemaining() int64 { return p.failAfter.Load() }
+func (p *Pool) InjectRemaining() int64 { return p.inj.failAfter.Load() }
 
 // tick advances toward an armed failure point.
 func (p *Pool) tick() {
-	if p.failAfter.Load() < 0 {
+	inj := p.inj
+	if inj.fired.Load() {
+		// The power failure already happened; any thread still issuing
+		// persistent-memory events dies at its next event too.
+		panic(ErrSimulatedPowerFailure)
+	}
+	if inj.failAfter.Load() < 0 {
 		return
 	}
-	if p.failAfter.Add(-1) < 0 {
+	if inj.failAfter.Add(-1) < 0 {
+		inj.fired.Store(true)
 		panic(ErrSimulatedPowerFailure)
 	}
 }
@@ -165,7 +198,7 @@ func New(cfg Config) *Pool {
 	for i := range p.regions {
 		p.regions[i] = Region{pool: p, index: i, base: uint64(i) * rw, words: rw}
 	}
-	p.failAfter.Store(-1)
+	p.inj = newInjector()
 	return p
 }
 

@@ -45,6 +45,17 @@ func (s *Stats) reset() {
 // Fences reports the total number of ordering instructions issued.
 func (s StatsSnapshot) Fences() uint64 { return s.PFences + s.PSyncs }
 
+// add returns the element-wise sum s + o, for aggregating a Group.
+func (s StatsSnapshot) add(o StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		PWBs:        s.PWBs + o.PWBs,
+		PFences:     s.PFences + o.PFences,
+		PSyncs:      s.PSyncs + o.PSyncs,
+		NTStores:    s.NTStores + o.NTStores,
+		WordsCopied: s.WordsCopied + o.WordsCopied,
+	}
+}
+
 // Sub returns the element-wise difference s - o, for measuring an interval.
 func (s StatsSnapshot) Sub(o StatsSnapshot) StatsSnapshot {
 	return StatsSnapshot{

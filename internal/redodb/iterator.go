@@ -34,6 +34,20 @@ func (s *Session) NewIterator() *Iterator {
 	return &Iterator{pairs: deserialize(blob), pos: -1}
 }
 
+// NewIteratorTagged takes a snapshot like NewIterator and additionally
+// returns the WriteTagged tag from root slot tagSlot as observed by the SAME
+// read transaction. A multi-shard merger uses the tag to decide whether the
+// per-shard snapshots it collected are mutually consistent.
+func (s *Session) NewIteratorTagged(tagSlot int) (*Iterator, uint64) {
+	root := s.db.root
+	tagAddr := ptm.RootAddr(tagSlot)
+	tag, blob := s.db.eng.ReadWithBytes(s.tid, func(m ptm.Mem) uint64 {
+		ptm.EmitBytes(m, serializeAll(m, root))
+		return m.Load(tagAddr)
+	})
+	return &Iterator{pairs: deserialize(blob), pos: -1}, tag
+}
+
 // serializeAll walks the hash map and encodes every pair, sorted by key.
 // It runs inside a read transaction and is deterministic, as required of
 // closures that helpers may re-execute.

@@ -86,6 +86,38 @@ func (s *Session) Write(b *WriteBatch) {
 	})
 }
 
+// WriteTagged applies a batch like Write and, in the same atomic durable
+// transaction, records tag in persistent root slot tagSlot. A multi-shard
+// coordinator tags each shard's sub-batch with the batch sequence number:
+// after a crash, the recovered tag tells exactly which sub-batches were
+// already applied, making replay idempotent. The slot must be distinct from
+// the map's RootSlot.
+func (s *Session) WriteTagged(b *WriteBatch, tagSlot int, tag uint64) {
+	ops := b.clone()
+	root := s.db.root
+	tagAddr := ptm.RootAddr(tagSlot)
+	s.db.eng.Update(s.tid, func(m ptm.Mem) uint64 {
+		for _, op := range ops {
+			if op.del {
+				deleteLocked(m, root, op.key)
+			} else {
+				putLocked(m, root, op.key, op.val)
+			}
+		}
+		m.Store(tagAddr, tag)
+		return 0
+	})
+}
+
+// TagAt returns the tag last recorded in root slot tagSlot by WriteTagged
+// (0 if never written).
+func (s *Session) TagAt(tagSlot int) uint64 {
+	tagAddr := ptm.RootAddr(tagSlot)
+	return s.db.eng.Read(s.tid, func(m ptm.Mem) uint64 {
+		return m.Load(tagAddr)
+	})
+}
+
 // WriteBatch collects Put/Delete operations for atomic application.
 type WriteBatch struct {
 	ops []batchOp

@@ -1,0 +1,96 @@
+package shardeddb
+
+import "repro/internal/redodb"
+
+// WriteBatch collects Put/Delete operations for atomic application across
+// shards.
+type WriteBatch struct {
+	ops []batchOp
+}
+
+type batchOp struct {
+	key, val []byte
+	del      bool
+}
+
+// Put queues an insertion/overwrite.
+func (b *WriteBatch) Put(key, value []byte) {
+	b.ops = append(b.ops, batchOp{
+		key: append([]byte(nil), key...),
+		val: append([]byte(nil), value...),
+	})
+}
+
+// Delete queues a deletion.
+func (b *WriteBatch) Delete(key []byte) {
+	b.ops = append(b.ops, batchOp{key: append([]byte(nil), key...), del: true})
+}
+
+// Len reports the number of queued operations.
+func (b *WriteBatch) Len() int { return len(b.ops) }
+
+// Clear empties the batch for reuse.
+func (b *WriteBatch) Clear() { b.ops = b.ops[:0] }
+
+// split partitions ops into per-shard redodb batches (nil for untouched
+// shards). Later ops on the same key keep their order within the shard's
+// sub-batch, preserving WriteBatch's last-writer-wins semantics.
+func (s *Session) split(ops []batchOp) []*redodb.WriteBatch {
+	subs := make([]*redodb.WriteBatch, len(s.sess))
+	for _, op := range ops {
+		i := s.shardOf(op.key)
+		if subs[i] == nil {
+			subs[i] = &redodb.WriteBatch{}
+		}
+		if op.del {
+			subs[i].Delete(op.key)
+		} else {
+			subs[i].Put(op.key, op.val)
+		}
+	}
+	return subs
+}
+
+// Write applies the batch atomically and durably.
+//
+// A batch whose keys all live on one shard is a single RedoDB transaction —
+// wait-free, no coordinator involvement. A cross-shard batch takes the
+// coordinator path: publish a durable intent, apply the per-shard
+// sub-batches (each tagged with the batch sequence number), then durably
+// complete. A crash anywhere in between leaves either a completed batch or
+// an open intent that Open rolls forward, so no execution ever exposes some
+// shards' sub-batches without the others.
+func (s *Session) Write(b *WriteBatch) {
+	ops := make([]batchOp, len(b.ops))
+	copy(ops, b.ops)
+	subs := s.split(ops)
+	touched := 0
+	only := -1
+	for i, sub := range subs {
+		if sub != nil {
+			touched++
+			only = i
+		}
+	}
+	switch touched {
+	case 0:
+		return
+	case 1:
+		s.sess[only].Write(subs[only])
+		return
+	}
+
+	db := s.db
+	db.batchMu.Lock()
+	defer db.batchMu.Unlock()
+	seq := db.nextSeq
+	db.nextSeq++
+	db.publishIntent(seq, encodeBatch(ops))
+	for i, sub := range subs {
+		if sub != nil {
+			s.sess[i].WriteTagged(sub, tagRoot, seq)
+		}
+	}
+	db.completeIntent(seq)
+	db.lastCommitted.Store(seq)
+}

@@ -1,0 +1,93 @@
+package shardeddb
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+// TestIteratorSnapshotConsistency is the cross-shard snapshot property test:
+// concurrent writers apply batches that set EVERY probe key to the same
+// generation, so any iterator that observes two different generations (or a
+// strict subset of the keys) has caught a torn batch. Additionally, an
+// iterator started after batch B committed must see B or newer — never an
+// earlier prefix. Runs at every shard count in {1, 2, 8}.
+func TestIteratorSnapshotConsistency(t *testing.T) {
+	const probes = 16
+	const gens = 60
+	keys := make([][]byte, probes)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("probe%02d", i))
+	}
+	for _, shards := range []int{1, 2, 8} {
+		g := NewGroup(GroupConfig{Shards: shards, Threads: 3, Mode: pmem.Direct})
+		db := Open(g, Options{Threads: 3})
+
+		var committed atomic.Int64 // highest generation durably committed
+		committed.Store(-1)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := db.Session(0)
+			for gen := 0; gen < gens; gen++ {
+				b := &WriteBatch{}
+				for _, k := range keys {
+					b.Put(k, []byte{byte(gen)})
+				}
+				s.Write(b)
+				committed.Store(int64(gen))
+			}
+		}()
+
+		errs := make(chan error, 2)
+		for r := 1; r <= 2; r++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				s := db.Session(tid)
+				lastSeen := int64(-1)
+				for {
+					floor := committed.Load()
+					it := s.NewIterator()
+					n := 0
+					gen := int64(-1)
+					for it.Next() {
+						n++
+						g := int64(it.Value()[0])
+						if gen == -1 {
+							gen = g
+						} else if g != gen {
+							errs <- fmt.Errorf("shards=%d: torn snapshot: generations %d and %d in one iterator", shards, gen, g)
+							return
+						}
+					}
+					if n != 0 && n != probes {
+						errs <- fmt.Errorf("shards=%d: snapshot holds %d of %d probe keys", shards, n, probes)
+						return
+					}
+					if gen < floor {
+						errs <- fmt.Errorf("shards=%d: iterator started after gen %d committed saw gen %d", shards, floor, gen)
+						return
+					}
+					if gen < lastSeen {
+						errs <- fmt.Errorf("shards=%d: snapshots went backwards: %d after %d", shards, gen, lastSeen)
+						return
+					}
+					lastSeen = gen
+					if floor >= gens-1 {
+						return
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+}

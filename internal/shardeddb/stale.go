@@ -1,0 +1,31 @@
+package shardeddb
+
+import (
+	"repro/internal/redodb"
+
+	"repro/internal/pmem"
+)
+
+// StaleRanges reports the spans of the group that committed state does not
+// reach, for the corruption sweep. Each shard pool contributes RedoDB's
+// stale set (the replicas the persisted curComb does not name). The
+// coordinator contributes its intent fields — but only while the durable
+// status is 0: with no intent open, seq/len/CRC and the payload are
+// unreachable garbage, whereas with status 1 they are live recovery input.
+// coordLast and the status word itself are always live.
+func StaleRanges(g *pmem.Group) []pmem.GroupRange {
+	var out []pmem.GroupRange
+	coord := g.Pool(0).Region(0)
+	if coord.PersistedLoad(coordStatus) == 0 {
+		out = append(out,
+			pmem.GroupRange{Pool: 0, Range: pmem.Range{Region: 0, Start: coordSeq, Words: 3}},
+			pmem.GroupRange{Pool: 0, Range: pmem.Range{Region: 0, Start: coordPayload, Words: coord.Words() - coordPayload}},
+		)
+	}
+	for i := 1; i < g.Len(); i++ {
+		for _, r := range redodb.StaleRanges(g.Pool(i)) {
+			out = append(out, pmem.GroupRange{Pool: i, Range: r})
+		}
+	}
+	return out
+}
