@@ -17,8 +17,15 @@ go test -race ./internal/core/... ./internal/ptm/... ./internal/psim/... ./inter
 # -corrupt) are the acceptance run, not the per-commit gate.
 go run ./cmd/crashcheck -ops 8 -stride 11
 
-# Tracked bench trajectory: sharded RedoDB ops/s and persistence
-# instructions per tx at 1 and 8 shards (fillrandom + readrandom). The
-# four 0.25 s cells keep the whole emission well under 30 s; the output
-# file is checked in so reviewers can diff the trajectory across PRs.
-go run ./cmd/dbbench -json BENCH_pr3.json -shards 1,8 -keys 10000 -secs 0.25 -threads 4
+# Trace/stats parity smoke under the race detector: one engine's traced
+# workload must reproduce its StatsSnapshot counters event-for-event and
+# pass the dynamic ordering checker (the full per-engine matrix runs in the
+# regular `go test ./...` above; this pins the concurrency of the tracer).
+go test -race -run 'TestTraceStatsParity/redodb$' ./internal/chaos
+
+# Tracked bench trajectory: sharded RedoDB ops/s, persistence instructions
+# per tx, and p50/p99 op latency at 1 and 8 shards (fillrandom +
+# readrandom). The four 0.25 s cells keep the whole emission well under
+# 30 s; the output file is checked in so reviewers can diff the trajectory
+# across PRs (BENCH_pr3.json holds the pre-latency trajectory).
+go run ./cmd/dbbench -json BENCH_pr4.json -shards 1,8 -keys 10000 -secs 0.25 -threads 4

@@ -7,7 +7,13 @@
 //	dbbench -fig fig8
 //	dbbench -fig fig9 -threads 1,2,4,8
 //	dbbench -fig sharding -shards 1,2,4,8
-//	dbbench -json BENCH_pr3.json -shards 1,8 -keys 10000 -secs 0.25
+//	dbbench -json BENCH_pr4.json -shards 1,8 -keys 10000 -secs 0.25
+//	dbbench -trace trace.json -engine Redo-PTM -ops 64
+//
+// -trace runs a bounded single-threaded workload on one PTM engine with
+// event tracing attached (including a traced recovery pass), writes the
+// captured trace as JSON for cmd/obsdump, verifies it with the dynamic
+// ordering checker, and prints the op/commit/recovery latency histograms.
 //
 // The paper ran 10^6 and 10^7 keys (16-byte keys, 100-byte values) on real
 // Optane; -keys scales the database so the suite completes on a laptop.
@@ -34,8 +40,38 @@ func main() {
 		optane   = flag.Bool("optane", true, "inject Optane-like pwb/fence latencies")
 		shards   = flag.String("shards", "1,2,4,8", "comma-separated shard counts for the sharding figure")
 		jsonPath = flag.String("json", "", "write tracked sharded-bench entries to this file and exit")
+		trace    = flag.String("trace", "", "write a traced engine run to this file and exit")
+		engine   = flag.String("engine", "Redo-PTM", "PTM engine for -trace (see ptmbench for names)")
+		ops      = flag.Int("ops", 64, "update transactions for -trace")
 	)
 	flag.Parse()
+
+	if *trace != "" {
+		res, err := bench.TraceRun(*engine, *ops)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace run: %v\n", err)
+			os.Exit(1)
+		}
+		if err := res.Trace.WriteFile(*trace); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *trace, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# %s — %d ops, trace written to %s\n", res.Engine, res.Ops, *trace)
+		res.Trace.Summary(os.Stdout)
+		snaps := res.Lat.Snapshot()
+		for _, phase := range []string{"op", "commit", "recovery"} {
+			fmt.Println(snaps[phase].Fprint(phase))
+		}
+		if len(res.Violations) > 0 {
+			fmt.Printf("ordering violations: %d\n", len(res.Violations))
+			for _, v := range res.Violations {
+				fmt.Println("  " + v.String())
+			}
+			os.Exit(1)
+		}
+		fmt.Println("ordering check: clean")
+		return
+	}
 
 	parseInts := func(s, what string) []int {
 		var out []int

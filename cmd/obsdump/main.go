@@ -1,0 +1,68 @@
+// Command obsdump inspects a persistence-event trace captured by the
+// runtime observability layer (internal/obs) and written as JSON, e.g. by
+// `dbbench -trace` or a test's Trace.WriteFile. It prints the per-kind
+// event tally and the instruction counters reconstructed from the trace,
+// replays the trace through the dynamic ordering checker, and — with -v —
+// dumps every event as one line.
+//
+//	obsdump trace.json
+//	obsdump -v trace.json
+//	obsdump -relaxed trace.json   # concurrent trace: relaxed header rule
+//	obsdump -nocheck trace.json   # summary only
+//
+// Exit status is 1 when the checker reports ordering violations (or the
+// trace is malformed), so obsdump can gate scripts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		verbose = flag.Bool("v", false, "dump every event")
+		relaxed = flag.Bool("relaxed", false, "relaxed header rule for concurrent traces")
+		nocheck = flag.Bool("nocheck", false, "skip the ordering checker")
+		maxViol = flag.Int("max", 0, "cap reported violations (0 = default)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: obsdump [-v] [-relaxed] [-nocheck] trace.json")
+		os.Exit(2)
+	}
+	tr, err := obs.ReadTraceFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obsdump: %v\n", err)
+		os.Exit(1)
+	}
+	tr.Summary(os.Stdout)
+	if *verbose {
+		fmt.Println()
+		for _, e := range tr.Events {
+			fmt.Println(e.String())
+		}
+	}
+	if *nocheck {
+		return
+	}
+	viol, err := obs.CheckOrdering(tr, obs.CheckOptions{
+		RelaxedHeaders: *relaxed,
+		MaxViolations:  *maxViol,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obsdump: %v\n", err)
+		os.Exit(1)
+	}
+	if len(viol) > 0 {
+		fmt.Printf("\nordering violations: %d\n", len(viol))
+		for _, v := range viol {
+			fmt.Println("  " + v.String())
+		}
+		os.Exit(1)
+	}
+	fmt.Println("ordering check: clean")
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pmem"
 )
 
@@ -17,6 +18,9 @@ type Result struct {
 	Ops     uint64
 	Elapsed time.Duration
 	Stats   pmem.StatsSnapshot // persistence-instruction delta for the run
+	// Lat is the per-operation latency distribution; zero unless the cell
+	// was measured with RunThroughputLat.
+	Lat obs.HistSnapshot
 }
 
 // OpsPerSec reports throughput.
@@ -88,6 +92,21 @@ func RunThroughput(pool StatSource, threads int, dur time.Duration, op func(tid,
 		Elapsed: elapsed,
 		Stats:   pool.Stats().Sub(before),
 	}
+}
+
+// RunThroughputLat is RunThroughput with a per-operation latency histogram:
+// each op is timed individually and folded into an HDR-style histogram
+// (lock-free, allocation-free, so the throughput numbers stay comparable),
+// and the snapshot lands in Result.Lat.
+func RunThroughputLat(pool StatSource, threads int, dur time.Duration, op func(tid, i int)) Result {
+	var hist obs.Histogram
+	res := RunThroughput(pool, threads, dur, func(tid, i int) {
+		start := time.Now()
+		op(tid, i)
+		hist.Observe(time.Since(start))
+	})
+	res.Lat = hist.Snapshot()
+	return res
 }
 
 // Series prints results as the rows of one figure series.

@@ -78,11 +78,11 @@ func runSharded(cfg DBConfig, workload string, shards, threads int) Result {
 	var res Result
 	switch workload {
 	case "fillrandom":
-		res = RunThroughput(src, threads, cfg.Dur, func(tid, i int) {
+		res = RunThroughputLat(src, threads, cfg.Dur, func(tid, i int) {
 			kv.Put(tid, dbKey(rngs[tid].intn(cfg.Keys)), dbValue)
 		})
 	case "readrandom":
-		res = RunThroughput(src, threads, cfg.Dur, func(tid, i int) {
+		res = RunThroughputLat(src, threads, cfg.Dur, func(tid, i int) {
 			kv.Get(tid, dbKey(rngs[tid].intn(cfg.Keys)))
 		})
 	default:
@@ -102,6 +102,10 @@ type BenchEntry struct {
 	OpsPerSec    float64 `json:"ops_per_sec"`
 	PWBsPerTx    float64 `json:"pwbs_per_tx"`
 	PFencesPerTx float64 `json:"pfences_per_tx"`
+	// Per-operation latency percentiles from the same run (PR 4): the
+	// trajectory tracks tail behavior alongside the instruction parity.
+	P50Ns int64 `json:"p50_ns"`
+	P99Ns int64 `json:"p99_ns"`
 }
 
 // ShardingEntries runs the tracked-benchmark cells: fillrandom and
@@ -119,6 +123,8 @@ func ShardingEntries(cfg DBConfig, shardCounts []int, threads int) []BenchEntry 
 				OpsPerSec:    res.OpsPerSec(),
 				PWBsPerTx:    res.PWBsPerOp(),
 				PFencesPerTx: res.FencesPerOp(),
+				P50Ns:        res.Lat.P50Ns,
+				P99Ns:        res.Lat.P99Ns,
 			})
 		}
 	}

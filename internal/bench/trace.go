@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+	"repro/internal/seqds"
+)
+
+// TraceResult is one traced engine run: the captured event trace, the phase
+// latency histograms, and the dynamic ordering checker's verdict on it.
+type TraceResult struct {
+	Engine     string
+	Ops        int
+	Trace      obs.Trace
+	Lat        *obs.LatencySet
+	Violations []obs.Violation
+}
+
+// TraceRun drives a bounded, single-threaded list-set workload on the named
+// engine with event tracing attached, then re-opens the engine over the
+// same pool so the trace also covers a full recovery pass. It returns the
+// trace, the op/commit/recovery latency histograms (collected through
+// ptm.Profile.Lat), and the CheckOrdering verdict. Single-threaded runs use
+// the checker's strict header rule.
+func TraceRun(engine string, ops int) (*TraceResult, error) {
+	if ops <= 0 {
+		ops = 64
+	}
+	e, err := EngineByName(engine)
+	if err != nil {
+		return nil, err
+	}
+	lat := &obs.LatencySet{}
+	prof := &ptm.Profile{Lat: lat}
+	p, pool := e.New(1, wordsForKeys(128), pmem.LatencyModel{}, prof)
+	set := seqds.ListSet{RootSlot: 0}
+	p.Update(0, func(m ptm.Mem) uint64 { set.Init(m); return 0 })
+
+	// Attach the tracer only after format/init so the bounded ring holds
+	// the workload and the recovery pass, not the bulk formatting stores.
+	// That is sound for CheckOrdering: lines never stored inside the trace
+	// carry no flush/fence obligations.
+	size := ops * 2048
+	if size < 1<<16 {
+		size = 1 << 16
+	}
+	tr := obs.NewTracer(size)
+	pool.SetTracer(tr)
+
+	for i := 0; i < ops; i++ {
+		k := uint64(i%64) + 1
+		p.Update(0, func(m ptm.Mem) uint64 {
+			if set.Add(m, k) {
+				return 1
+			}
+			return 0
+		})
+		if i%2 == 1 {
+			p.Update(0, func(m ptm.Mem) uint64 {
+				if set.Remove(m, k) {
+					return 1
+				}
+				return 0
+			})
+		}
+	}
+
+	// Re-open the engine over the live pool: the constructor replays its
+	// recovery protocol (adopt or roll the persisted image) under tracing,
+	// which is exactly the path crash consistency depends on.
+	recStart := time.Now()
+	p2 := e.NewOnPool(1, pool)
+	lat.Recovery.Observe(time.Since(recStart))
+	live := p2.Read(0, func(m ptm.Mem) uint64 {
+		n := uint64(0)
+		for k := uint64(1); k <= 64; k++ {
+			if set.Contains(m, k) {
+				n++
+			}
+		}
+		return n
+	})
+	// The last iteration touching each key decides whether it survives:
+	// even iterations leave it present, odd ones remove it again.
+	finals := make(map[uint64]bool)
+	for i := 0; i < ops; i++ {
+		finals[uint64(i%64)+1] = i%2 == 0
+	}
+	want := uint64(0)
+	for _, present := range finals {
+		if present {
+			want++
+		}
+	}
+	if live != want {
+		return nil, fmt.Errorf("bench: %s recovered %d keys, want %d", engine, live, want)
+	}
+
+	res := &TraceResult{Engine: engine, Ops: ops, Trace: tr.Snapshot(), Lat: lat}
+	res.Violations, err = obs.CheckOrdering(res.Trace, obs.CheckOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("bench: checking %s trace: %w", engine, err)
+	}
+	return res, nil
+}

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/palloc"
 	"repro/internal/pmem"
 	"repro/internal/ptm"
@@ -133,6 +134,7 @@ func New(pool *pmem.Pool, cfg Config) *CX {
 		}
 	}
 	cur := 0
+	pool.TraceEvent(obs.KindRecoveryBegin, -1, -1, 0, 0, 0)
 	if packed := pool.PersistedHeader(headerSlot); packed != 0 {
 		// Recovery: adopt the persisted replica. All other replicas
 		// are stale (head left nil), so the next writer on them will
@@ -147,14 +149,18 @@ func New(pool *pmem.Pool, cfg Config) *CX {
 		pool.HeaderStore(headerSlot, packCurComb(0, cur))
 		pool.PWBHeader(headerSlot)
 		pool.PSync()
+		pool.TraceEvent(obs.KindHeaderPublish, -1, -1, headerSlot, 1, 0)
 	} else {
 		palloc.Format(directMem{c.combs[0].region}, pool.RegionWords())
 		c.combs[0].region.FlushRange(0, palloc.HeapStart())
 		c.combs[0].region.PFence()
+		pool.TraceEvent(obs.KindPublish, -1, 0, 0, palloc.HeapStart(), obs.PubHeap)
 		pool.HeaderStore(headerSlot, packCurComb(0, 0))
 		pool.PWBHeader(headerSlot)
 		pool.PSync()
+		pool.TraceEvent(obs.KindHeaderPublish, -1, -1, headerSlot, 1, 0)
 	}
+	pool.TraceEvent(obs.KindRecoveryEnd, -1, -1, 0, 0, 0)
 	// curComb's replica is up to date as of the (fresh) queue sentinel.
 	c.combs[cur].head.Store(c.queue.Head())
 	// curComb is held downgraded so no writer can claim it while readers
@@ -204,7 +210,7 @@ func (c *CX) Update(tid int, fn func(ptm.Mem) uint64) uint64 {
 			cur := c.curComb.Load()
 			h := cur.head.Load()
 			if h != nil && h.Ticket() >= myNode.Ticket() {
-				c.ensurePersisted(myNode.Ticket())
+				c.ensurePersisted(tid, myNode.Ticket())
 				c.cfg.Profile.AddTx(since(c.cfg.Profile, txStart))
 				return desc.result.Load()
 			}
@@ -215,6 +221,7 @@ func (c *CX) Update(tid int, fn func(ptm.Mem) uint64) uint64 {
 		}
 		// Apply every queued mutation from the replica's cursor up to
 		// (and including) our node.
+		c.pool.TraceEvent(obs.KindCombineBegin, tid, comb.region.Index(), 0, 0, myNode.Ticket())
 		applyStart := now(c.cfg.Profile)
 		cursor := comb.head.Load()
 		for cursor.Ticket() < myNode.Ticket() {
@@ -230,6 +237,7 @@ func (c *CX) Update(tid int, fn func(ptm.Mem) uint64) uint64 {
 		if cursor.Ticket() < myNode.Ticket() {
 			// Our node was not yet linked past this cursor (helping
 			// still in flight); release and retry.
+			c.pool.TraceEvent(obs.KindCombineEnd, tid, comb.region.Index(), 0, 0, 0)
 			comb.lk.ExclusiveUnlock()
 			continue
 		}
@@ -237,10 +245,17 @@ func (c *CX) Update(tid int, fn func(ptm.Mem) uint64) uint64 {
 		flushStart := now(c.cfg.Profile)
 		c.flushReplica(comb)
 		comb.region.PFence()
+		if c.pool.Traced() {
+			// The published span is the allocator high-water mark — a
+			// runtime value no static fence analysis can know.
+			used := palloc.UsedWords(directMem{comb.region})
+			c.pool.TraceEvent(obs.KindPublish, tid, comb.region.Index(), 0, used, obs.PubHeap)
+		}
 		c.cfg.Profile.AddFlush(since(c.cfg.Profile, flushStart))
 		comb.lk.Downgrade()
-		c.transition(comb, myNode)
-		c.ensurePersisted(myNode.Ticket())
+		c.transition(tid, comb, myNode)
+		c.ensurePersisted(tid, myNode.Ticket())
+		c.pool.TraceEvent(obs.KindCombineEnd, tid, comb.region.Index(), 0, 0, 1)
 		c.cfg.Profile.AddTx(since(c.cfg.Profile, txStart))
 		return desc.result.Load()
 	}
@@ -262,7 +277,7 @@ func (c *CX) Read(tid int, fn func(ptm.Mem) uint64) uint64 {
 			// queue (so ensurePersisted can make it durable).
 			cur := c.curComb.Load()
 			if h := cur.head.Load(); h != nil && h.Ticket() >= myNode.Ticket() {
-				c.ensurePersisted(myNode.Ticket())
+				c.ensurePersisted(tid, myNode.Ticket())
 				return desc.result.Load()
 			}
 		}
@@ -279,7 +294,7 @@ func (c *CX) Read(tid int, fn func(ptm.Mem) uint64) uint64 {
 		cur.lk.SharedUnlock(tid)
 		// Durable linearizability: the state this read observed must
 		// be durable before the read returns.
-		c.ensurePersisted(h.Ticket())
+		c.ensurePersisted(tid, h.Ticket())
 		return res
 	}
 }
@@ -362,7 +377,7 @@ func (c *CX) execute(n *node, comb *combined) {
 // transition publishes comb (already downgraded and durable) as the new
 // curComb, following step 6 of the paper's applyUpdate: retry the CAS until
 // it succeeds or until curComb already covers our node.
-func (c *CX) transition(comb *combined, myNode *node) {
+func (c *CX) transition(tid int, comb *combined, myNode *node) {
 	myTicket := myNode.Ticket()
 	for {
 		cur := c.curComb.Load()
@@ -377,6 +392,8 @@ func (c *CX) transition(comb *combined, myNode *node) {
 			return
 		}
 		if c.curComb.CompareAndSwap(cur, comb) {
+			c.pool.TraceEvent(obs.KindCurComb, tid, comb.region.Index(), 0, 0,
+				packCurComb(comb.head.Load().Ticket(), comb.region.Index()))
 			// Release the previous curComb for reuse by writers.
 			cur.lk.DowngradeUnlock()
 			c.advanceWindow(comb.head.Load())
@@ -390,7 +407,7 @@ func (c *CX) transition(comb *combined, myNode *node) {
 // This is the paper's `if ringtail.seq < tail.seq { pwb(curComb); psync() }`
 // check — the pwb+psync is skipped when another thread already persisted a
 // ticket at least as high.
-func (c *CX) ensurePersisted(ticket uint64) {
+func (c *CX) ensurePersisted(tid int, ticket uint64) {
 	for c.persisted.Load() < ticket {
 		cur := c.curComb.Load()
 		t := cur.head.Load().Ticket()
@@ -407,6 +424,7 @@ func (c *CX) ensurePersisted(ticket uint64) {
 		}
 		c.pool.PWBHeader(headerSlot)
 		c.pool.PSync()
+		c.pool.TraceEvent(obs.KindHeaderPublish, tid, -1, headerSlot, 1, 0)
 		for {
 			p := c.persisted.Load()
 			if p >= t || c.persisted.CompareAndSwap(p, t) {

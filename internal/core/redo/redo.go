@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/palloc"
 	"repro/internal/pmem"
 	"repro/internal/ptm"
@@ -216,6 +217,7 @@ func New(pool *pmem.Pool, cfg Config) *Redo {
 	// consensus state; ring[0] already holds 0.
 	e.lastIdx[0] = 1
 	cur := 0
+	pool.TraceEvent(obs.KindRecoveryBegin, -1, -1, 0, 0, 0)
 	if packed := pool.PersistedHeader(headerSlot); packed&headerValid != 0 {
 		cur = idxOf(packed &^ headerValid)
 		if cur >= len(e.combs) {
@@ -225,14 +227,18 @@ func New(pool *pmem.Pool, cfg Config) *Redo {
 		pool.HeaderStore(headerSlot, headerValid|pack(0, 0, cur))
 		pool.PWBHeader(headerSlot)
 		pool.PSync()
+		pool.TraceEvent(obs.KindHeaderPublish, -1, -1, headerSlot, 1, 0)
 	} else {
 		palloc.Format(directMem{e.combs[0].region}, pool.RegionWords())
 		e.combs[0].region.FlushRange(0, palloc.HeapStart())
 		e.combs[0].region.PFence()
+		pool.TraceEvent(obs.KindPublish, -1, 0, 0, palloc.HeapStart(), obs.PubHeap)
 		pool.HeaderStore(headerSlot, headerValid|pack(0, 0, 0))
 		pool.PWBHeader(headerSlot)
 		pool.PSync()
+		pool.TraceEvent(obs.KindHeaderPublish, -1, -1, headerSlot, 1, 0)
 	}
+	pool.TraceEvent(obs.KindRecoveryEnd, -1, -1, 0, 0, 0)
 	e.combs[cur].head.Store(pack(0, 0, 0))
 	if !e.combs[cur].lk.ExclusiveTryLock(0) {
 		panic("redo: initial lock acquisition failed")
@@ -304,14 +310,14 @@ func (e *Redo) tryResult(tid int, flag bool) (uint64, bool) {
 		return 0, false
 	}
 	e.lastFrom[tid] = int(from)
-	e.ensurePersisted(seqOf(tail))
+	e.ensurePersisted(tid, seqOf(tail))
 	return res, true
 }
 
 // ensurePersisted makes the curComb header durable with at least the given
 // sequence number: the paper's `pwb(curComb); psync()` at every return path,
 // elided when a transition at least as recent is already durable.
-func (e *Redo) ensurePersisted(seq uint64) {
+func (e *Redo) ensurePersisted(tid int, seq uint64) {
 	for e.persisted.Load() < seq {
 		curC := e.curComb.Load()
 		s := seqOf(curC)
@@ -327,6 +333,7 @@ func (e *Redo) ensurePersisted(seq uint64) {
 		}
 		e.pool.PWBHeader(headerSlot)
 		e.pool.PSync()
+		e.pool.TraceEvent(obs.KindHeaderPublish, tid, -1, headerSlot, 1, 0)
 		for {
 			p := e.persisted.Load()
 			if p >= s || e.persisted.CompareAndSwap(p, s) {
@@ -406,6 +413,7 @@ func (e *Redo) Update(tid int, fn func(ptm.Mem) uint64) uint64 {
 			continue
 		}
 		// {7} simulate all announced operations on the replica.
+		e.pool.TraceEvent(obs.KindCombineBegin, tid, cIdx, 0, 0, seqOf(tkt))
 		lambdaStart := now(e.cfg.Profile)
 		for i := 0; i < e.cfg.Threads; i++ {
 			d := e.reqs[i].Load()
@@ -422,13 +430,20 @@ func (e *Redo) Update(tid int, fn func(ptm.Mem) uint64) uint64 {
 		flushStart := now(e.cfg.Profile)
 		e.flushReplica(c)
 		c.region.PFence()
+		if e.pool.Traced() {
+			// The published span is the allocator high-water mark — a
+			// runtime value no static fence analysis can know.
+			e.pool.TraceEvent(obs.KindPublish, tid, cIdx, 0, usedWords(c.region), obs.PubHeap)
+		}
 		e.cfg.Profile.AddFlush(since(e.cfg.Profile, flushStart))
 		c.head.Store(tkt)
 		c.lk.Downgrade()                                                 // {8}
 		if e.curComb.CompareAndSwap(curC, pack(seqOf(tkt), tid, cIdx)) { // {9}
+			e.pool.TraceEvent(obs.KindCurComb, tid, cIdx, 0, 0, pack(seqOf(tkt), tid, cIdx))
 			comb.lk.DowngradeUnlock()
 			e.helpRing(tkt)
-			e.ensurePersisted(seqOf(tkt))
+			e.ensurePersisted(tid, seqOf(tkt))
+			e.pool.TraceEvent(obs.KindCombineEnd, tid, cIdx, 0, 0, 1)
 			e.lastIdx[tid] = (myIdx + 1) % e.cfg.RingSize
 			c = nil // ownership passed to the next winner
 			res := newSt.results[tid].Load()
@@ -436,6 +451,7 @@ func (e *Redo) Update(tid int, fn func(ptm.Mem) uint64) uint64 {
 			return res
 		}
 		// Lost the consensus: revert the simulation and retry.
+		e.pool.TraceEvent(obs.KindCombineEnd, tid, cIdx, 0, 0, 0)
 		for !c.lk.TryUpgrade(tid) {
 			runtime.Gosched()
 		}
@@ -474,7 +490,7 @@ func (e *Redo) Read(tid int, fn func(ptm.Mem) uint64) uint64 {
 		res := fn(roMem{region: comb.region, e: e, exec: tid, owner: tid})
 		comb.lk.SharedUnlock(tid)
 		e.lastFrom[tid] = tid
-		e.ensurePersisted(seqOf(curC))
+		e.ensurePersisted(tid, seqOf(curC))
 		return res
 	}
 }
@@ -572,7 +588,7 @@ func (e *Redo) opDone(tid int, flag bool) bool {
 // loop must re-read curComb.
 func (e *Redo) catchUp(tid int, c *combined, tail SeqTidIdx) bool {
 	applyStart := now(e.cfg.Profile)
-	replayOK := e.replay(c, tail)
+	replayOK := e.replay(tid, c, tail)
 	e.cfg.Profile.AddApply(since(e.cfg.Profile, applyStart))
 	if replayOK {
 		return true
@@ -588,7 +604,13 @@ func (e *Redo) catchUp(tid int, c *combined, tail SeqTidIdx) bool {
 // replay applies committed physical logs to c until it reaches tail.
 // Returns false if the replica cannot catch up via the ring (state reuse,
 // stale snapshot, or invalid replica).
-func (e *Redo) replay(c *combined, tail SeqTidIdx) bool {
+func (e *Redo) replay(tid int, c *combined, tail SeqTidIdx) bool {
+	began := false
+	defer func() {
+		if began {
+			e.pool.TraceEvent(obs.KindReplayEnd, tid, c.region.Index(), 0, 0, seqOf(c.head.Load()))
+		}
+	}()
 	for {
 		head := c.head.Load()
 		if head == tail {
@@ -599,6 +621,10 @@ func (e *Redo) replay(c *combined, tail SeqTidIdx) bool {
 		}
 		if seqOf(head) >= seqOf(tail) {
 			return false // snapshot went stale
+		}
+		if !began {
+			began = true
+			e.pool.TraceEvent(obs.KindReplayBegin, tid, c.region.Index(), 0, 0, seqOf(head))
 		}
 		nextSeq := seqOf(head) + 1
 		entry := e.ring[nextSeq%uint64(e.cfg.RingSize)].Load()

@@ -1,0 +1,347 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckOrdering rule identifiers (Violation.Rule).
+const (
+	// RuleUnflushed: a published range contains a line whose latest store
+	// was never written back (no PWB / NT store) before the publish.
+	RuleUnflushed = "publish-unflushed"
+	// RuleUnfenced: a published range contains a line that was written
+	// back but whose write-back was not covered by a fence before the
+	// publish.
+	RuleUnfenced = "publish-unfenced"
+	// RuleHeaderUnsynced: a published header slot's latest store was not
+	// made durable (missing PWBHeader, missing PSync, or stored again
+	// after its last write-back) before the publish.
+	RuleHeaderUnsynced = "header-unsynced"
+	// RuleCRCOrder: the slots of a published header pair (value, tag)
+	// were stored out of ascending slot order, so a crash between the
+	// two stores could persist a tag that validates a stale value.
+	RuleCRCOrder = "header-crc-order"
+	// RuleSeqOrder: the trace's capture sequence numbers are not
+	// strictly increasing — the trace was reordered or duplicated and
+	// no ordering verdict on it is sound.
+	RuleSeqOrder = "seq-order"
+)
+
+// Violation is one ordering-rule failure found by CheckOrdering.
+type Violation struct {
+	// Event is the publish-site (or malformed) event that exposed the
+	// violation.
+	Event Event
+	// Rule is one of the Rule* identifiers.
+	Rule string
+	// Msg is a human-readable account naming the offending range and
+	// the missing step.
+	Msg string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("seq %d [%s] %s: %s", v.Event.Seq, v.Event.Kind, v.Rule, v.Msg)
+}
+
+// CheckOptions tunes CheckOrdering.
+type CheckOptions struct {
+	// RelaxedHeaders weakens the header-durability rule for concurrent
+	// traces: with several threads racing through ensurePersisted, thread
+	// B's header store can legally land between thread A's PSync and A's
+	// publish event, so the strict "latest store covered" rule would
+	// false-positive. Relaxed mode flags a published slot only when no
+	// store to it has become durable since the last crash. Single-threaded
+	// traces should use strict (zero value) checking.
+	RelaxedHeaders bool
+	// MaxViolations caps the report (0 = DefaultMaxViolations).
+	MaxViolations int
+}
+
+// DefaultMaxViolations bounds a CheckOrdering report.
+const DefaultMaxViolations = 64
+
+// maxRangeWords rejects implausibly huge event ranges (corrupt or fuzzed
+// traces) instead of spending unbounded work on them.
+const maxRangeWords = 1 << 28
+
+type lineKey struct {
+	pool, region int16
+	line         uint64
+}
+
+// lineState tracks one cache line through the store → write-back → fence
+// pipeline, hardware-faithfully: a write-back snapshots the line's current
+// store (dirty), and a fence makes snapshots durable. A store after the
+// write-back but before the fence is NOT covered — the simulator is more
+// lenient there (it persists the at-fence value), so the checker catches
+// ordering bugs the simulator can't.
+type lineState struct {
+	dirty   uint64 // seq of latest store into the line (1-based; 0 = never)
+	flushed uint64 // dirty as of the latest write-back
+	durable uint64 // flushed as of the latest covering fence
+}
+
+type hdrKey struct {
+	pool int16
+	slot uint64
+}
+
+type hdrState struct {
+	lastStore    uint64 // seq of latest store to the slot
+	flushedStore uint64 // lastStore as of the latest PWBHeader
+	covered      uint64 // flushedStore as of the latest PSync / global fence
+	baseline     uint64 // covered as of the last crash (relaxed-mode floor)
+}
+
+// checker replays a trace event-by-event.
+type checker struct {
+	lines      map[lineKey]*lineState
+	hdrs       map[hdrKey]*hdrState
+	opts       CheckOptions
+	violations []Violation
+	truncated  bool
+}
+
+// CheckOrdering replays a captured trace and verifies the
+// durable-linearizability ordering rules:
+//
+//   - Every line of a KindPublish / KindIntentPublish range whose latest
+//     store precedes the publish was written back (PWB or NT store) and
+//     then covered by a fence, in that order, before the publish.
+//   - Every slot of a KindHeaderPublish range had its latest store written
+//     back (PWBHeader) and synced (PSync or global fence) before the
+//     publish — and a store issued after the write-back is not covered,
+//     even if a later fence ran (the hardware-faithful rule).
+//   - The slots of a multi-slot KindHeaderPublish (a value/CRC-tag pair)
+//     were stored in ascending slot order.
+//
+// A crash clears all pending obligations of its pool: stores that were
+// lost with the cache owe nothing.
+//
+// The returned error reports structural problems that make any verdict
+// unsound — a wrapped ring (Trace.Dropped > 0) or an implausibly huge
+// event range; violations of the rules themselves come back in the slice.
+// CheckOrdering never panics on malformed traces (fuzzed input included).
+func CheckOrdering(tr Trace, opts CheckOptions) ([]Violation, error) {
+	if tr.Dropped > 0 {
+		return nil, fmt.Errorf("obs: trace dropped %d events to ring wrap-around; ordering verdicts on a partial history are unsound (enlarge the tracer ring)", tr.Dropped)
+	}
+	c := &checker{
+		lines: make(map[lineKey]*lineState),
+		hdrs:  make(map[hdrKey]*hdrState),
+		opts:  opts,
+	}
+	if c.opts.MaxViolations <= 0 {
+		c.opts.MaxViolations = DefaultMaxViolations
+	}
+	var prevSeq uint64
+	havePrev := false
+	for _, e := range tr.Events {
+		if e.Len > maxRangeWords {
+			return c.violations, fmt.Errorf("obs: event seq %d (%s) covers %d words — implausible range, refusing trace", e.Seq, e.Kind, e.Len)
+		}
+		if havePrev && e.Seq <= prevSeq {
+			c.report(e, RuleSeqOrder, fmt.Sprintf("capture seq %d does not follow %d; trace reordered or duplicated", e.Seq, prevSeq))
+		}
+		prevSeq, havePrev = e.Seq, true
+		c.step(e)
+		if c.truncated {
+			break
+		}
+	}
+	return c.violations, nil
+}
+
+func (c *checker) report(e Event, rule, msg string) {
+	if len(c.violations) >= c.opts.MaxViolations {
+		c.truncated = true
+		return
+	}
+	c.violations = append(c.violations, Violation{Event: e, Rule: rule, Msg: msg})
+}
+
+func (c *checker) step(e Event) {
+	s := e.Seq + 1 // 1-based so zero means "never"
+	switch e.Kind {
+	case KindStore:
+		c.markDirty(e, s, false)
+	case KindCopy:
+		c.markDirty(e, s, false)
+	case KindNTStore, KindNTCopy:
+		c.markDirty(e, s, true)
+	case KindPWB:
+		ls := c.line(e.Pool, e.Region, e.Addr/WordsPerLine)
+		ls.flushed = ls.dirty
+	case KindPFence:
+		for k, ls := range c.lines {
+			if k.pool == e.Pool && k.region == e.Region {
+				ls.durable = ls.flushed
+			}
+		}
+	case KindPFenceGlobal:
+		for k, ls := range c.lines {
+			if k.pool == e.Pool {
+				ls.durable = ls.flushed
+			}
+		}
+		for k, hs := range c.hdrs {
+			if k.pool == e.Pool {
+				hs.covered = hs.flushedStore
+			}
+		}
+	case KindPSync:
+		for k, hs := range c.hdrs {
+			if k.pool == e.Pool {
+				hs.covered = hs.flushedStore
+			}
+		}
+	case KindHeaderStore:
+		c.hdr(e.Pool, e.Addr).lastStore = s
+	case KindPWBHeader:
+		hs := c.hdr(e.Pool, e.Addr)
+		hs.flushedStore = hs.lastStore
+	case KindCrash:
+		// The cache image is gone: pending stores owe nothing anymore,
+		// and relaxed header checking restarts from here.
+		for k, ls := range c.lines {
+			if k.pool == e.Pool {
+				ls.dirty, ls.flushed = ls.durable, ls.durable
+			}
+		}
+		for k, hs := range c.hdrs {
+			if k.pool == e.Pool {
+				hs.lastStore, hs.flushedStore = hs.covered, hs.covered
+				hs.baseline = hs.covered
+			}
+		}
+	case KindPublish, KindIntentPublish:
+		c.checkPublish(e)
+	case KindHeaderPublish:
+		c.checkHeaderPublish(e)
+	}
+}
+
+func (c *checker) line(pool, region int16, line uint64) *lineState {
+	k := lineKey{pool, region, line}
+	ls := c.lines[k]
+	if ls == nil {
+		ls = &lineState{}
+		c.lines[k] = ls
+	}
+	return ls
+}
+
+func (c *checker) hdr(pool int16, slot uint64) *hdrState {
+	k := hdrKey{pool, slot}
+	hs := c.hdrs[k]
+	if hs == nil {
+		hs = &hdrState{}
+		c.hdrs[k] = hs
+	}
+	return hs
+}
+
+// markDirty records a store over [Addr, Addr+Len); non-temporal stores
+// bypass the cache, so they count as already written back.
+func (c *checker) markDirty(e Event, s uint64, nonTemporal bool) {
+	if e.Len == 0 {
+		return
+	}
+	first := e.Addr / WordsPerLine
+	last := (e.Addr + e.Len - 1) / WordsPerLine
+	for line := first; line <= last; line++ {
+		ls := c.line(e.Pool, e.Region, line)
+		ls.dirty = s
+		if nonTemporal {
+			ls.flushed = s
+		}
+	}
+}
+
+// checkPublish asserts every stored line of the published range is durable.
+func (c *checker) checkPublish(e Event) {
+	if e.Len == 0 {
+		return
+	}
+	first := e.Addr / WordsPerLine
+	last := (e.Addr + e.Len - 1) / WordsPerLine
+	label := PubLabel(e.Arg)
+	if e.Kind == KindIntentPublish {
+		label = "intent-status"
+	}
+	// Iterate tracked lines rather than the range: the range can span the
+	// whole used heap while only a few lines ever stored.
+	type bad struct {
+		line uint64
+		ls   *lineState
+	}
+	var bads []bad
+	for k, ls := range c.lines {
+		if k.pool != e.Pool || k.region != e.Region || k.line < first || k.line > last {
+			continue
+		}
+		if ls.dirty > ls.durable {
+			bads = append(bads, bad{k.line, ls})
+		}
+	}
+	sort.Slice(bads, func(i, j int) bool { return bads[i].line < bads[j].line })
+	for _, b := range bads {
+		if b.ls.dirty > b.ls.flushed {
+			c.report(e, RuleUnflushed, fmt.Sprintf(
+				"%s publish of pool %d region %d words [%d,%d) covers line %d whose store (seq %d) was never written back",
+				label, e.Pool, e.Region, e.Addr, e.Addr+e.Len, b.line, b.ls.dirty-1))
+		} else {
+			c.report(e, RuleUnfenced, fmt.Sprintf(
+				"%s publish of pool %d region %d words [%d,%d) covers line %d whose write-back (of store seq %d) was not fenced",
+				label, e.Pool, e.Region, e.Addr, e.Addr+e.Len, b.line, b.ls.dirty-1))
+		}
+		if c.truncated {
+			return
+		}
+	}
+}
+
+// checkHeaderPublish asserts every published slot's latest store is synced,
+// and multi-slot publishes (value/CRC pairs) were stored in slot order.
+func (c *checker) checkHeaderPublish(e Event) {
+	if e.Len == 0 {
+		return
+	}
+	var prev *hdrState
+	var prevSlot uint64
+	for slot := e.Addr; slot < e.Addr+e.Len; slot++ {
+		hs := c.hdr(e.Pool, slot)
+		if c.opts.RelaxedHeaders {
+			if hs.lastStore > hs.covered && hs.covered <= hs.baseline {
+				c.report(e, RuleHeaderUnsynced, fmt.Sprintf(
+					"published header slot %d of pool %d stored (seq %d) but no store to it became durable since the last crash",
+					slot, e.Pool, hs.lastStore-1))
+			}
+		} else if hs.lastStore > hs.covered {
+			switch {
+			case hs.lastStore > hs.flushedStore && hs.flushedStore == hs.covered:
+				c.report(e, RuleHeaderUnsynced, fmt.Sprintf(
+					"published header slot %d of pool %d: store (seq %d) never written back (missing PWBHeader)",
+					slot, e.Pool, hs.lastStore-1))
+			case hs.lastStore > hs.flushedStore:
+				c.report(e, RuleHeaderUnsynced, fmt.Sprintf(
+					"published header slot %d of pool %d: store (seq %d) issued after the slot's last write-back — a fence cannot cover it",
+					slot, e.Pool, hs.lastStore-1))
+			default:
+				c.report(e, RuleHeaderUnsynced, fmt.Sprintf(
+					"published header slot %d of pool %d: write-back (of store seq %d) never synced (missing PSync)",
+					slot, e.Pool, hs.lastStore-1))
+			}
+		}
+		if prev != nil && prev.lastStore > 0 && hs.lastStore > 0 && prev.lastStore > hs.lastStore {
+			c.report(e, RuleCRCOrder, fmt.Sprintf(
+				"header pair of pool %d stored out of order: slot %d (seq %d) after slot %d (seq %d) — a crash between the stores persists a tag validating a stale value",
+				e.Pool, prevSlot, prev.lastStore-1, slot, hs.lastStore-1))
+		}
+		prev, prevSlot = hs, slot
+		if c.truncated {
+			return
+		}
+	}
+}

@@ -1,0 +1,379 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// tb hand-builds traces for the accept/reject table, stamping capture
+// sequence numbers the way a real tracer would.
+type tb struct {
+	seq uint64
+	evs []Event
+}
+
+func (b *tb) add(k Kind, region int, addr, length, arg uint64) *tb {
+	b.evs = append(b.evs, Event{
+		Seq: b.seq, Kind: k, TID: -1, Pool: 0, Region: int16(region),
+		Addr: addr, Len: length, Arg: arg,
+	})
+	b.seq++
+	return b
+}
+
+func (b *tb) store(region int, addr, v uint64) *tb { return b.add(KindStore, region, addr, 1, v) }
+func (b *tb) pwb(region int, addr uint64) *tb      { return b.add(KindPWB, region, addr, 1, 0) }
+func (b *tb) pfence(region int) *tb                { return b.add(KindPFence, region, 0, 0, 0) }
+func (b *tb) pfenceGlobal() *tb                    { return b.add(KindPFenceGlobal, -1, 0, 0, 0) }
+func (b *tb) psync() *tb                           { return b.add(KindPSync, -1, 0, 0, 0) }
+func (b *tb) ntstore(region int, addr, n uint64) *tb {
+	return b.add(KindNTStore, region, addr, n, 0)
+}
+func (b *tb) ntcopy(region int, n uint64) *tb { return b.add(KindNTCopy, region, 0, n, 0) }
+func (b *tb) hstore(slot, v uint64) *tb       { return b.add(KindHeaderStore, -1, slot, 1, v) }
+func (b *tb) hpwb(slot uint64) *tb            { return b.add(KindPWBHeader, -1, slot, 1, 0) }
+func (b *tb) crash() *tb                      { return b.add(KindCrash, -1, 0, 0, 0) }
+func (b *tb) publish(region int, addr, n uint64) *tb {
+	return b.add(KindPublish, region, addr, n, PubHeap)
+}
+func (b *tb) hpublish(slot, n uint64) *tb { return b.add(KindHeaderPublish, -1, slot, n, 0) }
+func (b *tb) trace() Trace                { return Trace{Events: b.evs} }
+
+// TestCheckOrdering is the table-driven accept/reject suite for the dynamic
+// ordering checker, in the style of lincheck's CheckDurable table. Cases
+// marked runtimeOnly are ordering violations that pmemvet's static
+// fenceorder analyzer provably cannot flag, because the violated obligation
+// only exists for values computed at runtime (allocator high-water marks,
+// data-dependent ranges, cross-round or cross-thread interleavings) —
+// statically, every path contains a flush and a fence in the right order.
+func TestCheckOrdering(t *testing.T) {
+	cases := []struct {
+		name        string
+		build       func() Trace
+		opts        CheckOptions
+		wantRules   []string // empty = accept
+		wantErr     bool
+		runtimeOnly bool
+	}{
+		{
+			name: "accept/store-pwb-fence-publish",
+			build: func() Trace {
+				return new(tb).store(0, 3, 7).pwb(0, 3).pfence(0).publish(0, 0, 8).trace()
+			},
+		},
+		{
+			name: "accept/ntstore-needs-no-pwb",
+			build: func() Trace {
+				return new(tb).ntstore(0, 8, 8).pfence(0).publish(0, 8, 8).trace()
+			},
+		},
+		{
+			name: "accept/ntcopy-then-fence",
+			build: func() Trace {
+				return new(tb).ntcopy(0, 100).pfence(0).publish(0, 0, 100).trace()
+			},
+		},
+		{
+			name: "accept/header-store-pwb-psync",
+			build: func() Trace {
+				return new(tb).hstore(0, 5).hpwb(0).psync().hpublish(0, 1).trace()
+			},
+		},
+		{
+			name: "accept/global-fence-covers-regions-and-headers",
+			build: func() Trace {
+				return new(tb).store(0, 1, 1).pwb(0, 1).store(1, 2, 2).pwb(1, 2).
+					hstore(0, 3).hpwb(0).pfenceGlobal().
+					publish(0, 0, 8).publish(1, 0, 8).hpublish(0, 1).trace()
+			},
+		},
+		{
+			name: "accept/crc-pair-stored-in-order",
+			build: func() Trace {
+				return new(tb).hstore(2, 42).hstore(3, 99).hpwb(2).hpwb(3).psync().
+					hpublish(2, 2).trace()
+			},
+		},
+		{
+			name: "accept/crash-clears-pending-obligations",
+			build: func() Trace {
+				// The unflushed store is lost with the cache; publishing
+				// the (old, durable) range afterwards owes nothing.
+				return new(tb).store(0, 3, 7).crash().publish(0, 0, 8).trace()
+			},
+		},
+		{
+			name: "accept/republish-stable-range",
+			build: func() Trace {
+				return new(tb).store(0, 3, 7).pwb(0, 3).pfence(0).publish(0, 0, 8).
+					publish(0, 0, 8).trace()
+			},
+		},
+		{
+			name: "accept/intent-fenced-before-status",
+			build: func() Trace {
+				b := new(tb)
+				b.store(0, 24, 1).store(0, 17, 9).store(0, 19, 0xc).
+					pwb(0, 24).pwb(0, 17).pwb(0, 19).pfence(0)
+				b.add(KindPublish, 0, 17, 15, PubIntent)
+				b.store(0, 16, 1).pwb(0, 16).pfence(0)
+				b.add(KindIntentPublish, 0, 16, 1, 9)
+				return b.trace()
+			},
+		},
+		{
+			name: "accept/relaxed-headers-racing-store",
+			build: func() Trace {
+				// Thread B's store lands between A's psync and A's publish:
+				// legal under concurrency, flagged only by strict mode.
+				return new(tb).hstore(0, 1).hpwb(0).psync().hstore(0, 2).
+					hpublish(0, 1).trace()
+			},
+			opts: CheckOptions{RelaxedHeaders: true},
+		},
+		{
+			name: "reject/store-never-flushed",
+			build: func() Trace {
+				return new(tb).store(0, 3, 7).pfence(0).publish(0, 0, 8).trace()
+			},
+			wantRules: []string{RuleUnflushed},
+		},
+		{
+			name: "reject/flush-never-fenced",
+			build: func() Trace {
+				return new(tb).store(0, 3, 7).pwb(0, 3).publish(0, 0, 8).trace()
+			},
+			wantRules: []string{RuleUnfenced},
+		},
+		{
+			name: "reject/fence-on-wrong-region",
+			build: func() Trace {
+				// The fenced region index is computed at runtime (replica
+				// selection): statically there IS a store→pwb→pfence chain.
+				return new(tb).store(0, 3, 7).pwb(0, 3).pfence(1).publish(0, 0, 8).trace()
+			},
+			wantRules:   []string{RuleUnfenced},
+			runtimeOnly: true,
+		},
+		{
+			name: "reject/fence-issued-before-flush",
+			build: func() Trace {
+				return new(tb).store(0, 3, 7).pfence(0).pwb(0, 3).publish(0, 0, 8).trace()
+			},
+			wantRules: []string{RuleUnfenced},
+		},
+		{
+			name: "reject/psync-does-not-cover-region-lines",
+			build: func() Trace {
+				// PSync orders header flushes only — using it as a data
+				// fence is a real protocol bug the simulator also models.
+				return new(tb).store(0, 3, 7).pwb(0, 3).psync().publish(0, 0, 8).trace()
+			},
+			wantRules: []string{RuleUnfenced},
+		},
+		{
+			name: "reject/pfence-does-not-cover-headers",
+			build: func() Trace {
+				return new(tb).hstore(0, 5).hpwb(0).pfence(0).hpublish(0, 1).trace()
+			},
+			wantRules: []string{RuleHeaderUnsynced},
+		},
+		{
+			name: "reject/header-stored-after-its-flush",
+			build: func() Trace {
+				// A second store slips in after PWBHeader but before PSync.
+				// Real CLWB snapshots the line at flush time, so the second
+				// store is NOT covered — yet the simulator's lenient PSync
+				// (persist at-sync value) accepts it, and statically the
+				// path still reads store→flush→sync. Only the dynamic
+				// checker sees the interleaving.
+				return new(tb).hstore(0, 1).hpwb(0).hstore(0, 2).psync().
+					hpublish(0, 1).trace()
+			},
+			wantRules:   []string{RuleHeaderUnsynced},
+			runtimeOnly: true,
+		},
+		{
+			name: "reject/crc-pair-stored-out-of-order",
+			build: func() Trace {
+				// Tag (slot 3) stored before value (slot 2): a crash
+				// between the stores persists a tag that validates stale
+				// data. Which slot is stored first is a runtime property —
+				// both orders contain the same store/flush/sync calls.
+				return new(tb).hstore(3, 99).hstore(2, 42).hpwb(2).hpwb(3).psync().
+					hpublish(2, 2).trace()
+			},
+			wantRules:   []string{RuleCRCOrder},
+			runtimeOnly: true,
+		},
+		{
+			name: "reject/publish-range-grew-past-flushed-prefix",
+			build: func() Trace {
+				// The flush loop covered [0,64) but the allocator grew the
+				// heap to 80 words before publication. The published length
+				// is the runtime high-water mark — no static analysis can
+				// know the loop bound fell short of it.
+				b := new(tb).store(0, 3, 7).store(0, 72, 8)
+				for a := uint64(0); a < 64; a += 8 {
+					b.pwb(0, a)
+				}
+				return b.pfence(0).publish(0, 0, 80).trace()
+			},
+			wantRules:   []string{RuleUnflushed},
+			runtimeOnly: true,
+		},
+		{
+			name: "reject/second-round-reuses-first-rounds-fence",
+			build: func() Trace {
+				// Round 1 is correct; round 2 stores the same line, flushes
+				// it, but publishes without a new fence. Statically the
+				// (single) loop body contains flush+fence+publish in order;
+				// only the per-iteration replay sees the missing fence.
+				return new(tb).store(0, 3, 7).pwb(0, 3).pfence(0).publish(0, 0, 8).
+					store(0, 3, 9).pwb(0, 3).publish(0, 0, 8).trace()
+			},
+			wantRules:   []string{RuleUnfenced},
+			runtimeOnly: true,
+		},
+		{
+			name: "reject/intent-status-flipped-before-record-fence",
+			build: func() Trace {
+				b := new(tb)
+				b.store(0, 24, 1).store(0, 17, 9).store(0, 19, 0xc).
+					pwb(0, 24).pwb(0, 17).pwb(0, 19)
+				// Missing fence: the status CAS publishes a record that
+				// could still be in the cache at power loss.
+				b.add(KindPublish, 0, 17, 15, PubIntent)
+				b.store(0, 16, 1).pwb(0, 16).pfence(0)
+				b.add(KindIntentPublish, 0, 16, 1, 9)
+				return b.trace()
+			},
+			wantRules: []string{RuleUnfenced},
+		},
+		{
+			name: "reject/relaxed-headers-never-durable-since-crash",
+			build: func() Trace {
+				return new(tb).hstore(0, 1).hpwb(0).psync().crash().
+					hstore(0, 2).hpublish(0, 1).trace()
+			},
+			opts:      CheckOptions{RelaxedHeaders: true},
+			wantRules: []string{RuleHeaderUnsynced},
+		},
+		{
+			name: "reject/reordered-capture-sequence",
+			build: func() Trace {
+				tr := new(tb).store(0, 3, 7).pwb(0, 3).pfence(0).publish(0, 0, 8).trace()
+				tr.Events[1], tr.Events[2] = tr.Events[2], tr.Events[1]
+				return tr
+			},
+			wantRules: []string{RuleSeqOrder},
+		},
+		{
+			name: "error/wrapped-ring",
+			build: func() Trace {
+				tr := new(tb).store(0, 3, 7).trace()
+				tr.Dropped = 12
+				return tr
+			},
+			wantErr: true,
+		},
+		{
+			name: "error/implausible-range",
+			build: func() Trace {
+				return new(tb).add(KindPublish, 0, 0, 1<<40, PubHeap).trace()
+			},
+			wantErr: true,
+		},
+	}
+
+	runtimeOnlyRejects := 0
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			vs, err := CheckOrdering(tc.build(), tc.opts)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("want structural error, got err=nil violations=%v", vs)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if len(tc.wantRules) == 0 {
+				if len(vs) != 0 {
+					t.Fatalf("want clean trace, got violations: %v", vs)
+				}
+				return
+			}
+			if len(vs) == 0 {
+				t.Fatalf("want violation rules %v, trace passed clean", tc.wantRules)
+			}
+			for _, want := range tc.wantRules {
+				found := false
+				for _, v := range vs {
+					if v.Rule == want {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("want a %s violation, got %v", want, vs)
+				}
+			}
+		})
+		if tc.runtimeOnly && len(tc.wantRules) > 0 {
+			runtimeOnlyRejects++
+		}
+	}
+	if runtimeOnlyRejects < 4 {
+		t.Errorf("table must seed >= 4 runtime-only ordering violations, has %d", runtimeOnlyRejects)
+	}
+}
+
+// TestCheckOrderingStrictVsRelaxed pins that the same racing-store trace is
+// rejected strictly and accepted relaxed — the knob concurrent -race smokes
+// depend on.
+func TestCheckOrderingStrictVsRelaxed(t *testing.T) {
+	trace := func() Trace {
+		return new(tb).hstore(0, 1).hpwb(0).psync().hstore(0, 2).hpublish(0, 1).trace()
+	}
+	if vs, err := CheckOrdering(trace(), CheckOptions{}); err != nil || len(vs) == 0 {
+		t.Fatalf("strict mode should flag the racing store: vs=%v err=%v", vs, err)
+	}
+	if vs, err := CheckOrdering(trace(), CheckOptions{RelaxedHeaders: true}); err != nil || len(vs) != 0 {
+		t.Fatalf("relaxed mode should accept the racing store: vs=%v err=%v", vs, err)
+	}
+}
+
+// TestViolationMessages pins that violation strings carry enough context to
+// debug from (rule id, range, missing step).
+func TestViolationMessages(t *testing.T) {
+	tr := new(tb).store(0, 3, 7).pwb(0, 3).publish(0, 0, 8).trace()
+	vs, err := CheckOrdering(tr, CheckOptions{})
+	if err != nil || len(vs) != 1 {
+		t.Fatalf("want one violation, got %v err=%v", vs, err)
+	}
+	s := vs[0].String()
+	for _, want := range []string{RuleUnfenced, "line 0", "not fenced"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("violation %q missing %q", s, want)
+		}
+	}
+}
+
+// TestCheckOrderingViolationCap pins that a pathological trace truncates the
+// report instead of growing without bound.
+func TestCheckOrderingViolationCap(t *testing.T) {
+	b := new(tb)
+	for i := 0; i < 200; i++ {
+		b.store(0, uint64(i*8), 1).publish(0, uint64(i*8), 1)
+	}
+	vs, err := CheckOrdering(b.trace(), CheckOptions{MaxViolations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 10 {
+		t.Fatalf("want capped 10 violations, got %d", len(vs))
+	}
+}

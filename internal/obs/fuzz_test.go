@@ -1,0 +1,89 @@
+package obs
+
+import "testing"
+
+// fuzzBase builds a minimal correct trace in which every flush and fence is
+// load-bearing: three published ranges (two region lines, one header slot),
+// each durable through exactly one PWB/NT chain and one fence. Dropping any
+// single flush or fence event therefore MUST produce a violation.
+func fuzzBase() []Event {
+	b := new(tb)
+	b.store(0, 3, 7).pwb(0, 3).pfence(0).publish(0, 0, 8)
+	b.store(1, 8, 5).pwb(1, 8).pfence(1).publish(1, 8, 8)
+	b.hstore(0, 1).hpwb(0).psync().hpublish(0, 1)
+	return b.evs
+}
+
+// flushFenceKinds are the events whose removal from fuzzBase must be caught.
+var flushFenceKinds = map[Kind]bool{
+	KindPWB: true, KindPWBHeader: true,
+	KindPFence: true, KindPFenceGlobal: true, KindPSync: true,
+}
+
+// FuzzTraceOrdering mutates a known-good trace — dropping, duplicating and
+// reordering events — and asserts three properties of CheckOrdering:
+//
+//  1. it never panics, whatever garbage the mutation produces;
+//  2. it is deterministic (same trace, same verdict);
+//  3. soundness on the seeded corpus: any mutation consisting purely of
+//     drops of flush/fence events is detected, because every such event in
+//     the base trace guards a later publish.
+func FuzzTraceOrdering(f *testing.F) {
+	base := fuzzBase()
+	for i := range base {
+		f.Add([]byte{0, byte(i)}) // pure single drops, one per event
+	}
+	f.Add([]byte{0, 1, 0, 1})       // drop two in a row (indices shift)
+	f.Add([]byte{1, 2, 1, 5})       // duplicates
+	f.Add([]byte{2, 0, 2, 9, 1, 4}) // swaps + duplicate
+	f.Add([]byte{2, 1, 0, 2, 1, 0, 2, 7, 0, 10})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs := append([]Event(nil), fuzzBase()...)
+		onlyDrops := true
+		droppedNeeded, droppedOther := false, false
+		for i := 0; i+1 < len(data) && i < 64; i += 2 {
+			if len(evs) == 0 {
+				break
+			}
+			op, idx := data[i]%3, int(data[i+1])%len(evs)
+			switch op {
+			case 0: // drop
+				if flushFenceKinds[evs[idx].Kind] {
+					droppedNeeded = true
+				} else {
+					droppedOther = true
+				}
+				evs = append(evs[:idx], evs[idx+1:]...)
+			case 1: // duplicate in place
+				onlyDrops = false
+				dup := evs[idx]
+				evs = append(evs[:idx+1], append([]Event{dup}, evs[idx+1:]...)...)
+			case 2: // swap adjacent
+				onlyDrops = false
+				if idx+1 < len(evs) {
+					evs[idx], evs[idx+1] = evs[idx+1], evs[idx]
+				}
+			}
+		}
+		// Restamp capture order: the mutations model protocol bugs, not a
+		// corrupted ring (seq-order damage is covered by the table test).
+		for i := range evs {
+			evs[i].Seq = uint64(i)
+		}
+		tr := Trace{Events: evs}
+		vs1, err1 := CheckOrdering(tr, CheckOptions{})
+		vs2, err2 := CheckOrdering(tr, CheckOptions{})
+		if (err1 == nil) != (err2 == nil) || len(vs1) != len(vs2) {
+			t.Fatalf("nondeterministic verdict: %v/%v vs %v/%v", vs1, err1, vs2, err2)
+		}
+		for i := range vs1 {
+			if vs1[i].Rule != vs2[i].Rule || vs1[i].Event.Seq != vs2[i].Event.Seq {
+				t.Fatalf("nondeterministic violation %d: %v vs %v", i, vs1[i], vs2[i])
+			}
+		}
+		if onlyDrops && droppedNeeded && !droppedOther && err1 == nil && len(vs1) == 0 {
+			t.Fatalf("dropping a flush/fence event went undetected: %v", evs)
+		}
+	})
+}

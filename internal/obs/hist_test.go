@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBucketMonotonic(t *testing.T) {
+	// bucketOf must be monotone and bucketLow must be its left inverse:
+	// bucketLow(bucketOf(v)) <= v for all v, with <=6% relative error.
+	prev := -1
+	for _, v := range []uint64{0, 1, 2, 15, 16, 17, 31, 32, 100, 1000, 1 << 20, 1 << 40, 1<<63 + 1, ^uint64(0)} {
+		idx := bucketOf(v)
+		if idx < prev {
+			t.Fatalf("bucketOf(%d) = %d < previous %d", v, idx, prev)
+		}
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range [0,%d)", v, idx, histBuckets)
+		}
+		low := bucketLow(idx)
+		if low > v {
+			t.Fatalf("bucketLow(bucketOf(%d)) = %d > %d", v, low, v)
+		}
+		if v >= 1<<histSubBits {
+			if err := float64(v-low) / float64(v); err > 1.0/float64(int(1)<<histSubBits) {
+				t.Errorf("value %d relative error %.3f too large", v, err)
+			}
+		}
+		prev = idx
+	}
+}
+
+func TestBucketLowRoundTripsExhaustive(t *testing.T) {
+	for idx := 0; idx < histBuckets; idx++ {
+		if got := bucketOf(bucketLow(idx)); got != idx {
+			t.Fatalf("bucketOf(bucketLow(%d)) = %d", idx, got)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	// Bucket lower bounds underestimate by <=6%; allow 10% slack.
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{{0.50, 500 * time.Microsecond}, {0.90, 900 * time.Microsecond}, {0.99, 990 * time.Microsecond}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if got > c.want || float64(got) < 0.90*float64(c.want) {
+			t.Errorf("Quantile(%v) = %v, want within [90%%, 100%%] of %v", c.q, got, c.want)
+		}
+	}
+	if h.Max() != 1000*time.Microsecond {
+		t.Errorf("Max = %v", h.Max())
+	}
+	mean := h.Mean()
+	if mean < 480*time.Microsecond || mean > 520*time.Microsecond {
+		t.Errorf("Mean = %v, want ~500.5us", mean)
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second) // must not panic
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatalf("nil histogram should read as empty")
+	}
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("nil Snapshot = %+v", s)
+	}
+	var ls *LatencySet
+	if ls.Snapshot() != nil {
+		t.Fatalf("nil LatencySet.Snapshot should be nil")
+	}
+}
+
+func TestHistogramNegativeIgnored(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	if h.Count() != 0 {
+		t.Fatalf("negative duration recorded")
+	}
+}
+
+func TestObserveNoAlloc(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(200, func() { h.Observe(123 * time.Nanosecond) }); n != 0 {
+		t.Fatalf("Observe allocates %v times per call, want 0", n)
+	}
+}
+
+func TestHistogramExpvarJSON(t *testing.T) {
+	var h Histogram
+	h.Observe(10 * time.Microsecond)
+	var snap HistSnapshot
+	if err := json.Unmarshal([]byte(h.String()), &snap); err != nil {
+		t.Fatalf("String() is not valid JSON: %v", err)
+	}
+	if snap.Count != 1 || snap.MaxNs != int64(10*time.Microsecond) {
+		t.Errorf("decoded snapshot = %+v", snap)
+	}
+
+	var ls LatencySet
+	ls.Op.Observe(time.Millisecond)
+	var m map[string]HistSnapshot
+	if err := json.Unmarshal([]byte(ls.String()), &m); err != nil {
+		t.Fatalf("LatencySet.String() invalid JSON: %v", err)
+	}
+	if m["op"].Count != 1 || m["commit"].Count != 0 {
+		t.Errorf("decoded set = %+v", m)
+	}
+}
+
+func TestHistSnapshotFprint(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	line := h.Snapshot().Fprint("op")
+	for _, want := range []string{"op", "n=1", "p50=", "p99=", "max="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("Fprint line %q missing %q", line, want)
+		}
+	}
+}

@@ -1,0 +1,353 @@
+// Package obs is the runtime observability layer: a low-overhead, lock-free
+// ring-buffer tracer for persistence events, latency histograms for the
+// op/commit/recovery phases, and a dynamic ordering checker (CheckOrdering)
+// that replays a captured trace and asserts the durable-linearizability
+// ordering rules the paper's constructions rely on.
+//
+// The tracer records two families of events:
+//
+//   - Physical events emitted by internal/pmem at every persistence
+//     instruction: stores, PWBs, fences, PSyncs, non-temporal stores, bulk
+//     copies, header stores/flushes and crashes. Their counts are, by
+//     construction, in one-to-one correspondence with pmem.StatsSnapshot
+//     (see Trace.Counts), so the trace doubles as a cross-check on the
+//     aggregate counters.
+//   - Logical events emitted by engine hook points: combining round
+//     open/close, log replay begin/end, curComb transitions, coordinator
+//     intent publish and roll-forward, recovery phase boundaries, and —
+//     most importantly — Publish/HeaderPublish events, through which an
+//     engine *declares* which ranges must be durable at a given instant.
+//     CheckOrdering verifies those declarations against the physical
+//     events; the declared ranges are runtime values (allocator high-water
+//     marks, payload lengths), which is exactly what pmemvet's static
+//     fenceorder analyzer cannot see.
+//
+// Tracing is disabled by default: a pool with no attached tracer pays one
+// nil-check per persistence instruction and nothing else (asserted by
+// benchmarks in internal/pmem and internal/psim). The ring buffer keeps the
+// most recent events and counts overwritten ones; CheckOrdering refuses a
+// wrapped trace rather than report unsound verdicts on a partial history.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// WordsPerLine mirrors pmem.WordsPerLine (8 words = one 64-byte cache
+// line). obs cannot import pmem (pmem emits into obs), so the constant is
+// duplicated here and pinned by a test in internal/pmem.
+const WordsPerLine = 8
+
+// Kind classifies a trace event.
+type Kind uint8
+
+const (
+	// KindInvalid is the zero Kind; it never appears in a valid trace.
+	KindInvalid Kind = iota
+
+	// Physical events (emitted by internal/pmem).
+
+	// KindStore is a word store into a region (plain, atomic, or a
+	// successful CAS). Addr is the word offset, Len the word count (1),
+	// Arg the stored value.
+	KindStore
+	// KindPWB is a persistence write-back of the cache line containing
+	// Addr.
+	KindPWB
+	// KindPFence is a per-region persistence fence: lines of Region
+	// PWB'd before it become durable.
+	KindPFence
+	// KindPFenceGlobal is a pool-wide fence: every flushed line of every
+	// region and every flushed header slot becomes durable.
+	KindPFenceGlobal
+	// KindPSync is the header fence: flushed header slots become durable.
+	KindPSync
+	// KindNTStore is a non-temporal line store of Len words at Addr: the
+	// data bypasses the cache and needs only a later fence, no PWB.
+	KindNTStore
+	// KindCopy is a bulk replica copy of Len words into [0, Len) of
+	// Region using regular stores (the copied lines still need PWBs).
+	KindCopy
+	// KindNTCopy is a bulk replica copy with non-temporal stores: the
+	// copied lines need only a fence.
+	KindNTCopy
+	// KindHeaderStore is a store (or successful CAS) of header slot Addr;
+	// Arg is the stored value.
+	KindHeaderStore
+	// KindPWBHeader is a persistence write-back of header slot Addr.
+	KindPWBHeader
+	// KindCrash is a simulated power failure (Pool.Crash): the cache
+	// image is discarded and the checker forgets all pending state.
+	KindCrash
+
+	// Logical events (emitted by engine hook points).
+
+	// KindPublish declares that words [Addr, Addr+Len) of Region must be
+	// durable at this instant: every line of the range that was stored
+	// must have been flushed (PWB/NT store) and fenced, in that order,
+	// before this event. Arg is a Pub* label naming the publish site.
+	KindPublish
+	// KindHeaderPublish declares that header slots [Addr, Addr+Len) must
+	// be durable at this instant, and — for Len >= 2 — that they were
+	// stored in ascending slot order (the value-before-checksum rule of
+	// CRC header pairs).
+	KindHeaderPublish
+	// KindCombineBegin / KindCombineEnd bracket one combining round of a
+	// flat-combining engine (psim, cx, redo). Arg carries the round's
+	// sequence/ticket; for KindCombineEnd, Arg is 1 when the round won
+	// the consensus and 0 when it lost.
+	KindCombineBegin
+	KindCombineEnd
+	// KindReplayBegin / KindReplayEnd bracket a log replay (redo's
+	// physical-log catch-up, rockssim's WAL replay). Arg is the starting
+	// (resp. reached) sequence number.
+	KindReplayBegin
+	KindReplayEnd
+	// KindCurComb is a curComb transition: Arg is the packed new value.
+	KindCurComb
+	// KindIntentPublish is the coordinator's batch-intent status flip
+	// becoming durable; Addr/Len cover the status word, Arg is the batch
+	// sequence number. The checker treats the range like a KindPublish.
+	KindIntentPublish
+	// KindRollForward is a coordinator roll-forward of a surviving batch
+	// intent during recovery; Arg is the batch sequence number.
+	KindRollForward
+	// KindRecoveryBegin / KindRecoveryEnd bracket an engine's recovery
+	// (constructor-time adoption or replay of the persisted image).
+	KindRecoveryBegin
+	KindRecoveryEnd
+
+	kindCount // sentinel
+)
+
+var kindNames = [...]string{
+	KindInvalid:       "invalid",
+	KindStore:         "store",
+	KindPWB:           "pwb",
+	KindPFence:        "pfence",
+	KindPFenceGlobal:  "pfence-global",
+	KindPSync:         "psync",
+	KindNTStore:       "ntstore",
+	KindCopy:          "copy",
+	KindNTCopy:        "ntcopy",
+	KindHeaderStore:   "hdr-store",
+	KindPWBHeader:     "hdr-pwb",
+	KindCrash:         "crash",
+	KindPublish:       "publish",
+	KindHeaderPublish: "hdr-publish",
+	KindCombineBegin:  "combine-begin",
+	KindCombineEnd:    "combine-end",
+	KindReplayBegin:   "replay-begin",
+	KindReplayEnd:     "replay-end",
+	KindCurComb:       "curcomb",
+	KindIntentPublish: "intent-publish",
+	KindRollForward:   "roll-forward",
+	KindRecoveryBegin: "recovery-begin",
+	KindRecoveryEnd:   "recovery-end",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Publish labels (Event.Arg of KindPublish), naming the publish site so a
+// violation message can say which protocol step lacked its flush or fence.
+const (
+	// PubHeap publishes a replica's used heap before its curComb/header
+	// transition (psim, cx, redo).
+	PubHeap uint64 = iota + 1
+	// PubIntent publishes a coordinator batch-intent record (payload +
+	// seq/len/CRC) before the status word flips to 1.
+	PubIntent
+	// PubStatus publishes a coordinator status/lastCommitted update.
+	PubStatus
+	// PubWAL publishes a WAL or journal record before its commit word.
+	PubWAL
+)
+
+// PubLabel renders a publish label for messages.
+func PubLabel(arg uint64) string {
+	switch arg {
+	case PubHeap:
+		return "heap"
+	case PubIntent:
+		return "intent"
+	case PubStatus:
+		return "status"
+	case PubWAL:
+		return "wal"
+	}
+	return "range"
+}
+
+// Event is one trace record. Events are fixed-size values so the ring
+// buffer never allocates on the hot path.
+type Event struct {
+	// Seq is the global capture sequence number (the ring slot claim):
+	// the total order CheckOrdering replays.
+	Seq uint64 `json:"seq"`
+	// TS is the monotonic timestamp in nanoseconds since the tracer was
+	// created (or last Reset).
+	TS int64 `json:"ts"`
+	// LSeq is the emitter-local sequence number: logical events carry a
+	// per-thread-id counter (sessions are goroutine-pinned throughout
+	// the repo, so this is a goroutine-local order); physical events
+	// carry 0.
+	LSeq uint64 `json:"lseq,omitempty"`
+	// Kind classifies the event.
+	Kind Kind `json:"kind"`
+	// TID is the engine thread id for logical events, -1 when unknown.
+	TID int16 `json:"tid"`
+	// Pool identifies the pool within its failure domain (the index
+	// assigned by Group.SetTracer; 0 for a lone pool).
+	Pool int16 `json:"pool"`
+	// Region is the region index, or -1 for header-domain and
+	// pool-scoped events.
+	Region int16 `json:"region"`
+	// Addr is the word offset (region events) or slot index (header
+	// events).
+	Addr uint64 `json:"addr"`
+	// Len is the word count of the range the event covers.
+	Len uint64 `json:"len,omitempty"`
+	// Arg is event-specific: stored value, publish label, sequence
+	// number, or packed curComb.
+	Arg uint64 `json:"arg,omitempty"`
+}
+
+// maxTIDs bounds the per-thread local sequence counters. Thread ids at or
+// above the bound still trace correctly but share LSeq 0.
+const maxTIDs = 256
+
+type paddedCounter struct {
+	c atomic.Uint64
+	_ [7]uint64 // one counter per cache line
+}
+
+// Tracer is a lock-free fixed-size ring buffer of events. Writers claim a
+// slot with one atomic add and write the event in place; the ring keeps the
+// most recent events and counts the overwritten ones. Snapshot and Reset
+// require quiescence (no concurrent Emit); Emit never blocks and never
+// allocates.
+type Tracer struct {
+	ring  []Event
+	mask  uint64
+	next  atomic.Uint64
+	start time.Time
+	lseq  [maxTIDs]paddedCounter
+}
+
+// NewTracer creates a tracer whose ring holds at least size events
+// (rounded up to a power of two, minimum 1024).
+func NewTracer(size int) *Tracer {
+	n := 1024
+	for n < size {
+		n *= 2
+	}
+	return &Tracer{ring: make([]Event, n), mask: uint64(n) - 1, start: time.Now()}
+}
+
+// Cap reports the ring capacity in events.
+func (t *Tracer) Cap() int { return len(t.ring) }
+
+// Emit appends e to the ring, stamping Seq, TS and (for events with a valid
+// TID) LSeq. Safe for concurrent use.
+func (t *Tracer) Emit(e Event) {
+	i := t.next.Add(1) - 1
+	e.Seq = i
+	e.TS = int64(time.Since(t.start))
+	if e.TID >= 0 && int(e.TID) < maxTIDs {
+		e.LSeq = t.lseq[e.TID].c.Add(1)
+	}
+	t.ring[i&t.mask] = e
+}
+
+// Len reports the number of events emitted since creation or Reset
+// (including any that have been overwritten).
+func (t *Tracer) Len() uint64 { return t.next.Load() }
+
+// Reset discards all captured events and restarts the clock and local
+// sequence counters. The tracer must be quiescent.
+func (t *Tracer) Reset() {
+	t.next.Store(0)
+	t.start = time.Now()
+	for i := range t.lseq {
+		t.lseq[i].c.Store(0)
+	}
+}
+
+// Snapshot copies the captured events out in emission order. If the ring
+// wrapped, only the most recent Cap() events are returned and Dropped
+// counts the overwritten prefix. The tracer must be quiescent.
+func (t *Tracer) Snapshot() Trace {
+	n := t.next.Load()
+	size := uint64(len(t.ring))
+	var tr Trace
+	lo := uint64(0)
+	if n > size {
+		tr.Dropped = n - size
+		lo = n - size
+	}
+	tr.Events = make([]Event, 0, n-lo)
+	for i := lo; i < n; i++ {
+		tr.Events = append(tr.Events, t.ring[i&t.mask])
+	}
+	return tr
+}
+
+// Trace is an immutable capture of a tracer's history.
+type Trace struct {
+	// Dropped counts events overwritten by ring wrap-around before the
+	// snapshot. CheckOrdering refuses a trace with Dropped > 0.
+	Dropped uint64 `json:"dropped"`
+	Events  []Event `json:"events"`
+}
+
+// PhysCounts are the persistence-instruction totals reconstructed from a
+// trace, field-for-field comparable with pmem.StatsSnapshot — the
+// trace/stats parity cross-check.
+type PhysCounts struct {
+	PWBs        uint64
+	PFences     uint64
+	PSyncs      uint64
+	NTStores    uint64
+	WordsCopied uint64
+}
+
+// Counts folds the physical events of the trace into instruction totals,
+// mirroring how internal/pmem counts them: PWBs include header write-backs,
+// fences include global fences, one NT store per NTStoreLine call and one
+// per line of an NT copy, and copied words sum over both copy flavors.
+func (tr Trace) Counts() PhysCounts {
+	var c PhysCounts
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case KindPWB, KindPWBHeader:
+			c.PWBs++
+		case KindPFence, KindPFenceGlobal:
+			c.PFences++
+		case KindPSync:
+			c.PSyncs++
+		case KindNTStore:
+			c.NTStores++
+		case KindCopy:
+			c.WordsCopied += e.Len
+		case KindNTCopy:
+			c.NTStores += (e.Len + WordsPerLine - 1) / WordsPerLine
+			c.WordsCopied += e.Len
+		}
+	}
+	return c
+}
+
+// KindCounts tallies events per kind (for summaries and obsdump).
+func (tr Trace) KindCounts() map[Kind]uint64 {
+	m := make(map[Kind]uint64)
+	for _, e := range tr.Events {
+		m[e.Kind]++
+	}
+	return m
+}

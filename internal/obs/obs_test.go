@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTracerCapRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 1024}, {1, 1024}, {1024, 1024}, {1025, 2048}, {3000, 4096},
+	} {
+		if got := NewTracer(tc.ask).Cap(); got != tc.want {
+			t.Errorf("NewTracer(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestTracerEmitSnapshot(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Emit(Event{Kind: KindStore, TID: -1, Region: 2, Addr: 5, Len: 1, Arg: 9})
+	tr.Emit(Event{Kind: KindPWB, TID: -1, Region: 2, Addr: 5, Len: 1})
+	tr.Emit(Event{Kind: KindPFence, TID: -1, Region: 2})
+	snap := tr.Snapshot()
+	if snap.Dropped != 0 || len(snap.Events) != 3 {
+		t.Fatalf("snapshot = %d events dropped=%d, want 3/0", len(snap.Events), snap.Dropped)
+	}
+	wantKinds := []Kind{KindStore, KindPWB, KindPFence}
+	var lastTS int64 = -1
+	for i, e := range snap.Events {
+		if e.Seq != uint64(i) {
+			t.Errorf("event %d Seq = %d, want %d", i, e.Seq, i)
+		}
+		if e.Kind != wantKinds[i] {
+			t.Errorf("event %d Kind = %v, want %v", i, e.Kind, wantKinds[i])
+		}
+		if e.TS < lastTS {
+			t.Errorf("event %d TS %d went backwards from %d", i, e.TS, lastTS)
+		}
+		lastTS = e.TS
+	}
+	if snap.Events[0].Arg != 9 || snap.Events[0].Addr != 5 {
+		t.Errorf("payload fields not preserved: %+v", snap.Events[0])
+	}
+}
+
+func TestTracerWrapKeepsLatest(t *testing.T) {
+	tr := NewTracer(1024)
+	n := uint64(tr.Cap()) + 100
+	for i := uint64(0); i < n; i++ {
+		tr.Emit(Event{Kind: KindStore, TID: -1, Addr: i})
+	}
+	snap := tr.Snapshot()
+	if snap.Dropped != 100 {
+		t.Fatalf("Dropped = %d, want 100", snap.Dropped)
+	}
+	if len(snap.Events) != tr.Cap() {
+		t.Fatalf("kept %d events, want %d", len(snap.Events), tr.Cap())
+	}
+	if snap.Events[0].Addr != 100 || snap.Events[0].Seq != 100 {
+		t.Errorf("oldest kept event = %+v, want Addr/Seq 100", snap.Events[0])
+	}
+	if last := snap.Events[len(snap.Events)-1]; last.Addr != n-1 {
+		t.Errorf("newest kept event Addr = %d, want %d", last.Addr, n-1)
+	}
+	if tr.Len() != n {
+		t.Errorf("Len() = %d, want %d", tr.Len(), n)
+	}
+}
+
+func TestTracerReset(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Emit(Event{Kind: KindStore, TID: 3})
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", tr.Len())
+	}
+	tr.Emit(Event{Kind: KindPWB, TID: 3})
+	snap := tr.Snapshot()
+	if len(snap.Events) != 1 || snap.Events[0].Seq != 0 {
+		t.Fatalf("post-Reset snapshot = %+v", snap)
+	}
+	if snap.Events[0].LSeq != 1 {
+		t.Errorf("LSeq counter not reset: %d", snap.Events[0].LSeq)
+	}
+}
+
+func TestTracerLSeqPerTID(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Emit(Event{Kind: KindCombineBegin, TID: 3})
+	tr.Emit(Event{Kind: KindCombineBegin, TID: 5})
+	tr.Emit(Event{Kind: KindCombineEnd, TID: 3})
+	tr.Emit(Event{Kind: KindCombineEnd, TID: 5})
+	tr.Emit(Event{Kind: KindPFence, TID: -1}) // unknown tid: no LSeq
+	snap := tr.Snapshot()
+	want := []uint64{1, 1, 2, 2, 0}
+	for i, e := range snap.Events {
+		if e.LSeq != want[i] {
+			t.Errorf("event %d (tid %d) LSeq = %d, want %d", i, e.TID, e.LSeq, want[i])
+		}
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(1 << 14)
+	const workers, each = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid int16) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tr.Emit(Event{Kind: KindStore, TID: tid, Addr: uint64(i)})
+			}
+		}(int16(w))
+	}
+	wg.Wait()
+	snap := tr.Snapshot()
+	if snap.Dropped != 0 || len(snap.Events) != workers*each {
+		t.Fatalf("got %d events dropped=%d, want %d/0", len(snap.Events), snap.Dropped, workers*each)
+	}
+	// Every global Seq appears exactly once, and each TID's LSeq values are
+	// a permutation-free 1..each sequence in emission order.
+	lastLSeq := make(map[int16]uint64)
+	for i, e := range snap.Events {
+		if e.Seq != uint64(i) {
+			t.Fatalf("event %d Seq = %d", i, e.Seq)
+		}
+		if e.LSeq != lastLSeq[e.TID]+1 {
+			t.Fatalf("tid %d LSeq %d after %d", e.TID, e.LSeq, lastLSeq[e.TID])
+		}
+		lastLSeq[e.TID] = e.LSeq
+	}
+	for w := 0; w < workers; w++ {
+		if lastLSeq[int16(w)] != each {
+			t.Errorf("tid %d final LSeq = %d, want %d", w, lastLSeq[int16(w)], each)
+		}
+	}
+}
+
+func TestTraceCountsMirrorStats(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Emit(Event{Kind: KindPWB, TID: -1})
+	tr.Emit(Event{Kind: KindPWBHeader, TID: -1})
+	tr.Emit(Event{Kind: KindPFence, TID: -1})
+	tr.Emit(Event{Kind: KindPFenceGlobal, TID: -1})
+	tr.Emit(Event{Kind: KindPSync, TID: -1})
+	tr.Emit(Event{Kind: KindNTStore, TID: -1, Len: 8})
+	tr.Emit(Event{Kind: KindCopy, TID: -1, Len: 5})
+	tr.Emit(Event{Kind: KindNTCopy, TID: -1, Len: 20}) // 3 lines
+	tr.Emit(Event{Kind: KindStore, TID: -1, Len: 1})   // not an instruction
+	c := tr.Snapshot().Counts()
+	want := PhysCounts{PWBs: 2, PFences: 2, PSyncs: 1, NTStores: 1 + 3, WordsCopied: 5 + 20}
+	if c != want {
+		t.Fatalf("Counts = %+v, want %+v", c, want)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindInvalid; k < kindCount; k++ {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Errorf("out-of-range kind should stringify as unknown")
+	}
+}
+
+func TestEmitNoAlloc(t *testing.T) {
+	tr := NewTracer(0)
+	e := Event{Kind: KindPWB, TID: 1, Addr: 8, Len: 1}
+	if n := testing.AllocsPerRun(200, func() { tr.Emit(e) }); n != 0 {
+		t.Fatalf("Emit allocates %v times per call, want 0", n)
+	}
+}
+
+func BenchmarkTracerEmit(b *testing.B) {
+	tr := NewTracer(1 << 16)
+	e := Event{Kind: KindPWB, TID: 1, Addr: 8, Len: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(e)
+	}
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// String renders an event as one obsdump line.
+func (e Event) String() string {
+	loc := ""
+	switch {
+	case e.Region >= 0 && e.Len > 1:
+		loc = fmt.Sprintf(" p%d/r%d [%d,%d)", e.Pool, e.Region, e.Addr, e.Addr+e.Len)
+	case e.Region >= 0:
+		loc = fmt.Sprintf(" p%d/r%d @%d", e.Pool, e.Region, e.Addr)
+	case e.Kind == KindHeaderStore || e.Kind == KindPWBHeader || e.Kind == KindHeaderPublish:
+		if e.Len > 1 {
+			loc = fmt.Sprintf(" p%d hdr[%d,%d)", e.Pool, e.Addr, e.Addr+e.Len)
+		} else {
+			loc = fmt.Sprintf(" p%d hdr[%d]", e.Pool, e.Addr)
+		}
+	default:
+		loc = fmt.Sprintf(" p%d", e.Pool)
+	}
+	tid := ""
+	if e.TID >= 0 {
+		tid = fmt.Sprintf(" tid=%d/%d", e.TID, e.LSeq)
+	}
+	arg := ""
+	switch e.Kind {
+	case KindPublish:
+		arg = " " + PubLabel(e.Arg)
+	case KindStore, KindHeaderStore, KindCurComb:
+		arg = fmt.Sprintf(" =%#x", e.Arg)
+	case KindCombineBegin, KindCombineEnd, KindReplayBegin, KindReplayEnd,
+		KindIntentPublish, KindRollForward:
+		arg = fmt.Sprintf(" #%d", e.Arg)
+	}
+	return fmt.Sprintf("%8d %12s %-14s%s%s%s",
+		e.Seq, time.Duration(e.TS).Round(time.Nanosecond), e.Kind, loc, tid, arg)
+}
+
+// WriteJSON serializes the trace to w as one JSON object.
+func (tr Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}
+
+// WriteFile writes the trace to path as JSON.
+func (tr Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTrace parses a trace previously written by WriteJSON.
+func ReadTrace(r io.Reader) (Trace, error) {
+	var tr Trace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tr); err != nil {
+		return Trace{}, fmt.Errorf("obs: parsing trace: %w", err)
+	}
+	return tr, nil
+}
+
+// ReadTraceFile parses the trace file at path.
+func ReadTraceFile(path string) (Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Trace{}, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}
+
+// Summary writes a per-kind event tally, the reconstructed instruction
+// counts, and the drop count — the obsdump overview block.
+func (tr Trace) Summary(w io.Writer) {
+	fmt.Fprintf(w, "events: %d  dropped: %d\n", len(tr.Events), tr.Dropped)
+	kinds := tr.KindCounts()
+	order := make([]Kind, 0, len(kinds))
+	for k := range kinds {
+		order = append(order, k)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, k := range order {
+		fmt.Fprintf(w, "  %-16s %d\n", k, kinds[k])
+	}
+	c := tr.Counts()
+	fmt.Fprintf(w, "reconstructed counters: pwbs=%d pfences=%d psyncs=%d ntstores=%d wordsCopied=%d\n",
+		c.PWBs, c.PFences, c.PSyncs, c.NTStores, c.WordsCopied)
+}

@@ -34,6 +34,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/palloc"
 	"repro/internal/pmem"
 	"repro/internal/ptm"
@@ -100,18 +101,22 @@ func New(pool *pmem.Pool, cfg Config) *OneFile {
 		reqs:   make([]atomic.Pointer[desc], cfg.Threads),
 		wsVals: make(map[uint64]uint64),
 	}
+	pool.TraceEvent(obs.KindRecoveryBegin, -1, -1, 0, 0, 0)
 	if pool.PersistedHeader(slotMagic) == magic {
 		o.recover()
 	} else {
 		palloc.Format(initMem{o.data}, pool.RegionWords())
 		o.data.FlushRange(0, palloc.HeapStart())
 		o.data.PFence()
+		pool.TraceEvent(obs.KindPublish, -1, 0, 0, palloc.HeapStart(), obs.PubHeap)
 		pool.HeaderStore(slotCommit, 0)
 		pool.HeaderStore(slotMagic, magic)
 		pool.PWBHeader(slotCommit)
 		pool.PWBHeader(slotMagic)
 		pool.PSync()
+		pool.TraceEvent(obs.KindHeaderPublish, -1, -1, slotCommit, 2, 0)
 	}
+	pool.TraceEvent(obs.KindRecoveryEnd, -1, -1, 0, 0, 0)
 	return o
 }
 
@@ -163,6 +168,7 @@ func (o *OneFile) recover() {
 			if o.logs.Load(base+2) != logCRC(commit, size, entries) {
 				panic(pmem.Corruptf("onefile", "committed log %d fails its checksum", commit))
 			}
+			o.pool.TraceEvent(obs.KindReplayBegin, -1, o.logs.Index(), base, 3+2*size, commit)
 			for k := uint64(0); k < size; k++ {
 				addr, val := entries[2*k], entries[2*k+1]
 				if addr >= o.data.Words() {
@@ -172,6 +178,13 @@ func (o *OneFile) recover() {
 				o.data.PWB(addr)
 			}
 			o.data.PFence()
+			if o.pool.Traced() {
+				// The replayed addresses came out of the log — pure runtime
+				// data; publishing the whole region is sound because replay
+				// is the only writer since the crash.
+				o.pool.TraceEvent(obs.KindReplayEnd, -1, o.data.Index(), 0, 0, commit)
+				o.pool.TraceEvent(obs.KindPublish, -1, o.data.Index(), 0, o.data.Words(), obs.PubHeap)
+			}
 			break
 		}
 	}
@@ -181,10 +194,12 @@ func (o *OneFile) recover() {
 		o.logs.PWB(base)
 	}
 	o.logs.PFence()
+	o.pool.TraceEvent(obs.KindPublish, -1, o.logs.Index(), 0, o.logs.Words(), obs.PubWAL)
 	// New era: restart sequence numbering so volatile seq matches.
 	o.pool.HeaderStore(slotCommit, 0)
 	o.pool.PWBHeader(slotCommit)
 	o.pool.PSync()
+	o.pool.TraceEvent(obs.KindHeaderPublish, -1, -1, slotCommit, 1, 0)
 }
 
 // StaleRanges reports the log halves that the committed state does not
@@ -240,6 +255,7 @@ func (o *OneFile) Update(tid int, fn func(ptm.Mem) uint64) uint64 {
 			continue
 		}
 		// Combining round: execute every announced transaction.
+		o.pool.TraceEvent(obs.KindCombineBegin, tid, -1, 0, 0, s/2)
 		for t := 0; t < o.cfg.Threads; t++ {
 			pend := o.reqs[t].Load()
 			if pend == nil || pend.applied.Load() {
@@ -247,6 +263,7 @@ func (o *OneFile) Update(tid int, fn func(ptm.Mem) uint64) uint64 {
 			}
 			o.runOne(pend)
 		}
+		o.pool.TraceEvent(obs.KindCombineEnd, tid, -1, 0, 0, 1)
 		o.seq.Store(s + 2)
 		o.cfg.Profile.AddTx(since(o.cfg.Profile, txStart))
 		return d.result.Load()
@@ -295,10 +312,17 @@ func (o *OneFile) runOne(d *desc) {
 	// 3. One global fence: orders the log and the previous transaction's
 	// in-place writes.
 	o.pool.PFenceGlobal()
+	if o.pool.Traced() {
+		// The log slot — whose extent is this write-set's runtime size —
+		// must be durable before the commit marker can name it.
+		o.pool.TraceEvent(obs.KindPublish, -1, o.logs.Index(),
+			base, 3+2*uint64(len(o.wsAddrs)), obs.PubWAL)
+	}
 	// 4. Commit point.
 	o.pool.HeaderStore(slotCommit, txSeq)
 	o.pool.PWBHeader(slotCommit)
 	o.pool.PSync()
+	o.pool.TraceEvent(obs.KindHeaderPublish, -1, -1, slotCommit, 1, txSeq)
 	o.cfg.Profile.AddFlush(since(o.cfg.Profile, flushStart))
 	// 5. Apply in place; pwbs are fenced by the next transaction (or
 	// replayed from the log on recovery).

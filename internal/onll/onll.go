@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/ptm"
 )
@@ -123,7 +124,9 @@ func New(pool *pmem.Pool, cfg Config) *ONLL {
 	for i := range o.replicas {
 		o.replicas[i] = ptm.NewFlatMem(cfg.ReplicaWords)
 	}
+	pool.TraceEvent(obs.KindRecoveryBegin, -1, 0, 0, 0, 0)
 	n := o.recoverLog()
+	pool.TraceEvent(obs.KindRecoveryEnd, -1, 0, 0, 0, n)
 	o.tail.Store(n)
 	o.flushed.Store(n)
 	if n == 0 && cfg.Init != nil {
@@ -276,6 +279,12 @@ func (o *ONLL) apply(tid int, opID uint16, args []uint64) uint64 {
 			o.log.PWB(s * entryWords)
 		}
 		o.log.PFence() // the single fence
+		if o.pool.Traced() {
+			// The entries of [f, end) — a range only this execution knows —
+			// are durable here; advancing flushed publishes them to readers.
+			o.pool.TraceEvent(obs.KindPublish, tid, 0,
+				f*entryWords, (end-f)*entryWords, obs.PubWAL)
+		}
 		for {
 			cur := o.flushed.Load()
 			if cur >= end || o.flushed.CompareAndSwap(cur, end) {

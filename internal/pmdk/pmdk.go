@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/palloc"
 	"repro/internal/pmem"
 	"repro/internal/ptm"
@@ -88,19 +89,23 @@ func New(pool *pmem.Pool, cfg Config) *PMDK {
 		log:    pool.Region(1),
 		logged: make(map[uint64]bool),
 	}
+	pool.TraceEvent(obs.KindRecoveryBegin, -1, -1, 0, 0, 0)
 	if pool.PersistedHeader(slotMagic) == magic {
 		p.recover()
 	} else {
 		palloc.Format(rawMem{p.data}, pool.RegionWords())
 		p.data.FlushRange(0, palloc.HeapStart())
 		p.data.PFence()
+		pool.TraceEvent(obs.KindPublish, -1, 0, 0, palloc.HeapStart(), obs.PubHeap)
 		pool.HeaderStore(slotMagic, magic)
 		pool.HeaderStore(slotEra, 1)
 		pool.PWBHeader(slotMagic)
 		pool.PWBHeader(slotEra)
 		pool.PSync()
+		pool.TraceEvent(obs.KindHeaderPublish, -1, -1, slotMagic, 2, 0)
 	}
 	p.era = pool.HeaderLoad(slotEra)
+	pool.TraceEvent(obs.KindRecoveryEnd, -1, -1, 0, 0, p.era)
 	return p
 }
 
@@ -115,6 +120,7 @@ func (p *PMDK) recover() {
 		if logEntries+size*entryWords > p.log.Words() {
 			panic(pmem.Corruptf("pmdk", "undo log claims %d entries, region holds %d words", size, p.log.Words()))
 		}
+		p.pool.TraceEvent(obs.KindReplayBegin, -1, p.log.Index(), logEntries, size*entryWords, txID)
 		for k := size; k > 0; k-- {
 			base := logEntries + (k-1)*entryWords
 			if p.log.Load(base) != txID {
@@ -137,14 +143,23 @@ func (p *PMDK) recover() {
 			p.data.PWB(addr)
 		}
 		p.data.PFence()
+		if p.pool.Traced() {
+			// The rolled-back addresses are log data — runtime values;
+			// whole-region publication is sound because the rollback is
+			// the only writer since the crash.
+			p.pool.TraceEvent(obs.KindReplayEnd, -1, p.log.Index(), 0, 0, txID)
+			p.pool.TraceEvent(obs.KindPublish, -1, p.data.Index(), 0, p.data.Words(), obs.PubHeap)
+		}
 	}
 	p.log.Store(logSize, 0)
 	p.log.PWB(logSize)
 	p.log.PFence()
+	p.pool.TraceEvent(obs.KindPublish, -1, p.log.Index(), logSize, 1, obs.PubWAL)
 	era := p.pool.HeaderLoad(slotEra) + 1
 	p.pool.HeaderStore(slotEra, era)
 	p.pool.PWBHeader(slotEra)
 	p.pool.PSync()
+	p.pool.TraceEvent(obs.KindHeaderPublish, -1, -1, slotEra, 1, era)
 }
 
 // StaleRanges reports the undo-log span past the durably recorded size:
@@ -208,9 +223,16 @@ func (p *PMDK) Update(tid int, fn func(ptm.Mem) uint64) uint64 {
 		}
 	}
 	p.data.PFence()
+	if p.pool.Traced() {
+		// Every store to the data region is flushed by its transaction and
+		// fenced at the latest here, so the whole used heap is durable.
+		p.pool.TraceEvent(obs.KindPublish, tid, p.data.Index(),
+			0, palloc.UsedWords(rawMem{p.data}), obs.PubHeap)
+	}
 	p.log.Store(logSize, 0)
 	p.log.PWB(logSize)
 	p.log.PFence() // commit point: the undo log is durably invalidated
+	p.pool.TraceEvent(obs.KindPublish, tid, p.log.Index(), logSize, 1, obs.PubWAL)
 	p.cfg.Profile.AddFlush(since(p.cfg.Profile, flushStart))
 	p.cfg.Profile.AddTx(since(p.cfg.Profile, txStart))
 	return res
@@ -244,6 +266,11 @@ func (p *PMDK) snapshot(addr, txID uint64) {
 	p.log.PWB(base)
 	p.log.PWB(logSize)
 	p.log.PFence()
+	if p.pool.Traced() {
+		// The undo snapshot must be durable before the in-place write it
+		// guards can possibly reach the medium.
+		p.pool.TraceEvent(obs.KindPublish, -1, p.log.Index(), base, entryWords, obs.PubWAL)
+	}
 }
 
 // txMem is the transactional view: undo-logged in-place stores.

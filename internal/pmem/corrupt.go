@@ -102,9 +102,11 @@ func (p *Pool) FlipBit(region int, addr Addr, bit uint) {
 
 // Clone returns an independent deep copy of the pool: both images, all
 // header slots and the pending flush lists. Statistics start at zero and any
-// armed failure point is NOT carried over. Clone lets a chaos sweep fork one
-// post-crash state into many recovery experiments without replaying the
-// workload that produced it. The pool must be quiescent.
+// armed failure point is NOT carried over; an attached event tracer is not
+// carried over either (attach one to the clone explicitly if its recovery
+// run should be traced). Clone lets a chaos sweep fork one post-crash state
+// into many recovery experiments without replaying the workload that
+// produced it. The pool must be quiescent.
 func (p *Pool) Clone() *Pool {
 	q := New(Config{
 		Mode:        p.mode,

@@ -1,6 +1,10 @@
 package pmem
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"repro/internal/obs"
+)
 
 // Group ties several pools to one failure domain. A sharded construction
 // places each shard on its own Pool plus a coordinator Pool; physically those
@@ -72,6 +76,20 @@ func (g *Group) Clone() *Group {
 	}
 	return NewGroup(clones...)
 }
+
+// SetTracer attaches tr to every member pool, assigning pool ids in member
+// order so a group trace distinguishes the coordinator (pool 0) from the
+// shards. Pass nil to detach. The group must be quiescent. Clones made by
+// Group.Clone do not inherit the tracer.
+func (g *Group) SetTracer(tr *obs.Tracer) {
+	for i, p := range g.pools {
+		p.setTracerID(tr, int16(i))
+	}
+}
+
+// Tracer reports the tracer attached to the group (nil when tracing is
+// off); all member pools share it.
+func (g *Group) Tracer() *obs.Tracer { return g.pools[0].tr }
 
 // Stats sums the persistence-instruction counters over all member pools.
 func (g *Group) Stats() StatsSnapshot {

@@ -30,6 +30,8 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // WordsPerLine is the number of 64-bit words in a simulated cache line.
@@ -81,10 +83,72 @@ type Pool struct {
 	hdrMu      sync.Mutex // guards pendingHdr (Strict mode only)
 	pendingHdr []int
 
+	// tr is the attached event tracer (nil when tracing is off — the only
+	// cost then is one nil check per persistence instruction). poolID
+	// distinguishes pools sharing one tracer (Group.SetTracer assigns it).
+	tr     *obs.Tracer
+	poolID int16
+
 	// inj is the armed-failure state. Every pool starts with its own
 	// injector; NewGroup rewires the member pools to one shared injector so
 	// a multi-pool subsystem observes a single global event budget.
 	inj *injector
+}
+
+// ---- Event tracing -------------------------------------------------------
+
+// SetTracer attaches (or, with nil, detaches) an event tracer: every
+// persistence instruction on the pool emits a typed obs.Event into it.
+// Attach/detach while the pool is quiescent. Clones made by Pool.Clone do
+// not inherit the tracer.
+func (p *Pool) SetTracer(tr *obs.Tracer) { p.tr, p.poolID = tr, 0 }
+
+// setTracerID attaches tr with an explicit pool id (Group members).
+func (p *Pool) setTracerID(tr *obs.Tracer, id int16) { p.tr, p.poolID = tr, id }
+
+// Tracer reports the attached tracer (nil when tracing is off).
+func (p *Pool) Tracer() *obs.Tracer { return p.tr }
+
+// Traced reports whether a tracer is attached. Engine hook points use it
+// to skip computing event arguments (used-heap sizes etc.) when off.
+func (p *Pool) Traced() bool { return p.tr != nil }
+
+// TraceEvent emits a logical engine event (publish, combine round, replay,
+// recovery phase, ...) into the attached tracer; a no-op when tracing is
+// off. region is -1 for header-domain or pool-scoped events; tid is the
+// engine thread id (-1 when unknown).
+func (p *Pool) TraceEvent(kind obs.Kind, tid, region int, addr, length, arg uint64) {
+	if p.tr != nil {
+		p.emitEvent(kind, int16(tid), int16(region), addr, length, arg)
+	}
+}
+
+// emit records a physical persistence event. Call sites place it after the
+// injector tick and the stats update, with nothing that can panic in
+// between, so traces stay in exact correspondence with StatsSnapshot even
+// when an injected power failure fires mid-operation.
+//
+// emit is a two-level wrapper so the compiler inlines the nil check into
+// every persistence instruction: with no tracer attached the whole hook is
+// one predictable compare-and-branch (the <2% disabled-overhead budget),
+// and only traced pools pay the emitEvent call.
+func (p *Pool) emit(kind obs.Kind, region int16, addr, length, arg uint64) {
+	if p.tr != nil {
+		p.emitEvent(kind, -1, region, addr, length, arg)
+	}
+}
+
+// emitEvent builds and records the event; the caller has checked p.tr.
+// Kept out of line so the emit/TraceEvent guards stay under the inlining
+// budget — without the directive the compiler folds this body back into
+// them and the untraced fast path regresses to a full call.
+//
+//go:noinline
+func (p *Pool) emitEvent(kind obs.Kind, tid, region int16, addr, length, arg uint64) {
+	p.tr.Emit(obs.Event{
+		Kind: kind, TID: tid, Pool: p.poolID, Region: region,
+		Addr: addr, Len: length, Arg: arg,
+	})
 }
 
 // injector is the countdown behind InjectFailure. It is shared by every pool
@@ -236,11 +300,16 @@ func (p *Pool) HeaderStore(i int, v uint64) {
 		p.tick()
 	}
 	p.headers[i].Store(v)
+	p.emit(obs.KindHeaderStore, -1, uint64(i), 1, v)
 }
 
 // HeaderCAS atomically compare-and-swaps header slot i in the cache image.
 func (p *Pool) HeaderCAS(i int, old, new uint64) bool {
-	return p.headers[i].CompareAndSwap(old, new)
+	ok := p.headers[i].CompareAndSwap(old, new)
+	if ok {
+		p.emit(obs.KindHeaderStore, -1, uint64(i), 1, new)
+	}
+	return ok
 }
 
 // PWBHeader issues a persistence write-back for header slot i.
@@ -249,6 +318,7 @@ func (p *Pool) PWBHeader(i int) {
 		p.tick()
 	}
 	p.stats.pwbs.Add(1)
+	p.emit(obs.KindPWBHeader, -1, uint64(i), 1, 0)
 	p.lat.spinPWB()
 	if p.mode == Strict {
 		p.hdrMu.Lock()
@@ -264,6 +334,7 @@ func (p *Pool) PSync() {
 		p.tick()
 	}
 	p.stats.psyncs.Add(1)
+	p.emit(obs.KindPSync, -1, 0, 0, 0)
 	p.lat.spinFence()
 	if p.mode == Strict {
 		p.hdrMu.Lock()
@@ -284,6 +355,7 @@ func (p *Pool) PFenceGlobal() {
 		p.tick()
 	}
 	p.stats.pfences.Add(1)
+	p.emit(obs.KindPFenceGlobal, -1, 0, 0, 0)
 	p.lat.spinFence()
 	if p.mode == Strict {
 		for i := range p.regions {
@@ -341,6 +413,7 @@ func (r *Region) Store(addr Addr, v uint64) {
 		r.pool.tick()
 	}
 	r.pool.data[r.base+addr] = v
+	r.pool.emit(obs.KindStore, int16(r.index), addr, 1, v)
 }
 
 // AtomicLoad reads the word at addr with sequentially consistent ordering.
@@ -353,12 +426,17 @@ func (r *Region) AtomicLoad(addr Addr) uint64 {
 func (r *Region) AtomicStore(addr Addr, v uint64) {
 	r.check(addr)
 	atomic.StoreUint64(&r.pool.data[r.base+addr], v)
+	r.pool.emit(obs.KindStore, int16(r.index), addr, 1, v)
 }
 
 // CAS atomically compare-and-swaps the word at addr.
 func (r *Region) CAS(addr Addr, old, new uint64) bool {
 	r.check(addr)
-	return atomic.CompareAndSwapUint64(&r.pool.data[r.base+addr], old, new)
+	ok := atomic.CompareAndSwapUint64(&r.pool.data[r.base+addr], old, new)
+	if ok {
+		r.pool.emit(obs.KindStore, int16(r.index), addr, 1, new)
+	}
+	return ok
 }
 
 // PWB issues a persistence write-back for the cache line containing addr.
@@ -368,6 +446,7 @@ func (r *Region) PWB(addr Addr) {
 		r.pool.tick()
 	}
 	r.pool.stats.pwbs.Add(1)
+	r.pool.emit(obs.KindPWB, int16(r.index), addr, 1, 0)
 	r.pool.lat.spinPWB()
 	if r.pool.mode == Strict {
 		line := addr / WordsPerLine
@@ -384,6 +463,7 @@ func (r *Region) PFence() {
 		r.pool.tick()
 	}
 	r.pool.stats.pfences.Add(1)
+	r.pool.emit(obs.KindPFence, int16(r.index), 0, 0, 0)
 	r.pool.lat.spinFence()
 	if r.pool.mode == Strict {
 		r.mu.Lock()
@@ -417,6 +497,7 @@ func (r *Region) NTStoreLine(addr Addr, words []uint64) {
 	}
 	copy(r.pool.data[r.base+addr:], words)
 	r.pool.stats.ntstores.Add(1)
+	r.pool.emit(obs.KindNTStore, int16(r.index), addr, uint64(len(words)), 0)
 	r.pool.lat.spinNT()
 	if r.pool.mode == Strict {
 		line := addr / WordsPerLine
@@ -446,6 +527,7 @@ func (r *Region) CopyFrom(src *Region, n uint64) uint64 {
 	}
 	copy(r.pool.data[r.base:r.base+n], src.pool.data[src.base:src.base+n])
 	r.pool.stats.wordsCopied.Add(n)
+	r.pool.emit(obs.KindCopy, int16(r.index), 0, n, 0)
 	return n
 }
 
@@ -459,6 +541,7 @@ func (r *Region) NTCopyFrom(src *Region, n uint64) uint64 {
 	lines := (n + WordsPerLine - 1) / WordsPerLine
 	r.pool.stats.ntstores.Add(lines)
 	r.pool.stats.wordsCopied.Add(n)
+	r.pool.emit(obs.KindNTCopy, int16(r.index), 0, n, 0)
 	r.pool.lat.spinNTLines(lines)
 	if r.pool.mode == Strict {
 		r.mu.Lock()
@@ -515,6 +598,7 @@ func (p *Pool) Crash(policy CrashPolicy, rng *rand.Rand) {
 	if p.mode != Strict {
 		panic("pmem: Crash requires Strict mode")
 	}
+	p.emit(obs.KindCrash, -1, 0, 0, uint64(policy))
 	if policy == CrashAdversarial {
 		if rng == nil {
 			panic("pmem: CrashAdversarial requires a rand source")

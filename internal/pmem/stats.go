@@ -34,6 +34,15 @@ func (s *Stats) snapshot() StatsSnapshot {
 	}
 }
 
+// reset zeroes every counter. Each field is stored atomically, so reset is
+// data-race-free against concurrent snapshot readers and counter updates
+// (TestStatsConcurrentReaders pins this under -race) — but the fields are
+// zeroed one at a time, so a snapshot racing a reset can observe a torn
+// view (some fields zeroed, others not), and an increment racing a reset
+// can survive it or be lost depending on interleaving. Callers that need a
+// consistent cut (bench harnesses, trace/stats parity checks) must reset
+// only while the pool is quiescent; Group.ResetStats inherits the same
+// contract pool by pool.
 func (s *Stats) reset() {
 	s.pwbs.Store(0)
 	s.pfences.Store(0)
@@ -45,7 +54,10 @@ func (s *Stats) reset() {
 // Fences reports the total number of ordering instructions issued.
 func (s StatsSnapshot) Fences() uint64 { return s.PFences + s.PSyncs }
 
-// add returns the element-wise sum s + o, for aggregating a Group.
+// add returns the element-wise sum s + o, for aggregating a Group. The
+// addends are independent per-pool snapshots, so a group sum taken while
+// pools are being written is a field-wise-atomic but not point-in-time
+// view — same contract as snapshot itself.
 func (s StatsSnapshot) add(o StatsSnapshot) StatsSnapshot {
 	return StatsSnapshot{
 		PWBs:        s.PWBs + o.PWBs,

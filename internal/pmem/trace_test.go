@@ -1,0 +1,194 @@
+package pmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestWordsPerLinePinned pins the duplicated constant: obs cannot import
+// pmem (pmem emits into obs), so obs.WordsPerLine mirrors pmem.WordsPerLine
+// and this test is the compile-firewall between them.
+func TestWordsPerLinePinned(t *testing.T) {
+	if obs.WordsPerLine != WordsPerLine {
+		t.Fatalf("obs.WordsPerLine = %d, pmem.WordsPerLine = %d — update the mirror",
+			obs.WordsPerLine, WordsPerLine)
+	}
+}
+
+// TestPoolTraceParity drives every traced persistence instruction once and
+// asserts the trace reconstructs the stats counters exactly — the unit-level
+// version of the per-engine parity smoke in internal/chaos.
+func TestPoolTraceParity(t *testing.T) {
+	pool := New(Config{Mode: Strict, RegionWords: 256, Regions: 2})
+	tr := obs.NewTracer(4096)
+	pool.SetTracer(tr)
+	r0, r1 := pool.Region(0), pool.Region(1)
+
+	r0.Store(3, 7)
+	r0.AtomicStore(8, 9)
+	r0.CAS(8, 9, 10)
+	r0.CAS(8, 99, 100) // failed CAS: no store event
+	r0.PWB(3)
+	r0.PWB(8)
+	r0.PFence()
+	r0.NTStoreLine(16, make([]uint64, WordsPerLine))
+	r1.CopyFrom(r0, 24)
+	r1.NTCopyFrom(r0, 20)
+	r1.FlushRange(0, 24)
+	r1.PFence()
+	pool.HeaderStore(0, 5)
+	pool.HeaderCAS(1, 0, 6)
+	pool.HeaderCAS(1, 0, 7) // failed CAS: no event
+	pool.PWBHeader(0)
+	pool.PWBHeader(1)
+	pool.PSync()
+	pool.PFenceGlobal()
+
+	snap := tr.Snapshot()
+	if snap.Dropped != 0 {
+		t.Fatalf("ring dropped %d events", snap.Dropped)
+	}
+	got := snap.Counts()
+	s := pool.Stats()
+	want := obs.PhysCounts{
+		PWBs:        s.PWBs,
+		PFences:     s.PFences,
+		PSyncs:      s.PSyncs,
+		NTStores:    s.NTStores,
+		WordsCopied: s.WordsCopied,
+	}
+	if got != want {
+		t.Fatalf("trace counts %+v != stats %+v", got, want)
+	}
+
+	kinds := snap.KindCounts()
+	if kinds[obs.KindStore] != 3 { // Store + AtomicStore + successful CAS
+		t.Errorf("store events = %d, want 3", kinds[obs.KindStore])
+	}
+	if kinds[obs.KindHeaderStore] != 2 { // HeaderStore + successful HeaderCAS
+		t.Errorf("header-store events = %d, want 2", kinds[obs.KindHeaderStore])
+	}
+	if kinds[obs.KindCopy] != 1 || kinds[obs.KindNTCopy] != 1 {
+		t.Errorf("copy events = %d/%d, want 1/1", kinds[obs.KindCopy], kinds[obs.KindNTCopy])
+	}
+}
+
+// TestCrashEventTraced pins that Pool.Crash emits KindCrash, so the dynamic
+// checker can clear pending obligations at the same point the simulator
+// drops its cache image.
+func TestCrashEventTraced(t *testing.T) {
+	pool := New(Config{Mode: Strict, RegionWords: 64, Regions: 1})
+	tr := obs.NewTracer(0)
+	pool.SetTracer(tr)
+	r := pool.Region(0)
+	r.Store(0, 1) // dirty, never flushed
+	pool.Crash(CrashConservative, rand.New(rand.NewSource(1)))
+	snap := tr.Snapshot()
+	if n := snap.KindCounts()[obs.KindCrash]; n != 1 {
+		t.Fatalf("crash events = %d, want 1", n)
+	}
+	// The trace stays checkable across the crash: the unflushed store owes
+	// nothing after the cache image is gone.
+	tail := append(snap.Events,
+		obs.Event{Seq: snap.Events[len(snap.Events)-1].Seq + 1, TID: -1,
+			Kind: obs.KindPublish, Region: 0, Addr: 0, Len: 8, Arg: obs.PubHeap})
+	vs, err := obs.CheckOrdering(obs.Trace{Events: tail}, obs.CheckOptions{})
+	if err != nil || len(vs) != 0 {
+		t.Fatalf("post-crash publish should be clean: vs=%v err=%v", vs, err)
+	}
+}
+
+// TestGroupTracerPoolIDs pins Group.SetTracer's pool numbering (pool i gets
+// id i) and that clones do not inherit the tracer.
+func TestGroupTracerPoolIDs(t *testing.T) {
+	g := NewGroup(
+		New(Config{RegionWords: 64, Regions: 1}),
+		New(Config{RegionWords: 64, Regions: 1}),
+	)
+	tr := obs.NewTracer(0)
+	g.SetTracer(tr)
+	if g.Tracer() != tr {
+		t.Fatalf("Group.Tracer() did not return the attached tracer")
+	}
+	g.Pool(0).Region(0).Store(0, 1)
+	g.Pool(1).Region(0).Store(0, 2)
+	snap := tr.Snapshot()
+	if len(snap.Events) != 2 || snap.Events[0].Pool != 0 || snap.Events[1].Pool != 1 {
+		t.Fatalf("pool ids wrong: %+v", snap.Events)
+	}
+	if g.Clone().Pool(0).Traced() {
+		t.Fatalf("clone inherited the tracer; crash replicas must not trace")
+	}
+}
+
+// TestUntracedNoAlloc asserts the disabled-tracing fast path: with no tracer
+// attached, the persistence hot path performs zero allocations (the nil
+// check is all a disabled pool pays).
+func TestUntracedNoAlloc(t *testing.T) {
+	pool := New(Config{RegionWords: 256, Regions: 1})
+	r := pool.Region(0)
+	n := testing.AllocsPerRun(200, func() {
+		r.Store(8, 1)
+		r.PWB(8)
+		r.PFence()
+		pool.HeaderStore(0, 1)
+		pool.PWBHeader(0)
+		pool.PSync()
+	})
+	if n != 0 {
+		t.Fatalf("untraced persistence path allocates %v times per run, want 0", n)
+	}
+}
+
+// TestTracedNoAlloc asserts the enabled path is allocation-free too — Emit
+// writes into the preallocated ring.
+func TestTracedNoAlloc(t *testing.T) {
+	pool := New(Config{RegionWords: 256, Regions: 1})
+	pool.SetTracer(obs.NewTracer(1 << 16))
+	r := pool.Region(0)
+	n := testing.AllocsPerRun(200, func() {
+		r.Store(8, 1)
+		r.PWB(8)
+		r.PFence()
+	})
+	if n != 0 {
+		t.Fatalf("traced persistence path allocates %v times per run, want 0", n)
+	}
+}
+
+// storeFlushFence is one hot-path iteration shared by the overhead pair.
+func storeFlushFence(r *Region, i uint64) {
+	addr := (i % 16) * WordsPerLine
+	r.Store(addr, i)
+	r.PWB(addr)
+	r.PFence()
+}
+
+// BenchmarkPersistUntraced / BenchmarkPersistTraced measure the cost of the
+// tracing hook on the store+PWB+PFence hot path. Compare:
+//
+//	go test -run xx -bench 'BenchmarkPersist' ./internal/pmem
+//
+// The untraced variant's delta vs the pre-obs baseline is the nil-check
+// cost; the ISSUE bound (<2% disabled overhead) is asserted on the psim
+// workload benchmark in internal/psim.
+func BenchmarkPersistUntraced(b *testing.B) {
+	pool := New(Config{RegionWords: 256, Regions: 1})
+	r := pool.Region(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		storeFlushFence(r, uint64(i))
+	}
+}
+
+func BenchmarkPersistTraced(b *testing.B) {
+	pool := New(Config{RegionWords: 256, Regions: 1})
+	pool.SetTracer(obs.NewTracer(1 << 16))
+	r := pool.Region(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		storeFlushFence(r, uint64(i))
+	}
+}

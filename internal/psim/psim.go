@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/palloc"
 	"repro/internal/pmem"
 	"repro/internal/ptm"
@@ -72,6 +73,7 @@ func New(pool *pmem.Pool, cfg Config) *PSim {
 		reqs: make([]atomic.Pointer[desc], cfg.Threads),
 	}
 	p.area[0], p.area[1] = pool.Region(0), pool.Region(1)
+	pool.TraceEvent(obs.KindRecoveryBegin, -1, -1, 0, 0, 0)
 	hdr := pool.PersistedHeader(headerSlot)
 	if hdr&1 != 0 {
 		// Null recovery: the header names a fully durable area. The
@@ -83,14 +85,18 @@ func New(pool *pmem.Pool, cfg Config) *PSim {
 		pool.HeaderStore(headerSlot, hdr)
 		pool.PWBHeader(headerSlot)
 		pool.PSync()
+		pool.TraceEvent(obs.KindHeaderPublish, -1, -1, headerSlot, 1, 0)
 	} else {
 		palloc.Format(rawMem{p.area[0]}, pool.RegionWords())
 		p.area[0].FlushRange(0, palloc.HeapStart())
 		p.area[0].PFence()
+		pool.TraceEvent(obs.KindPublish, -1, 0, 0, palloc.HeapStart(), obs.PubHeap)
 		pool.HeaderStore(headerSlot, 0<<1|1)
 		pool.PWBHeader(headerSlot)
 		pool.PSync()
+		pool.TraceEvent(obs.KindHeaderPublish, -1, -1, headerSlot, 1, 0)
 	}
+	pool.TraceEvent(obs.KindRecoveryEnd, -1, -1, 0, 0, 0)
 	return p
 }
 
@@ -129,7 +135,7 @@ func (p *PSim) Update(tid int, fn func(ptm.Mem) uint64) uint64 {
 		if !p.seq.CompareAndSwap(s, s+1) {
 			continue
 		}
-		p.combine()
+		p.combine(tid, s/2)
 		p.seq.Store(s + 2)
 		p.cfg.Profile.AddTx(since(p.cfg.Profile, txStart))
 		return d.result.Load()
@@ -138,8 +144,10 @@ func (p *PSim) Update(tid int, fn func(ptm.Mem) uint64) uint64 {
 
 // combine is the CoW transition: if the announced batch mutates, copy the
 // object, apply the batch, flush everything, publish; a read-only batch
-// runs directly on the stable current area.
-func (p *PSim) combine() {
+// runs directly on the stable current area. tid is the combiner's thread
+// id and round the consensus round, both only used for trace events.
+func (p *PSim) combine(tid int, round uint64) {
+	p.pool.TraceEvent(obs.KindCombineBegin, tid, -1, 0, 0, round)
 	from := int(p.cur.Load())
 	src := p.area[from]
 	hasWrite := false
@@ -174,6 +182,7 @@ func (p *PSim) combine() {
 	}
 	p.cfg.Profile.AddLambda(since(p.cfg.Profile, lambdaStart))
 	if !hasWrite {
+		p.pool.TraceEvent(obs.KindCombineEnd, tid, -1, 0, 0, 0)
 		return
 	}
 	// Flush the entire new object — the CoW cost the paper calls out.
@@ -181,11 +190,19 @@ func (p *PSim) combine() {
 	used := palloc.UsedWords(rawMem{dst})
 	dst.FlushRange(0, used)
 	dst.PFence()
-	p.pool.HeaderStore(headerSlot, uint64(1-from)<<1|1)
+	// The published range is the allocator's high-water mark — a value
+	// only the execution knows, which is what makes this assertion
+	// dynamic rather than static.
+	p.pool.TraceEvent(obs.KindPublish, tid, 1-from, 0, used, obs.PubHeap)
+	hdr := uint64(1-from)<<1 | 1
+	p.pool.HeaderStore(headerSlot, hdr)
 	p.pool.PWBHeader(headerSlot)
 	p.pool.PSync()
+	p.pool.TraceEvent(obs.KindHeaderPublish, tid, -1, headerSlot, 1, 0)
+	p.pool.TraceEvent(obs.KindCurComb, tid, -1, headerSlot, 1, hdr)
 	p.cfg.Profile.AddFlush(since(p.cfg.Profile, flushStart))
 	p.cur.Store(int32(1 - from))
+	p.pool.TraceEvent(obs.KindCombineEnd, tid, -1, 0, 0, 1)
 }
 
 // Read implements ptm.PTM: reads are announced and executed by a combiner
@@ -204,7 +221,7 @@ func (p *PSim) Read(tid int, fn func(ptm.Mem) uint64) uint64 {
 			continue
 		}
 		if p.seq.CompareAndSwap(s, s+1) {
-			p.combine()
+			p.combine(tid, s/2)
 			p.seq.Store(s + 2)
 		}
 	}

@@ -1,0 +1,119 @@
+package psim
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+	"repro/internal/seqds"
+)
+
+// newBenchEngine builds a single-thread PSim over a fresh pool with a small
+// list set installed — the standard workload of the throughput benches.
+func newBenchEngine(tr *obs.Tracer) (*PSim, *seqds.ListSet) {
+	pool := pmem.New(pmem.Config{RegionWords: 1 << 14, Regions: 2})
+	if tr != nil {
+		pool.SetTracer(tr)
+	}
+	p := New(pool, Config{Threads: 1})
+	set := &seqds.ListSet{RootSlot: 0}
+	p.Update(0, func(m ptm.Mem) uint64 {
+		set.Init(m)
+		return 0
+	})
+	return p, set
+}
+
+// benchOps drives the hot path: add/remove a key so the working set stays
+// constant and no run allocates more heap than the last.
+func benchOps(b *testing.B, p *PSim, set *seqds.ListSet) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i%64) + 1
+		p.Update(0, func(m ptm.Mem) uint64 {
+			if set.Add(m, k) {
+				return 1
+			}
+			return 0
+		})
+		p.Update(0, func(m ptm.Mem) uint64 {
+			if set.Remove(m, k) {
+				return 1
+			}
+			return 0
+		})
+	}
+}
+
+// BenchmarkPSimUntraced is the disabled-tracing baseline: the pool has no
+// tracer attached, so every persistence instruction pays exactly one nil
+// check. The ISSUE acceptance bound is <2% overhead vs the pre-obs hot path;
+// compare this benchmark against BenchmarkPSimTraced for the enabled cost:
+//
+//	go test -run xx -bench 'BenchmarkPSim' -count 10 ./internal/psim
+func BenchmarkPSimUntraced(b *testing.B) {
+	p, set := newBenchEngine(nil)
+	b.ReportAllocs()
+	benchOps(b, p, set)
+}
+
+// BenchmarkPSimTraced runs the same workload with a tracer attached; the
+// delta over the untraced run is the full (enabled) tracing cost.
+func BenchmarkPSimTraced(b *testing.B) {
+	tr := obs.NewTracer(1 << 16)
+	p, set := newBenchEngine(tr)
+	b.ReportAllocs()
+	benchOps(b, p, set)
+}
+
+// TestUntracedHotPathNoAlloc is the deterministic stand-in for the <2%
+// overhead bound: with tracing disabled the engine's update path performs
+// zero observability-related allocations, so the only added cost is the
+// per-instruction nil check (measured by the benchmark pair above; timing is
+// not asserted here because CI machines jitter far more than 2%).
+func TestUntracedHotPathNoAlloc(t *testing.T) {
+	p, set := newBenchEngine(nil)
+	k := uint64(0)
+	n := testing.AllocsPerRun(100, func() {
+		k++
+		kk := k%64 + 1
+		p.Update(0, func(m ptm.Mem) uint64 {
+			if set.Add(m, kk) {
+				return 1
+			}
+			return 0
+		})
+		p.Update(0, func(m ptm.Mem) uint64 {
+			if set.Remove(m, kk) {
+				return 1
+			}
+			return 0
+		})
+	})
+	// The update path allocates its descriptor pair and closure state; the
+	// bound pins that attaching NO tracer adds nothing beyond that. Keep in
+	// lockstep with TestTracedHotPathAllocDelta below.
+	base := n
+	tr := obs.NewTracer(1 << 20)
+	p2, set2 := newBenchEngine(tr)
+	n2 := testing.AllocsPerRun(100, func() {
+		k++
+		kk := k%64 + 1
+		p2.Update(0, func(m ptm.Mem) uint64 {
+			if set2.Add(m, kk) {
+				return 1
+			}
+			return 0
+		})
+		p2.Update(0, func(m ptm.Mem) uint64 {
+			if set2.Remove(m, kk) {
+				return 1
+			}
+			return 0
+		})
+	})
+	if n2 != base {
+		t.Fatalf("tracing changed the allocation profile: untraced %.1f, traced %.1f allocs/op", base, n2)
+	}
+}

@@ -3,6 +3,8 @@ package ptm
 import (
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Profile accumulates the per-phase time breakdown of update transactions
@@ -17,6 +19,12 @@ type Profile struct {
 	sleep  atomic.Int64
 	total  atomic.Int64
 	txs    atomic.Int64
+
+	// Lat optionally records the same phases into latency histograms:
+	// AddTx observes into Lat.Op and AddFlush into Lat.Commit, so any
+	// profiled run gets p50/p99 distributions alongside the aggregate
+	// means. Nil (the default) skips the histograms entirely.
+	Lat *obs.LatencySet
 }
 
 // AddApply records d spent applying a physical or logical log.
@@ -30,6 +38,9 @@ func (p *Profile) AddApply(d time.Duration) {
 func (p *Profile) AddFlush(d time.Duration) {
 	if p != nil {
 		p.flush.Add(int64(d))
+		if p.Lat != nil {
+			p.Lat.Commit.Observe(d)
+		}
 	}
 }
 
@@ -59,6 +70,9 @@ func (p *Profile) AddTx(d time.Duration) {
 	if p != nil {
 		p.total.Add(int64(d))
 		p.txs.Add(1)
+		if p.Lat != nil {
+			p.Lat.Op.Observe(d)
+		}
 	}
 }
 

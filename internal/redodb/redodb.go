@@ -12,6 +12,7 @@ package redodb
 
 import (
 	"repro/internal/core/redo"
+	"repro/internal/obs"
 	"repro/internal/palloc"
 	"repro/internal/pmem"
 	"repro/internal/ptm"
@@ -66,6 +67,7 @@ func Open(pool *pmem.Pool, opts Options) *DB {
 	if opts.Variant == 0 {
 		opts.Variant = redo.Opt
 	}
+	pool.TraceEvent(obs.KindRecoveryBegin, -1, -1, 0, 0, 0)
 	eng := redo.New(pool, redo.Config{
 		Threads:  opts.Threads,
 		RingSize: opts.RingSize,
@@ -76,6 +78,7 @@ func Open(pool *pmem.Pool, opts Options) *DB {
 	// Reject a structurally-corrupt recovered map with a typed error before
 	// running any transaction that would chase its pointers.
 	db.validate()
+	pool.TraceEvent(obs.KindRecoveryEnd, -1, -1, 0, 0, 0)
 	// Initialize the map on first open; a recovered pool already holds it.
 	db.eng.Update(0, func(m ptm.Mem) uint64 {
 		if m.Load(db.root) != 0 {

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pmem"
 )
 
@@ -110,6 +111,7 @@ func Open(pool *pmem.Pool, opts Options) *DB {
 		jrnl:  pool.Region(regionJournal),
 		table: make(map[string][]byte),
 	}
+	pool.TraceEvent(obs.KindRecoveryBegin, -1, -1, 0, 0, 0)
 	m, err := pool.PersistedHeaderCRC(slotMagic)
 	if err != nil {
 		// A torn magic pair can only arise while formatting (the pair is
@@ -132,11 +134,16 @@ func Open(pool *pmem.Pool, opts Options) *DB {
 		pool.PWBHeader(slotMagic)
 		pool.PWBHeader(slotMagicCRC)
 		pool.PSync()
+		// The magic pair must be durable — and must have been stored
+		// value-before-tag — before the commit word can exist.
+		pool.TraceEvent(obs.KindHeaderPublish, -1, -1, slotMagic, 2, 0)
 		pool.HeaderStore(slotCommit, packCommit(1, 0))
 		pool.PWBHeader(slotCommit)
 		pool.PSync()
+		pool.TraceEvent(obs.KindHeaderPublish, -1, -1, slotCommit, 1, 0)
 		db.seq = 1
 	}
+	pool.TraceEvent(obs.KindRecoveryEnd, -1, -1, 0, 0, 0)
 	return db
 }
 
@@ -206,6 +213,8 @@ func (db *DB) appendWAL(op uint64, key, val []byte) {
 		}
 		r.FlushRange(firstPage, pagesLen)
 		r.PFence()
+		// A -sync append promises the whole page span durable on return.
+		db.pool.TraceEvent(obs.KindPublish, -1, r.Index(), firstPage, pagesLen, obs.PubWAL)
 	}
 	write(db.jrnl) // journal commit first…
 	write(db.wal)  // …then the in-place WAL record
@@ -261,12 +270,16 @@ func (db *DB) checkpoint() {
 	}
 	db.ckpt.FlushRange(0, w)
 	db.ckpt.PFence()
+	// The checkpoint image [0, w) — w is data-dependent — must be durable
+	// before the commit word names it.
+	db.pool.TraceEvent(obs.KindPublish, -1, db.ckpt.Index(), 0, w, obs.PubHeap)
 	// New WAL era: old records are invalidated by the era bump, committed
 	// in the same 8-byte atomic word as the checkpoint length.
 	db.seq++
 	db.pool.HeaderStore(slotCommit, packCommit(db.seq, w))
 	db.pool.PWBHeader(slotCommit)
 	db.pool.PSync()
+	db.pool.TraceEvent(obs.KindHeaderPublish, -1, -1, slotCommit, 1, 0)
 	db.walAt = 0
 	db.checkpoints++
 }
@@ -289,11 +302,13 @@ func (db *DB) recover() {
 		db.pool.HeaderStore(slotCommit, packCommit(1, 0))
 		db.pool.PWBHeader(slotCommit)
 		db.pool.PSync()
+		db.pool.TraceEvent(obs.KindHeaderPublish, -1, -1, slotCommit, 1, 0)
 		return
 	}
 	db.seq = era
 	db.loadCheckpoint(ckptLen)
 	// Replay the WAL of the current era up to the first invalid record.
+	db.pool.TraceEvent(obs.KindReplayBegin, -1, regionWAL, 0, 0, era)
 	at := uint64(0)
 	for at+5 <= db.wal.Words() {
 		if db.wal.Load(at) != db.seq {
@@ -331,6 +346,7 @@ func (db *DB) recover() {
 		}
 		at += need
 	}
+	db.pool.TraceEvent(obs.KindReplayEnd, -1, regionWAL, 0, at, era)
 	db.checkpoint()
 	db.checkpoints-- // recovery flushes don't count as workload checkpoints
 }

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/palloc"
 	"repro/internal/pmem"
 	"repro/internal/ptm"
@@ -78,6 +79,7 @@ func New(pool *pmem.Pool, cfg Config) *Romulus {
 	r := &Romulus{cfg: cfg, pool: pool}
 	r.inst[0], r.inst[1] = pool.Region(0), pool.Region(1)
 	r.ri[0], r.ri[1] = rwlock.New(cfg.Threads), rwlock.New(cfg.Threads)
+	pool.TraceEvent(obs.KindRecoveryBegin, -1, -1, 0, 0, 0)
 	hdr := pool.PersistedHeader(headerSlot)
 	if hdr&1 != 0 {
 		r.recover(hdr)
@@ -85,13 +87,17 @@ func New(pool *pmem.Pool, cfg Config) *Romulus {
 		palloc.Format(rawMem{r.inst[0]}, pool.RegionWords())
 		r.inst[0].FlushRange(0, palloc.HeapStart())
 		r.inst[0].PFence()
+		pool.TraceEvent(obs.KindPublish, -1, 0, 0, palloc.HeapStart(), obs.PubHeap)
 		r.inst[1].CopyFrom(r.inst[0], palloc.HeapStart())
 		r.inst[1].FlushRange(0, palloc.HeapStart())
 		r.inst[1].PFence()
+		pool.TraceEvent(obs.KindPublish, -1, 1, 0, palloc.HeapStart(), obs.PubHeap)
 		pool.HeaderStore(headerSlot, packHdr(phaseIdle, 0))
 		pool.PWBHeader(headerSlot)
 		pool.PSync()
+		pool.TraceEvent(obs.KindHeaderPublish, -1, -1, headerSlot, 1, 0)
 	}
+	pool.TraceEvent(obs.KindRecoveryEnd, -1, -1, 0, 0, 0)
 	return r
 }
 
@@ -105,11 +111,14 @@ func (r *Romulus) recover(hdr uint64) {
 		dst.CopyFrom(src, used)
 		dst.FlushRange(0, used)
 		dst.PFence()
+		// used is the fresh side's runtime high-water mark.
+		r.pool.TraceEvent(obs.KindPublish, -1, dst.Index(), 0, used, obs.PubHeap)
 	}
 	r.lr.Store(int32(fresh))
 	r.pool.HeaderStore(headerSlot, packHdr(phaseIdle, fresh))
 	r.pool.PWBHeader(headerSlot)
 	r.pool.PSync()
+	r.pool.TraceEvent(obs.KindHeaderPublish, -1, -1, headerSlot, 1, 0)
 }
 
 // MaxThreads implements ptm.PTM.
@@ -143,6 +152,7 @@ func (r *Romulus) Update(tid int, fn func(ptm.Mem) uint64) uint64 {
 	r.pool.HeaderStore(headerSlot, packHdr(phaseMutating, readSide))
 	r.pool.PWBHeader(headerSlot)
 	r.pool.PSync()
+	r.pool.TraceEvent(obs.KindHeaderPublish, tid, -1, headerSlot, 1, 0)
 	// 2. Run in place on the write side.
 	lambdaStart := now(r.cfg.Profile)
 	res := fn(txMem{r: r, region: w})
@@ -150,10 +160,18 @@ func (r *Romulus) Update(tid int, fn func(ptm.Mem) uint64) uint64 {
 	flushStart := now(r.cfg.Profile)
 	flushLines(w, r.dirty)
 	w.PFence()
+	if r.pool.Traced() {
+		// The write side's full used heap is durable here: this round's
+		// stores were just flushed and fenced, and every earlier round's
+		// patch onto this side was fenced when it was applied.
+		r.pool.TraceEvent(obs.KindPublish, tid, w.Index(),
+			0, palloc.UsedWords(rawMem{w}), obs.PubHeap)
+	}
 	// 3. Commit: the write side is now the fresh one.
 	r.pool.HeaderStore(headerSlot, packHdr(phaseCopying, writeSide))
 	r.pool.PWBHeader(headerSlot)
 	r.pool.PSync()
+	r.pool.TraceEvent(obs.KindHeaderPublish, tid, -1, headerSlot, 1, 0)
 	r.cfg.Profile.AddFlush(since(r.cfg.Profile, flushStart))
 	// 4. Move readers over and patch the old side.
 	r.lr.Store(int32(writeSide))
@@ -169,6 +187,10 @@ func (r *Romulus) Update(tid int, fn func(ptm.Mem) uint64) uint64 {
 	}
 	flushLines(old, r.dirty)
 	old.PFence()
+	if r.pool.Traced() {
+		r.pool.TraceEvent(obs.KindPublish, tid, old.Index(),
+			0, palloc.UsedWords(rawMem{old}), obs.PubHeap)
+	}
 	r.cfg.Profile.AddCopy(since(r.cfg.Profile, copyStart))
 	// Deferred durability of the IDLE marker: the next transaction's
 	// first psync covers it, and recovery from COPYING is idempotent.

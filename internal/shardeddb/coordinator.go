@@ -3,6 +3,7 @@ package shardeddb
 import (
 	"encoding/binary"
 
+	"repro/internal/obs"
 	"repro/internal/pmem"
 )
 
@@ -155,9 +156,15 @@ func (db *DB) publishIntent(seq uint64, payload []byte) {
 	db.coord.PWB(coordLen)
 	db.coord.PWB(coordCRC)
 	db.coord.PFence()
+	// The intent record — header words plus a payload whose length only
+	// this execution knows — must be durable before status can flip.
+	db.group.Pool(0).TraceEvent(obs.KindPublish, -1, db.coord.Index(),
+		coordSeq, coordPayload+uint64(len(words))-coordSeq, obs.PubIntent)
 	db.coord.Store(coordStatus, 1)
 	db.coord.PWB(coordStatus)
 	db.coord.PFence()
+	db.group.Pool(0).TraceEvent(obs.KindIntentPublish, -1, db.coord.Index(),
+		coordStatus, 1, seq)
 }
 
 // completeIntent durably retires the intent after every shard has applied
@@ -172,6 +179,8 @@ func (db *DB) completeIntent(seq uint64) {
 	db.coord.Store(coordStatus, 0)
 	db.coord.PWB(coordStatus)
 	db.coord.PFence()
+	db.group.Pool(0).TraceEvent(obs.KindPublish, -1, db.coord.Index(),
+		coordLast, coordStatus-coordLast+1, obs.PubStatus)
 }
 
 // recoverIntent replays or discards a batch intent that survived a crash,
@@ -221,6 +230,7 @@ func (db *DB) recoverIntent() {
 					panic(pmem.Corruptf("shardeddb", "shard %d tag %d ahead of open intent %d", i, tag, seq))
 				}
 			}
+			db.group.Pool(0).TraceEvent(obs.KindRollForward, -1, db.coord.Index(), 0, 0, seq)
 			db.applyBySub(decodeBatch(buf), seq, tags)
 			if seq > maxSeq {
 				maxSeq = seq

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core/redo"
+	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/redodb"
 )
@@ -117,6 +118,7 @@ func Open(g *pmem.Group, opts Options) *DB {
 		opts.Threads = 1
 	}
 	db := &DB{group: g, coord: g.Pool(0).Region(0)}
+	g.Pool(0).TraceEvent(obs.KindRecoveryBegin, -1, -1, 0, 0, 0)
 	db.shards = make([]*redodb.DB, g.Len()-1)
 	for i := range db.shards {
 		db.shards[i] = redodb.Open(g.Pool(i+1), redodb.Options{
@@ -127,6 +129,7 @@ func Open(g *pmem.Group, opts Options) *DB {
 		})
 	}
 	db.recoverIntent()
+	g.Pool(0).TraceEvent(obs.KindRecoveryEnd, -1, -1, 0, 0, 0)
 	return db
 }
 
