@@ -29,3 +29,10 @@ go test -race -run 'TestTraceStatsParity/redodb$' ./internal/chaos
 # 30 s; the output file is checked in so reviewers can diff the trajectory
 # across PRs (BENCH_pr3.json holds the pre-latency trajectory).
 go run ./cmd/dbbench -json BENCH_pr4.json -shards 1,8 -keys 10000 -secs 0.25 -threads 4
+
+# Value-size sweep (PR 5): fillrandom pwbs/tx and allocs/op on the bulk-store
+# path vs the per-word ablation at 64 B / 256 B / 1 KiB values, plus the
+# zero-allocation GetAppend readrandom cells. TestBenchPR5Trajectory asserts
+# the checked-in file's invariants (bulk pwbs/tx at 1 KiB >= 2x lower than
+# word, GetAppend allocation-free).
+go run ./cmd/dbbench -json BENCH_pr5.json -valuesize 64,256,1024 -keys 5000 -secs 0.25 -threads 4

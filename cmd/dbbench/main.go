@@ -8,6 +8,7 @@
 //	dbbench -fig fig9 -threads 1,2,4,8
 //	dbbench -fig sharding -shards 1,2,4,8
 //	dbbench -json BENCH_pr4.json -shards 1,8 -keys 10000 -secs 0.25
+//	dbbench -json BENCH_pr5.json -valuesize 64,256,1024 -keys 5000 -secs 0.25
 //	dbbench -trace trace.json -engine Redo-PTM -ops 64
 //
 // -trace runs a bounded single-threaded workload on one PTM engine with
@@ -39,6 +40,7 @@ func main() {
 		secs     = flag.Float64("secs", 1.0, "seconds per data point (paper: 20)")
 		optane   = flag.Bool("optane", true, "inject Optane-like pwb/fence latencies")
 		shards   = flag.String("shards", "1,2,4,8", "comma-separated shard counts for the sharding figure")
+		vsizes   = flag.String("valuesize", "", "comma-separated value sizes in bytes: run the bulk-vs-word fillrandom sweep instead of the sharding cells (with -json)")
 		jsonPath = flag.String("json", "", "write tracked sharded-bench entries to this file and exit")
 		trace    = flag.String("trace", "", "write a traced engine run to this file and exit")
 		engine   = flag.String("engine", "Redo-PTM", "PTM engine for -trace (see ptmbench for names)")
@@ -88,9 +90,19 @@ func main() {
 	ts := parseInts(*threads, "thread count")
 	sh := parseInts(*shards, "shard count")
 	// Size regions for ~40 words per pair plus headroom; WAL/journal and
-	// checkpoint regions use the same size.
+	// checkpoint regions use the same size. The value-size sweep needs
+	// room for its largest payload (power-of-two size classes double the
+	// worst case) instead of the default 100-byte values.
+	perKey := uint64(64)
+	if *vsizes != "" {
+		for _, v := range parseInts(*vsizes, "value size") {
+			if need := uint64(v)/8*4 + 64; need > perKey {
+				perKey = need
+			}
+		}
+	}
 	words := uint64(1) << 16
-	for words < *keys*64+(1<<16) {
+	for words < *keys*perKey+(1<<16) {
 		words *= 2
 	}
 	cfg := bench.DBConfig{
@@ -104,10 +116,17 @@ func main() {
 		cfg.Lat = pmem.DefaultOptane
 	}
 	if *jsonPath != "" {
-		// Tracked-benchmark mode: measure the sharded front-end at each
-		// shard count and persist the trajectory file; threads is the max
-		// of -threads so CI runs stay one bounded cell per workload.
-		entries := bench.ShardingEntries(cfg, sh, ts[len(ts)-1])
+		// Tracked-benchmark mode: persist a trajectory file. With
+		// -valuesize, the cells are the bulk-vs-word payload sweep;
+		// otherwise the sharded front-end at each shard count. threads is
+		// the max of -threads so CI runs stay one bounded cell per
+		// workload.
+		var entries []bench.BenchEntry
+		if *vsizes != "" {
+			entries = bench.ValueSizeEntries(cfg, parseInts(*vsizes, "value size"), ts[len(ts)-1])
+		} else {
+			entries = bench.ShardingEntries(cfg, sh, ts[len(ts)-1])
+		}
 		if err := bench.WriteBenchJSON(*jsonPath, entries); err != nil {
 			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
 			os.Exit(1)

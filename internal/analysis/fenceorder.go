@@ -372,6 +372,11 @@ func (fo *fenceOrder) call(call *ast.CallExpr, st *fenceState) {
 	switch recvKind + "." + name {
 	case "Region.Store":
 		fo.markDirty(st, recv, arg(0), call.Pos())
+	case "Region.StoreWords":
+		// An aggregated store dirties the whole line range rooted at its
+		// base address; it owes the same write-back before the next fence
+		// as a store loop over the range would.
+		fo.markDirty(st, recv, arg(0), call.Pos())
 	case "Region.CopyFrom":
 		fo.markDirty(st, recv, bulkAddr, call.Pos())
 	case "Region.NTStoreLine", "Region.NTCopyFrom":

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -223,9 +224,17 @@ func (l *Loader) parseDir(dir string, skipBase bool) (base, inTest, xTest []*ast
 	}
 	names := make([]string, 0, len(ents))
 	for _, e := range ents {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasPrefix(e.Name(), ".") {
-			names = append(names, e.Name())
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasPrefix(e.Name(), ".") {
+			continue
 		}
+		// Honor build constraints (//go:build lines and GOOS/GOARCH file
+		// suffixes) under the default build context, exactly like the go
+		// tool: a `//go:build race` file and its `!race` twin must not be
+		// type-checked into the same unit.
+		if ok, err := build.Default.MatchFile(dir, e.Name()); err != nil || !ok {
+			continue
+		}
+		names = append(names, e.Name())
 	}
 	sort.Strings(names)
 	for _, name := range names {

@@ -40,6 +40,14 @@ func globalFenceSeesAllRegions(a, b *pmem.Region, p *pmem.Pool) {
 	p.PFenceGlobal() // want `unflushed Store\(16\)`
 }
 
+// bulkStoreWithoutPWB: an aggregated StoreWords dirties the line range at
+// its base address exactly like a store loop would — fencing without a
+// write-back loses the whole payload.
+func bulkStoreWithoutPWB(r *pmem.Region, words []uint64) {
+	r.StoreWords(8, words)
+	r.PFence() // want `unflushed Store\(8\)`
+}
+
 // --- negative cases ---------------------------------------------------------
 
 func storeFlushedThenFenced(r *pmem.Region) {
@@ -65,6 +73,31 @@ func flushRangeCoversCopy(dst, src *pmem.Region) {
 
 func nonTemporalNeedsNoFlush(r *pmem.Region, words []uint64) {
 	r.NTStoreLine(0, words)
+	r.PFence()
+}
+
+// bulkStoreFlushed: a pwb rooted at the same base term covers the bulk
+// store's line range (the partial-line path of the redo bulk apply).
+func bulkStoreFlushed(r *pmem.Region, words []uint64, base uint64) {
+	r.StoreWords(base, words)
+	r.PWB(base)
+	r.PFence()
+}
+
+// bulkStoreFlushRangeCovers: FlushRange covers an aggregated store the same
+// way it covers a CopyFrom.
+func bulkStoreFlushRangeCovers(r *pmem.Region, words []uint64) {
+	r.StoreWords(64, words)
+	r.FlushRange(64, uint64(len(words)))
+	r.PFence()
+}
+
+// bulkStoreThenNTLines mirrors redo's applyBulk: partial head stored and
+// flushed, full lines non-temporal, one trailing fence orders both.
+func bulkStoreThenNTLines(r *pmem.Region, head, line []uint64, base uint64) {
+	r.StoreWords(base, head)
+	r.PWB(base)
+	r.NTStoreLine(8, line)
 	r.PFence()
 }
 

@@ -106,6 +106,12 @@ type BenchEntry struct {
 	// trajectory tracks tail behavior alongside the instruction parity.
 	P50Ns int64 `json:"p50_ns"`
 	P99Ns int64 `json:"p99_ns"`
+	// Value-size sweep fields (PR 5). ValueSize is the payload size in
+	// bytes; Path is "bulk" (aggregated stores) or "word" (the per-word
+	// ablation); AllocsPerOp is heap allocations per operation.
+	ValueSize   int     `json:"value_size,omitempty"`
+	Path        string  `json:"path,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
 // ShardingEntries runs the tracked-benchmark cells: fillrandom and

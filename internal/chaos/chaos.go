@@ -38,9 +38,22 @@ func Engines() []string {
 	return []string{
 		"RedoOpt-PTM", "RedoTimed-PTM", "Redo-PTM",
 		"CX-PTM", "CX-PUC", "OneFile", "RomulusLR", "PSim-CoW", "PMDK",
-		"ONLL", "redodb", "rockssim",
+		"ONLL", "redodb", "redodb-bulkval", "rockssim",
 		"shardeddb-1", "shardeddb-2", "shardeddb-8",
 	}
+}
+
+// bulkVal renders the redodb-bulkval workload's value for key i: a
+// deterministic pattern whose length varies from 1 byte to a few cache
+// lines, so the sweep hits aligned and unaligned bulk records, partial
+// head/tail lines and whole non-temporal lines.
+func bulkVal(i int) []byte {
+	n := 1 + (i*37)%240
+	v := make([]byte, n)
+	for j := range v {
+		v[j] = byte(i + j*13)
+	}
+	return v
 }
 
 // shardsOf reports the shard count of a "shardeddb-K" engine name, or 0.
@@ -119,6 +132,38 @@ func NewRunner(name string) (*Runner, error) {
 		}, nil
 	}
 	switch name {
+	case "redodb-bulkval":
+		// Same store as "redodb" but with multi-line variable-length
+		// values: every insert is an aggregated bulk log record, so the
+		// sweeps exercise bulk replay, range undo and the non-temporal
+		// full-line path at every crash point.
+		var s *redodb.Session
+		return &Runner{
+			Fresh: func(g *pmem.Group) {
+				s = redodb.Open(g.Pool(0), redodb.Options{Threads: 1}).Session(0)
+			},
+			Insert: func(i int) {
+				s.Put([]byte(fmt.Sprintf("k%03d", i)), bulkVal(i))
+			},
+			Verify: func(completed, n int) error {
+				for i := 0; i < completed; i++ {
+					v, ok := s.Get([]byte(fmt.Sprintf("k%03d", i)))
+					if !ok {
+						return fmt.Errorf("completed put %d lost", i)
+					}
+					want := bulkVal(i)
+					if len(v) != len(want) {
+						return fmt.Errorf("put %d recovered %d bytes, want %d", i, len(v), len(want))
+					}
+					for j := range v {
+						if v[j] != want[j] {
+							return fmt.Errorf("put %d corrupt at byte %d", i, j)
+						}
+					}
+				}
+				return nil
+			},
+		}, nil
 	case "redodb":
 		var s *redodb.Session
 		return &Runner{
@@ -280,7 +325,7 @@ func StaleRangesFor(name string) (func(*pmem.Group) []pmem.GroupRange, error) {
 		return onPool(pmdk.StaleRanges), nil
 	case "ONLL":
 		return onPool(onll.StaleRanges), nil
-	case "redodb":
+	case "redodb", "redodb-bulkval":
 		return onPool(redodb.StaleRanges), nil
 	case "rockssim":
 		return onPool(rockssim.StaleRanges), nil

@@ -69,6 +69,15 @@ func TestTraceStatsParity(t *testing.T) {
 			if kinds[obs.KindRecoveryBegin] == 0 || kinds[obs.KindRecoveryEnd] == 0 {
 				t.Errorf("recovery phase markers missing: %v", kinds)
 			}
+			// The RedoDB family stores byte payloads through the bulk path
+			// by default (even 1-byte values: a 2-word StoreWords), so its
+			// traces must contain aggregated bulk-store events.
+			switch name {
+			case "redodb", "redodb-bulkval", "shardeddb-1", "shardeddb-2", "shardeddb-8":
+				if kinds[obs.KindBulkStore] == 0 {
+					t.Errorf("no bulk-store events — the aggregated path is not live on %s", name)
+				}
+			}
 		})
 	}
 }

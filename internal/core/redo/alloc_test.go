@@ -1,0 +1,38 @@
+package redo
+
+import (
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+)
+
+// TestTryReadAllocFree pins the optimistic read path at zero heap
+// allocations: with a pre-bound closure, TryRead reuses the per-thread
+// cached read-only view instead of boxing a fresh one per call.
+func TestTryReadAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates on the measured paths")
+	}
+	pool := pmem.New(pmem.Config{Mode: pmem.Direct, RegionWords: 1 << 13, Regions: 2})
+	e := New(pool, Config{Threads: 1, Variant: Opt})
+	addr := ptm.RootAddr(0)
+	e.Update(0, func(m ptm.Mem) uint64 { m.Store(addr, 42); return 0 })
+	fn := func(m ptm.Mem) uint64 { return m.Load(addr) }
+	misses := 0
+	if a := testing.AllocsPerRun(500, func() {
+		res, ok := e.TryRead(0, fn)
+		if !ok {
+			misses++
+			return
+		}
+		if res != 42 {
+			t.Fatalf("TryRead = %d, want 42", res)
+		}
+	}); a != 0 {
+		t.Errorf("TryRead: %.1f allocs/op, want 0", a)
+	}
+	if misses > 0 {
+		t.Errorf("uncontended TryRead missed %d times", misses)
+	}
+}

@@ -1,0 +1,146 @@
+package redo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+)
+
+// TestBulkWordEquivalence is the property test behind the bulk fast path:
+// the same sequence of word and bulk stores — fuzzed sizes and offsets, with
+// aggregated word stores interleaved before and after each bulk record to
+// exercise the aggregation-slot eviction — must leave the Bulk engine's heap
+// word-for-word identical to the per-word ablation's.
+func TestBulkWordEquivalence(t *testing.T) {
+	mk := func(bulk bool) *Redo {
+		feat := Features{Funnel: true, StoreAgg: true, DeferFlush: true, NTCopy: true, Bulk: bulk}
+		pool := pmem.New(pmem.Config{Mode: pmem.Direct, RegionWords: 1 << 13, Regions: 2})
+		return New(pool, Config{Threads: 1, Variant: Opt, Features: &feat})
+	}
+	eb, ew := mk(true), mk(false)
+	const span = 2048
+	var base uint64
+	for _, e := range []*Redo{eb, ew} {
+		b := e.Update(0, func(m ptm.Mem) uint64 { return m.Alloc(span) })
+		if base == 0 {
+			base = b
+		} else if b != base {
+			t.Fatalf("allocators diverged: %d vs %d", b, base)
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	sizes := []int{0, 1, 7, 8, 9, 63, 64, 65, 100, 128, 511, 512, 1000}
+	bufB, bufW := make([]uint64, span), make([]uint64, span)
+	for step, n := range sizes {
+		off := uint64(rng.Intn(span - n + 1))
+		words := make([]uint64, n)
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		addr := base + off
+		extra := base + uint64(rng.Intn(span))
+		for _, e := range []*Redo{eb, ew} {
+			e.Update(0, func(m ptm.Mem) uint64 {
+				// A word store inside the covered range first, so the bulk
+				// record must evict its aggregation slot...
+				m.Store(addr, ^uint64(step))
+				ptm.StoreWords(m, addr, words)
+				// ...and a store after it, which must win over the record.
+				m.Store(extra, uint64(step)*0x9e3779b9)
+				return 0
+			})
+		}
+		for _, p := range []struct {
+			e   *Redo
+			buf []uint64
+		}{{eb, bufB}, {ew, bufW}} {
+			p.e.Read(0, func(m ptm.Mem) uint64 {
+				ptm.LoadWords(m, base, p.buf)
+				return 0
+			})
+		}
+		for i := range bufB {
+			if bufB[i] != bufW[i] {
+				t.Fatalf("step %d (n=%d off=%d): heaps diverge at word %d: bulk %#x, word %#x",
+					step, n, off, i, bufB[i], bufW[i])
+			}
+		}
+	}
+}
+
+// TestBulkCrashSweep sweeps the power-failure instant across a workload of
+// multi-line bulk stores under the strict-mode injector: every recovered
+// payload must be entirely present or entirely absent (the bulk record's
+// single-publication atomicity), and recovery itself must replay aggregated
+// records and their range undo correctly at every crash point.
+func TestBulkCrashSweep(t *testing.T) {
+	const n = 10
+	const slot = 128 // words reserved per payload
+	payload := func(k int) []uint64 {
+		w := make([]uint64, 1+(k*29)%90)
+		for j := range w {
+			w[j] = uint64(k)<<32 | uint64(j)
+		}
+		return w
+	}
+	for fail := int64(1); ; fail += 13 {
+		pool := pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 14, Regions: 2})
+		completed := 0
+		crashed := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if r != pmem.ErrSimulatedPowerFailure {
+						panic(r)
+					}
+					crashed = true
+				}
+				pool.InjectFailure(-1)
+			}()
+			e := New(pool, Config{Threads: 1, Variant: Opt})
+			e.Update(0, func(m ptm.Mem) uint64 {
+				m.Store(ptm.RootAddr(0), m.Alloc(n*slot))
+				m.Store(ptm.RootAddr(1), 0)
+				return 0
+			})
+			pool.InjectFailure(fail)
+			for k := 0; k < n; k++ {
+				e.Update(0, func(m ptm.Mem) uint64 {
+					base := m.Load(ptm.RootAddr(0))
+					ptm.StoreWords(m, base+uint64(k*slot), payload(k))
+					m.Store(ptm.RootAddr(1), uint64(k)+1)
+					return 0
+				})
+				completed++
+			}
+		}()
+		if !crashed {
+			if completed != n {
+				t.Fatalf("no crash but %d/%d completed", completed, n)
+			}
+			break
+		}
+		pool.Crash(pmem.CrashConservative, nil)
+		e := New(pool, Config{Threads: 1, Variant: Opt})
+		count := e.Read(0, func(m ptm.Mem) uint64 { return m.Load(ptm.RootAddr(1)) })
+		if count < uint64(completed) || count > n {
+			t.Fatalf("fail=%d: recovered count %d, completed %d", fail, count, completed)
+		}
+		for k := 0; k < int(count); k++ {
+			want := payload(k)
+			got := make([]uint64, len(want))
+			e.Read(0, func(m ptm.Mem) uint64 {
+				ptm.LoadWords(m, m.Load(ptm.RootAddr(0))+uint64(k*slot), got)
+				return 0
+			})
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("fail=%d: payload %d torn at word %d: %#x want %#x",
+						fail, k, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}

@@ -1,7 +1,7 @@
 package redo
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/palloc"
 	"repro/internal/pmem"
@@ -25,11 +25,11 @@ type redoMem struct {
 // EmitBytes implements the optional byte-result channel (ptm.EmitBytes):
 // the executor writes its own outbox row; the owner reads it after the
 // committed state identifies this executor.
-func (m redoMem) EmitBytes(b []byte) { m.e.outbox[m.exec][m.owner] = b }
+func (m *redoMem) EmitBytes(b []byte) { m.e.outbox[m.exec][m.owner] = b }
 
-func (m redoMem) Load(addr uint64) uint64 { return m.comb.region.Load(addr) }
+func (m *redoMem) Load(addr uint64) uint64 { return m.comb.region.Load(addr) }
 
-func (m redoMem) Store(addr, val uint64) {
+func (m *redoMem) Store(addr, val uint64) {
 	if m.e.feat.StoreAgg {
 		if pos, ok := m.st.aggr[addr]; ok {
 			// Store aggregation: overwrite the redo value in place;
@@ -53,8 +53,43 @@ func (m redoMem) Store(addr, val uint64) {
 	}
 }
 
-func (m redoMem) Alloc(words uint64) uint64 { return palloc.Alloc(m, words) }
-func (m redoMem) Free(addr uint64)          { palloc.Free(m, addr) }
+func (m *redoMem) Alloc(words uint64) uint64 { return palloc.Alloc(m, words) }
+func (m *redoMem) Free(addr uint64)          { palloc.Free(m, addr) }
+
+// StoreWords implements ptm.BulkMem: a whole payload logged as one
+// aggregated record and applied to the replica with full cache lines going
+// through non-temporal stores. Without the Bulk feature it degrades to the
+// exact per-word Store loop, so the word-path ablation measures the same
+// construction minus this optimization.
+func (m *redoMem) StoreWords(addr uint64, words []uint64) {
+	n := len(words)
+	if !m.e.feat.Bulk || n == 0 {
+		for i, w := range words {
+			m.Store(addr+uint64(i), w)
+		}
+		return
+	}
+	c := m.comb
+	// Undo: one range snapshot of the pre-transaction content.
+	old := c.bulkBuf(uint64(n))
+	c.region.LoadWords(addr, old)
+	if m.e.feat.StoreAgg && len(m.st.aggr) > 0 {
+		// A bulk record replays after any earlier word entry, so an
+		// aggregation slot inside the covered range would let a *later*
+		// word store update the earlier entry and lose to this record.
+		// Drop the covered slots; later stores append fresh entries.
+		for i := 0; i < n; i++ {
+			delete(m.st.aggr, addr+uint64(i))
+		}
+	}
+	m.st.appendBulk(addr, words, old)
+	c.applyBulk(addr, words)
+}
+
+// LoadWords implements ptm.BulkMem.
+func (m *redoMem) LoadWords(addr uint64, dst []uint64) {
+	m.comb.region.LoadWords(addr, dst)
+}
 
 // roMem is the read-only view handed to read transactions (both the
 // optimistic shared-lock path and read closures executed by an updater on
@@ -80,6 +115,17 @@ func (m roMem) Free(addr uint64) {
 	panic("redo: Free inside a read-only transaction")
 }
 
+// StoreWords implements ptm.BulkMem (so byte-string reads take the bulk
+// load path); storing is a caller bug like Store.
+func (m roMem) StoreWords(addr uint64, words []uint64) {
+	panic("redo: StoreWords inside a read-only transaction")
+}
+
+// LoadWords implements ptm.BulkMem.
+func (m roMem) LoadWords(addr uint64, dst []uint64) {
+	m.region.LoadWords(addr, dst)
+}
+
 // directMem gives raw access for allocator formatting and metadata reads.
 type directMem struct {
 	region *pmem.Region
@@ -88,10 +134,14 @@ type directMem struct {
 func (m directMem) Load(addr uint64) uint64 { return m.region.Load(addr) }
 func (m directMem) Store(addr, val uint64)  { m.region.Store(addr, val) }
 
-// runDesc executes an announced operation with the appropriate view.
-func runDesc(d *reqDesc, rm redoMem) uint64 {
+// runDesc executes an announced operation with the appropriate view. Both
+// views are cached per executing thread, so handing one to the closure boxes
+// a pointer instead of allocating.
+func runDesc(d *reqDesc, rm *redoMem) uint64 {
 	if d.readOnly {
-		return d.fn(roMem{region: rm.comb.region, e: rm.e, exec: rm.exec, owner: rm.owner})
+		ro := rm.e.rox[rm.exec]
+		*ro = roMem{region: rm.comb.region, e: rm.e, exec: rm.exec, owner: rm.owner}
+		return d.fn(ro)
 	}
 	return d.fn(rm)
 }
@@ -102,9 +152,10 @@ func usedWords(region *pmem.Region) uint64 {
 }
 
 // flushLines issues one pwb per distinct deferred dirty line and resets the
-// list ("flush aggregation").
+// list ("flush aggregation"). slices.Sort rather than sort.Slice: the
+// reflection-based comparator costs two heap allocations per commit.
 func flushLines(c *combined) {
-	sort.Slice(c.dirty, func(i, j int) bool { return c.dirty[i] < c.dirty[j] })
+	slices.Sort(c.dirty)
 	var last uint64 = ^uint64(0)
 	for _, line := range c.dirty {
 		if line != last {

@@ -75,12 +75,63 @@ type combined struct {
 	// Deferred-flush bookkeeping, touched only under exclusive hold.
 	dirty    []uint64 // cache lines awaiting pwb (Opt)
 	flushAll bool     // whole used heap must be flushed (after plain copy)
+	scratch  []uint64 // reusable word buffer for bulk records
 }
 
 // track registers a deferred pwb for the line containing addr (Opt).
 func (c *combined) track(addr uint64) {
 	if !c.flushAll {
 		c.dirty = append(c.dirty, addr/pmem.WordsPerLine)
+	}
+}
+
+// trackRange registers deferred pwbs for every line overlapping [lo, hi) —
+// line-granular tracking for a bulk store, one entry per line instead of one
+// per word.
+func (c *combined) trackRange(lo, hi uint64) {
+	if c.flushAll || lo >= hi {
+		return
+	}
+	for line := lo / pmem.WordsPerLine; line <= (hi-1)/pmem.WordsPerLine; line++ {
+		c.dirty = append(c.dirty, line)
+	}
+}
+
+// bulkBuf returns a reusable length-n word buffer. Only the exclusive holder
+// of the replica (simulation, replay, undo) calls it, and never with two
+// live buffers at once.
+func (c *combined) bulkBuf(n uint64) []uint64 {
+	if uint64(cap(c.scratch)) < n {
+		c.scratch = make([]uint64, n)
+	}
+	return c.scratch[:n]
+}
+
+// applyBulk writes a bulk payload into the replica: full cache lines go
+// through non-temporal line stores (durable after the commit fence, no pwb
+// owed), partial head/tail lines through one aggregated store plus
+// line-granular dirty tracking. Only reachable with feat.Bulk, which implies
+// deferred flushing.
+func (c *combined) applyBulk(addr uint64, words []uint64) {
+	end := addr + uint64(len(words))
+	firstFull := (addr + pmem.WordsPerLine - 1) / pmem.WordsPerLine * pmem.WordsPerLine
+	lastFull := end / pmem.WordsPerLine * pmem.WordsPerLine
+	if firstFull >= lastFull {
+		// The payload never covers a whole line.
+		c.region.StoreWords(addr, words)
+		c.trackRange(addr, end)
+		return
+	}
+	if addr < firstFull {
+		c.region.StoreWords(addr, words[:firstFull-addr])
+		c.trackRange(addr, firstFull)
+	}
+	for a := firstFull; a < lastFull; a += pmem.WordsPerLine {
+		c.region.NTStoreLine(a, words[a-addr:a-addr+pmem.WordsPerLine])
+	}
+	if lastFull < end {
+		c.region.StoreWords(lastFull, words[lastFull-addr:])
+		c.trackRange(lastFull, end)
 	}
 }
 
@@ -101,6 +152,11 @@ type Features struct {
 	// NTCopy rebuilds replicas with non-temporal stores ("copy using
 	// ntstore"), avoiding the whole-heap flush after a copy.
 	NTCopy bool
+	// Bulk logs a whole byte payload as one aggregated record and applies
+	// full cache lines with non-temporal stores, shrinking the commit
+	// flush set to one pwb/ntstore per line instead of one pwb per word.
+	// Implies deferred flushing.
+	Bulk bool
 }
 
 // featuresFor returns the preset for a variant.
@@ -109,7 +165,7 @@ func featuresFor(v Variant) Features {
 	case Timed:
 		return Features{Funnel: true}
 	case Opt:
-		return Features{Funnel: true, StoreAgg: true, DeferFlush: true, NTCopy: true}
+		return Features{Funnel: true, StoreAgg: true, DeferFlush: true, NTCopy: true, Bulk: true}
 	default:
 		return Features{}
 	}
@@ -157,6 +213,21 @@ type Redo struct {
 	// the committed state's ticket.
 	outbox   [][][]byte
 	lastFrom []int // per-owner: executor of the last completed operation
+
+	// Zero-allocation hot-path plumbing. ro caches one read-only view per
+	// thread so the optimistic read path avoids boxing a fresh roMem into
+	// ptm.Mem on every call; rw and rox are the executor-side equivalents
+	// for the transactional and announced-read views (every field is
+	// reassigned before each use, and only thread tid touches index tid).
+	// descs/descIdx hold each thread's small pool of reusable announcement
+	// descriptors (owner-only); hazard[tid] is the descriptor executor tid
+	// is currently helping, which an owner must not recycle (see grabDesc).
+	ro      []*roMem
+	rw      []*redoMem
+	rox     []*roMem
+	hazard  []atomic.Pointer[reqDesc]
+	descs   [][]*reqDesc
+	descIdx []int
 }
 
 // New creates a Redo engine over pool. The paper's bound needs N+1 regions;
@@ -184,8 +255,8 @@ func New(pool *pmem.Pool, cfg Config) *Redo {
 	if cfg.Features != nil {
 		feat = *cfg.Features
 	}
-	if feat.StoreAgg {
-		feat.DeferFlush = true // aggregated stores must flush at commit
+	if feat.StoreAgg || feat.Bulk {
+		feat.DeferFlush = true // aggregated/bulk stores must flush at commit
 	}
 	e := &Redo{
 		cfg:      cfg,
@@ -200,6 +271,18 @@ func New(pool *pmem.Pool, cfg Config) *Redo {
 	}
 	for i := range e.outbox {
 		e.outbox[i] = make([][]byte, cfg.Threads)
+	}
+	e.ro = make([]*roMem, cfg.Threads)
+	e.rw = make([]*redoMem, cfg.Threads)
+	e.rox = make([]*roMem, cfg.Threads)
+	e.hazard = make([]atomic.Pointer[reqDesc], cfg.Threads)
+	e.descs = make([][]*reqDesc, cfg.Threads)
+	e.descIdx = make([]int, cfg.Threads)
+	for i := 0; i < cfg.Threads; i++ {
+		e.ro[i] = &roMem{e: e, exec: i, owner: i}
+		e.rw[i] = &redoMem{}
+		e.rox[i] = &roMem{}
+		e.descs[i] = []*reqDesc{{}, {}, {}}
 	}
 	e.combs = make([]*combined, pool.Regions())
 	for i := range e.combs {
@@ -343,6 +426,51 @@ func (e *Redo) ensurePersisted(tid int, seq uint64) {
 	}
 }
 
+// grabDesc returns a descriptor tid may safely mutate for its next
+// announcement: not the currently published one, and not hazard-pinned by
+// any executor. Steady state rotates the thread's three pre-allocated
+// descriptors without allocating; when a slow helper still pins a retired
+// descriptor, a fresh one replaces it in the pool and the pinned one is
+// abandoned to the GC once the helper drops it. Three suffice in the common
+// case: one published, one being helped, one free.
+func (e *Redo) grabDesc(tid int) *reqDesc {
+	pool := e.descs[tid]
+	cur := e.reqs[tid].Load()
+	idx := e.descIdx[tid]
+	for k := 0; k < len(pool); k++ {
+		d := pool[(idx+k)%len(pool)]
+		if d == cur || e.hazarded(d) {
+			continue
+		}
+		e.descIdx[tid] = (idx + k + 1) % len(pool)
+		return d
+	}
+	d := &reqDesc{}
+	pool[idx] = d
+	e.descIdx[tid] = (idx + 1) % len(pool)
+	return d
+}
+
+// hazarded reports whether any executor has d hazard-pinned. An executor
+// publishes its hazard pointer *before* re-validating the announcement (see
+// the combining loop), so a pin that this scan misses belongs to a helper
+// whose validation is bound to fail — the classic hazard-pointer protocol.
+func (e *Redo) hazarded(d *reqDesc) bool {
+	for i := range e.hazard {
+		if e.hazard[i].Load() == d {
+			return true
+		}
+	}
+	return false
+}
+
+// announce publishes (fn, flag, readOnly) in a recycled descriptor.
+func (e *Redo) announce(tid int, fn func(ptm.Mem) uint64, flag, readOnly bool) {
+	d := e.grabDesc(tid)
+	d.fn, d.flag, d.readOnly = fn, flag, readOnly
+	e.reqs[tid].Store(d)
+}
+
 // helpRing publishes a committed transition ticket in the ring (the
 // memory-bounded wait-free queue), helping laggards.
 func (e *Redo) helpRing(t SeqTidIdx) {
@@ -366,7 +494,7 @@ func (e *Redo) Update(tid int, fn func(ptm.Mem) uint64) uint64 {
 	txStart := now(e.cfg.Profile)
 	flag := !e.lastFlag[tid]
 	e.lastFlag[tid] = flag
-	e.reqs[tid].Store(&reqDesc{fn: fn, flag: flag}) // {1}
+	e.announce(tid, fn, flag, false) // {1}
 	var c *combined
 	cIdx := -1
 	finish := func(res uint64) uint64 {
@@ -417,13 +545,24 @@ func (e *Redo) Update(tid int, fn func(ptm.Mem) uint64) uint64 {
 		lambdaStart := now(e.cfg.Profile)
 		for i := 0; i < e.cfg.Threads; i++ {
 			d := e.reqs[i].Load()
-			if d == nil || newSt.applied[i].Load() == d.flag {
+			if d == nil {
 				continue
 			}
-			rm := redoMem{e: e, comb: c, st: newSt, exec: tid, owner: i}
+			// Hazard-pin the descriptor before touching its fields: owners
+			// recycle retired descriptors, but only unpinned ones, and the
+			// re-validation below rejects any descriptor retired before the
+			// pin became visible to its owner's grabDesc scan.
+			e.hazard[tid].Store(d)
+			if e.reqs[i].Load() != d || newSt.applied[i].Load() == d.flag {
+				e.hazard[tid].Store(nil)
+				continue
+			}
+			rm := e.rw[tid]
+			*rm = redoMem{e: e, comb: c, st: newSt, exec: tid, owner: i}
 			newSt.results[i].Store(runDesc(d, rm))
 			newSt.from[i].Store(uint32(tid))
 			newSt.applied[i].Store(d.flag)
+			e.hazard[tid].Store(nil)
 		}
 		e.cfg.Profile.AddLambda(since(e.cfg.Profile, lambdaStart))
 		// Flush the replica and order it before publication.
@@ -470,7 +609,7 @@ func (e *Redo) Read(tid int, fn func(ptm.Mem) uint64) uint64 {
 		if i >= e.cfg.MaxReadTries && !published { // {1}
 			flag = !e.lastFlag[tid]
 			e.lastFlag[tid] = flag
-			e.reqs[tid].Store(&reqDesc{fn: fn, flag: flag, readOnly: true})
+			e.announce(tid, fn, flag, true)
 			published = true
 		}
 		if published { // {2}
@@ -487,12 +626,44 @@ func (e *Redo) Read(tid int, fn func(ptm.Mem) uint64) uint64 {
 			comb.lk.SharedUnlock(tid)
 			continue
 		}
-		res := fn(roMem{region: comb.region, e: e, exec: tid, owner: tid})
+		ro := e.ro[tid] // cached view: no interface boxing per read
+		ro.region = comb.region
+		res := fn(ro)
 		comb.lk.SharedUnlock(tid)
 		e.lastFrom[tid] = tid
 		e.ensurePersisted(tid, seqOf(curC))
 		return res
 	}
+}
+
+// TryRead runs fn as an optimistic read-only transaction on the calling
+// thread only: up to MaxReadTries shared-lock attempts, never announcing fn.
+// Because fn cannot be executed by a helper, it is free to capture and
+// mutate caller-local state (append into a reused buffer, say) — the one
+// thing announced closures must never do — and the whole path allocates
+// nothing. Returns ok=false when the shared lock could not be obtained, in
+// which case the caller falls back to the announced Read path with a
+// helper-safe closure.
+func (e *Redo) TryRead(tid int, fn func(ptm.Mem) uint64) (uint64, bool) {
+	for i := 0; i < e.cfg.MaxReadTries; i++ {
+		curC := e.curComb.Load()
+		comb := e.combs[idxOf(curC)]
+		if !comb.lk.SharedTryLock(tid) {
+			continue
+		}
+		if e.curComb.Load() != curC {
+			comb.lk.SharedUnlock(tid)
+			continue
+		}
+		ro := e.ro[tid]
+		ro.region = comb.region
+		res := fn(ro)
+		comb.lk.SharedUnlock(tid)
+		e.lastFrom[tid] = tid
+		e.ensurePersisted(tid, seqOf(curC))
+		return res, true
+	}
+	return 0, false
 }
 
 // ReadWithBytes runs fn as a read-only transaction and additionally returns
@@ -637,13 +808,33 @@ func (e *Redo) replay(tid int, c *combined, tail SeqTidIdx) bool {
 		}
 		n := st.logSize.Load()
 		ok := true
-		for pos := uint64(0); pos < n; pos++ {
+		for pos := uint64(0); pos < n; {
 			we := st.entryAt(pos)
 			if we == nil {
 				ok = false
 				break
 			}
 			addr, val := we.addr.Load(), we.val.Load()
+			if addr&bulkTag != 0 {
+				// Bulk record: header carries base and word count; the
+				// payload replays as one aggregated write. Every bound is
+				// re-checked because a reused log reads as garbage until
+				// the ticket validation below rejects it.
+				base, cnt := addr&^bulkTag, val
+				if cnt == 0 || base >= c.region.Words() ||
+					cnt > c.region.Words()-base || pos+1+cnt > n {
+					ok = false
+					break
+				}
+				buf := c.bulkBuf(cnt)
+				if !st.readPayload(pos+1, buf, false) {
+					ok = false
+					break
+				}
+				c.applyBulk(base, buf)
+				pos += 1 + cnt
+				continue
+			}
 			if addr >= c.region.Words() {
 				ok = false // torn read of a reused log
 				break
@@ -654,6 +845,7 @@ func (e *Redo) replay(tid int, c *combined, tail SeqTidIdx) bool {
 			} else {
 				c.region.PWB(addr)
 			}
+			pos++
 		}
 		// Validate the log was not reused mid-replay; if it was, the
 		// garbage written above is repaired by the copy path.
@@ -733,12 +925,32 @@ func (e *Redo) flushReplica(c *combined) {
 }
 
 // applyUndo reverts a failed simulation by replaying the undo log in
-// reverse.
+// reverse. Bulk records are variable-length and cannot be parsed backwards,
+// so the record boundaries are collected in a forward scan first; only the
+// owner calls this, on its own fully published log, so no torn-read checks
+// are needed.
 func (e *Redo) applyUndo(st *State, c *combined) {
 	n := st.logSize.Load()
-	for pos := n; pos > 0; pos-- {
-		we := st.entryAt(pos - 1)
+	var starts []uint64
+	for pos := uint64(0); pos < n; {
+		starts = append(starts, pos)
+		we := st.entryAt(pos)
+		if we.addr.Load()&bulkTag != 0 {
+			pos += 1 + we.val.Load()
+		} else {
+			pos++
+		}
+	}
+	for i := len(starts) - 1; i >= 0; i-- {
+		we := st.entryAt(starts[i])
 		addr := we.addr.Load()
+		if addr&bulkTag != 0 {
+			base, cnt := addr&^bulkTag, we.val.Load()
+			buf := c.bulkBuf(cnt)
+			st.readPayload(starts[i]+1, buf, true)
+			c.applyBulk(base, buf)
+			continue
+		}
 		c.region.Store(addr, we.old)
 		if e.feat.DeferFlush {
 			c.track(addr)

@@ -34,6 +34,14 @@ func idxOf(v SeqTidIdx) int    { return int(v) & idxMask }
 // MAXLOGSIZE), chained as in Algorithm 1's WriteSetNode.
 const logChunk = 64
 
+// bulkTag marks a log entry as the header of an aggregated bulk record (one
+// whole byte payload logged as a unit): the entry's addr field carries
+// bulkTag|base and its val field the payload word count, followed by that
+// many payload entries whose val/old fields hold the redo/undo words.
+// Region addresses are bounds-checked well below 2^63, so the tag bit can
+// never collide with a real address.
+const bulkTag = uint64(1) << 63
+
 // wsEntry is one physical-log record: the modified address, the value before
 // the transaction (undo) and the value written (redo). addr and val are read
 // by concurrent replayers under seqlock-style ticket validation, so they are
@@ -132,6 +140,20 @@ func (s *State) entryAt(pos uint64) *wsEntry {
 
 // append adds a redo/undo record and returns its position. Owner-only.
 func (s *State) append(addr, old, val uint64) uint64 {
+	e := s.nextEntry()
+	e.addr.Store(addr)
+	e.old = old
+	e.val.Store(val)
+	pos := s.logSize.Load()
+	// Publish the entry before bumping logSize so replayers never read
+	// an unwritten entry.
+	s.logSize.Store(pos + 1)
+	return pos
+}
+
+// nextEntry returns the next unwritten tail entry, growing the chunk chain
+// if needed. Owner-only; the caller publishes via logSize.
+func (s *State) nextEntry() *wsEntry {
 	if s.tailCount == logChunk {
 		next := s.logTail.next.Load()
 		if next == nil {
@@ -142,15 +164,60 @@ func (s *State) append(addr, old, val uint64) uint64 {
 		s.tailCount = 0
 	}
 	e := &s.logTail.entries[s.tailCount]
-	e.addr.Store(addr)
-	e.old = old
-	e.val.Store(val)
 	s.tailCount++
+	return e
+}
+
+// appendBulk adds one aggregated bulk record: a bulkTag-marked header entry
+// carrying the base address and word count, then len(redo) payload entries
+// whose val/old fields hold the redo and undo words (their addr fields are
+// dead — replayers derive addresses from the header). The whole record is
+// published with a single logSize bump, so concurrent replayers either see
+// it complete or not at all. Owner-only.
+func (s *State) appendBulk(base uint64, redo, undo []uint64) {
 	pos := s.logSize.Load()
-	// Publish the entry before bumping logSize so replayers never read
-	// an unwritten entry.
-	s.logSize.Store(pos + 1)
-	return pos
+	n := uint64(len(redo))
+	h := s.nextEntry()
+	h.addr.Store(bulkTag | base)
+	h.old = n
+	h.val.Store(n)
+	for i := range redo {
+		e := s.nextEntry()
+		e.old = undo[i]
+		e.val.Store(redo[i])
+	}
+	s.logSize.Store(pos + 1 + n)
+}
+
+// readPayload copies the val (redo) or old (undo) fields of the entries at
+// positions [pos, pos+len(buf)) into buf, walking the chunk chain once.
+// Returns false if the chain is shorter than expected — a torn read of a
+// log being reset for reuse; the caller's ticket validation rejects it.
+func (s *State) readPayload(pos uint64, buf []uint64, undo bool) bool {
+	node := s.logHead
+	for pos >= logChunk {
+		node = node.next.Load()
+		if node == nil {
+			return false
+		}
+		pos -= logChunk
+	}
+	for i := range buf {
+		if pos == logChunk {
+			node = node.next.Load()
+			if node == nil {
+				return false
+			}
+			pos = 0
+		}
+		if undo {
+			buf[i] = node.entries[pos].old
+		} else {
+			buf[i] = node.entries[pos].val.Load()
+		}
+		pos++
+	}
+	return true
 }
 
 // copyMetaFrom copies the consensus arrays (applied, results) from src and

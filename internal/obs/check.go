@@ -164,7 +164,7 @@ func (c *checker) report(e Event, rule, msg string) {
 func (c *checker) step(e Event) {
 	s := e.Seq + 1 // 1-based so zero means "never"
 	switch e.Kind {
-	case KindStore:
+	case KindStore, KindBulkStore:
 		c.markDirty(e, s, false)
 	case KindCopy:
 		c.markDirty(e, s, false)

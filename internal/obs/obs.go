@@ -52,6 +52,13 @@ const (
 	// successful CAS). Addr is the word offset, Len the word count (1),
 	// Arg the stored value.
 	KindStore
+	// KindBulkStore is one aggregated store of Len consecutive words at
+	// Addr (Region.StoreWords): a whole byte payload landing in a single
+	// memcpy-style write. Like KindStore it dirties the covered cache
+	// lines — each still needs a write-back (or non-temporal store) and a
+	// fence before the range is published — and like KindStore it has no
+	// StatsSnapshot counterpart, so trace/stats parity is unaffected.
+	KindBulkStore
 	// KindPWB is a persistence write-back of the cache line containing
 	// Addr.
 	KindPWB
@@ -124,6 +131,7 @@ const (
 var kindNames = [...]string{
 	KindInvalid:       "invalid",
 	KindStore:         "store",
+	KindBulkStore:     "bulk-store",
 	KindPWB:           "pwb",
 	KindPFence:        "pfence",
 	KindPFenceGlobal:  "pfence-global",

@@ -416,6 +416,36 @@ func (r *Region) Store(addr Addr, v uint64) {
 	r.pool.emit(obs.KindStore, int16(r.index), addr, 1, v)
 }
 
+// StoreWords writes len(words) consecutive words starting at addr as one
+// aggregated (memcpy-style) store. The caller must hold exclusive access.
+// Like Store, the covered cache lines still need PWB + fence (or a
+// non-temporal store) to become durable; the call counts as a single
+// persistent-memory event for failure injection and emits one
+// obs.KindBulkStore event covering the whole range, so traces of bulk
+// payloads stay compact without losing line-granular dirtiness.
+func (r *Region) StoreWords(addr Addr, words []uint64) {
+	if len(words) == 0 {
+		return
+	}
+	r.check(addr + uint64(len(words)) - 1)
+	if r.pool.mode == Strict {
+		r.pool.tick()
+	}
+	copy(r.pool.data[r.base+addr:], words)
+	r.pool.emit(obs.KindBulkStore, int16(r.index), addr, uint64(len(words)), 0)
+}
+
+// LoadWords reads len(dst) consecutive words starting at addr into dst. The
+// caller must hold exclusive or shared access per the construction's locking
+// protocol.
+func (r *Region) LoadWords(addr Addr, dst []uint64) {
+	if len(dst) == 0 {
+		return
+	}
+	r.check(addr + uint64(len(dst)) - 1)
+	copy(dst, r.pool.data[r.base+addr:r.base+addr+uint64(len(dst))])
+}
+
 // AtomicLoad reads the word at addr with sequentially consistent ordering.
 func (r *Region) AtomicLoad(addr Addr) uint64 {
 	r.check(addr)

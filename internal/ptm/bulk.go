@@ -1,0 +1,119 @@
+package ptm
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// BulkMem is the optional bulk-words extension of Mem: a construction whose
+// transactional view can log and apply a whole payload as one aggregated
+// record implements it (redo's RedoOpt view does), and the byte-string
+// helpers detect it to avoid a log record, a dirty-tracking entry and an
+// interface call per word. Semantics are exactly those of the per-word
+// loops: StoreWords(addr, w) ≡ Store(addr+i, w[i]) for each i in order, and
+// LoadWords(addr, dst) ≡ dst[i] = Load(addr+i).
+//
+// Implementations must keep the Mem determinism contract: a transaction
+// closure calling StoreWords must observe the same memory as one issuing
+// the equivalent Store loop, on every execution (owner or helper).
+type BulkMem interface {
+	// StoreWords writes len(words) consecutive words starting at addr.
+	StoreWords(addr uint64, words []uint64)
+	// LoadWords reads len(dst) consecutive words starting at addr.
+	LoadWords(addr uint64, dst []uint64)
+}
+
+// StoreWords writes words through m's bulk path when it has one, falling
+// back to one Store per word so every construction keeps working unchanged.
+func StoreWords(m Mem, addr uint64, words []uint64) {
+	if bm, ok := m.(BulkMem); ok {
+		bm.StoreWords(addr, words)
+		return
+	}
+	for i, w := range words {
+		m.Store(addr+uint64(i), w)
+	}
+}
+
+// LoadWords reads len(dst) words through m's bulk path when it has one,
+// falling back to one Load per word.
+func LoadWords(m Mem, addr uint64, dst []uint64) {
+	if bm, ok := m.(BulkMem); ok {
+		bm.LoadWords(addr, dst)
+		return
+	}
+	for i := range dst {
+		dst[i] = m.Load(addr + uint64(i))
+	}
+}
+
+// ZeroWords clears n words at addr — bucket arrays, fresh blocks — in
+// aggregated chunks when m supports them, one store per word otherwise.
+func ZeroWords(m Mem, addr, n uint64) {
+	bm, ok := m.(BulkMem)
+	if !ok {
+		for i := uint64(0); i < n; i++ {
+			m.Store(addr+i, 0)
+		}
+		return
+	}
+	var zeros [512]uint64
+	for i := uint64(0); i < n; {
+		k := n - i
+		if k > uint64(len(zeros)) {
+			k = uint64(len(zeros))
+		}
+		bm.StoreWords(addr+i, zeros[:k])
+		i += k
+	}
+}
+
+// wordScratch recycles the word buffers the byte-string helpers pack
+// payloads into before a bulk store (and out of after a bulk load). The
+// buffers are private to one helper call — obtained and returned inside it —
+// so concurrent closure executions by helper threads never share one, and
+// the steady-state hot path allocates nothing.
+var wordScratch = sync.Pool{New: func() any { b := make([]uint64, 0, 64); return &b }}
+
+// getWordScratch returns a length-n word buffer (contents unspecified).
+func getWordScratch(n int) *[]uint64 {
+	p := wordScratch.Get().(*[]uint64)
+	if cap(*p) < n {
+		*p = make([]uint64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putWordScratch(p *[]uint64) { wordScratch.Put(p) }
+
+// packWords packs b little-endian into words[0:ceil(len(b)/8)], zero-padding
+// the final partial word. len(words) must be at least ceil(len(b)/8).
+func packWords(words []uint64, b []byte) {
+	i, w := 0, 0
+	for ; i+8 <= len(b); i, w = i+8, w+1 {
+		words[w] = binary.LittleEndian.Uint64(b[i:])
+	}
+	if i < len(b) {
+		var v uint64
+		for j := 0; i+j < len(b); j++ {
+			v |= uint64(b[i+j]) << (8 * j)
+		}
+		words[w] = v
+	}
+}
+
+// appendWordBytes appends the first n bytes packed in words to dst.
+func appendWordBytes(dst []byte, words []uint64, n int) []byte {
+	i, w := 0, 0
+	for ; i+8 <= n; i, w = i+8, w+1 {
+		dst = binary.LittleEndian.AppendUint64(dst, words[w])
+	}
+	if i < n {
+		v := words[w]
+		for j := 0; i+j < n; j++ {
+			dst = append(dst, byte(v>>(8*j)))
+		}
+	}
+	return dst
+}

@@ -1,5 +1,7 @@
 package ptm
 
+import "encoding/binary"
+
 // Byte-string helpers. Persistent memory is word-granular in this model, so
 // variable-length byte strings (keys and values in RedoDB) are packed into
 // words: word 0 holds the length in bytes, followed by ceil(len/8) words of
@@ -12,8 +14,21 @@ func BytesWords(n int) uint64 {
 }
 
 // StoreBytes writes b at addr through m. The caller must have allocated at
-// least BytesWords(len(b)) words at addr.
+// least BytesWords(len(b)) words at addr. When m implements BulkMem the
+// whole payload — length word included — goes through one StoreWords call,
+// so a construction with aggregated logging pays one log record instead of
+// one per word.
 func StoreBytes(m Mem, addr uint64, b []byte) {
+	if bm, ok := m.(BulkMem); ok {
+		nw := int(BytesWords(len(b)))
+		p := getWordScratch(nw)
+		buf := *p
+		buf[0] = uint64(len(b))
+		packWords(buf[1:], b)
+		bm.StoreWords(addr, buf)
+		putWordScratch(p)
+		return
+	}
 	m.Store(addr, uint64(len(b)))
 	w := addr + 1
 	for i := 0; i < len(b); i += 8 {
@@ -29,16 +44,46 @@ func StoreBytes(m Mem, addr uint64, b []byte) {
 // LoadBytes reads a byte string previously written by StoreBytes at addr.
 func LoadBytes(m Mem, addr uint64) []byte {
 	n := m.Load(addr)
-	b := make([]byte, n)
+	return loadBytesInto(m, addr, make([]byte, 0, n), n)
+}
+
+// LoadBytesAppend reads the byte string at addr and appends it to dst,
+// returning the extended slice. With a dst of sufficient capacity and a
+// BulkMem, the read allocates nothing — the hot path behind RedoDB's
+// GetAppend.
+func LoadBytesAppend(m Mem, addr uint64, dst []byte) []byte {
+	return loadBytesInto(m, addr, dst, m.Load(addr))
+}
+
+func loadBytesInto(m Mem, addr uint64, dst []byte, n uint64) []byte {
+	if n == 0 {
+		return dst
+	}
+	if uint64(cap(dst)-len(dst)) < n {
+		// Grow once up front: letting the word-at-a-time appends below
+		// regrow the slice costs a whole chain of allocations per read.
+		grown := make([]byte, len(dst), uint64(len(dst))+n)
+		copy(grown, dst)
+		dst = grown
+	}
+	if bm, ok := m.(BulkMem); ok {
+		nw := int((n + 7) / 8)
+		p := getWordScratch(nw)
+		buf := *p
+		bm.LoadWords(addr+1, buf)
+		dst = appendWordBytes(dst, buf, int(n))
+		putWordScratch(p)
+		return dst
+	}
 	w := addr + 1
 	for i := uint64(0); i < n; i += 8 {
 		v := m.Load(w)
 		for j := uint64(0); j < 8 && i+j < n; j++ {
-			b[i+j] = byte(v >> (8 * j))
+			dst = append(dst, byte(v>>(8*j)))
 		}
 		w++
 	}
-	return b
+	return dst
 }
 
 // AllocBytes allocates space for b, writes it, and returns its address (or 0
@@ -78,6 +123,32 @@ func EmitBytes(m Mem, b []byte) {
 func BytesEqual(m Mem, addr uint64, b []byte) bool {
 	if m.Load(addr) != uint64(len(b)) {
 		return false
+	}
+	if len(b) == 0 {
+		return true
+	}
+	if bm, ok := m.(BulkMem); ok {
+		nw := (len(b) + 7) / 8
+		p := getWordScratch(nw)
+		buf := *p
+		bm.LoadWords(addr+1, buf)
+		eq := true
+		i, w := 0, 0
+		for ; i+8 <= len(b); i, w = i+8, w+1 {
+			if buf[w] != binary.LittleEndian.Uint64(b[i:]) {
+				eq = false
+				break
+			}
+		}
+		if eq && i < len(b) {
+			var v uint64
+			for j := 0; i+j < len(b); j++ {
+				v |= uint64(b[i+j]) << (8 * j)
+			}
+			eq = buf[w] == v
+		}
+		putWordScratch(p)
+		return eq
 	}
 	w := addr + 1
 	for i := 0; i < len(b); i += 8 {

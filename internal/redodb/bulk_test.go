@@ -1,0 +1,94 @@
+package redodb
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core/redo"
+	"repro/internal/pmem"
+)
+
+// bulkFeatures returns the RedoOpt feature set with the bulk-store path
+// toggled — the same pair of configurations the value-size benchmark sweeps.
+func bulkFeatures(bulk bool) *redo.Features {
+	return &redo.Features{
+		Funnel: true, StoreAgg: true, DeferFlush: true, NTCopy: true, Bulk: bulk,
+	}
+}
+
+// pwbsPerPut runs a deterministic single-threaded fillrandom-style workload
+// (distinct keys, fixed-size values) and reports the pool's pwbs per Put.
+func pwbsPerPut(t *testing.T, bulk bool, valueSize, puts int) float64 {
+	t.Helper()
+	pool := pmem.New(pmem.Config{Mode: pmem.Direct, RegionWords: 1 << 17, Regions: 2})
+	db := Open(pool, Options{Threads: 1, Features: bulkFeatures(bulk)})
+	s := db.Session(0)
+	val := make([]byte, valueSize)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	pool.ResetStats()
+	for i := 0; i < puts; i++ {
+		s.Put([]byte(fmt.Sprintf("key%06d", i)), val)
+	}
+	return float64(pool.Stats().PWBs) / float64(puts)
+}
+
+// TestBulkHalvesFlushTraffic is the live, deterministic form of the
+// BENCH_pr5.json headline: with 1 KiB values the aggregated bulk log records
+// must cut pwbs per transaction by at least 2x against the per-word ablation
+// of the very same engine.
+func TestBulkHalvesFlushTraffic(t *testing.T) {
+	const valueSize, puts = 1024, 128
+	bulk := pwbsPerPut(t, true, valueSize, puts)
+	word := pwbsPerPut(t, false, valueSize, puts)
+	if bulk <= 0 || word <= 0 {
+		t.Fatalf("degenerate pwbs/put: bulk %.2f, word %.2f", bulk, word)
+	}
+	if word < 2*bulk {
+		t.Errorf("1 KiB values: word path %.2f pwbs/put is not >= 2x bulk path %.2f",
+			word, bulk)
+	}
+}
+
+// TestBulkWordSameContents asserts the two paths are observationally
+// identical: the same workload of variable-size puts, overwrites and deletes
+// leaves both databases with exactly the same key-value contents.
+func TestBulkWordSameContents(t *testing.T) {
+	open := func(bulk bool) *Session {
+		pool := pmem.New(pmem.Config{Mode: pmem.Direct, RegionWords: 1 << 16, Regions: 2})
+		return Open(pool, Options{Threads: 1, Features: bulkFeatures(bulk)}).Session(0)
+	}
+	sb, sw := open(true), open(false)
+	key := func(i int) []byte { return []byte(fmt.Sprintf("k%03d", i%40)) }
+	val := func(i int) []byte {
+		v := make([]byte, (i*53)%300)
+		for j := range v {
+			v[j] = byte(i + 7*j)
+		}
+		return v
+	}
+	for i := 0; i < 200; i++ {
+		switch {
+		case i%11 == 10:
+			sb.Delete(key(i))
+			sw.Delete(key(i))
+		default:
+			sb.Put(key(i), val(i))
+			sw.Put(key(i), val(i))
+		}
+	}
+	if lb, lw := sb.Len(), sw.Len(); lb != lw {
+		t.Fatalf("bulk db has %d keys, word db %d", lb, lw)
+	}
+	for i := 0; i < 40; i++ {
+		vb, okb := sb.Get(key(i))
+		vw, okw := sw.Get(key(i))
+		if okb != okw {
+			t.Fatalf("key %d: bulk present=%v, word present=%v", i, okb, okw)
+		}
+		if string(vb) != string(vw) {
+			t.Fatalf("key %d: bulk %q != word %q", i, vb, vw)
+		}
+	}
+}

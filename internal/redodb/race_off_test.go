@@ -1,0 +1,7 @@
+//go:build !race
+
+package redodb
+
+// raceEnabled reports whether the race detector is instrumenting this build;
+// allocation-count pins skip under it (instrumentation allocates).
+const raceEnabled = false

@@ -47,6 +47,9 @@ type Options struct {
 	Variant redo.Variant
 	// RingSize forwards to the engine (default 128).
 	RingSize int
+	// Features, when non-nil, overrides the Variant's optimization preset
+	// (ablation studies — e.g. the bulk-store vs word-store comparison).
+	Features *redo.Features
 	// Profile, when non-nil, accumulates the engine's phase breakdown.
 	Profile *ptm.Profile
 }
@@ -72,6 +75,7 @@ func Open(pool *pmem.Pool, opts Options) *DB {
 		Threads:  opts.Threads,
 		RingSize: opts.RingSize,
 		Variant:  opts.Variant,
+		Features: opts.Features,
 		Profile:  opts.Profile,
 	})
 	db := &DB{eng: eng, pool: pool, root: ptm.RootAddr(opts.RootSlot)}
@@ -89,9 +93,7 @@ func Open(pool *pmem.Pool, opts Options) *DB {
 		if hdr == 0 || buckets == 0 {
 			panic("redodb: pool too small for an empty database")
 		}
-		for i := uint64(0); i < minBuckets; i++ {
-			m.Store(buckets+i, 0)
-		}
+		ptm.ZeroWords(m, buckets, minBuckets)
 		m.Store(hdr+hdrBuckets, buckets)
 		m.Store(hdr+hdrNB, minBuckets)
 		m.Store(hdr+hdrCount, 0)
@@ -110,7 +112,14 @@ func (db *DB) Session(tid int) *Session {
 	if tid < 0 || tid >= db.eng.MaxThreads() {
 		panic("redodb: session id out of range")
 	}
-	return &Session{db: db, tid: tid}
+	s := &Session{db: db, tid: tid}
+	// Bind the optimistic-read closures once: TryRead runs them only on
+	// this session's goroutine, so they may read the scratch fields below
+	// without the cloning that announced closures require, and reusing the
+	// bound method values keeps the read hot path allocation-free.
+	s.getFn = s.getRead
+	s.hasFn = s.hasRead
+	return s
 }
 
 // NVMUsedBytes reports the persistent-heap bytes in use (Fig. 8's NVMM
@@ -245,9 +254,7 @@ func growLocked(m ptm.Mem, root uint64) {
 	if newB == 0 {
 		return // growing is optional; stay at the current size
 	}
-	for i := uint64(0); i < newNB; i++ {
-		m.Store(newB+i, 0)
-	}
+	ptm.ZeroWords(m, newB, newNB)
 	for i := uint64(0); i < oldNB; i++ {
 		n := m.Load(oldB + i)
 		for n != 0 {

@@ -7,19 +7,81 @@ import "repro/internal/ptm"
 type Session struct {
 	db  *DB
 	tid int
+
+	// Optimistic-read scratch: parameters and result buffer for the
+	// pre-bound getFn/hasFn closures, valid only for the duration of one
+	// TryRead call on this session's goroutine. Announced closures must
+	// never touch these — a stale helper could observe a later call's
+	// values — which is why the contended fallbacks below clone instead.
+	readKey  []byte
+	readHash uint64
+	readDst  []byte
+	getFn    func(ptm.Mem) uint64
+	hasFn    func(ptm.Mem) uint64
 }
 
-// Put stores (key, value), overwriting any previous value.
+// Put stores (key, value), overwriting any previous value. The closure may
+// be re-executed by helper threads, so key and value are snapshotted — into
+// a single shared backing array, the method's only data allocation.
 func (s *Session) Put(key, value []byte) {
-	k, v := append([]byte(nil), key...), append([]byte(nil), value...)
+	kv := make([]byte, len(key)+len(value))
+	copy(kv, key)
+	copy(kv[len(key):], value)
+	k, v := kv[:len(key):len(key)], kv[len(key):]
 	root := s.db.root
 	s.db.eng.Update(s.tid, func(m ptm.Mem) uint64 {
 		return putLocked(m, root, k, v)
 	})
 }
 
+// getRead is the optimistic lookup bound to getFn at session creation.
+func (s *Session) getRead(m ptm.Mem) uint64 {
+	node, _, _ := findNode(m, s.db.root, s.readKey, s.readHash)
+	if node == 0 {
+		return 0
+	}
+	s.readDst = ptm.LoadBytesAppend(m, m.Load(node+ndVal), s.readDst)
+	return 1
+}
+
+// hasRead is the optimistic membership probe bound to hasFn.
+func (s *Session) hasRead(m ptm.Mem) uint64 {
+	node, _, _ := findNode(m, s.db.root, s.readKey, s.readHash)
+	if node == 0 {
+		return 0
+	}
+	return 1
+}
+
 // Get returns the value stored under key, or (nil, false) if absent.
 func (s *Session) Get(key []byte) ([]byte, bool) {
+	val, ok := s.GetAppend(nil, key)
+	if !ok {
+		return nil, false
+	}
+	if val == nil {
+		val = []byte{}
+	}
+	return val, true
+}
+
+// GetAppend appends the value stored under key to dst and returns the
+// extended slice, plus whether the key was present (dst is returned
+// unchanged when absent). With sufficient capacity in dst the uncontended
+// path performs zero heap allocations — the value travels from persistent
+// words straight into dst, with no intermediate clone or outbox copy.
+func (s *Session) GetAppend(dst, key []byte) ([]byte, bool) {
+	// Optimistic path: TryRead never announces the closure, so it may
+	// alias key and dst through the session scratch fields.
+	s.readKey, s.readHash, s.readDst = key, hashKey(key), dst
+	res, ok := s.db.eng.TryRead(s.tid, s.getFn)
+	out := s.readDst
+	s.readKey, s.readDst = nil, nil
+	if ok {
+		return out, res == 1
+	}
+	// Contended: announce a helper-safe closure (clones the key, routes
+	// the value through the executor outbox).
 	k := append([]byte(nil), key...)
 	root := s.db.root
 	found, val := s.db.eng.ReadWithBytes(s.tid, func(m ptm.Mem) uint64 {
@@ -31,16 +93,19 @@ func (s *Session) Get(key []byte) ([]byte, bool) {
 		return 1
 	})
 	if found == 0 {
-		return nil, false
+		return dst, false
 	}
-	if val == nil {
-		val = []byte{}
-	}
-	return val, true
+	return append(dst, val...), true
 }
 
 // Has reports whether key is present, without materializing the value.
 func (s *Session) Has(key []byte) bool {
+	s.readKey, s.readHash = key, hashKey(key)
+	res, ok := s.db.eng.TryRead(s.tid, s.hasFn)
+	s.readKey = nil
+	if ok {
+		return res == 1
+	}
 	k := append([]byte(nil), key...)
 	root := s.db.root
 	return s.db.eng.Read(s.tid, func(m ptm.Mem) uint64 {
@@ -144,8 +209,13 @@ func (b *WriteBatch) Delete(key []byte) {
 // Len reports the number of queued operations.
 func (b *WriteBatch) Len() int { return len(b.ops) }
 
-// Clear empties the batch for reuse.
-func (b *WriteBatch) Clear() { b.ops = b.ops[:0] }
+// Clear empties the batch for reuse. The elements are zeroed before the
+// truncation: a plain b.ops[:0] would keep every queued key and value alive
+// through the retained backing array for as long as the batch is reused.
+func (b *WriteBatch) Clear() {
+	clear(b.ops)
+	b.ops = b.ops[:0]
+}
 
 // clone snapshots the operations; the transaction closure may be
 // re-executed by helpers, so it must not alias caller-mutable state.

@@ -26,9 +26,7 @@ const (
 func (s HashSet) Init(m ptm.Mem) {
 	hdr := alloc(m, 3)
 	buckets := alloc(m, hsMinBuckets)
-	for i := uint64(0); i < hsMinBuckets; i++ {
-		m.Store(buckets+i, 0)
-	}
+	ptm.ZeroWords(m, buckets, hsMinBuckets)
 	m.Store(hdr+hsBuckets, buckets)
 	m.Store(hdr+hsNBuckets, hsMinBuckets)
 	m.Store(hdr+hsSize, 0)
@@ -131,9 +129,7 @@ func (s HashSet) resize(m ptm.Mem, newNB uint64) {
 		// fail the user's operation.
 		return
 	}
-	for i := uint64(0); i < newNB; i++ {
-		m.Store(newBuckets+i, 0)
-	}
+	ptm.ZeroWords(m, newBuckets, newNB)
 	for i := uint64(0); i < oldNB; i++ {
 		n := m.Load(oldBuckets + i)
 		for n != 0 {

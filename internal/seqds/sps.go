@@ -25,11 +25,21 @@ func (s SPS) InitEmpty(m ptm.Mem, n uint64) {
 	m.Store(ptm.RootAddr(s.RootSlot), blk)
 }
 
-// FillRange sets entries [lo, hi) to their index values.
+// FillRange sets entries [lo, hi) to their index values. On a BulkMem the
+// range lands as aggregated chunk stores instead of one log record per word.
 func (s SPS) FillRange(m ptm.Mem, lo, hi uint64) {
 	blk := m.Load(ptm.RootAddr(s.RootSlot))
-	for i := lo; i < hi; i++ {
-		m.Store(blk+1+i, i)
+	var buf [64]uint64
+	for i := lo; i < hi; {
+		n := hi - i
+		if n > uint64(len(buf)) {
+			n = uint64(len(buf))
+		}
+		for j := uint64(0); j < n; j++ {
+			buf[j] = i + j
+		}
+		ptm.StoreWords(m, blk+1+i, buf[:n])
+		i += n
 	}
 }
 
@@ -59,8 +69,17 @@ func (s SPS) Sum(m ptm.Mem) uint64 {
 	blk := m.Load(ptm.RootAddr(s.RootSlot))
 	n := m.Load(blk)
 	var sum uint64
-	for i := uint64(0); i < n; i++ {
-		sum += m.Load(blk + 1 + i)
+	var buf [64]uint64
+	for i := uint64(0); i < n; {
+		k := n - i
+		if k > uint64(len(buf)) {
+			k = uint64(len(buf))
+		}
+		ptm.LoadWords(m, blk+1+i, buf[:k])
+		for j := uint64(0); j < k; j++ {
+			sum += buf[j]
+		}
+		i += k
 	}
 	return sum
 }

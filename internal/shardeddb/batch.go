@@ -29,8 +29,13 @@ func (b *WriteBatch) Delete(key []byte) {
 // Len reports the number of queued operations.
 func (b *WriteBatch) Len() int { return len(b.ops) }
 
-// Clear empties the batch for reuse.
-func (b *WriteBatch) Clear() { b.ops = b.ops[:0] }
+// Clear empties the batch for reuse. The elements are zeroed before the
+// truncation: a plain b.ops[:0] would keep every queued key and value alive
+// through the retained backing array for as long as the batch is reused.
+func (b *WriteBatch) Clear() {
+	clear(b.ops)
+	b.ops = b.ops[:0]
+}
 
 // split partitions ops into per-shard redodb batches (nil for untouched
 // shards). Later ops on the same key keep their order within the shard's
