@@ -11,6 +11,10 @@ go vet ./...
 go run ./cmd/pmemvet ./...
 go test ./...
 go test -race ./internal/core/... ./internal/ptm/... ./internal/psim/... ./internal/handmade/...
+# Bounded race smokes for the sharded DB (batch coordinator + per-shard
+# engines) and the observability layer (tracer ring, histograms); the full
+# packages under -race take >30 s, the smokes take ~2 s.
+go test -race -run TestRaceSmoke ./internal/shardeddb ./internal/obs
 
 # Bounded crash-consistency smoke: a coarse-stride sweep over every engine
 # under both crash models. The full sweeps (default stride, -nested,

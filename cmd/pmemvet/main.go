@@ -1,24 +1,34 @@
 // Command pmemvet runs the repro static-analysis suite (internal/analysis)
 // over the module: determinism and purity of transaction closures (puredet),
-// the read-only contract of Read closures (readonly), flush-before-fence
-// ordering on pmem call sites (fenceorder), and literal thread ids against
-// configured thread counts (tidrange).
+// the read-only contract of Read closures (readonly), interprocedural
+// flush-before-fence ordering on pmem call sites (fenceorder), record
+// commit-word publication (commitpoint), DRAM-address taint into persistent
+// stores (transientref), and literal thread ids against configured thread
+// counts (tidrange).
 //
 // Usage:
 //
 //	go run ./cmd/pmemvet ./...          # whole module
-//	go run ./cmd/pmemvet ./internal/core/redo ./examples/bank
+//	go run ./cmd/pmemvet -json ./internal/core/redo ./examples/bank
 //
-// Diagnostics print as file:line:col: analyzer: message, one per line, and a
-// non-empty run exits 1. A violation can be silenced — with a mandatory
-// justification — by the directive
+// Diagnostics print as file:line:col: analyzer: message, one per line —
+// deduplicated and deterministically sorted, so CI output is diffable —
+// and a non-empty run exits 1. With -json, diagnostics print instead as a
+// single JSON array of objects with file, line, col, analyzer, message and
+// a ready-to-paste allow directive. A violation can be silenced — with a
+// mandatory justification — by the directive
 //
 //	//pmemvet:allow <analyzer> -- <reason>
 //
-// on the flagged line or the line above it.
+// on the flagged line or the line above it, or for a whole function by
+//
+//	//pmemvet:allow:<analyzer> -- <reason>
+//
+// in the function's doc comment.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,9 +38,21 @@ import (
 	"repro/internal/analysis"
 )
 
+// jsonDiag is the machine-readable form of one diagnostic. Allow holds a
+// ready-to-paste per-line suppression directive (reason to be filled in).
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Allow    string `json:"allow"`
+}
+
 func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of text lines")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pmemvet [packages]\n\npackages are ./dir or ./... patterns; default ./...\n")
+		fmt.Fprintf(os.Stderr, "usage: pmemvet [-json] [packages]\n\npackages are ./dir or ./... patterns; default ./...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -98,17 +120,44 @@ func main() {
 	}
 
 	diags := analysis.Run(pkgs, loader.Fset, analysis.All())
-	for _, d := range diags {
-		pos := d.Pos
-		if rel, err := filepath.Rel(".", pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:     relPath(d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+				Allow:    fmt.Sprintf("//pmemvet:allow %s -- <reason>", d.Analyzer),
+			})
 		}
-		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "pmemvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			pos := d.Pos
+			pos.Filename = relPath(pos.Filename)
+			fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "pmemvet: %d problem(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// relPath rewrites an absolute filename relative to the working directory
+// when it is inside it, keeping output stable across checkouts.
+func relPath(name string) string {
+	if rel, err := filepath.Rel(".", name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
 }
 
 // goDirsUnder lists directories under root (inclusive) containing Go files,

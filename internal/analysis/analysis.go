@@ -5,7 +5,11 @@
 // deterministic and side-effect free (puredet); read-only closures must not
 // mutate (readonly); code driving pmem.Pool directly must flush every
 // mutated line before fencing and must fence every header publish
-// (fenceorder); and literal thread ids must fit the construction's
+// (fenceorder, interprocedural through per-function persistence-effect
+// summaries); record publications must store their commit word last, as a
+// single word, after the payload is flushed and fenced (commitpoint);
+// values derived from DRAM addresses must never reach persistent stores
+// (transientref); and literal thread ids must fit the construction's
 // configured thread count (tidrange).
 //
 // The suite is built on go/parser, go/ast and go/types only — no
@@ -61,10 +65,10 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 
 // All returns every analyzer in the suite.
 func All() []*Analyzer {
-	return []*Analyzer{PureDet, ReadOnly, FenceOrder, TidRange}
+	return []*Analyzer{PureDet, ReadOnly, FenceOrder, CommitPoint, TransientRef, TidRange}
 }
 
-// allowRe matches suppression directives: a comment of the form
+// allowRe matches per-line suppression directives: a comment of the form
 //
 //	//pmemvet:allow <analyzer> -- <reason>
 //
@@ -73,10 +77,22 @@ func All() []*Analyzer {
 // of the checker.
 var allowRe = regexp.MustCompile(`^//pmemvet:allow\s+([a-z]+)\s+--\s+\S`)
 
+// scopedAllowRe matches function-scoped suppression directives: a comment of
+// the form
+//
+//	//pmemvet:allow:<analyzer> -- <reason>
+//
+// in a function's doc comment silences that analyzer for the whole function
+// body, so a deliberately-unorthodox function (romulus's fence elision, say)
+// carries one documented directive instead of one per statement. The reason
+// is mandatory here too.
+var scopedAllowRe = regexp.MustCompile(`^//pmemvet:allow:([a-z]+)\s+--\s+\S`)
+
 // Run applies the given analyzers to the given packages and returns the
-// surviving diagnostics sorted by position. Diagnostics on a test ("test")
-// unit that fall in non-test files are dropped, since the base unit already
-// reported them.
+// surviving diagnostics, deduplicated and deterministically sorted by
+// position, analyzer and message (so CI output diffs are reproducible).
+// Diagnostics on a test ("test") unit that fall in non-test files are
+// dropped, since the base unit already reported them.
 func Run(pkgs []*Pkg, fset *token.FileSet, analyzers []*Analyzer) []Diagnostic {
 	allowed := collectAllows(pkgs, fset)
 	prog := NewProgram(fset, pkgs)
@@ -101,8 +117,7 @@ func Run(pkgs []*Pkg, fset *token.FileSet, analyzers []*Analyzer) []Diagnostic {
 				if testOnly && !testFiles[d.Pos.Filename] {
 					continue
 				}
-				if allowed[allowKey{d.Pos.Filename, d.Pos.Line, a.Name}] ||
-					allowed[allowKey{d.Pos.Filename, d.Pos.Line - 1, a.Name}] {
+				if allowed.allows(d.Pos.Filename, d.Pos.Line, a.Name) {
 					continue
 				}
 				diags = append(diags, d)
@@ -117,9 +132,25 @@ func Run(pkgs []*Pkg, fset *token.FileSet, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags
+	// Dedup: base and test units re-analyze the same files, and path-merge
+	// joins can report one underlying violation twice.
+	out := diags[:0]
+	for _, d := range diags {
+		if len(out) > 0 {
+			p := out[len(out)-1]
+			if p.Pos.Filename == d.Pos.Filename && p.Pos.Line == d.Pos.Line &&
+				p.Analyzer == d.Analyzer && p.Message == d.Message {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 type allowKey struct {
@@ -128,8 +159,38 @@ type allowKey struct {
 	analyzer string
 }
 
-func collectAllows(pkgs []*Pkg, fset *token.FileSet) map[allowKey]bool {
-	out := make(map[allowKey]bool)
+// allowRange is a function-scoped suppression: analyzer silenced for
+// [from, to] lines of file.
+type allowRange struct {
+	file     string
+	analyzer string
+	from, to int
+}
+
+// allowSet holds every suppression directive found in the loaded sources.
+type allowSet struct {
+	lines  map[allowKey]bool
+	ranges []allowRange
+}
+
+// allows reports whether a diagnostic by analyzer at file:line is silenced,
+// either by a per-line directive (on the line or the one above) or by a
+// scoped directive on the enclosing function.
+func (s *allowSet) allows(file string, line int, analyzer string) bool {
+	if s.lines[allowKey{file, line, analyzer}] ||
+		s.lines[allowKey{file, line - 1, analyzer}] {
+		return true
+	}
+	for _, r := range s.ranges {
+		if r.analyzer == analyzer && r.file == file && line >= r.from && line <= r.to {
+			return true
+		}
+	}
+	return false
+}
+
+func collectAllows(pkgs []*Pkg, fset *token.FileSet) *allowSet {
+	out := &allowSet{lines: make(map[allowKey]bool)}
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
@@ -139,7 +200,25 @@ func collectAllows(pkgs []*Pkg, fset *token.FileSet) map[allowKey]bool {
 						continue
 					}
 					pos := fset.Position(c.Pos())
-					out[allowKey{pos.Filename, pos.Line, m[1]}] = true
+					out.lines[allowKey{pos.Filename, pos.Line, m[1]}] = true
+				}
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					m := scopedAllowRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					out.ranges = append(out.ranges, allowRange{
+						file:     fset.Position(fd.Pos()).Filename,
+						analyzer: m[1],
+						from:     fset.Position(fd.Pos()).Line,
+						to:       fset.Position(fd.End()).Line,
+					})
 				}
 			}
 		}

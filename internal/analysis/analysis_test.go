@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -29,6 +30,24 @@ func runFixture(t *testing.T, a *Analyzer, fixture string) {
 	pkgs, err := loader.LoadDir(dir)
 	if err != nil {
 		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	// Fixtures may carry helper subpackages (the cross-package obligation
+	// cases); load them too so the Program indexes their bodies and Run
+	// sees their allow directives. LoadDir reuses the unit already cached
+	// by the import resolver, so the types stay identical.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir(%s): %v", dir, err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sub, err := loader.LoadDir(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("LoadDir(%s/%s): %v", dir, e.Name(), err)
+		}
+		pkgs = append(pkgs, sub...)
 	}
 	if errs := loader.Errors(); len(errs) > 0 {
 		t.Fatalf("fixture %s has type errors: %v", fixture, errs[0])
@@ -100,6 +119,14 @@ func TestReadOnlyFixtures(t *testing.T)   { runFixture(t, ReadOnly, "readonly") 
 func TestFenceOrderFixtures(t *testing.T) { runFixture(t, FenceOrder, "fenceorder") }
 func TestTidRangeFixtures(t *testing.T)   { runFixture(t, TidRange, "tidrange") }
 
+// TestFenceOrderInterprocFixtures is the regression fixture for the
+// whole-program upgrade: every positive case routes an obligation through
+// a helper package, which the old intra-procedural pass could not see.
+func TestFenceOrderInterprocFixtures(t *testing.T) { runFixture(t, FenceOrder, "interproc") }
+
+func TestCommitPointFixtures(t *testing.T)   { runFixture(t, CommitPoint, "commitpoint") }
+func TestTransientRefFixtures(t *testing.T)  { runFixture(t, TransientRef, "transientref") }
+
 // TestPmemvetClean runs the whole suite over the repository itself, so a
 // plain `go test ./...` fails the moment a new violation is introduced,
 // even where CI is not wired up. This is the same check `ci.sh` runs via
@@ -138,6 +165,25 @@ func TestAllowDirectiveRequiresReason(t *testing.T) {
 	} {
 		if got := allowRe.MatchString(text); got != want {
 			t.Errorf("allowRe.MatchString(%q) = %v, want %v", text, got, want)
+		}
+	}
+}
+
+// TestScopedAllowDirectiveGrammar pins the function-scoped suppression
+// grammar: the analyzer name is attached with a colon and the `-- reason`
+// tail stays mandatory.
+func TestScopedAllowDirectiveGrammar(t *testing.T) {
+	for text, want := range map[string]bool{
+		"//pmemvet:allow:fenceorder -- deliberate fence elision": true,
+		"//pmemvet:allow:commitpoint -- torn on purpose":         true,
+		"//pmemvet:allow:fenceorder":                             false,
+		"//pmemvet:allow:fenceorder --":                          false,
+		"//pmemvet:allow:fenceorder -- ":                         false,
+		"//pmemvet:allow fenceorder -- not the scoped form":      false,
+		"// pmemvet:allow:fenceorder -- spaced out":              false,
+	} {
+		if got := scopedAllowRe.MatchString(text); got != want {
+			t.Errorf("scopedAllowRe.MatchString(%q) = %v, want %v", text, got, want)
 		}
 	}
 }

@@ -1,0 +1,388 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// CommitPoint checks the record-publication idiom every log-structured
+// engine in this repository uses (redodb's aggregated bulk records,
+// shardeddb's batch intents, the WAL/header publications): a multi-word
+// payload is written, flushed and fenced, and only then is a single commit
+// word (a status / commit flag, or a header slot) stored to make the record
+// valid. Under the adversarial eviction model any store may become durable
+// the moment it is issued, so the commit word is only safe to write once
+// the payload is both flushed *and* fenced — and nothing may be stored into
+// the record after the commit word until a fence orders the publication.
+//
+// Concretely, for every path through a function:
+//
+//   - a store whose address names a status/commit word must be a
+//     single-word Store — StoreWords spanning the commit word can tear,
+//     leaving a half-durable commit marker;
+//   - at the commit store, the region must have no unflushed payload store
+//     and no unfenced flush: otherwise a crash can persist the commit word
+//     while the payload it validates is still in the cache (torn publish).
+//     A store of constant 0 is a *retirement* (clearing the valid bit, as
+//     shardeddb's completeIntent does after copying the last-applied
+//     sequence); retiring a record makes it invisible to recovery, so it
+//     only requires the payload-flush check, not the fence;
+//   - after the commit store and before the next fence on that region, no
+//     further store into the region is allowed: the commit word must be the
+//     last store of the record on every path;
+//   - a header publication (HeaderStore / HeaderCAS) with unflushed or
+//     unfenced region payload outstanding is the same torn publish one
+//     level up: the header may become durable before the data it points to.
+//
+// AtomicStore / CAS are exempt (the lock-free engines use their own
+// recovery-time validation discipline), as are the pmem package itself and
+// _test.go files. Like fenceorder, the analysis is path-sensitive within a
+// function and consumes the Program's persistence-effect summaries at call
+// sites, so a helper in another package that flushes, fences or dirties the
+// region updates the record state here too.
+var CommitPoint = &Analyzer{
+	Name: "commitpoint",
+	Doc:  "commit words must be single-word stores, last into the record, after payload flush+fence",
+	Run:  runCommitPoint,
+}
+
+func runCommitPoint(pass *Pass) {
+	if strings.HasSuffix(pass.Pkg.Path, "/internal/pmem") {
+		return
+	}
+	if pass.Pkg.Unit != "base" {
+		return
+	}
+	cp := &commitPoint{pass: pass}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			cp.checkFunc(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					cp.checkFunc(lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// cpState tracks, along one path, the publication state of each region:
+// which payload stores are still unflushed, which flushes are still
+// unfenced, and whether a commit word has been stored without a fence yet.
+type cpState struct {
+	// dirty[receiver][addrExpr] = position of an unflushed payload store.
+	dirty map[string]map[string]token.Pos
+	// pending[receiver] = position of the first flush not yet fenced.
+	pending map[string]token.Pos
+	// committed[receiver] = position of a commit store not yet fenced.
+	committed map[string]token.Pos
+}
+
+func newCPState() *cpState {
+	return &cpState{
+		dirty:     make(map[string]map[string]token.Pos),
+		pending:   make(map[string]token.Pos),
+		committed: make(map[string]token.Pos),
+	}
+}
+
+func (s *cpState) Clone() pathState {
+	c := newCPState()
+	for r, m := range s.dirty {
+		cm := make(map[string]token.Pos, len(m))
+		for a, p := range m {
+			cm[a] = p
+		}
+		c.dirty[r] = cm
+	}
+	for r, p := range s.pending {
+		c.pending[r] = p
+	}
+	for r, p := range s.committed {
+		c.committed[r] = p
+	}
+	return c
+}
+
+func (s *cpState) Merge(other pathState) {
+	o := other.(*cpState)
+	for r, m := range o.dirty {
+		if s.dirty[r] == nil {
+			s.dirty[r] = make(map[string]token.Pos, len(m))
+		}
+		for a, p := range m {
+			if _, ok := s.dirty[r][a]; !ok {
+				s.dirty[r][a] = p
+			}
+		}
+	}
+	for r, p := range o.pending {
+		if _, ok := s.pending[r]; !ok {
+			s.pending[r] = p
+		}
+	}
+	for r, p := range o.committed {
+		if _, ok := s.committed[r]; !ok {
+			s.committed[r] = p
+		}
+	}
+}
+
+type commitPoint struct {
+	pass *Pass
+}
+
+func (cp *commitPoint) checkFunc(body *ast.BlockStmt) {
+	w := &pathWalker{
+		OnCall: func(call *ast.CallExpr, st pathState) { cp.call(call, st.(*cpState)) },
+		OnEnd:  func(pathState, token.Pos) {},
+	}
+	w.Walk(body, newCPState())
+}
+
+// isCommitAddr reports whether an address expression names a commit word: it
+// mentions an identifier (or field) whose name contains "status" or
+// "commit". This is a naming convention, but it is the convention the
+// engines follow (coordStatus, slotCommit, statusWord); a commit word
+// protected by a CRC instead (pmdk's logSize) deliberately falls outside it.
+func isCommitAddr(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			low := strings.ToLower(id.Name)
+			if strings.Contains(low, "status") || strings.Contains(low, "commit") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (cp *commitPoint) call(call *ast.CallExpr, st *cpState) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		cp.helperCall(call, st)
+		return
+	}
+	kind := pmemRecvKind(cp.pass.Pkg.Info, sel.X)
+	if kind == "" {
+		cp.helperCall(call, st)
+		return
+	}
+	recv := exprString(sel.X)
+	switch kind + "." + sel.Sel.Name {
+	case "Region.Store":
+		if len(call.Args) >= 2 && isCommitAddr(call.Args[0]) {
+			cp.commitStore(call, st, recv)
+			return
+		}
+		cp.payloadStore(call, st, recv, exprString(call.Args[0]))
+	case "Region.StoreWords":
+		if len(call.Args) >= 1 && isCommitAddr(call.Args[0]) {
+			cp.pass.Report(call.Pos(), "commit word %s published with a multi-word StoreWords: a multi-word commit can tear, leaving a half-durable commit marker; publish the commit word with a single-word Store", exprString(call.Args[0]))
+			return
+		}
+		cp.payloadStore(call, st, recv, exprString(call.Args[0]))
+	case "Region.CopyFrom":
+		cp.payloadStore(call, st, recv, bulkAddr)
+	case "Region.NTStoreLine", "Region.NTCopyFrom":
+		// Durable on fence; counts as a flushed payload write.
+		cp.checkAfterCommit(call, st, recv)
+		if _, ok := st.pending[recv]; !ok {
+			st.pending[recv] = call.Pos()
+		}
+	case "Region.PWB":
+		cp.flushAddr(st, recv, exprString(call.Args[0]))
+		if _, ok := st.pending[recv]; !ok {
+			st.pending[recv] = call.Pos()
+		}
+	case "Region.FlushRange":
+		delete(st.dirty, recv)
+		if _, ok := st.pending[recv]; !ok {
+			st.pending[recv] = call.Pos()
+		}
+	case "Region.PFence":
+		delete(st.pending, recv)
+		delete(st.committed, recv)
+	case "Pool.HeaderStore", "Pool.HeaderCAS":
+		for r, m := range st.dirty {
+			for a, p := range m {
+				cp.pass.Report(call.Pos(), "header publish with unflushed payload Store(%s) on %s (stored at line %d): the header may become durable before the data it publishes", a, r, cp.pass.Fset.Position(p).Line)
+			}
+		}
+		clear(st.dirty)
+		for r, p := range st.pending {
+			cp.pass.Report(call.Pos(), "header publish before the payload flush on %s is fenced (flush at line %d): the header may become durable before the data it publishes", r, cp.pass.Fset.Position(p).Line)
+		}
+		clear(st.pending)
+	case "Pool.PSync", "Pool.PFenceGlobal":
+		clear(st.pending)
+		clear(st.committed)
+	}
+}
+
+// payloadStore records a non-commit store and enforces commit-last.
+func (cp *commitPoint) payloadStore(call *ast.CallExpr, st *cpState, recv, addr string) {
+	cp.checkAfterCommit(call, st, recv)
+	if st.dirty[recv] == nil {
+		st.dirty[recv] = make(map[string]token.Pos)
+	}
+	if _, ok := st.dirty[recv][addr]; !ok {
+		st.dirty[recv][addr] = call.Pos()
+	}
+}
+
+func (cp *commitPoint) checkAfterCommit(call *ast.CallExpr, st *cpState, recv string) {
+	if p, ok := st.committed[recv]; ok {
+		cp.pass.Report(call.Pos(), "store into %s after the commit store at line %d and before its fence: the commit word must be the last store into the record on every path", recv, cp.pass.Fset.Position(p).Line)
+		delete(st.committed, recv) // one report per commit point
+	}
+}
+
+// commitStore enforces the payload-durable-first rule at a commit store.
+func (cp *commitPoint) commitStore(call *ast.CallExpr, st *cpState, recv string) {
+	cp.checkAfterCommit(call, st, recv)
+	addr := exprString(call.Args[0])
+	for a, p := range st.dirty[recv] {
+		if a == addr {
+			continue // re-store of the commit word itself is not payload
+		}
+		what := "Store(" + a + ")"
+		if a == bulkAddr {
+			what = "CopyFrom"
+		}
+		cp.pass.Report(call.Pos(), "commit store to %s while %s on %s is unflushed (stored at line %d): a crash can persist the commit word before its payload (torn publish)", addr, what, recv, cp.pass.Fset.Position(p).Line)
+	}
+	delete(st.dirty, recv)
+	// A constant-zero commit store retires the record (clears the valid
+	// bit): recovery then ignores the payload, so only the flush check
+	// applies — completeIntent legitimately has an unfenced PWB of the
+	// last-applied word outstanding when it clears the status.
+	if !cp.isZeroValue(call.Args[1]) {
+		if p, ok := st.pending[recv]; ok {
+			cp.pass.Report(call.Pos(), "commit store to %s before the payload flush on %s is fenced (flush at line %d): the commit word may become durable before its payload (torn publish)", addr, recv, cp.pass.Fset.Position(p).Line)
+			delete(st.pending, recv)
+		}
+	}
+	// The commit word itself is now dirty in the fenceorder sense (needs
+	// its own PWB+fence — fenceorder checks that); here we only track that
+	// the record is committed and further stores must wait for the fence.
+	st.committed[recv] = call.Pos()
+}
+
+func (cp *commitPoint) isZeroValue(e ast.Expr) bool {
+	tv, ok := cp.pass.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() == "0"
+}
+
+// flushAddr mirrors fenceorder's line-coverage heuristics: a PWB clears
+// dirty entries sharing its base term; an unmatched PWB is assumed to cover
+// the receiver's outstanding single-word stores.
+func (cp *commitPoint) flushAddr(st *cpState, recv, addr string) {
+	m := st.dirty[recv]
+	if len(m) == 0 {
+		return
+	}
+	base := baseTerm(addr)
+	matched := false
+	for a := range m {
+		if a != bulkAddr && baseTerm(a) == base {
+			delete(m, a)
+			matched = true
+		}
+	}
+	if !matched {
+		for a := range m {
+			if a != bulkAddr {
+				delete(m, a)
+			}
+		}
+	}
+	if len(m) == 0 {
+		delete(st.dirty, recv)
+	}
+}
+
+// helperCall applies a callee's persistence-effect summary to the record
+// state, so cross-package flush/fence helpers keep the commit tracking
+// accurate.
+func (cp *commitPoint) helperCall(call *ast.CallExpr, st *cpState) {
+	callee := cp.pass.Prog.resolve(cp.pass.Pkg.Info, call)
+	if callee == nil {
+		return
+	}
+	eff := cp.pass.Prog.Effect(callee)
+	if eff.empty() {
+		return
+	}
+	rootOf := func(j int) (string, bool) {
+		if j == -1 {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				return exprString(sel.X), true
+			}
+			return "", false
+		}
+		if j < len(call.Args) {
+			return exprString(call.Args[j]), true
+		}
+		return "", false
+	}
+	rooted := func(recv, root string) bool {
+		return recv == root || strings.HasPrefix(recv, root+".")
+	}
+	for j := range eff.Flushes {
+		root, ok := rootOf(j)
+		if !ok {
+			continue
+		}
+		for recv := range st.dirty {
+			if rooted(recv, root) {
+				delete(st.dirty, recv)
+				if _, ok := st.pending[recv]; !ok {
+					st.pending[recv] = call.Pos()
+				}
+			}
+		}
+	}
+	for j := range eff.Fences {
+		root, ok := rootOf(j)
+		if !ok {
+			continue
+		}
+		for recv := range st.pending {
+			if rooted(recv, root) {
+				delete(st.pending, recv)
+			}
+		}
+		for recv := range st.committed {
+			if rooted(recv, root) {
+				delete(st.committed, recv)
+			}
+		}
+	}
+	if eff.FenceGlobal {
+		clear(st.pending)
+		clear(st.committed)
+	}
+	for j := range eff.StoresUnflushed {
+		if root, ok := rootOf(j); ok {
+			cp.checkAfterCommit(call, st, root)
+			if st.dirty[root] == nil {
+				st.dirty[root] = make(map[string]token.Pos)
+			}
+			if _, ok := st.dirty[root]["<stores in "+callee.Name()+">"]; !ok {
+				st.dirty[root]["<stores in "+callee.Name()+">"] = call.Pos()
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestStaticRuntimeAgreement is the differential gate between the two
+// durability checkers: for every engine whose traced workload (a bounded
+// list-set run plus a recovery pass) comes back clean from the runtime
+// ordering checker (obs.CheckOrdering), the static fenceorder/commitpoint
+// pass over that engine's source must come back clean too. A static
+// diagnostic on an engine whose executed paths the runtime checker just
+// certified would mean one of the two models is wrong about the
+// persistence discipline — the static pass contradicting observed-correct
+// behaviour (a false positive), or the runtime checker missing a real
+// ordering bug the static pass sees.
+//
+// The converse direction does not hold, and cannot: there are violation
+// classes the runtime checker rejects (seeded as the runtimeOnly cases of
+// obs's TestCheckOrdering) that a sound-for-idioms static pass provably
+// cannot flag. Five classes, with the reason static analysis is blind to
+// each:
+//
+//  1. Data-dependent flush coverage (RuleUnflushed on computed addresses):
+//     whether pwb(f(x)) covers store(g(y)) depends on runtime values of x
+//     and y; statically both reduce to opaque terms, and flagging opaque
+//     flushes would drown the engines in false positives, so pmemvet
+//     deliberately assumes unmatched flushes cover outstanding stores.
+//  2. Cross-goroutine fence interleavings (RuleUnfenced between threads):
+//     helping constructions rely on another thread's fence ordering their
+//     flush; which thread's fence lands between two events is a scheduling
+//     fact, invisible to a per-function (even whole-program) summary.
+//  3. Quantitative eviction races (RuleHeaderUnsynced under relaxed mode):
+//     whether a header store became durable before its psync depends on
+//     the simulated eviction schedule — the same code is correct under one
+//     schedule and torn under another; static analysis sees only the code.
+//  4. Content mismatches behind a correct protocol (RuleCRCOrder): a CRC
+//     computed over the wrong byte range follows the exact store → flush →
+//     fence → publish shape pmemvet checks; only replaying the trace (or
+//     recovery itself) notices the checksum does not match the payload.
+//  5. Sequence regressions across recoveries (RuleSeqOrder): monotonicity
+//     of applied sequence numbers spans multiple executions and the
+//     recovered image; a static pass sees each function once, with no
+//     notion of the value a previous crash left behind.
+//
+// Those five are the reason ci.sh runs both gates: pmemvet for the paths
+// the workload never executed, CheckOrdering for the facts only execution
+// decides.
+func TestStaticRuntimeAgreement(t *testing.T) {
+	engineDirs := map[string]string{
+		"RedoOpt-PTM": "internal/core/redo",
+		"OneFile":     "internal/onefile",
+		"RomulusLR":   "internal/romulus",
+		"PSim-CoW":    "internal/psim",
+		"PMDK":        "internal/pmdk",
+	}
+
+	// Runtime half: the traced workload and recovery must satisfy the
+	// dynamic ordering checker.
+	runtimeClean := make(map[string]bool)
+	for name := range engineDirs {
+		res, err := bench.TraceRun(name, 48)
+		if err != nil {
+			t.Fatalf("TraceRun(%s): %v", name, err)
+		}
+		if len(res.Violations) > 0 {
+			t.Errorf("runtime checker rejects %s: %v", name, res.Violations[0])
+			continue
+		}
+		runtimeClean[name] = true
+	}
+
+	// Static half: fenceorder and commitpoint over the whole program (the
+	// same load pmemvet uses, so interprocedural summaries are complete).
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	diags := Run(pkgs, loader.Fset, []*Analyzer{FenceOrder, CommitPoint})
+
+	for name, dir := range engineDirs {
+		if !runtimeClean[name] {
+			continue
+		}
+		prefix := filepath.Join(loader.Root(), filepath.FromSlash(dir)) + string(filepath.Separator)
+		for _, d := range diags {
+			if strings.HasPrefix(d.Pos.Filename, prefix) {
+				t.Errorf("static pass contradicts the runtime checker on %s (traced run was clean): %s", name, d)
+			}
+		}
+	}
+}

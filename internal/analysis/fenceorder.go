@@ -33,12 +33,17 @@ import (
 //     and the nested-failure model crashes recovery itself, so anything it
 //     repaired but did not fence is silently lost on the next failure.
 //
-// The analysis is intra-procedural over each function body (branches fork
-// the tracking state and merge by union; loop bodies are evaluated once),
-// with one inter-procedural assist: same-package helpers that flush a
-// region parameter (e.g. romulus.flushLines) count as covering flushes at
-// their call sites. Stores made by callees are not propagated — each
-// function is responsible for the fences it issues itself.
+// The analysis is path-sensitive over each function body (branches fork the
+// tracking state and merge by union; loop bodies are evaluated once) and
+// interprocedural through the Program's persistence-effect summaries
+// (peffects.go): a call to a helper — in any package — that flushes,
+// fences, stores into, or publishes through one of its region/pool
+// parameters is interpreted against the caller's state at the call site.
+// A helper that stores into a region argument and leaves it unflushed makes
+// the caller's copy dirty; a helper that fences a region argument is a
+// fence point at which the caller's unflushed stores are reported; a helper
+// that publishes a header without a trailing global fence hands the caller
+// the trailing-fence obligation.
 //
 // AtomicStore and CAS are deliberately exempt: the hand-made lock-free
 // queues flush CAS'd locations selectively (FHMP elides tail flushes by
@@ -62,7 +67,6 @@ func runFenceOrder(pass *Pass) {
 		return
 	}
 	fo := &fenceOrder{pass: pass, info: pass.Pkg.Info}
-	fo.flushHelpers = collectFlushHelpers(pass.Pkg)
 	for _, file := range pass.Pkg.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -107,7 +111,8 @@ func newFenceState() *fenceState {
 	}
 }
 
-func (s *fenceState) clone() *fenceState {
+// Clone implements pathState.
+func (s *fenceState) Clone() pathState {
 	c := newFenceState()
 	for r, m := range s.dirty {
 		cm := make(map[string]token.Pos, len(m))
@@ -126,10 +131,11 @@ func (s *fenceState) clone() *fenceState {
 	return c
 }
 
-// merge unions other into s (the conservative join: dirty in any branch is
+// Merge unions other into s (the conservative join: dirty in any branch is
 // dirty after the merge).
-func (s *fenceState) merge(other *fenceState) {
-	for r, m := range other.dirty {
+func (s *fenceState) Merge(other pathState) {
+	o := other.(*fenceState)
+	for r, m := range o.dirty {
 		if s.dirty[r] == nil {
 			s.dirty[r] = make(map[string]token.Pos, len(m))
 		}
@@ -139,15 +145,15 @@ func (s *fenceState) merge(other *fenceState) {
 			}
 		}
 	}
-	for a, p := range other.hdrDirty {
+	for a, p := range o.hdrDirty {
 		if _, ok := s.hdrDirty[a]; !ok {
 			s.hdrDirty[a] = p
 		}
 	}
 	if !s.hdrPending.IsValid() {
-		s.hdrPending = other.hdrPending
+		s.hdrPending = o.hdrPending
 	}
-	for r, p := range other.pwbPending {
+	for r, p := range o.pwbPending {
 		if _, ok := s.pwbPending[r]; !ok {
 			s.pwbPending[r] = p
 		}
@@ -155,10 +161,9 @@ func (s *fenceState) merge(other *fenceState) {
 }
 
 type fenceOrder struct {
-	pass         *Pass
-	info         *types.Info
-	flushHelpers map[*types.Func][]int // callee -> indices of flushed params (-1 = receiver)
-	inRecover    bool                  // current function is a recover* publish path
+	pass      *Pass
+	info      *types.Info
+	inRecover bool // current function is a recover* publish path
 }
 
 // isRecoverName reports whether a function participates in recovery by
@@ -170,11 +175,11 @@ func isRecoverName(name string) bool {
 func (fo *fenceOrder) checkFunc(body *ast.BlockStmt, isRecover bool) {
 	saved := fo.inRecover
 	fo.inRecover = isRecover
-	st := newFenceState()
-	terminated := fo.stmt(body, st)
-	if !terminated {
-		fo.endChecks(st, body.End())
+	w := &pathWalker{
+		OnCall: func(call *ast.CallExpr, st pathState) { fo.call(call, st.(*fenceState)) },
+		OnEnd:  func(st pathState, pos token.Pos) { fo.endChecks(st.(*fenceState), pos) },
 	}
+	w.Walk(body, newFenceState())
 	fo.inRecover = saved
 }
 
@@ -210,145 +215,6 @@ func (fo *fenceOrder) endChecks(st *fenceState, end token.Pos) {
 	}
 }
 
-// stmt evaluates one statement, mutating st; it returns true if the path
-// terminates (return / panic-free analysis treats branch statements as
-// terminating their path contribution).
-func (fo *fenceOrder) stmt(s ast.Stmt, st *fenceState) bool {
-	switch s := s.(type) {
-	case *ast.BlockStmt:
-		for _, sub := range s.List {
-			if fo.stmt(sub, st) {
-				return true
-			}
-		}
-	case *ast.IfStmt:
-		if s.Init != nil {
-			fo.stmt(s.Init, st)
-		}
-		fo.calls(s.Cond, st)
-		thenSt := st.clone()
-		thenTerm := fo.stmt(s.Body, thenSt)
-		elseSt := st.clone()
-		elseTerm := false
-		if s.Else != nil {
-			elseTerm = fo.stmt(s.Else, elseSt)
-		}
-		*st = *newFenceState()
-		switch {
-		case thenTerm && elseTerm:
-			return true
-		case thenTerm:
-			st.merge(elseSt)
-		case elseTerm:
-			st.merge(thenSt)
-		default:
-			st.merge(thenSt)
-			st.merge(elseSt)
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			fo.stmt(s.Init, st)
-		}
-		if s.Cond != nil {
-			fo.calls(s.Cond, st)
-		}
-		bodySt := st.clone()
-		term := fo.stmt(s.Body, bodySt)
-		if s.Post != nil && !term {
-			fo.stmt(s.Post, bodySt)
-		}
-		if !term {
-			// Loops are assumed to run at least once: the body state
-			// replaces the entry state, so flush helper loops
-			// (for s := f; s < end; s++ { region.PWB(...) }) count as
-			// covering flushes. The zero-iteration path is deliberately
-			// dropped — a conditionally-skipped flush loop is the rare
-			// case, an always-entered one the common case.
-			*st = *bodySt
-		}
-	case *ast.RangeStmt:
-		fo.calls(s.X, st)
-		bodySt := st.clone()
-		if !fo.stmt(s.Body, bodySt) {
-			*st = *bodySt // assume at least one iteration, as for ForStmt
-		}
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			fo.stmt(s.Init, st)
-		}
-		if s.Tag != nil {
-			fo.calls(s.Tag, st)
-		}
-		fo.caseBodies(s.Body, st)
-	case *ast.TypeSwitchStmt:
-		fo.caseBodies(s.Body, st)
-	case *ast.SelectStmt:
-		fo.caseBodies(s.Body, st)
-	case *ast.ReturnStmt:
-		for _, r := range s.Results {
-			fo.calls(r, st)
-		}
-		fo.endChecks(st, s.Pos())
-		return true
-	case *ast.BranchStmt:
-		return true // break/continue/goto: stop tracking this path
-	case *ast.LabeledStmt:
-		return fo.stmt(s.Stmt, st)
-	case *ast.DeferStmt, *ast.GoStmt:
-		// Deferred/spawned work runs in another context; skip.
-	case nil:
-	default:
-		fo.calls(s, st)
-	}
-	return false
-}
-
-// caseBodies merges every case clause of a switch/select, plus the
-// fall-through (no matching case) state.
-func (fo *fenceOrder) caseBodies(body *ast.BlockStmt, st *fenceState) {
-	orig := st.clone()
-	merged := newFenceState()
-	merged.merge(orig)
-	for _, cc := range body.List {
-		var stmts []ast.Stmt
-		switch cc := cc.(type) {
-		case *ast.CaseClause:
-			stmts = cc.Body
-		case *ast.CommClause:
-			stmts = cc.Body
-		}
-		caseSt := orig.clone()
-		term := false
-		for _, sub := range stmts {
-			if fo.stmt(sub, caseSt) {
-				term = true
-				break
-			}
-		}
-		if !term {
-			merged.merge(caseSt)
-		}
-	}
-	*st = *merged
-}
-
-// calls processes every pmem call under n in source order, without
-// descending into nested function literals.
-func (fo *fenceOrder) calls(n ast.Node, st *fenceState) {
-	if n == nil {
-		return
-	}
-	ast.Inspect(n, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false
-		}
-		if call, ok := n.(*ast.CallExpr); ok {
-			fo.call(call, st)
-		}
-		return true
-	})
-}
-
 // call interprets a single call expression against the tracking state.
 func (fo *fenceOrder) call(call *ast.CallExpr, st *fenceState) {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
@@ -356,7 +222,7 @@ func (fo *fenceOrder) call(call *ast.CallExpr, st *fenceState) {
 		fo.helperCall(call, st)
 		return
 	}
-	recvKind := fo.pmemRecv(sel.X)
+	recvKind := pmemRecvKind(fo.info, sel.X)
 	if recvKind == "" {
 		fo.helperCall(call, st)
 		return
@@ -486,120 +352,117 @@ func (fo *fenceOrder) flushAddr(st *fenceState, recv, addr string) {
 	}
 }
 
-// helperCall applies flush summaries: calling a same-package helper that
-// flushes one of its region parameters counts as flushing the argument.
+// helperCall interprets a non-pmem call through the callee's
+// persistence-effect summary (peffects.go), so obligations flow across
+// package boundaries. Effects are applied in the generous order — flushes
+// first, then fences, then inherited stores and publish obligations — so a
+// helper that flushes and fences the same region never reports its own
+// covered stores against the caller.
 func (fo *fenceOrder) helperCall(call *ast.CallExpr, st *fenceState) {
-	if len(fo.flushHelpers) == 0 || len(st.dirty) == 0 {
-		return
-	}
-	callee := calleeFunc(fo.info, call)
+	callee := fo.pass.Prog.resolve(fo.info, call)
 	if callee == nil {
 		return
 	}
-	params, ok := fo.flushHelpers[callee]
-	if !ok {
+	eff := fo.pass.Prog.Effect(callee)
+	if eff.empty() {
 		return
 	}
-	clearRooted := func(root string) {
-		for recv := range st.dirty {
-			if recv == root || strings.HasPrefix(recv, root+".") {
-				delete(st.dirty, recv)
-			}
-		}
-	}
-	for _, pi := range params {
-		if pi == -1 {
+	// Map callee effect indices to caller root expressions: -1 is the
+	// method receiver, i the i'th argument.
+	rootOf := func(j int) (string, bool) {
+		if j == -1 {
 			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
-				clearRooted(exprString(sel.X))
+				return exprString(sel.X), true
 			}
-		} else if pi < len(call.Args) {
-			clearRooted(exprString(call.Args[pi]))
+			return "", false
 		}
+		if j < len(call.Args) {
+			return exprString(call.Args[j]), true
+		}
+		return "", false
+	}
+	rooted := func(recv, root string) bool {
+		return recv == root || strings.HasPrefix(recv, root+".")
+	}
+	// 1. Covering flushes: the callee writes back the region the caller
+	// passed it, so the caller's outstanding stores rooted there are
+	// covered (and now await a fence).
+	for j := range eff.Flushes {
+		root, ok := rootOf(j)
+		if !ok {
+			continue
+		}
+		cleared := false
+		for recv := range st.dirty {
+			if rooted(recv, root) {
+				delete(st.dirty, recv)
+				cleared = true
+			}
+		}
+		if cleared {
+			fo.markPending(st, root, call.Pos())
+		}
+	}
+	// 2. Fences inside the callee are fence points for the caller's state
+	// on that region: anything still unflushed here was not made durable.
+	for j := range eff.Fences {
+		root, ok := rootOf(j)
+		if !ok {
+			continue
+		}
+		for recv, m := range st.dirty {
+			if !rooted(recv, root) {
+				continue
+			}
+			for a, pos := range m {
+				fo.reportUnflushedVia(call, callee, recv, a, pos)
+			}
+			delete(st.dirty, recv)
+		}
+		for recv := range st.pwbPending {
+			if rooted(recv, root) {
+				delete(st.pwbPending, recv)
+			}
+		}
+	}
+	// 3. A global fence (PSync/PFenceGlobal) anywhere under the callee is
+	// a fence point for everything.
+	if eff.FenceGlobal {
+		for recv, m := range st.dirty {
+			for a, pos := range m {
+				fo.reportUnflushedVia(call, callee, recv, a, pos)
+			}
+		}
+		clear(st.dirty)
+		clear(st.pwbPending)
+		for slot, pos := range st.hdrDirty {
+			fo.pass.Report(call.Pos(), "call to %s fences with unflushed header store of slot %s (stored at line %d, no PWBHeader in between): the fence does not make it durable", callee.Name(), slot, fo.pass.Fset.Position(pos).Line)
+		}
+		clear(st.hdrDirty)
+		st.hdrPending = token.NoPos
+	}
+	// 4. Stores the callee leaves unflushed dirty the caller's copy of the
+	// region; the caller (or a later helper) owes the write-back.
+	for j := range eff.StoresUnflushed {
+		if root, ok := rootOf(j); ok {
+			fo.markDirty(st, root, "<stores in "+callee.Name()+">", call.Pos())
+		}
+	}
+	// 5. A header publish without a trailing global fence hands the caller
+	// the trailing-fence obligation.
+	if eff.PublishesUnfenced {
+		st.hdrPending = call.Pos()
 	}
 }
 
-// pmemRecv classifies a method receiver expression as a pmem Region or Pool
-// (directly or through a pointer), returning "" otherwise.
-func (fo *fenceOrder) pmemRecv(x ast.Expr) string {
-	tv, ok := fo.info.Types[x]
-	if !ok {
-		return ""
+func (fo *fenceOrder) reportUnflushedVia(call *ast.CallExpr, callee *types.Func, recv, addr string, storePos token.Pos) {
+	what := fmt.Sprintf("Store(%s)", addr)
+	missing := "PWB"
+	if addr == bulkAddr {
+		what = "CopyFrom"
+		missing = "FlushRange"
 	}
-	t := tv.Type
-	if p, ok := t.Underlying().(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	n, ok := t.(*types.Named)
-	if !ok {
-		return ""
-	}
-	obj := n.Obj()
-	if obj.Pkg() == nil || obj.Pkg().Name() != "pmem" {
-		return ""
-	}
-	switch obj.Name() {
-	case "Region", "Pool":
-		return obj.Name()
-	}
-	return ""
-}
-
-// collectFlushHelpers finds functions that issue PWB/FlushRange on a value
-// rooted at one of their parameters (or their receiver), e.g.
-// flushLines(region *pmem.Region, lines []uint64).
-func collectFlushHelpers(pkg *Pkg) map[*types.Func][]int {
-	out := make(map[*types.Func][]int)
-	for _, file := range pkg.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
-			if obj == nil {
-				continue
-			}
-			// Parameter (and receiver) names eligible for rooting.
-			idx := make(map[string]int)
-			if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
-				idx[fd.Recv.List[0].Names[0].Name] = -1
-			}
-			pi := 0
-			for _, field := range fd.Type.Params.List {
-				for _, name := range field.Names {
-					idx[name.Name] = pi
-					pi++
-				}
-				if len(field.Names) == 0 {
-					pi++
-				}
-			}
-			seen := make(map[int]bool)
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-				if !ok {
-					return true
-				}
-				switch sel.Sel.Name {
-				case "PWB", "FlushRange":
-				default:
-					return true
-				}
-				if root := rootIdent(sel.X); root != nil {
-					if i, ok := idx[root.Name]; ok && !seen[i] {
-						seen[i] = true
-						out[obj] = append(out[obj], i)
-					}
-				}
-				return true
-			})
-		}
-	}
-	return out
+	fo.pass.Report(call.Pos(), "call to %s fences %s with unflushed %s (stored at line %d, no %s in between): the fence does not make it durable", callee.Name(), recv, what, fo.pass.Fset.Position(storePos).Line, missing)
 }
 
 // exprString renders an expression canonically (space-free), so that

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// pathState is the abstract state a path-sensitive analyzer threads through
+// a function body: branches fork it (Clone), joins union it (Merge). The
+// walker treats the state as opaque; fenceorder and commitpoint each supply
+// their own.
+type pathState interface {
+	Clone() pathState
+	Merge(other pathState)
+}
+
+// pathWalker evaluates a function body statement by statement, forking the
+// state at branches and merging at joins, calling OnCall for every call
+// expression in source order (without descending into nested function
+// literals — those run in another context and are walked as their own
+// functions) and OnEnd at every return statement and at fall-off. Loop
+// bodies are evaluated once and assumed to run at least once: the body
+// state replaces the entry state, so flush-helper loops count as covering
+// flushes; the zero-iteration path is deliberately dropped (a
+// conditionally-skipped flush loop is the rare case, an always-entered one
+// the common case). Deferred and go'd statements are skipped — they run in
+// another context.
+type pathWalker struct {
+	OnCall func(call *ast.CallExpr, st pathState)
+	OnEnd  func(st pathState, pos token.Pos)
+}
+
+// Walk evaluates body starting from st. If no path terminated with an
+// explicit return, OnEnd fires once more for the fall-off point.
+func (w *pathWalker) Walk(body *ast.BlockStmt, st pathState) {
+	out, terminated := w.stmt(body, st)
+	if !terminated {
+		w.OnEnd(out, body.End())
+	}
+}
+
+// stmt evaluates one statement, returning the outgoing state and whether
+// the path terminates (return, or break/continue/goto which stop this
+// path's contribution to the join).
+func (w *pathWalker) stmt(s ast.Stmt, st pathState) (pathState, bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			var term bool
+			st, term = w.stmt(sub, st)
+			if term {
+				return st, true
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		w.exprCalls(s.Cond, st)
+		thenSt, thenTerm := w.stmt(s.Body, st.Clone())
+		elseSt, elseTerm := st, false
+		if s.Else != nil {
+			elseSt, elseTerm = w.stmt(s.Else, st)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return thenSt, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			thenSt.Merge(elseSt)
+			return thenSt, false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.exprCalls(s.Cond, st)
+		}
+		bodySt, term := w.stmt(s.Body, st.Clone())
+		if term {
+			return st, false
+		}
+		if s.Post != nil {
+			bodySt, _ = w.stmt(s.Post, bodySt)
+		}
+		return bodySt, false
+	case *ast.RangeStmt:
+		w.exprCalls(s.X, st)
+		bodySt, term := w.stmt(s.Body, st.Clone())
+		if term {
+			return st, false
+		}
+		return bodySt, false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.exprCalls(s.Tag, st)
+		}
+		return w.caseBodies(s.Body, st), false
+	case *ast.TypeSwitchStmt:
+		return w.caseBodies(s.Body, st), false
+	case *ast.SelectStmt:
+		return w.caseBodies(s.Body, st), false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.exprCalls(r, st)
+		}
+		w.OnEnd(st, s.Pos())
+		return st, true
+	case *ast.BranchStmt:
+		return st, true
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred/spawned work runs in another context; skip.
+	case nil:
+	default:
+		w.exprCalls(s, st)
+	}
+	return st, false
+}
+
+// caseBodies merges every case clause of a switch/select, plus the
+// fall-through (no matching case) state.
+func (w *pathWalker) caseBodies(body *ast.BlockStmt, st pathState) pathState {
+	merged := st.Clone() // the no-matching-case path
+	for _, cc := range body.List {
+		var stmts []ast.Stmt
+		switch cc := cc.(type) {
+		case *ast.CaseClause:
+			stmts = cc.Body
+		case *ast.CommClause:
+			stmts = cc.Body
+		}
+		caseSt := st.Clone()
+		term := false
+		for _, sub := range stmts {
+			if caseSt, term = w.stmt(sub, caseSt); term {
+				break
+			}
+		}
+		if !term {
+			merged.Merge(caseSt)
+		}
+	}
+	return merged
+}
+
+// exprCalls processes every call under n in source order, without
+// descending into nested function literals.
+func (w *pathWalker) exprCalls(n ast.Node, st pathState) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			w.OnCall(call, st)
+		}
+		return true
+	})
+}

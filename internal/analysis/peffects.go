@@ -1,0 +1,326 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PersistEffect summarizes what a function does to pmem state reachable
+// from its parameters (index -1 is the method receiver), computed
+// order-insensitively over the body and closed over the static call graph.
+// fenceorder consumes these at call sites, so publish/flush/fence
+// obligations flow across package boundaries: a helper in another package
+// that performs the store, the flush or the fence is no longer a blind
+// spot.
+//
+// The summary is deliberately generous in the directions that avoid false
+// positives, matching the intra-procedural conventions:
+//
+//   - a function that both stores into and flushes a region rooted at the
+//     same parameter is assumed to flush its own stores (the intra pass
+//     checks the ordering inside that function);
+//   - flush and fence effects found inside nested function literals count
+//     (a flush loop wrapped in a closure still flushes), but store and
+//     header-publish obligations inside literals do not propagate — the
+//     literal runs in another context and is checked as its own function;
+//   - PSync / PFenceGlobal anywhere in the function (or a callee) marks
+//     FenceGlobal, and a header publish in the same function is then
+//     assumed to be fenced by it.
+type PersistEffect struct {
+	// Flushes: param indices whose rooted region gets a covering write-back
+	// (PWB / FlushRange / non-temporal store), directly or transitively.
+	Flushes map[int]bool
+	// Fences: param indices whose rooted region gets a PFence.
+	Fences map[int]bool
+	// StoresUnflushed: param indices whose rooted region receives plain
+	// stores that no flush (or fence) in this function covers — the caller
+	// inherits the dirty state.
+	StoresUnflushed map[int]bool
+	// FenceGlobal: the function issues PSync or PFenceGlobal (directly or
+	// transitively), draining every region's flush obligations.
+	FenceGlobal bool
+	// PublishesUnfenced: the function performs a HeaderStore/HeaderCAS and
+	// never issues a PSync/PFenceGlobal — the trailing-fence obligation
+	// lands on the caller.
+	PublishesUnfenced bool
+}
+
+func (e *PersistEffect) empty() bool {
+	return e == nil || (len(e.Flushes) == 0 && len(e.Fences) == 0 &&
+		len(e.StoresUnflushed) == 0 && !e.FenceGlobal && !e.PublishesUnfenced)
+}
+
+// Effect returns fn's persistence-effect summary, or nil when fn's body is
+// not part of the loaded program.
+func (p *Program) Effect(fn *types.Func) *PersistEffect {
+	return p.peffects[fn]
+}
+
+// rawEffect is the pre-derivation working set during the fixed point.
+type rawEffect struct {
+	stores  map[int]bool // plain Store/StoreWords/CopyFrom rooted at param
+	flushes map[int]bool
+	fences  map[int]bool
+	fenceGlobal bool
+	publishes   bool
+}
+
+func newRawEffect() *rawEffect {
+	return &rawEffect{
+		stores:  make(map[int]bool),
+		flushes: make(map[int]bool),
+		fences:  make(map[int]bool),
+	}
+}
+
+// paramIndexes maps each parameter object (and the receiver, as -1) of fd
+// to its index.
+func paramIndexes(info *types.Info, fd *ast.FuncDecl) map[types.Object]int {
+	idx := make(map[types.Object]int)
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		if obj := info.Defs[fd.Recv.List[0].Names[0]]; obj != nil {
+			idx[obj] = -1
+		}
+	}
+	pi := 0
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				idx[obj] = pi
+			}
+			pi++
+		}
+		if len(field.Names) == 0 {
+			pi++
+		}
+	}
+	return idx
+}
+
+// pmemRecvKind classifies a method receiver expression as a pmem Region or
+// Pool (directly or through a pointer), returning "" otherwise.
+func pmemRecvKind(info *types.Info, x ast.Expr) string {
+	tv, ok := info.Types[x]
+	if !ok {
+		return ""
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "pmem" {
+		return ""
+	}
+	switch obj.Name() {
+	case "Region", "Pool":
+		return obj.Name()
+	}
+	return ""
+}
+
+// rootParam resolves an expression's base identifier to a parameter index
+// of the current function, if it is one.
+func rootParam(info *types.Info, params map[types.Object]int, x ast.Expr) (int, bool) {
+	root := rootIdent(x)
+	if root == nil {
+		return 0, false
+	}
+	obj := info.Uses[root]
+	if obj == nil {
+		return 0, false
+	}
+	i, ok := params[obj]
+	return i, ok
+}
+
+// computePersistEffects seeds per-function raw effects from bodies, closes
+// flush/fence effects over the call graph, then derives the exported
+// summaries (stores suppressed by covering flushes, publishes suppressed by
+// global fences).
+func (p *Program) computePersistEffects() {
+	raw := make(map[*types.Func]*rawEffect, len(p.decls))
+	params := make(map[*types.Func]map[types.Object]int, len(p.decls))
+
+	// Seed.
+	for fn, decl := range p.decls {
+		info := p.declInfo[fn]
+		re := newRawEffect()
+		pidx := paramIndexes(info, decl)
+		params[fn] = pidx
+		inLitDepth := 0
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				// Flush/fence effects inside literals still count (the
+				// helper's flush loop may be wrapped in a closure it calls
+				// synchronously); store/publish obligations do not — the
+				// literal is checked as its own function.
+				inLitDepth++
+				ast.Inspect(lit.Body, visit)
+				inLitDepth--
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			kind := pmemRecvKind(info, sel.X)
+			if kind == "" {
+				return true
+			}
+			pi, isParam := rootParam(info, pidx, sel.X)
+			switch kind + "." + sel.Sel.Name {
+			case "Region.Store", "Region.StoreWords", "Region.CopyFrom":
+				if isParam && inLitDepth == 0 {
+					re.stores[pi] = true
+				}
+			case "Region.PWB", "Region.FlushRange", "Region.NTStoreLine", "Region.NTCopyFrom":
+				if isParam {
+					re.flushes[pi] = true
+				}
+			case "Region.PFence":
+				if isParam {
+					re.fences[pi] = true
+				}
+			case "Pool.PSync", "Pool.PFenceGlobal":
+				re.fenceGlobal = true
+			case "Pool.HeaderStore", "Pool.HeaderCAS":
+				if inLitDepth == 0 {
+					re.publishes = true
+				}
+			}
+			return true
+		}
+		ast.Inspect(decl.Body, visit)
+		raw[fn] = re
+	}
+
+	// calleeRoots maps a call's callee-effect indices to caller argument
+	// expressions: -1 -> the method receiver, i -> the i'th argument.
+	calleeRoots := func(call *ast.CallExpr) map[int]ast.Expr {
+		roots := make(map[int]ast.Expr, len(call.Args)+1)
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			roots[-1] = sel.X
+		}
+		for i, arg := range call.Args {
+			roots[i] = arg
+		}
+		return roots
+	}
+
+	// Phase A: close flushes/fences/fenceGlobal (monotone union) over
+	// static calls. An effect of the callee on its parameter j propagates
+	// to the caller's parameter i when the j'th argument is rooted at i.
+	for changed := true; changed; {
+		changed = false
+		for fn, decl := range p.decls {
+			info := p.declInfo[fn]
+			re := raw[fn]
+			pidx := params[fn]
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := p.resolve(info, call)
+				if callee == nil || callee == fn {
+					return true
+				}
+				ce := raw[callee]
+				if ce == nil {
+					return true
+				}
+				if ce.fenceGlobal && !re.fenceGlobal {
+					re.fenceGlobal, changed = true, true
+				}
+				roots := calleeRoots(call)
+				propagate := func(from, to map[int]bool) {
+					for j := range from {
+						arg, ok := roots[j]
+						if !ok {
+							continue
+						}
+						if i, ok := rootParam(info, pidx, arg); ok && !to[i] {
+							to[i], changed = true, true
+						}
+					}
+				}
+				propagate(ce.flushes, re.flushes)
+				propagate(ce.fences, re.fences)
+				return true
+			})
+		}
+	}
+
+	// Phase B: storesUnflushed and publishesUnfenced, with coverage by the
+	// (now final) flush/fence sets. Monotone given phase A fixed.
+	su := make(map[*types.Func]map[int]bool, len(raw))
+	pu := make(map[*types.Func]bool, len(raw))
+	covered := func(fn *types.Func, i int) bool {
+		re := raw[fn]
+		return re.flushes[i] || re.fences[i] || re.fenceGlobal
+	}
+	for fn, re := range raw {
+		m := make(map[int]bool)
+		for i := range re.stores {
+			if !covered(fn, i) {
+				m[i] = true
+			}
+		}
+		su[fn] = m
+		pu[fn] = re.publishes && !re.fenceGlobal
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, decl := range p.decls {
+			info := p.declInfo[fn]
+			pidx := params[fn]
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := p.resolve(info, call)
+				if callee == nil || callee == fn {
+					return true
+				}
+				if pu[callee] && !raw[fn].fenceGlobal && !pu[fn] {
+					pu[fn], changed = true, true
+				}
+				roots := calleeRoots(call)
+				for j := range su[callee] {
+					arg, ok := roots[j]
+					if !ok {
+						continue
+					}
+					if i, ok := rootParam(info, pidx, arg); ok && !covered(fn, i) && !su[fn][i] {
+						su[fn][i], changed = true, true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Derive the exported summaries.
+	p.peffects = make(map[*types.Func]*PersistEffect, len(raw))
+	for fn, re := range raw {
+		eff := &PersistEffect{
+			Flushes:           re.flushes,
+			Fences:            re.fences,
+			StoresUnflushed:   su[fn],
+			FenceGlobal:       re.fenceGlobal,
+			PublishesUnfenced: pu[fn],
+		}
+		p.peffects[fn] = eff
+	}
+}

@@ -28,6 +28,14 @@ type Program struct {
 	// nondet: the function may observe nondeterminism (clock, rand,
 	// runtime, channels, goroutines). reason names the root cause.
 	nondet map[*types.Func]string
+	// peffects: per-function persistence effects (flushes/fences/stores on
+	// param-rooted regions, global fences, header publishes), closed over
+	// the call graph. See peffects.go.
+	peffects map[*types.Func]*PersistEffect
+	// taint: per-function transient-value flow summaries (which params and
+	// DRAM-address sources reach return values and persistent stores). See
+	// transientref.go.
+	taint map[*types.Func]*taintSummary
 }
 
 // NewProgram indexes the units and computes both summaries.
@@ -57,6 +65,8 @@ func NewProgram(fset *token.FileSet, pkgs []*Pkg) *Program {
 		}
 	}
 	p.computeSummaries()
+	p.computePersistEffects()
+	p.computeTaintSummaries()
 	return p
 }
 

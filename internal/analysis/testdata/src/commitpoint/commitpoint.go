@@ -1,0 +1,155 @@
+// Package commitpoint is a pmemvet fixture for the record-publication
+// (torn-publish) checker: a multi-word payload must be flushed and fenced
+// before its single-word commit/status store, the commit store must be the
+// last store into the record on every path, and header publications must
+// not race their payload to durability.
+package commitpoint
+
+import "repro/internal/pmem"
+
+const (
+	payload = 8
+	status  = 16
+)
+
+// --- negative cases: the idiom done right ---------------------------------
+
+// publishRecord: payload stores, covering flush, fence, then the
+// single-word commit store, its own flush and fence.
+func publishRecord(r *pmem.Region) {
+	r.Store(payload, 1)
+	r.Store(payload+1, 2)
+	r.PWB(payload)
+	r.PFence()
+	r.Store(status, 1)
+	r.PWB(status)
+	r.PFence()
+}
+
+// publishBulk: a bulk copy covered by FlushRange before the commit.
+func publishBulk(dst, src *pmem.Region) {
+	dst.CopyFrom(src, 64)
+	dst.FlushRange(0, 64)
+	dst.PFence()
+	dst.Store(status, 1)
+	dst.PWB(status)
+	dst.PFence()
+}
+
+// retireRecord: a constant-zero commit store clears the valid bit, making
+// the record invisible to recovery — only the flush check applies, so an
+// unfenced flush outstanding at the retirement is fine (shardeddb's
+// completeIntent pattern).
+func retireRecord(r *pmem.Region) {
+	r.Store(payload, 7)
+	r.PWB(payload)
+	r.Store(status, 0)
+	r.PWB(status)
+	r.PFence()
+}
+
+// flushFence is a same-package helper; its effect summary discharges the
+// caller's payload obligations.
+func flushFence(r *pmem.Region) {
+	r.FlushRange(0, 64)
+	r.PFence()
+}
+
+// publishViaHelper: payload made durable through the helper, then commit.
+func publishViaHelper(r *pmem.Region) {
+	r.Store(payload, 1)
+	flushFence(r)
+	r.Store(status, 1)
+	r.PWB(status)
+	r.PFence()
+}
+
+// headerAfterDurablePayload: the header publish happens only after the
+// region payload is flushed and fenced.
+func headerAfterDurablePayload(r *pmem.Region, p *pmem.Pool) {
+	r.Store(payload, 1)
+	r.PWB(payload)
+	r.PFence()
+	p.HeaderStore(0, 1)
+	p.PWBHeader(0)
+	p.PSync()
+}
+
+// --- positive cases -------------------------------------------------------
+
+// commitWhileUnflushed: the commit word can become durable before the
+// payload it validates.
+func commitWhileUnflushed(r *pmem.Region) {
+	r.Store(payload, 1)
+	r.Store(status, 1) // want `commit store to status while Store\(payload\) on r is unflushed`
+	r.PWB(status)
+	r.PFence()
+}
+
+// commitBeforeFence: flushed but not yet fenced — under adversarial
+// eviction the commit word may still overtake the payload.
+func commitBeforeFence(r *pmem.Region) {
+	r.Store(payload, 1)
+	r.PWB(payload)
+	r.Store(status, 1) // want `commit store to status before the payload flush on r is fenced`
+	r.PWB(status)
+	r.PFence()
+}
+
+// retireUnflushedPayload: retirement skips the fence check but still
+// requires the payload write-back.
+func retireUnflushedPayload(r *pmem.Region) {
+	r.Store(payload, 3)
+	r.Store(status, 0) // want `commit store to status while Store\(payload\) on r is unflushed`
+	r.PWB(status)
+	r.PFence()
+}
+
+// multiWordCommit: a commit word inside a multi-word store can tear.
+func multiWordCommit(r *pmem.Region, words []uint64) {
+	r.StoreWords(status, words) // want `commit word status published with a multi-word StoreWords`
+}
+
+// storeAfterCommit: the commit store must be the last store of the record
+// on every path.
+func storeAfterCommit(r *pmem.Region) {
+	r.Store(payload, 1)
+	r.PWB(payload)
+	r.PFence()
+	r.Store(status, 1)
+	r.Store(payload+2, 9) // want `store into r after the commit store`
+	r.PWB(status)
+	r.PFence()
+}
+
+// commitOnBranch: one path fences the payload, the other does not; the
+// merge keeps the dirty state.
+func commitOnBranch(r *pmem.Region, fast bool) {
+	r.Store(payload, 1)
+	if fast {
+		r.PWB(payload)
+		r.PFence()
+	}
+	r.Store(status, 1) // want `commit store to status while Store\(payload\) on r is unflushed`
+	r.PWB(status)
+	r.PFence()
+}
+
+// headerWhileDirty: the header may become durable before the data it
+// publishes.
+func headerWhileDirty(r *pmem.Region, p *pmem.Pool) {
+	r.Store(payload, 1)
+	p.HeaderStore(0, 1) // want `header publish with unflushed payload Store\(payload\) on r`
+	p.PWBHeader(0)
+	p.PSync()
+}
+
+// headerBeforePayloadFence: flushed payload still needs its fence before
+// the header can safely publish it.
+func headerBeforePayloadFence(r *pmem.Region, p *pmem.Pool) {
+	r.Store(payload, 1)
+	r.PWB(payload)
+	p.HeaderStore(0, 1) // want `header publish before the payload flush on r is fenced`
+	p.PWBHeader(0)
+	p.PSync()
+}

@@ -1,0 +1,38 @@
+// Package flushlib is the helper side of the interproc pmemvet fixture: it
+// performs flushes, fences, stores and header publishes on behalf of its
+// callers, so the obligations must flow across the package boundary through
+// the Program's persistence-effect summaries.
+package flushlib
+
+import "repro/internal/pmem"
+
+// FlushAndFence writes back and orders n lines starting at base: a covering
+// flush helper, discharging the caller's dirty stores.
+func FlushAndFence(r *pmem.Region, base, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		r.PWB(base + i)
+	}
+	r.PFence()
+}
+
+// FenceOnly orders previously-flushed lines. A caller with unflushed stores
+// reaching this fence has a durability bug.
+func FenceOnly(r *pmem.Region) {
+	r.PFence()
+}
+
+// StoreNoFlush writes a word and deliberately leaves the write-back and the
+// fence to the caller: the caller inherits the dirty line.
+func StoreNoFlush(r *pmem.Region, addr, v uint64) {
+	r.Store(addr, v)
+}
+
+// Publish stores and flushes a header slot; the trailing global fence is
+// deliberately the caller's job, so the obligation crosses the package
+// boundary.
+//
+//pmemvet:allow:fenceorder -- fixture helper: hands the trailing-fence obligation to its caller on purpose
+func Publish(p *pmem.Pool, slot int, v uint64) {
+	p.HeaderStore(slot, v)
+	p.PWBHeader(slot)
+}

@@ -1,0 +1,84 @@
+// Package interproc is a pmemvet fixture for the interprocedural fenceorder
+// pass: flush, fence, store and publish obligations crossing a package
+// boundary through persistence-effect summaries. Every positive case here
+// was invisible to the old intra-procedural pass, which only saw
+// same-package flush helpers (regression fixture for the whole-program
+// upgrade).
+package interproc
+
+import (
+	"repro/internal/analysis/testdata/src/interproc/flushlib"
+	"repro/internal/pmem"
+)
+
+// --- negative cases: obligations discharged through the helper package ----
+
+// storeThenHelperFlush: the callee both flushes and fences the region the
+// caller dirtied, so no obligation remains.
+func storeThenHelperFlush(r *pmem.Region) {
+	r.Store(8, 1)
+	r.Store(9, 2)
+	flushlib.FlushAndFence(r, 8, 2)
+}
+
+// publishDischargedByCaller: the helper publishes the header; this caller
+// supplies the trailing fence the helper omitted.
+func publishDischargedByCaller(p *pmem.Pool) {
+	flushlib.Publish(p, 0, 1)
+	p.PSync()
+}
+
+// recoverRepairsViaHelpers: a recovery path may delegate both the store and
+// the write-back, as long as everything is fenced by return.
+func recoverRepairsViaHelpers(r *pmem.Region) {
+	flushlib.StoreNoFlush(r, 8, 1)
+	flushlib.FlushAndFence(r, 8, 1)
+}
+
+// --- positive cases: the old intra-procedural pass missed all of these ----
+
+// helperFencesUnflushedStore: the fence happens inside the other package;
+// the store was never flushed, so that fence does not make it durable.
+func helperFencesUnflushedStore(r *pmem.Region) {
+	r.Store(8, 1)
+	flushlib.FenceOnly(r) // want `call to FenceOnly fences r with unflushed Store\(8\)`
+}
+
+// helperStoreLeftUnflushed: the callee dirties the region; this caller
+// fences without a write-back.
+func helperStoreLeftUnflushed(r *pmem.Region) {
+	flushlib.StoreNoFlush(r, 8, 1)
+	r.PFence() // want `unflushed Store\(<stores in StoreNoFlush>\)`
+}
+
+// publishObligationCrossesPackages: Publish stores the header slot in
+// flushlib; this caller never issues the trailing global fence.
+func publishObligationCrossesPackages(p *pmem.Pool) {
+	flushlib.Publish(p, 0, 1) // want "header publish without a trailing PSync/PFenceGlobal"
+}
+
+// recoverLeavesHelperStoreUnflushed: a recovery path inheriting a dirty
+// line from another package must still drain it before returning.
+func recoverLeavesHelperStoreUnflushed(r *pmem.Region) {
+	flushlib.StoreNoFlush(r, 8, 1) // want `recovery path leaves Store\(<stores in StoreNoFlush>\) on r unflushed`
+}
+
+// --- receiver-rooted effects ----------------------------------------------
+
+type writer struct {
+	r *pmem.Region
+}
+
+// flushAll discharges the receiver's region through a method: effect
+// summaries track the receiver as parameter -1.
+func (w *writer) flushAll() {
+	w.r.FlushRange(0, 64)
+	w.r.PFence()
+}
+
+// methodFlushCoversStore: negative — the method flushes and fences the
+// region reached through the receiver.
+func (w *writer) methodFlushCoversStore() {
+	w.r.Store(8, 1)
+	w.flushAll()
+}

@@ -1,0 +1,96 @@
+// Package transientref is a pmemvet fixture for the transient-value taint
+// checker: values derived from DRAM machine addresses (uintptr /
+// unsafe.Pointer, directly or laundered through conversions, arithmetic,
+// variables and helper functions) must never reach a persistent store —
+// they are meaningless after restart.
+package transientref
+
+import (
+	"repro/internal/pmem"
+	"unsafe"
+)
+
+// --- positive cases -------------------------------------------------------
+
+// storeAddress: the classic bug — persisting a heap address.
+func storeAddress(r *pmem.Region, x *uint64) {
+	a := uint64(uintptr(unsafe.Pointer(x)))
+	r.Store(8, a) // want "transient value"
+}
+
+// storeUintptrParam: a uintptr-typed parameter is an address by type.
+func storeUintptrParam(r *pmem.Region, p uintptr) {
+	r.Store(8, uint64(p)) // want "transient value"
+}
+
+// storeLaundered: taint survives variables and arithmetic.
+func storeLaundered(r *pmem.Region, x *uint64) {
+	tmp := uintptr(unsafe.Pointer(x))
+	v := uint64(tmp) + 64
+	r.Store(8, v) // want "transient value"
+}
+
+// disguise hides the address behind a call boundary; the taint summary
+// carries it back to the caller.
+func disguise(x *uint64) uint64 {
+	return uint64(uintptr(unsafe.Pointer(x)))
+}
+
+// storeDisguised: a helper's return value stays tainted.
+func storeDisguised(r *pmem.Region, x *uint64) {
+	r.Store(8, disguise(x)) // want "transient value"
+}
+
+// persist forwards its argument into a persistent store, making its
+// parameter a sink at every call site.
+func persist(r *pmem.Region, v uint64) {
+	r.Store(8, v)
+}
+
+// storeViaHelper: the sink is inside the helper; the address flows in here.
+func storeViaHelper(r *pmem.Region, x *uint64) {
+	persist(r, uint64(uintptr(unsafe.Pointer(x)))) // want "passed to persist"
+}
+
+// publishAddress: header slots are publish words; an address there is a
+// wild pointer for recovery.
+func publishAddress(p *pmem.Pool, x *uint64) {
+	p.HeaderStore(0, uint64(uintptr(unsafe.Pointer(x)))) // want "transient value"
+}
+
+// storeWordsAddress: taint through a composite-literal payload.
+func storeWordsAddress(r *pmem.Region, x *uint64) {
+	words := []uint64{uint64(uintptr(unsafe.Pointer(x)))}
+	r.StoreWords(8, words) // want "transient value"
+}
+
+// --- negative cases -------------------------------------------------------
+
+// storeOffsets: plain word offsets and values are the intended currency of
+// the persistent image.
+func storeOffsets(r *pmem.Region, addr, v uint64) {
+	r.Store(addr, v)
+}
+
+// storeSizeofConstant: unsafe.Sizeof is a compile-time constant, not an
+// address.
+func storeSizeofConstant(r *pmem.Region) {
+	r.Store(8, uint64(unsafe.Sizeof(uint64(0))))
+}
+
+// lenOfSliceIsClean: len/cap of a DRAM container are values, not addresses.
+func lenOfSliceIsClean(r *pmem.Region, xs []uint64) {
+	r.Store(8, uint64(len(xs)))
+}
+
+// overwrittenClean: a clean reassignment kills the taint.
+func overwrittenClean(r *pmem.Region, x *uint64) {
+	v := uint64(uintptr(unsafe.Pointer(x)))
+	v = 42
+	r.Store(8, v)
+}
+
+// cleanHelperIsClean: calling a sink helper with untainted values is fine.
+func cleanHelperIsClean(r *pmem.Region, v uint64) {
+	persist(r, v+1)
+}

@@ -1,0 +1,453 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// TransientRef flags transient values — values derived from DRAM addresses —
+// flowing into persistent stores. A uintptr produced from a pointer, an
+// unsafe.Pointer, a reflect address (Value.Pointer / UnsafeAddr), or anything
+// computed from one is only meaningful within the current process: the heap
+// is rebuilt at a different address after restart, so a persisted DRAM
+// address is at best garbage and at worst a wild pointer that recovery
+// dereferences. The persistent image must be self-contained — offsets into
+// the pool, not machine addresses (the same rule PMDK enforces with its
+// PMEMoid fat pointers, and the reason every engine here stores pmem.Addr
+// word offsets).
+//
+// The taint rule is type-directed at the leaves: any non-constant expression
+// of type uintptr or unsafe.Pointer is a source (this subsumes the explicit
+// conversion forms — uintptr(unsafe.Pointer(&x)), reflect.Value.Pointer(),
+// slice-header peeking — without enumerating them). Taint propagates through
+// assignments, arithmetic, conversions, composite literals, indexing, and —
+// via the Program's taint summaries — across function calls in any package:
+// a helper that returns a disguised address taints its callers' values, and
+// a helper that persists its parameter turns that parameter into a sink at
+// every call site.
+var TransientRef = &Analyzer{
+	Name: "transientref",
+	Doc:  "values derived from DRAM addresses must not be stored to persistent memory",
+	Run:  runTransientRef,
+}
+
+func runTransientRef(pass *Pass) {
+	if strings.HasSuffix(pass.Pkg.Path, "/internal/pmem") {
+		return
+	}
+	if pass.Pkg.Unit != "base" {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			tw := newTaintWalker(pass.Prog, pass.Pkg.Info, obj, fd)
+			tw.report = func(pos token.Pos, lab taintLabels, sink string) {
+				pass.Report(pos, "transient value (%s) %s: DRAM addresses are meaningless after restart", lab.src, sink)
+			}
+			tw.walk(fd.Body)
+		}
+	}
+}
+
+// taintLabels is the abstract value of an expression: src is a description
+// of the DRAM-address source it derives from ("" if none), params a bitmask
+// of the enclosing function's parameters whose values reach it.
+type taintLabels struct {
+	src    string
+	params uint64
+}
+
+func (l taintLabels) union(o taintLabels) taintLabels {
+	if l.src == "" {
+		l.src = o.src
+	}
+	l.params |= o.params
+	return l
+}
+
+func (l taintLabels) empty() bool { return l.src == "" && l.params == 0 }
+
+// taintSummary is a function's transient-value flow summary: ret carries
+// the labels reaching its return values (params interpreted as "returns its
+// i'th parameter's taint"), sink the parameter bits that reach a persistent
+// store-value position inside it or any callee.
+type taintSummary struct {
+	ret  taintLabels
+	sink uint64
+}
+
+// computeTaintSummaries runs the taint walker over every declared function
+// body until the summaries reach a fixed point. Walks during the fixed
+// point do not report; the analyzer pass re-walks the functions of its own
+// package with reporting enabled once the summaries are final.
+func (p *Program) computeTaintSummaries() {
+	p.taint = make(map[*types.Func]*taintSummary, len(p.decls))
+	for fn := range p.decls {
+		p.taint[fn] = &taintSummary{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, decl := range p.decls {
+			tw := newTaintWalker(p, p.declInfo[fn], fn, decl)
+			tw.walk(decl.Body)
+			old := p.taint[fn]
+			if tw.sum.ret != old.ret || tw.sum.sink != old.sink {
+				p.taint[fn] = tw.sum
+				changed = true
+			}
+		}
+	}
+}
+
+// taintWalker evaluates one function body in source order, tracking labels
+// of local variables in env. Control flow is handled conservatively by
+// sharing one environment across branches (a value tainted anywhere in the
+// body stays tainted for the rest of the walk unless overwritten by a clean
+// assignment).
+type taintWalker struct {
+	prog    *Program
+	info    *types.Info
+	params  map[types.Object]int
+	results []types.Object
+	env     map[types.Object]taintLabels
+	sum     *taintSummary
+	report  func(pos token.Pos, lab taintLabels, sink string)
+}
+
+func newTaintWalker(prog *Program, info *types.Info, fn *types.Func, fd *ast.FuncDecl) *taintWalker {
+	tw := &taintWalker{
+		prog:   prog,
+		info:   info,
+		params: paramIndexes(info, fd),
+		env:    make(map[types.Object]taintLabels),
+		sum:    &taintSummary{},
+	}
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					tw.results = append(tw.results, obj)
+				}
+			}
+		}
+	}
+	return tw
+}
+
+func (tw *taintWalker) walk(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			tw.assign(n)
+		case *ast.ValueSpec:
+			tw.valueSpec(n)
+		case *ast.RangeStmt:
+			lab := tw.labelOf(n.X)
+			tw.bind(n.Key, lab)
+			tw.bind(n.Value, lab)
+		case *ast.ReturnStmt:
+			tw.ret(n)
+		case *ast.CallExpr:
+			tw.visitCall(n)
+		}
+		return true
+	})
+}
+
+func (tw *taintWalker) assign(a *ast.AssignStmt) {
+	switch {
+	case len(a.Lhs) == len(a.Rhs):
+		for i := range a.Lhs {
+			tw.bind(a.Lhs[i], tw.labelOf(a.Rhs[i]))
+		}
+	case len(a.Rhs) == 1:
+		// Multi-value: every LHS gets the RHS's combined label.
+		lab := tw.labelOf(a.Rhs[0])
+		for _, l := range a.Lhs {
+			tw.bind(l, lab)
+		}
+	}
+}
+
+func (tw *taintWalker) valueSpec(vs *ast.ValueSpec) {
+	switch {
+	case len(vs.Values) == len(vs.Names):
+		for i, name := range vs.Names {
+			tw.bindIdent(name, tw.labelOf(vs.Values[i]))
+		}
+	case len(vs.Values) == 1:
+		lab := tw.labelOf(vs.Values[0])
+		for _, name := range vs.Names {
+			tw.bindIdent(name, lab)
+		}
+	}
+}
+
+func (tw *taintWalker) ret(r *ast.ReturnStmt) {
+	if len(r.Results) == 0 {
+		// Naked return: named results carry whatever was assigned to them.
+		for _, obj := range tw.results {
+			if lab, ok := tw.env[obj]; ok {
+				tw.sum.ret = tw.sum.ret.union(lab)
+			}
+		}
+		return
+	}
+	for _, res := range r.Results {
+		tw.sum.ret = tw.sum.ret.union(tw.labelOf(res))
+	}
+}
+
+// bind records lab for the variable behind lhs. Writing through a selector
+// or index (x.f = v, x[i] = v) coarsely taints the root variable — the
+// container now holds a transient value somewhere.
+func (tw *taintWalker) bind(lhs ast.Expr, lab taintLabels) {
+	if lhs == nil {
+		return
+	}
+	root := rootIdent(lhs)
+	if root == nil {
+		return
+	}
+	if _, isIdent := ast.Unparen(lhs).(*ast.Ident); !isIdent {
+		// Partial write: union into the container rather than overwrite.
+		if lab.empty() {
+			return
+		}
+		if old, ok := tw.objLabel(root); ok {
+			lab = lab.union(old)
+		}
+	}
+	tw.bindIdent(root, lab)
+}
+
+func (tw *taintWalker) bindIdent(id *ast.Ident, lab taintLabels) {
+	if id == nil || id.Name == "_" {
+		return
+	}
+	obj := tw.info.Defs[id]
+	if obj == nil {
+		obj = tw.info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if lab.empty() {
+		delete(tw.env, obj)
+	} else {
+		tw.env[obj] = lab
+	}
+}
+
+func (tw *taintWalker) objLabel(id *ast.Ident) (taintLabels, bool) {
+	obj := tw.info.Uses[id]
+	if obj == nil {
+		obj = tw.info.Defs[id]
+	}
+	if obj == nil {
+		return taintLabels{}, false
+	}
+	lab, ok := tw.env[obj]
+	return lab, ok
+}
+
+// labelOf computes an expression's taint. Structure first, then the
+// type-directed leaf rule: any non-constant uintptr / unsafe.Pointer typed
+// expression is itself a source.
+func (tw *taintWalker) labelOf(e ast.Expr) taintLabels {
+	if e == nil {
+		return taintLabels{}
+	}
+	lab := tw.structLabel(e)
+	if lab.src == "" {
+		if src := tw.transientType(e); src != "" {
+			lab.src = src
+		}
+	}
+	return lab
+}
+
+func (tw *taintWalker) transientType(e ast.Expr) string {
+	tv, ok := tw.info.Types[e]
+	if !ok || tv.Value != nil || tv.Type == nil {
+		return ""
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Uintptr:
+			return "uintptr — a DRAM machine address"
+		case types.UnsafePointer:
+			return "unsafe.Pointer — a DRAM machine address"
+		}
+	}
+	return ""
+}
+
+func (tw *taintWalker) structLabel(e ast.Expr) taintLabels {
+	switch e := e.(type) {
+	case *ast.Ident:
+		var lab taintLabels
+		obj := tw.info.Uses[e]
+		if obj == nil {
+			return lab
+		}
+		if l, ok := tw.env[obj]; ok {
+			lab = lab.union(l)
+		}
+		if i, ok := tw.params[obj]; ok && i >= 0 && i < 64 {
+			lab.params |= 1 << uint(i)
+		}
+		return lab
+	case *ast.ParenExpr:
+		return tw.labelOf(e.X)
+	case *ast.UnaryExpr:
+		return tw.labelOf(e.X)
+	case *ast.StarExpr:
+		return tw.labelOf(e.X)
+	case *ast.BinaryExpr:
+		return tw.labelOf(e.X).union(tw.labelOf(e.Y))
+	case *ast.IndexExpr:
+		return tw.labelOf(e.X)
+	case *ast.SliceExpr:
+		return tw.labelOf(e.X)
+	case *ast.TypeAssertExpr:
+		return tw.labelOf(e.X)
+	case *ast.SelectorExpr:
+		// x.f carries x's taint (field-insensitive).
+		if root := rootIdent(e); root != nil {
+			if lab, ok := tw.objLabel(root); ok {
+				return lab
+			}
+		}
+		return taintLabels{}
+	case *ast.CompositeLit:
+		var lab taintLabels
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				lab = lab.union(tw.labelOf(kv.Value))
+			} else {
+				lab = lab.union(tw.labelOf(el))
+			}
+		}
+		return lab
+	case *ast.CallExpr:
+		return tw.callLabel(e)
+	}
+	return taintLabels{}
+}
+
+// callLabel evaluates a call in value position: conversions pass their
+// operand's taint through (the type rule on the conversion itself catches
+// pointer→uintptr), builtins are handled by shape, and resolved calls are
+// interpreted through the callee's taint summary — src in the callee's
+// returns surfaces here, and param bits in its returns translate to the
+// labels of the corresponding arguments.
+func (tw *taintWalker) callLabel(call *ast.CallExpr) taintLabels {
+	if tv, ok := tw.info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return tw.labelOf(call.Args[0])
+		}
+		return taintLabels{}
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := tw.info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append", "min", "max":
+				var lab taintLabels
+				for _, a := range call.Args {
+					lab = lab.union(tw.labelOf(a))
+				}
+				return lab
+			default:
+				// len, cap, make, new, copy, ... do not yield addresses.
+				return taintLabels{}
+			}
+		}
+	}
+	callee := tw.prog.resolve(tw.info, call)
+	if callee == nil {
+		return taintLabels{}
+	}
+	s := tw.prog.taint[callee]
+	if s == nil {
+		return taintLabels{}
+	}
+	lab := taintLabels{src: s.ret.src}
+	for j := 0; j < 64 && j < len(call.Args); j++ {
+		if s.ret.params&(1<<uint(j)) != 0 {
+			lab = lab.union(tw.labelOf(call.Args[j]))
+		}
+	}
+	return lab
+}
+
+// visitCall checks a call's arguments against persistent-store sinks: the
+// direct pmem/ptm store-value positions, and — through the summaries — any
+// resolved callee that forwards a parameter into such a position.
+func (tw *taintWalker) visitCall(call *ast.CallExpr) {
+	for _, s := range persistSinks(tw.info, call) {
+		if s.idx < len(call.Args) {
+			tw.hitSink(call.Args[s.idx], s.desc)
+		}
+	}
+	callee := tw.prog.resolve(tw.info, call)
+	if callee == nil {
+		return
+	}
+	sum := tw.prog.taint[callee]
+	if sum == nil || sum.sink == 0 {
+		return
+	}
+	for j := 0; j < 64 && j < len(call.Args); j++ {
+		if sum.sink&(1<<uint(j)) != 0 {
+			tw.hitSink(call.Args[j], "passed to "+callee.Name()+", which stores it to persistent memory")
+		}
+	}
+}
+
+func (tw *taintWalker) hitSink(arg ast.Expr, desc string) {
+	lab := tw.labelOf(arg)
+	if lab.src != "" && tw.report != nil {
+		tw.report(arg.Pos(), lab, desc)
+	}
+	tw.sum.sink |= lab.params
+}
+
+// sinkArg names one store-value argument position of a persistence call.
+type sinkArg struct {
+	idx  int
+	desc string
+}
+
+// persistSinks returns the store-value argument positions of call, if it is
+// one of the direct persistence primitives.
+func persistSinks(info *types.Info, call *ast.CallExpr) []sinkArg {
+	if memMutatorName(info, call) == "Store" {
+		return []sinkArg{{1, "stored via (ptm.Mem).Store"}}
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	switch pmemRecvKind(info, sel.X) + "." + sel.Sel.Name {
+	case "Region.Store":
+		return []sinkArg{{1, "stored to a pmem region"}}
+	case "Region.StoreWords":
+		return []sinkArg{{1, "stored to a pmem region (StoreWords payload)"}}
+	case "Pool.HeaderStore", "Pool.HeaderStoreCRC":
+		return []sinkArg{{1, "published to a pool header slot"}}
+	case "Pool.HeaderCAS":
+		return []sinkArg{{2, "published to a pool header slot (CAS new value)"}}
+	}
+	return nil
+}

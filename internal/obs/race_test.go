@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRaceSmoke is a short high-contention workload meant for `go test
+// -race` (ci.sh runs it with the detector on): concurrent emitters share
+// one tracer ring and one histogram, exercising the lock-free slot
+// reservation, the per-TID local sequence counters and the atomic bucket
+// updates. Coarse counts are the functional assertion; the race detector
+// is the real one.
+func TestRaceSmoke(t *testing.T) {
+	const threads, perThread = 4, 200
+	tr := NewTracer(1024)
+	var h Histogram
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < perThread; i++ {
+				tr.Emit(Event{Kind: KindStore, TID: int16(tid), Addr: uint64(i)})
+				h.Observe(time.Duration(i+1) * time.Microsecond)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if got := tr.Len(); got != threads*perThread {
+		t.Fatalf("tracer Len = %d, want %d", got, threads*perThread)
+	}
+	snap := tr.Snapshot()
+	if len(snap.Events)+int(snap.Dropped) != threads*perThread {
+		t.Fatalf("snapshot events %d + dropped %d != %d", len(snap.Events), snap.Dropped, threads*perThread)
+	}
+	if h.Count() != threads*perThread {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), threads*perThread)
+	}
+}

@@ -139,6 +139,8 @@ func (r *Romulus) Properties() ptm.Properties {
 }
 
 // Update implements ptm.PTM.
+//
+//pmemvet:allow:fenceorder -- deliberate fence elision on the IDLE marker: recovery from COPYING replays the same copy, so the marker only needs to be durable by the next transaction's first PSync
 func (r *Romulus) Update(tid int, fn func(ptm.Mem) uint64) uint64 {
 	txStart := now(r.cfg.Profile)
 	r.mu.Lock()
@@ -193,8 +195,8 @@ func (r *Romulus) Update(tid int, fn func(ptm.Mem) uint64) uint64 {
 	}
 	r.cfg.Profile.AddCopy(since(r.cfg.Profile, copyStart))
 	// Deferred durability of the IDLE marker: the next transaction's
-	// first psync covers it, and recovery from COPYING is idempotent.
-	//pmemvet:allow fenceorder -- deliberate fence elision: recovery from COPYING replays the same copy, so the IDLE marker only needs to be durable by the next transaction's first PSync
+	// first psync covers it, and recovery from COPYING is idempotent
+	// (the scoped pmemvet:allow on Update documents this elision).
 	r.pool.HeaderStore(headerSlot, packHdr(phaseIdle, writeSide))
 	r.pool.PWBHeader(headerSlot)
 	r.cfg.Profile.AddTx(since(r.cfg.Profile, txStart))

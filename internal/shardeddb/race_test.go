@@ -1,0 +1,55 @@
+package shardeddb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRaceSmoke is a short high-contention workload meant for `go test
+// -race` (ci.sh runs it with the detector on): concurrent sessions mix
+// single-key puts/gets with cross-shard batches, exercising the per-shard
+// redo engines, the batch coordinator's intent record and the
+// lastCommitted publication. It asserts only coarse correctness (every key
+// readable afterwards); the race detector is the real assertion.
+func TestRaceSmoke(t *testing.T) {
+	const threads, perThread = 4, 12
+	g := NewGroup(GroupConfig{Shards: 2, Threads: threads})
+	db := Open(g, Options{Threads: threads})
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			s := db.Session(tid)
+			for i := 0; i < perThread; i++ {
+				key := []byte(fmt.Sprintf("k-%d-%d", tid, i))
+				s.Put(key, key)
+				if v, ok := s.Get(key); !ok || string(v) != string(key) {
+					t.Errorf("Get(%s) = %q, %v", key, v, ok)
+				}
+				if i%4 == 0 {
+					var b WriteBatch
+					b.Put([]byte(fmt.Sprintf("ba-%d-%d", tid, i)), key)
+					b.Put([]byte(fmt.Sprintf("bb-%d-%d", tid, i)), key)
+					s.Write(&b)
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	s := db.Session(0)
+	for tid := 0; tid < threads; tid++ {
+		for i := 0; i < perThread; i++ {
+			key := fmt.Sprintf("k-%d-%d", tid, i)
+			if !s.Has([]byte(key)) {
+				t.Fatalf("key %s lost after concurrent workload", key)
+			}
+			if i%4 == 0 {
+				if !s.Has([]byte(fmt.Sprintf("ba-%d-%d", tid, i))) {
+					t.Fatalf("batch key ba-%d-%d lost after concurrent workload", tid, i)
+				}
+			}
+		}
+	}
+}
