@@ -21,6 +21,14 @@ go test -race -run TestRaceSmoke ./internal/shardeddb ./internal/obs
 # -corrupt) are the acceptance run, not the per-commit gate.
 go run ./cmd/crashcheck -ops 8 -stride 11
 
+# Bounded retry-storm smoke under the race detector (PR 7): the dedup-table
+# unit tests plus one non-adversarial exactly-once storm on the unsharded
+# engine, together ~3 s. The full storm matrix (all engines, both crash
+# models, every injection point) runs in the regular `go test ./...` above
+# and via `crashcheck -retrystorm` in the acceptance run.
+go test -race ./internal/detect
+go test -race -run 'TestRetryStormSmoke/detect-redodb$' ./internal/chaos
+
 # Trace/stats parity smoke under the race detector: one engine's traced
 # workload must reproduce its StatsSnapshot counters event-for-event and
 # pass the dynamic ordering checker (the full per-engine matrix runs in the
@@ -40,3 +48,8 @@ go run ./cmd/dbbench -json BENCH_pr4.json -shards 1,8 -keys 10000 -secs 0.25 -th
 # the checked-in file's invariants (bulk pwbs/tx at 1 KiB >= 2x lower than
 # word, GetAppend allocation-free).
 go run ./cmd/dbbench -json BENCH_pr5.json -valuesize 64,256,1024 -keys 5000 -secs 0.25 -threads 4
+
+# Detectable-operation overhead (PR 7): plain vs detectable fillrandom on
+# the unsharded engine. TestBenchPR7Trajectory asserts the checked-in file's
+# invariant: the in-transaction dedup receipt costs <= 2 extra pwbs/tx.
+go run ./cmd/dbbench -json BENCH_pr7.json -detect -keys 10000 -secs 0.25 -threads 4

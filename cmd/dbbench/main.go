@@ -9,6 +9,7 @@
 //	dbbench -fig sharding -shards 1,2,4,8
 //	dbbench -json BENCH_pr4.json -shards 1,8 -keys 10000 -secs 0.25
 //	dbbench -json BENCH_pr5.json -valuesize 64,256,1024 -keys 5000 -secs 0.25
+//	dbbench -json BENCH_pr7.json -detect -keys 10000 -secs 0.25
 //	dbbench -trace trace.json -engine Redo-PTM -ops 64
 //
 // -trace runs a bounded single-threaded workload on one PTM engine with
@@ -41,6 +42,7 @@ func main() {
 		optane   = flag.Bool("optane", true, "inject Optane-like pwb/fence latencies")
 		shards   = flag.String("shards", "1,2,4,8", "comma-separated shard counts for the sharding figure")
 		vsizes   = flag.String("valuesize", "", "comma-separated value sizes in bytes: run the bulk-vs-word fillrandom sweep instead of the sharding cells (with -json)")
+		detect   = flag.Bool("detect", false, "run the plain-vs-detectable Put overhead cells instead of the sharding cells (with -json)")
 		jsonPath = flag.String("json", "", "write tracked sharded-bench entries to this file and exit")
 		trace    = flag.String("trace", "", "write a traced engine run to this file and exit")
 		engine   = flag.String("engine", "Redo-PTM", "PTM engine for -trace (see ptmbench for names)")
@@ -122,7 +124,9 @@ func main() {
 		// the max of -threads so CI runs stay one bounded cell per
 		// workload.
 		var entries []bench.BenchEntry
-		if *vsizes != "" {
+		if *detect {
+			entries = bench.DetectEntries(cfg, ts[len(ts)-1])
+		} else if *vsizes != "" {
 			entries = bench.ValueSizeEntries(cfg, parseInts(*vsizes, "value size"), ts[len(ts)-1])
 		} else {
 			entries = bench.ShardingEntries(cfg, sh, ts[len(ts)-1])

@@ -124,8 +124,8 @@ func TestTidRangeFixtures(t *testing.T)   { runFixture(t, TidRange, "tidrange") 
 // a helper package, which the old intra-procedural pass could not see.
 func TestFenceOrderInterprocFixtures(t *testing.T) { runFixture(t, FenceOrder, "interproc") }
 
-func TestCommitPointFixtures(t *testing.T)   { runFixture(t, CommitPoint, "commitpoint") }
-func TestTransientRefFixtures(t *testing.T)  { runFixture(t, TransientRef, "transientref") }
+func TestCommitPointFixtures(t *testing.T)  { runFixture(t, CommitPoint, "commitpoint") }
+func TestTransientRefFixtures(t *testing.T) { runFixture(t, TransientRef, "transientref") }
 
 // TestPmemvetClean runs the whole suite over the repository itself, so a
 // plain `go test ./...` fails the moment a new violation is introduced,

@@ -58,9 +58,9 @@ func (p *Program) Effect(fn *types.Func) *PersistEffect {
 
 // rawEffect is the pre-derivation working set during the fixed point.
 type rawEffect struct {
-	stores  map[int]bool // plain Store/StoreWords/CopyFrom rooted at param
-	flushes map[int]bool
-	fences  map[int]bool
+	stores      map[int]bool // plain Store/StoreWords/CopyFrom rooted at param
+	flushes     map[int]bool
+	fences      map[int]bool
 	fenceGlobal bool
 	publishes   bool
 }

@@ -75,6 +75,28 @@ func headerAfterDurablePayload(r *pmem.Region, p *pmem.Pool) {
 	p.PSync()
 }
 
+// --- dedup-receipt cases --------------------------------------------------
+//
+// The detectable-operation receipt is a two-word record [digest, seq]: the
+// seq word is the commit word — recovery treats a receipt as present exactly
+// when its seq matches the request — so the digest must be durable first.
+
+const (
+	rcptDigest    = 24
+	rcptSeqCommit = 25
+)
+
+// publishReceipt: the idiom done right — digest flushed and fenced, then the
+// single-word seq commit store.
+func publishReceipt(r *pmem.Region) {
+	r.Store(rcptDigest, 0xd1)
+	r.PWB(rcptDigest)
+	r.PFence()
+	r.Store(rcptSeqCommit, 7)
+	r.PWB(rcptSeqCommit)
+	r.PFence()
+}
+
 // --- positive cases -------------------------------------------------------
 
 // commitWhileUnflushed: the commit word can become durable before the
@@ -142,6 +164,26 @@ func headerWhileDirty(r *pmem.Region, p *pmem.Pool) {
 	p.HeaderStore(0, 1) // want `header publish with unflushed payload Store\(payload\) on r`
 	p.PWBHeader(0)
 	p.PSync()
+}
+
+// receiptSeqWhileDigestDirty: the seq word published while the digest may
+// still be volatile — a crash could expose a receipt whose digest is garbage,
+// and a retry would then be misjudged as a mismatch.
+func receiptSeqWhileDigestDirty(r *pmem.Region) {
+	r.Store(rcptDigest, 0xd1)
+	r.Store(rcptSeqCommit, 7) // want `commit store to rcptSeqCommit while Store\(rcptDigest\) on r is unflushed`
+	r.PWB(rcptSeqCommit)
+	r.PFence()
+}
+
+// receiptSeqBeforeDigestFence: flushed digest still needs its fence before
+// the seq can safely publish the receipt.
+func receiptSeqBeforeDigestFence(r *pmem.Region) {
+	r.Store(rcptDigest, 0xd1)
+	r.PWB(rcptDigest)
+	r.Store(rcptSeqCommit, 7) // want `commit store to rcptSeqCommit before the payload flush on r is fenced`
+	r.PWB(rcptSeqCommit)
+	r.PFence()
 }
 
 // headerBeforePayloadFence: flushed payload still needs its fence before

@@ -140,7 +140,7 @@ func Sweep(name string, o Options) (int, error) {
 		}
 		completed, crashed, err := workload(g, r, o.Ops, fail)
 		if err != nil {
-			return crashes, fmt.Errorf("crash point %d: %w", fail, err)
+			return crashes, pointErr(name, o, fail, 0, err)
 		}
 		if !crashed {
 			if completed != o.Ops {
@@ -156,10 +156,10 @@ func Sweep(name string, o Options) (int, error) {
 			return crashes, err
 		}
 		if _, cerr := run(func() { r2.Fresh(g) }); cerr != nil {
-			return crashes, fmt.Errorf("crash point %d: recovery reported corruption: %w", fail, cerr)
+			return crashes, pointErr(name, o, fail, 0, fmt.Errorf("recovery reported corruption: %w", cerr))
 		}
 		if err := r2.Verify(completed, o.Ops); err != nil {
-			return crashes, fmt.Errorf("crash point %d: %w", fail, err)
+			return crashes, pointErr(name, o, fail, 0, err)
 		}
 	}
 }
@@ -199,6 +199,11 @@ func NestedSweep(name string, o Options) (int, error) {
 	}
 	rng := rand.New(rand.NewSource(o.Seed))
 	pairs := 0
+	// One scratch group serves every (first, second) pair: the post-crash
+	// image is copied into it in place of allocating a fresh clone per pair,
+	// which bounds the sweep's memory at two group images regardless of how
+	// many thousands of pairs it explores.
+	var scratch *pmem.Group
 	for first := int64(1); ; first += stride1 {
 		g := GroupFor(name)
 		r, err := NewRunner(name)
@@ -207,7 +212,7 @@ func NestedSweep(name string, o Options) (int, error) {
 		}
 		completed, crashed, err := workload(g, r, o.Ops, first)
 		if err != nil {
-			return pairs, fmt.Errorf("first point %d: %w", first, err)
+			return pairs, pointErr(name, o, first, 0, err)
 		}
 		if !crashed {
 			if completed != o.Ops {
@@ -216,13 +221,16 @@ func NestedSweep(name string, o Options) (int, error) {
 			return pairs, nil
 		}
 		crash(g, o.Adversarial, rng)
-		base := g.Clone()
 		for second := int64(1); ; second += stride2 {
-			g2 := base.Clone()
+			if scratch == nil {
+				scratch = g.Clone()
+			} else {
+				g.CloneInto(scratch)
+			}
 			pairs++
-			done, err := nestedRecover(name, g2, second, o.Adversarial, rng, completed, o.Ops)
+			done, err := nestedRecover(name, scratch, second, o.Adversarial, rng, completed, o.Ops)
 			if err != nil {
-				return pairs, fmt.Errorf("pair (%d,%d): %w", first, second, err)
+				return pairs, pointErr(name, o, first, second, err)
 			}
 			if done {
 				break
@@ -307,6 +315,9 @@ func CorruptionSweep(name string, o Options) (int, error) {
 	}
 	rng := rand.New(rand.NewSource(o.Seed))
 	flips := 0
+	// As in NestedSweep, one scratch group is reused across every flip
+	// experiment instead of cloning per flip.
+	var scratch *pmem.Group
 	for fail := int64(1); ; fail += stride {
 		g := GroupFor(name)
 		r, err := NewRunner(name)
@@ -315,7 +326,7 @@ func CorruptionSweep(name string, o Options) (int, error) {
 		}
 		completed, crashed, err := workload(g, r, o.Ops, fail)
 		if err != nil {
-			return flips, fmt.Errorf("crash point %d: %w", fail, err)
+			return flips, pointErr(name, o, fail, 0, err)
 		}
 		if !crashed {
 			return flips, nil
@@ -331,23 +342,27 @@ func CorruptionSweep(name string, o Options) (int, error) {
 			continue // everything durable is reachable; nothing to corrupt
 		}
 		for k := 0; k < o.Flips; k++ {
-			g2 := g.Clone()
+			if scratch == nil {
+				scratch = g.Clone()
+			} else {
+				g.CloneInto(scratch)
+			}
 			pi, region, addr := pickWord(stale, uint64(rng.Int63n(int64(total))))
-			g2.Pool(pi).FlipBit(region, addr, uint(rng.Intn(64)))
+			scratch.Pool(pi).FlipBit(region, addr, uint(rng.Intn(64)))
 			flips++
 			r2, err := NewRunner(name)
 			if err != nil {
 				return flips, err
 			}
-			crashed2, cerr := run(func() { r2.Fresh(g2) })
+			crashed2, cerr := run(func() { r2.Fresh(scratch) })
 			if crashed2 {
-				return flips, fmt.Errorf("crash point %d flip %d: spurious power failure", fail, k)
+				return flips, pointErr(name, o, fail, 0, fmt.Errorf("flip %d: spurious power failure", k))
 			}
 			if cerr != nil {
 				continue // detected: an acceptable outcome
 			}
 			if err := r2.Verify(completed, o.Ops); err != nil {
-				return flips, fmt.Errorf("crash point %d flip %d: silent wrong answer: %w", fail, k, err)
+				return flips, pointErr(name, o, fail, 0, fmt.Errorf("flip %d: silent wrong answer: %w", k, err))
 			}
 		}
 	}

@@ -1,0 +1,308 @@
+// Package detect implements per-operation detectable recoverability (in the
+// sense of Memento, PLDI 2023): a persistent request-dedup table that lets a
+// client that crashed — or timed out and is retrying — ask "did my operation
+// N commit?" and get a correct answer after any number of power failures.
+//
+// The table is a sequential data structure over ptm.Mem, so it is updated
+// INSIDE the same durable transaction as the operation it receipts: the
+// engine's redo-log commit is the single atomic commit point, and a crash
+// either persists both the operation and its receipt or neither. That
+// one-commit-point coupling is the whole trick — a separate "receipt log"
+// written before or after the operation would reintroduce the duplicated-
+// write window this package exists to close.
+//
+// Layout (word offsets inside the transactional heap):
+//
+//	root slot -> bucket array of nBuckets chain heads
+//	client record: [id, next, ack, ackCnt, cap, pad, ring...]
+//	ring slot (2 words): [seq, digest]
+//
+// Each client is identified by a persistent nonzero client id and tags its
+// operations with a strictly increasing request sequence number (seqs start
+// at 1). Receipts live in a per-client ring indexed by seq mod cap, so the
+// table is bounded by the client's unacked window: once the client
+// acknowledges results up to a watermark (Ack), every slot below it is
+// reusable and WasApplied answers for acked seqs from the watermark alone.
+// The ring grows (power-of-two) when a client's unacked window outruns it,
+// inside the recording transaction, so growth is as crash-atomic as the
+// operation itself.
+//
+// A ring slot's seq word doubles as the receipt's commit word: a slot is
+// valid iff its stored seq is nonzero and matches the probe. Within a
+// transaction the store order is irrelevant (the redo log commits the whole
+// record atomically); the field is still written last so the layout reads
+// like the record-publication idiom the commitpoint analyzer enforces for
+// raw-region records.
+package detect
+
+import "repro/internal/ptm"
+
+const (
+	// nBuckets is the client-index bucket count. Clients are sessions, not
+	// keys: a handful per shard, so a small fixed table suffices.
+	nBuckets = 16
+
+	// Client record layout.
+	crID     = 0 // persistent client id (nonzero)
+	crNext   = 1 // next client record in the bucket chain
+	crAck    = 2 // acked watermark: every seq <= this is acked (and applied)
+	crAckCnt = 3 // receipts retired below the watermark (witness bookkeeping)
+	crCap    = 4 // ring capacity, a power of two
+	crPad    = 5 // reserved; keeps the 2-word ring slots line-aligned
+	crRing   = 6 // first ring slot
+
+	// minWindow is the initial ring capacity.
+	minWindow = 8
+)
+
+// Table is a handle to the dedup table rooted at RootSlot. It holds no
+// volatile state — every method re-reads the persistent structure — so the
+// same Table value may be used from any transaction on the same heap.
+type Table struct {
+	// RootSlot is the persistent root slot (ptm.RootAddr) holding the
+	// client index.
+	RootSlot int
+}
+
+// Digest fingerprints a request: operation tag, key bytes, and the
+// operation's sequential result. A retry that presents the same (client,
+// seq) with a different digest is a client bug (a reused sequence number),
+// which Table.Lookup lets callers detect. The result is forced nonzero.
+func Digest(op uint64, key []byte, result uint64) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	mix(op)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	mix(result)
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// ensure returns the bucket array, initializing the table on first use.
+func (t Table) ensure(m ptm.Mem) uint64 {
+	root := ptm.RootAddr(t.RootSlot)
+	b := m.Load(root)
+	if b != 0 {
+		return b
+	}
+	b = m.Alloc(nBuckets)
+	if b == 0 {
+		panic("detect: persistent heap exhausted")
+	}
+	ptm.ZeroWords(m, b, nBuckets)
+	m.Store(root, b)
+	return b
+}
+
+// bucketOf maps a client id to its chain head slot. The multiplicative remix
+// spreads sequential client ids over the buckets.
+func bucketOf(buckets, client uint64) uint64 {
+	return buckets + (client*0x9e3779b97f4a7c15>>52)%nBuckets
+}
+
+// find returns the client's record and its chain predecessor (0 for none).
+func (t Table) find(m ptm.Mem, client uint64) (rec, prev uint64) {
+	root := ptm.RootAddr(t.RootSlot)
+	buckets := m.Load(root)
+	if buckets == 0 {
+		return 0, 0
+	}
+	n := m.Load(bucketOf(buckets, client))
+	for n != 0 {
+		if m.Load(n+crID) == client {
+			return n, prev
+		}
+		prev = n
+		n = m.Load(n + crNext)
+	}
+	return 0, 0
+}
+
+// newRecord allocates and zeroes a client record with the given capacity.
+func newRecord(m ptm.Mem, client, cap uint64) uint64 {
+	rec := m.Alloc(crRing + 2*cap)
+	if rec == 0 {
+		panic("detect: persistent heap exhausted")
+	}
+	ptm.ZeroWords(m, rec, crRing+2*cap)
+	m.Store(rec+crID, client)
+	m.Store(rec+crCap, cap)
+	return rec
+}
+
+// ensureClient returns the client's record, creating it on first use.
+func (t Table) ensureClient(m ptm.Mem, client uint64) uint64 {
+	if client == 0 {
+		panic("detect: client id must be nonzero")
+	}
+	rec, _ := t.find(m, client)
+	if rec != 0 {
+		return rec
+	}
+	buckets := t.ensure(m)
+	rec = newRecord(m, client, minWindow)
+	slot := bucketOf(buckets, client)
+	m.Store(rec+crNext, m.Load(slot))
+	m.Store(slot, rec)
+	return rec
+}
+
+// slotAddr returns the ring slot for seq in rec.
+func slotAddr(m ptm.Mem, rec, seq uint64) uint64 {
+	cap := m.Load(rec + crCap)
+	return rec + crRing + 2*(seq&(cap-1))
+}
+
+// Applied reports whether (client, seq) has a durable receipt: either the
+// seq is at or below the client's acked watermark, or its ring slot holds a
+// matching receipt. Read-only; safe in read transactions.
+func (t Table) Applied(m ptm.Mem, client, seq uint64) bool {
+	_, ok := t.Lookup(m, client, seq)
+	return ok
+}
+
+// Lookup returns the recorded result digest for (client, seq) and whether
+// the operation was applied. For seqs at or below the acked watermark the
+// receipt itself has been retired and the digest is no longer available
+// (digest 0, applied true): acked operations need no result replay.
+func (t Table) Lookup(m ptm.Mem, client, seq uint64) (digest uint64, applied bool) {
+	if seq == 0 {
+		panic("detect: request seq must be nonzero")
+	}
+	rec, _ := t.find(m, client)
+	if rec == 0 {
+		return 0, false
+	}
+	if seq <= m.Load(rec+crAck) {
+		return 0, true
+	}
+	s := slotAddr(m, rec, seq)
+	if m.Load(s) == seq {
+		return m.Load(s + 1), true
+	}
+	return 0, false
+}
+
+// Record writes the receipt for (client, seq) with the given result digest.
+// It must run in the SAME update transaction as the operation it receipts,
+// after the caller has checked Applied — recording a seq that already holds
+// a receipt means an operation was applied twice, the exact bug detectable
+// recoverability exists to rule out, so Record panics rather than mask it.
+func (t Table) Record(m ptm.Mem, client, seq, digest uint64) {
+	if seq == 0 {
+		panic("detect: request seq must be nonzero")
+	}
+	rec := t.ensureClient(m, client)
+	ack := m.Load(rec + crAck)
+	if seq <= ack {
+		// The receipt would be below the watermark: the client acked this
+		// seq already, so a re-application slipped past the dedup check.
+		panic("detect: operation recorded below its acked watermark (applied twice)")
+	}
+	if seq-ack > m.Load(rec+crCap) {
+		rec = t.grow(m, rec, client, seq-ack)
+	}
+	s := slotAddr(m, rec, seq)
+	if cur := m.Load(s); cur == seq {
+		panic("detect: receipt already recorded for this seq (applied twice)")
+	} else if cur > ack && cur != 0 {
+		// The slot still holds a live (unacked) receipt for another seq:
+		// the window invariant guarantees this cannot happen after grow.
+		panic("detect: receipt ring collision inside the unacked window")
+	}
+	// Digest first, seq last: the seq word is the receipt's commit word.
+	m.Store(s+1, digest)
+	m.Store(s, seq)
+}
+
+// grow reallocates the client record with capacity >= span and relinks it,
+// copying every live (unacked) receipt. Runs inside the caller's
+// transaction, so the swap is crash-atomic with the operation.
+func (t Table) grow(m ptm.Mem, rec, client, span uint64) uint64 {
+	oldCap := m.Load(rec + crCap)
+	newCap := oldCap
+	for newCap < span {
+		newCap *= 2
+	}
+	nr := newRecord(m, client, newCap)
+	ack := m.Load(rec + crAck)
+	m.Store(nr+crAck, ack)
+	m.Store(nr+crAckCnt, m.Load(rec+crAckCnt))
+	for i := uint64(0); i < oldCap; i++ {
+		s := rec + crRing + 2*i
+		if seq := m.Load(s); seq > ack {
+			d := nr + crRing + 2*(seq&(newCap-1))
+			m.Store(d+1, m.Load(s+1))
+			m.Store(d, seq)
+		}
+	}
+	// Relink: the record chain's predecessor (or bucket head) now names the
+	// new record; the old one is freed in the same transaction.
+	_, prev := t.find(m, client)
+	m.Store(nr+crNext, m.Load(rec+crNext))
+	if prev == 0 {
+		m.Store(bucketOf(m.Load(ptm.RootAddr(t.RootSlot)), client), nr)
+	} else {
+		m.Store(prev+crNext, nr)
+	}
+	m.Free(rec)
+	return nr
+}
+
+// Ack advances the client's acked watermark to upto: the client promises it
+// has consumed the results of every seq <= upto, so their receipts may be
+// reclaimed. Slots below the watermark are logically retired (counted into
+// the witness tally) without being rewritten — a slot is live iff its seq is
+// above the watermark, so truncation is one watermark store and crash-safe
+// inside its transaction. Acking backwards is a no-op.
+func (t Table) Ack(m ptm.Mem, client, upto uint64) {
+	rec := t.ensureClient(m, client)
+	ack := m.Load(rec + crAck)
+	if upto <= ack {
+		return
+	}
+	cap := m.Load(rec + crCap)
+	retired := uint64(0)
+	for i := uint64(0); i < cap; i++ {
+		if seq := m.Load(rec + crRing + 2*i); seq > ack && seq <= upto {
+			retired++
+		}
+	}
+	m.Store(rec+crAckCnt, m.Load(rec+crAckCnt)+retired)
+	m.Store(rec+crAck, upto)
+}
+
+// Stats reports the exactly-once witness for a client: receipts is the total
+// number of operations ever applied for it (retired + live — if an engine
+// ever applied an operation twice, Record's double-apply panic fires before
+// this count could drift), maxSeq the highest receipted seq, and ack the
+// acked watermark. Read-only.
+func (t Table) Stats(m ptm.Mem, client uint64) (receipts, maxSeq, ack uint64) {
+	rec, _ := t.find(m, client)
+	if rec == 0 {
+		return 0, 0, 0
+	}
+	ack = m.Load(rec + crAck)
+	maxSeq = ack
+	receipts = m.Load(rec + crAckCnt)
+	cap := m.Load(rec + crCap)
+	for i := uint64(0); i < cap; i++ {
+		if seq := m.Load(rec + crRing + 2*i); seq > ack {
+			receipts++
+			if seq > maxSeq {
+				maxSeq = seq
+			}
+		}
+	}
+	return receipts, maxSeq, ack
+}

@@ -1,0 +1,227 @@
+package detect_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core/redo"
+	"repro/internal/detect"
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+)
+
+// newEngine builds a small RedoOpt engine to host the table; the tests drive
+// the table only through transactions, exactly as its contract demands.
+func newEngine(t *testing.T) *redo.Redo {
+	t.Helper()
+	pool := pmem.New(pmem.Config{Mode: pmem.Direct, RegionWords: 1 << 16, Regions: 2})
+	return redo.New(pool, redo.Config{Threads: 1, Variant: redo.Opt})
+}
+
+// The closures below return exactly one word and never write captured
+// variables: a transaction body may be re-executed by helper threads, so
+// multi-result reads are split into independent transactions.
+
+func record(eng *redo.Redo, tbl detect.Table, client, seq, digest uint64) {
+	eng.Update(0, func(m ptm.Mem) uint64 {
+		tbl.Record(m, client, seq, digest)
+		return 0
+	})
+}
+
+func ack(eng *redo.Redo, tbl detect.Table, client, upto uint64) {
+	eng.Update(0, func(m ptm.Mem) uint64 {
+		tbl.Ack(m, client, upto)
+		return 0
+	})
+}
+
+func applied(eng *redo.Redo, tbl detect.Table, client, seq uint64) bool {
+	return eng.Read(0, func(m ptm.Mem) uint64 {
+		if tbl.Applied(m, client, seq) {
+			return 1
+		}
+		return 0
+	}) == 1
+}
+
+func lookupDigest(eng *redo.Redo, tbl detect.Table, client, seq uint64) uint64 {
+	return eng.Read(0, func(m ptm.Mem) uint64 {
+		d, _ := tbl.Lookup(m, client, seq)
+		return d
+	})
+}
+
+func stats(eng *redo.Redo, tbl detect.Table, client uint64) (receipts, maxSeq, ackW uint64) {
+	read := func(pick int) uint64 {
+		return eng.Read(0, func(m ptm.Mem) uint64 {
+			r, mx, a := tbl.Stats(m, client)
+			switch pick {
+			case 0:
+				return r
+			case 1:
+				return mx
+			default:
+				return a
+			}
+		})
+	}
+	return read(0), read(1), read(2)
+}
+
+func TestRecordLookupAck(t *testing.T) {
+	eng := newEngine(t)
+	tbl := detect.Table{RootSlot: 2}
+	const client = 7
+
+	if applied(eng, tbl, client, 1) {
+		t.Fatal("empty table reports seq 1 applied")
+	}
+	for seq := uint64(1); seq <= 6; seq++ {
+		record(eng, tbl, client, seq, detect.Digest(1, []byte{byte(seq)}, 0))
+	}
+	for seq := uint64(1); seq <= 6; seq++ {
+		if !applied(eng, tbl, client, seq) {
+			t.Fatalf("seq %d not applied after Record", seq)
+		}
+		if d := lookupDigest(eng, tbl, client, seq); d != detect.Digest(1, []byte{byte(seq)}, 0) {
+			t.Fatalf("seq %d digest %#x, want the recorded one", seq, d)
+		}
+	}
+	if applied(eng, tbl, client, 7) {
+		t.Fatal("unrecorded seq 7 reports applied")
+	}
+	if r, mx, a := stats(eng, tbl, client); r != 6 || mx != 6 || a != 0 {
+		t.Fatalf("stats = (%d, %d, %d), want (6, 6, 0)", r, mx, a)
+	}
+
+	// Acking retires receipts below the watermark: still applied, digest gone.
+	ack(eng, tbl, client, 4)
+	for seq := uint64(1); seq <= 4; seq++ {
+		if !applied(eng, tbl, client, seq) {
+			t.Fatalf("acked seq %d no longer applied", seq)
+		}
+		if d := lookupDigest(eng, tbl, client, seq); d != 0 {
+			t.Fatalf("acked seq %d still exposes digest %#x", seq, d)
+		}
+	}
+	if d := lookupDigest(eng, tbl, client, 5); d == 0 {
+		t.Fatal("live seq 5 lost its digest across Ack")
+	}
+	if r, mx, a := stats(eng, tbl, client); r != 6 || mx != 6 || a != 4 {
+		t.Fatalf("stats after ack = (%d, %d, %d), want (6, 6, 4)", r, mx, a)
+	}
+	// Acking backwards is a no-op.
+	ack(eng, tbl, client, 2)
+	if _, _, a := stats(eng, tbl, client); a != 4 {
+		t.Fatalf("backward ack moved watermark to %d", a)
+	}
+}
+
+func TestRingGrowsWithUnackedWindow(t *testing.T) {
+	eng := newEngine(t)
+	tbl := detect.Table{RootSlot: 2}
+	const client = 3
+
+	// Never ack: the window outruns the initial capacity and must grow,
+	// keeping every live receipt findable.
+	const n = 100
+	for seq := uint64(1); seq <= n; seq++ {
+		record(eng, tbl, client, seq, detect.Digest(2, nil, seq))
+	}
+	for seq := uint64(1); seq <= n; seq++ {
+		if d := lookupDigest(eng, tbl, client, seq); d != detect.Digest(2, nil, seq) {
+			t.Fatalf("seq %d lost its receipt across growth (digest %#x)", seq, d)
+		}
+	}
+	if r, mx, a := stats(eng, tbl, client); r != n || mx != n || a != 0 {
+		t.Fatalf("stats = (%d, %d, %d), want (%d, %d, 0)", r, mx, a, uint64(n), uint64(n))
+	}
+
+	// After acking, slots are reused without further growth.
+	ack(eng, tbl, client, n)
+	for seq := uint64(n + 1); seq <= n+8; seq++ {
+		record(eng, tbl, client, seq, detect.Digest(2, nil, seq))
+	}
+	if r, mx, a := stats(eng, tbl, client); r != n+8 || mx != n+8 || a != n {
+		t.Fatalf("stats after reuse = (%d, %d, %d)", r, mx, a)
+	}
+}
+
+func TestManyClientsShareBuckets(t *testing.T) {
+	eng := newEngine(t)
+	tbl := detect.Table{RootSlot: 2}
+
+	// 64 clients over 16 buckets forces chains; interleave records and acks,
+	// including growth in mid-chain records, then verify isolation.
+	const clients = 64
+	for c := uint64(1); c <= clients; c++ {
+		for seq := uint64(1); seq <= 5; seq++ {
+			record(eng, tbl, c, seq, detect.Digest(c, nil, seq))
+		}
+	}
+	for c := uint64(4); c <= clients; c += 8 {
+		for seq := uint64(6); seq <= 20; seq++ { // outruns minWindow: grows
+			record(eng, tbl, c, seq, detect.Digest(c, nil, seq))
+		}
+	}
+	for c := uint64(1); c <= clients; c++ {
+		want := uint64(5)
+		if c >= 4 && (c-4)%8 == 0 {
+			want = 20
+		}
+		r, mx, a := stats(eng, tbl, c)
+		if r != want || mx != want || a != 0 {
+			t.Fatalf("client %d stats = (%d, %d, %d), want (%d, %d, 0)", c, r, mx, a, want, want)
+		}
+		if applied(eng, tbl, c, want+1) {
+			t.Fatalf("client %d reports unrecorded seq %d applied", c, want+1)
+		}
+	}
+}
+
+func TestRecordTwicePanics(t *testing.T) {
+	tbl := detect.Table{RootSlot: 2}
+
+	// A Record panic is a fatal invariant violation: the engine that raised
+	// it is not reusable, so every case gets a fresh one.
+	mustPanic := func(name string, f func(eng *redo.Redo)) {
+		eng := newEngine(t)
+		record(eng, tbl, 1, 1, 42)
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f(eng)
+	}
+	mustPanic("re-recording a live seq", func(eng *redo.Redo) {
+		record(eng, tbl, 1, 1, 42)
+	})
+	mustPanic("recording below the watermark", func(eng *redo.Redo) {
+		ack(eng, tbl, 1, 1)
+		record(eng, tbl, 1, 1, 42)
+	})
+	mustPanic("zero client id", func(eng *redo.Redo) { record(eng, tbl, 0, 2, 42) })
+	mustPanic("zero seq", func(eng *redo.Redo) { record(eng, tbl, 1, 0, 42) })
+}
+
+func TestDigestProperties(t *testing.T) {
+	if detect.Digest(0, nil, 0) == 0 {
+		t.Fatal("Digest returned zero")
+	}
+	seen := map[uint64]string{}
+	for op := uint64(1); op <= 3; op++ {
+		for _, key := range []string{"", "a", "b", "ab"} {
+			d := detect.Digest(op, []byte(key), 0)
+			id := fmt.Sprintf("op%d/%q", op, key)
+			if prev, dup := seen[d]; dup {
+				t.Fatalf("digest collision between %s and %s", id, prev)
+			}
+			seen[d] = id
+		}
+	}
+	if detect.Digest(1, []byte("k"), 1) == detect.Digest(1, []byte("k"), 2) {
+		t.Fatal("result not folded into digest")
+	}
+}

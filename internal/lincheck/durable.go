@@ -30,6 +30,17 @@ type DurableOp struct {
 	// completed before the crash, before every operation called after
 	// recovery.
 	Pending bool
+	// DupID, when nonzero, names the REQUEST this operation is an attempt
+	// of: a crashed caller that retries records the original (pending)
+	// attempt and the retry under one DupID. The checker then demands
+	// exactly-once semantics for the group — at most one attempt may take
+	// effect. A completed attempt pins the choice (every other attempt must
+	// have vanished; two completed attempts of one request are an immediate
+	// duplicate); among pending attempts, at most one may be kept. This is
+	// the detectable-recoverability contract: a deduplicated retry must be
+	// recorded as not-applied (omitted, or marked Pending so the checker may
+	// drop it), never as a second effective operation.
+	DupID uint64
 }
 
 // maxPending bounds the 2^p search over in-flight subsets. Harnesses produce
@@ -38,12 +49,21 @@ type DurableOp struct {
 const maxPending = 16
 
 // CheckDurable reports whether the crash-prone history is durably
-// linearizable with respect to model.
+// linearizable with respect to model, under exactly-once semantics for every
+// DupID-grouped retry: at most one attempt per request may take effect.
 func CheckDurable(model Model, history []DurableOp) bool {
 	var pending []int
+	dupDone := make(map[uint64]int)
 	for i, op := range history {
 		if op.Pending {
 			pending = append(pending, i)
+		} else if op.DupID != 0 {
+			dupDone[op.DupID]++
+			if dupDone[op.DupID] > 1 {
+				// Two completed attempts of one request: a duplicate, no
+				// matter how the pending choices fall.
+				return false
+			}
 		}
 	}
 	if len(pending) > maxPending {
@@ -54,6 +74,28 @@ func CheckDurable(model Model, history []DurableOp) bool {
 	// usually either finished the operation or tore nothing, so high masks
 	// tend to succeed early.
 	for mask := (1 << len(pending)) - 1; mask >= 0; mask-- {
+		// Exactly-once filter: an assignment that keeps an attempt of a
+		// request that already has a completed attempt — or keeps two
+		// pending attempts of one request — would apply it twice.
+		dupKept := make(map[uint64]bool)
+		legal := true
+		for bit, idx := range pending {
+			if mask&(1<<bit) == 0 {
+				continue
+			}
+			id := history[idx].DupID
+			if id == 0 {
+				continue
+			}
+			if dupDone[id] > 0 || dupKept[id] {
+				legal = false
+				break
+			}
+			dupKept[id] = true
+		}
+		if !legal {
+			continue
+		}
 		ops := make([]Op, 0, len(history))
 		wild := make([]bool, 0, len(history))
 		drop := make(map[int]bool, bits.OnesCount(uint(mask)))

@@ -173,6 +173,145 @@ func TestCheckDurableTable(t *testing.T) {
 	}
 }
 
+// dup marks op as attempt number of request id for the exactly-once mode.
+func dup(op DurableOp, id uint64) DurableOp {
+	op.DupID = id
+	return op
+}
+
+// TestCheckDurableExactlyOnce is the accept/reject table for the DupID
+// exactly-once mode: attempts of one request (the pending original and its
+// retries) may take effect at most once.
+func TestCheckDurableExactlyOnce(t *testing.T) {
+	cases := []struct {
+		name    string
+		model   Model
+		history []DurableOp
+		want    bool
+	}{
+		{
+			// Counter inc crashed in flight, retry completed with result 1:
+			// plain durable linearizability would also accept a pre-crash
+			// landing plus the retry (count 2); exactly-once requires the
+			// single increment the receipt table guarantees.
+			name:  "accept/retried-inc-applied-once",
+			model: CounterModel{},
+			history: []DurableOp{
+				dup(p(0, 1, 5, "inc", 0, 0), 1),
+				dup(d(0, 6, 7, "inc", 0, 0, 1), 1),
+				d(0, 8, 9, "get", 0, 0, 1),
+			},
+			want: true,
+		},
+		{
+			// The duplicate the mode exists to reject: both the crashed
+			// attempt and the retry took effect. WITHOUT DupID this history
+			// linearizes (keep the pending attempt, count reaches 2); the
+			// exactly-once constraint must refuse it.
+			name:  "reject/retried-inc-applied-twice",
+			model: CounterModel{},
+			history: []DurableOp{
+				dup(p(0, 1, 5, "inc", 0, 0), 1),
+				dup(d(0, 6, 7, "inc", 0, 0, 2), 1),
+				d(0, 8, 9, "get", 0, 0, 2),
+			},
+			want: false,
+		},
+		{
+			// Same duplicate without grouping: accepted, proving the DupID
+			// is what tightens the check (an idempotence-blind baseline).
+			name:  "accept/ungrouped-attempts-may-both-land",
+			model: CounterModel{},
+			history: []DurableOp{
+				p(0, 1, 5, "inc", 0, 0),
+				d(0, 6, 7, "inc", 0, 0, 2),
+				d(0, 8, 9, "get", 0, 0, 2),
+			},
+			want: true,
+		},
+		{
+			// Two completed attempts of one request are a duplicate even
+			// when the model cannot see it (KV put is idempotent).
+			name:  "reject/two-completed-attempts",
+			model: KVModel{},
+			history: []DurableOp{
+				dup(d(0, 1, 2, "put", 1, 10, 0), 1),
+				dup(d(0, 6, 7, "put", 1, 10, 0), 1),
+			},
+			want: false,
+		},
+		{
+			// A pending attempt whose retry was deduplicated: the harness
+			// records the dedup hit as pending too (not-applied), and the
+			// checker keeps exactly one of the two.
+			name:  "accept/dedup-hit-recorded-pending",
+			model: KVModel{},
+			history: []DurableOp{
+				dup(p(0, 1, 5, "put", 1, 10), 1),
+				dup(p(0, 6, 8, "put", 1, 10), 1),
+				d(0, 9, 10, "get", 1, 0, 10),
+			},
+			want: true,
+		},
+		{
+			// Distinct requests are independent: the same history as the
+			// rejected duplicate above, but under two different DupIDs both
+			// increments legally take effect.
+			name:  "accept/distinct-requests-both-apply",
+			model: CounterModel{},
+			history: []DurableOp{
+				dup(p(0, 1, 5, "inc", 0, 0), 1),
+				dup(d(0, 6, 7, "inc", 0, 0, 2), 2),
+				d(0, 8, 9, "get", 0, 0, 2),
+			},
+			want: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := CheckDurable(tc.model, tc.history); got != tc.want {
+				t.Fatalf("CheckDurable = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCheckDurableTwoPendingSameKey pins the wildcard enumeration with two
+// operations on the SAME key in flight at one crash: the recovered value may
+// be either pending value or neither, but never an invented one — and the
+// verdicts must not depend on which attempt was called first.
+func TestCheckDurableTwoPendingSameKey(t *testing.T) {
+	cases := []struct {
+		name string
+		get  uint64
+		want bool
+	}{
+		{"accept/first-pending-landed", 10, true},
+		{"accept/second-pending-landed", 20, true},
+		{"accept/both-vanished", 0, true},
+		{"reject/invented-value", 30, false},
+	}
+	for _, order := range []string{"a-then-b", "b-then-a"} {
+		callA, callB := int64(1), int64(2)
+		if order == "b-then-a" {
+			callA, callB = 2, 1
+		}
+		for _, tc := range cases {
+			t.Run(order+"/"+tc.name, func(t *testing.T) {
+				h := []DurableOp{
+					p(0, callA, 5, "put", 1, 10),
+					p(1, callB, 5, "put", 1, 20),
+					d(0, 6, 7, "get", 1, 0, tc.get),
+					d(0, 8, 9, "get", 1, 0, tc.get), // the choice must persist
+				}
+				if got := CheckDurable(KVModel{}, h); got != tc.want {
+					t.Fatalf("CheckDurable = %v, want %v", got, tc.want)
+				}
+			})
+		}
+	}
+}
+
 // TestCheckWildcardStillChecked: a wild result never weakens the precedence
 // rules — only the result comparison of that one op.
 func TestCheckWildcardStillChecked(t *testing.T) {

@@ -124,6 +124,14 @@ const (
 	// (constructor-time adoption or replay of the persisted image).
 	KindRecoveryBegin
 	KindRecoveryEnd
+	// KindReceipt is an annotation: a detectable operation committed with
+	// its dedup receipt in the same transaction. Addr is the client id,
+	// Arg the request sequence number.
+	KindReceipt
+	// KindDedupHit is an annotation: a detectable operation was skipped
+	// because its receipt already existed (a retry of a committed request).
+	// Addr is the client id, Arg the request sequence number.
+	KindDedupHit
 
 	kindCount // sentinel
 )
@@ -153,6 +161,8 @@ var kindNames = [...]string{
 	KindRollForward:   "roll-forward",
 	KindRecoveryBegin: "recovery-begin",
 	KindRecoveryEnd:   "recovery-end",
+	KindReceipt:       "receipt",
+	KindDedupHit:      "dedup-hit",
 }
 
 func (k Kind) String() string {
@@ -310,7 +320,7 @@ func (t *Tracer) Snapshot() Trace {
 type Trace struct {
 	// Dropped counts events overwritten by ring wrap-around before the
 	// snapshot. CheckOrdering refuses a trace with Dropped > 0.
-	Dropped uint64 `json:"dropped"`
+	Dropped uint64  `json:"dropped"`
 	Events  []Event `json:"events"`
 }
 

@@ -131,3 +131,34 @@ func (p *Pool) Clone() *Pool {
 	}
 	return q
 }
+
+// CloneInto copies the pool's full state into dst, an existing pool of
+// identical geometry, instead of allocating a fresh one: the scratch-pool
+// form of Clone for sweeps that fork one post-crash state into many
+// experiments and would otherwise allocate (and garbage) a full image per
+// fork. dst's statistics are zeroed and its failure injector disarmed
+// (including the fired latch, so a scratch that crashed in a previous
+// experiment is reusable); a tracer attached to dst stays attached. Both
+// pools must be quiescent.
+func (p *Pool) CloneInto(dst *Pool) {
+	if dst.mode != p.mode || dst.regionWords != p.regionWords ||
+		len(dst.regions) != len(p.regions) || len(dst.headers) != len(p.headers) {
+		panic("pmem: CloneInto requires identical pool geometry")
+	}
+	copy(dst.data, p.data)
+	if p.mode == Strict {
+		copy(dst.shadow, p.shadow)
+		for i := range p.shadowHdr {
+			dst.shadowHdr[i].Store(p.shadowHdr[i].Load())
+		}
+	}
+	for i := range p.headers {
+		dst.headers[i].Store(p.headers[i].Load())
+	}
+	dst.pendingHdr = append(dst.pendingHdr[:0], p.pendingHdr...)
+	for i := range p.regions {
+		dst.regions[i].pending = append(dst.regions[i].pending[:0], p.regions[i].pending...)
+	}
+	dst.ResetStats()
+	dst.inj.arm(-1)
+}

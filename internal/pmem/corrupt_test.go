@@ -115,6 +115,82 @@ func TestCloneIsIndependent(t *testing.T) {
 	}
 }
 
+func TestCloneIntoReplacesScratchState(t *testing.T) {
+	p := New(Config{Mode: Strict, RegionWords: 64, Regions: 2, HeaderSlots: 4})
+	r := p.Region(0)
+	r.Store(5, 55)
+	r.PWB(5)
+	r.PFence()
+	r.Store(6, 66) // volatile: pending-list state must be copied too
+	p.HeaderStore(1, 11)
+	p.PWBHeader(1)
+	p.PSync()
+
+	// Scratch carries stale state from a "previous experiment", including a
+	// fired injector latch: a crashed scratch must come back reusable.
+	scratch := New(Config{Mode: Strict, RegionWords: 64, Regions: 2, HeaderSlots: 4})
+	scratch.Region(0).Store(5, 999)
+	scratch.Region(1).Store(0, 888)
+	scratch.HeaderStore(1, 777)
+	scratch.InjectFailure(1)
+	func() {
+		defer func() {
+			if recover() != ErrSimulatedPowerFailure {
+				t.Fatal("scratch setup failure point did not fire")
+			}
+		}()
+		scratch.Region(0).Store(9, 1)
+		scratch.Region(0).PWB(9)
+	}()
+
+	p.CloneInto(scratch)
+	if got := scratch.InjectRemaining(); got >= 0 {
+		t.Fatalf("CloneInto left the failure point armed: %d", got)
+	}
+	if got := scratch.Region(0).Load(5); got != 55 {
+		t.Fatalf("scratch word 5 = %d, want 55", got)
+	}
+	if got := scratch.Region(1).Load(0); got != 0 {
+		t.Fatalf("scratch region 1 word 0 = %d, want 0", got)
+	}
+	if got := scratch.HeaderLoad(1); got != 11 {
+		t.Fatalf("scratch header 1 = %d, want 11", got)
+	}
+	if s := scratch.Stats(); s.PWBs != 0 || s.PFences != 0 {
+		t.Fatalf("CloneInto did not reset stats: %+v", s)
+	}
+	// The fired latch was cleared: new events on the scratch must not panic,
+	// and the pending list came over so a crash drops word 6 exactly as it
+	// would on the original.
+	scratch.Region(1).Store(1, 2)
+	scratch.Crash(CrashConservative, nil)
+	if got := scratch.Region(0).Load(6); got != 0 {
+		t.Fatalf("scratch kept unfenced word across crash: %d", got)
+	}
+	if got := p.Region(0).Load(6); got != 66 {
+		t.Fatalf("crashing the scratch disturbed the original: %d", got)
+	}
+}
+
+func TestCloneIntoGeometryMismatchPanics(t *testing.T) {
+	src := New(Config{Mode: Strict, RegionWords: 64, Regions: 2})
+	for _, dst := range []*Pool{
+		New(Config{Mode: Strict, RegionWords: 128, Regions: 2}),
+		New(Config{Mode: Strict, RegionWords: 64, Regions: 1}),
+		New(Config{Mode: Strict, RegionWords: 64, Regions: 2, HeaderSlots: 8}),
+		New(Config{Mode: Direct, RegionWords: 64, Regions: 2}),
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("CloneInto accepted mismatched geometry")
+				}
+			}()
+			src.CloneInto(dst)
+		}()
+	}
+}
+
 func TestHeaderCRCPair(t *testing.T) {
 	p := New(Config{Mode: Strict, RegionWords: 64, Regions: 1, HeaderSlots: 4})
 	// Never written: zero value, no error.

@@ -77,6 +77,19 @@ func (g *Group) Clone() *Group {
 	return NewGroup(clones...)
 }
 
+// CloneInto copies every member pool's state into the corresponding pool of
+// dst, a group of identical shape, reusing its memory (see Pool.CloneInto).
+// dst's shared injector is disarmed and its statistics zeroed. Both groups
+// must be quiescent.
+func (g *Group) CloneInto(dst *Group) {
+	if len(dst.pools) != len(g.pools) {
+		panic("pmem: CloneInto requires groups of the same shape")
+	}
+	for i, p := range g.pools {
+		p.CloneInto(dst.pools[i])
+	}
+}
+
 // SetTracer attaches tr to every member pool, assigning pool ids in member
 // order so a group trace distinguishes the coordinator (pool 0) from the
 // shards. Pass nil to detach. The group must be quiescent. Clones made by

@@ -165,3 +165,49 @@ func TestGroupCrashAdversarialDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// Group.CloneInto reuses a scratch group's memory across sweep experiments.
+func TestGroupCloneInto(t *testing.T) {
+	g := groupOf(t, 2)
+	g.Pool(0).Region(0).Store(3, 33)
+	g.Pool(1).Region(0).Store(4, 44)
+
+	scratch := g.Clone()
+	scratch.Pool(0).Region(0).Store(3, 999)
+	scratch.InjectFailure(1)
+	func() {
+		defer func() {
+			if recover() != ErrSimulatedPowerFailure {
+				t.Fatal("scratch setup failure point did not fire")
+			}
+		}()
+		scratch.Pool(1).Region(0).Store(0, 1)
+		scratch.Pool(1).Region(0).PWB(0)
+	}()
+
+	g.CloneInto(scratch)
+	if got := scratch.InjectRemaining(); got >= 0 {
+		t.Fatalf("CloneInto left the group failure point armed: %d", got)
+	}
+	if got := scratch.Pool(0).Region(0).Load(3); got != 33 {
+		t.Fatalf("scratch pool 0 word 3 = %d, want 33", got)
+	}
+	if got := scratch.Pool(1).Region(0).Load(4); got != 44 {
+		t.Fatalf("scratch pool 1 word 4 = %d, want 44", got)
+	}
+	if s := scratch.Stats(); s.PWBs != 0 || s.PFences != 0 {
+		t.Fatalf("CloneInto did not reset group stats: %+v", s)
+	}
+	// Latch cleared: the scratch accepts new events again.
+	scratch.Pool(0).Region(0).Store(7, 7)
+
+	mismatched := groupOf(t, 3)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Group.CloneInto accepted a different shape")
+			}
+		}()
+		g.CloneInto(mismatched)
+	}()
+}

@@ -12,6 +12,7 @@ package redodb
 
 import (
 	"repro/internal/core/redo"
+	"repro/internal/detect"
 	"repro/internal/obs"
 	"repro/internal/palloc"
 	"repro/internal/pmem"
@@ -42,6 +43,10 @@ type Options struct {
 	Threads int
 	// RootSlot is the persistent root slot holding the map (default 0).
 	RootSlot int
+	// DetectRootSlot is the persistent root slot holding the request-dedup
+	// table behind the detectable-operation API (default 2; slot 1 is the
+	// sharded front-end's batch tag). It must differ from RootSlot.
+	DetectRootSlot int
 	// Variant selects the underlying construction (default RedoOpt-PTM,
 	// as in the paper).
 	Variant redo.Variant
@@ -56,9 +61,10 @@ type Options struct {
 
 // DB is a RedoDB instance.
 type DB struct {
-	eng  *redo.Redo
-	pool *pmem.Pool
-	root uint64
+	eng    *redo.Redo
+	pool   *pmem.Pool
+	root   uint64
+	detect detect.Table
 }
 
 // Open creates or recovers a RedoDB over pool. The pool should have
@@ -70,6 +76,12 @@ func Open(pool *pmem.Pool, opts Options) *DB {
 	if opts.Variant == 0 {
 		opts.Variant = redo.Opt
 	}
+	if opts.DetectRootSlot == 0 {
+		opts.DetectRootSlot = 2
+	}
+	if opts.DetectRootSlot == opts.RootSlot {
+		panic("redodb: DetectRootSlot must differ from RootSlot")
+	}
 	pool.TraceEvent(obs.KindRecoveryBegin, -1, -1, 0, 0, 0)
 	eng := redo.New(pool, redo.Config{
 		Threads:  opts.Threads,
@@ -78,7 +90,12 @@ func Open(pool *pmem.Pool, opts Options) *DB {
 		Features: opts.Features,
 		Profile:  opts.Profile,
 	})
-	db := &DB{eng: eng, pool: pool, root: ptm.RootAddr(opts.RootSlot)}
+	db := &DB{
+		eng:    eng,
+		pool:   pool,
+		root:   ptm.RootAddr(opts.RootSlot),
+		detect: detect.Table{RootSlot: opts.DetectRootSlot},
+	}
 	// Reject a structurally-corrupt recovered map with a typed error before
 	// running any transaction that would chase its pointers.
 	db.validate()

@@ -90,7 +90,7 @@ func (s *Session) Write(b *WriteBatch) {
 	defer db.batchMu.Unlock()
 	seq := db.nextSeq
 	db.nextSeq++
-	db.publishIntent(seq, encodeBatch(ops))
+	db.publishIntent(seq, encodeIntent(ops, nil))
 	for i, sub := range subs {
 		if sub != nil {
 			s.sess[i].WriteTagged(sub, tagRoot, seq)

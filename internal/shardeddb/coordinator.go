@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/pmem"
+	"repro/internal/redodb"
 )
 
 // Batch-intent record layout (coordinator region, word addresses).
@@ -33,6 +34,68 @@ const (
 
 // payloadWords converts a payload byte length to its word footprint.
 func payloadWords(bytes uint64) uint64 { return (bytes + 7) / 8 }
+
+// intentReceipt is the detectable-operation identity a cross-shard batch
+// carries in its intent: roll-forward must re-record the request's receipt
+// on its home shard atomically with that shard's sub-batch, or a crashed
+// detectable batch could be replayed by recovery AND retried by the client.
+type intentReceipt struct {
+	client uint64 // persistent client id (nonzero)
+	seq    uint64 // client request sequence number
+	digest uint64 // full-batch result digest (redodb.BatchDigest)
+	home   int    // shard whose dedup table holds the receipt
+}
+
+// Intent payload header flags (word 0 of the payload).
+const (
+	intentFlagPlain   = 0 // header is the flags word only; ops follow
+	intentFlagReceipt = 1 // 4 receipt words (client, seq, digest, home) follow
+)
+
+// encodeIntent serializes the intent payload: a flags word, the optional
+// receipt header, then the batch ops (encodeBatch format).
+func encodeIntent(ops []batchOp, rcpt *intentReceipt) []byte {
+	var hdr [5 * 8]byte
+	n := 8
+	if rcpt != nil {
+		binary.LittleEndian.PutUint64(hdr[0:], intentFlagReceipt)
+		binary.LittleEndian.PutUint64(hdr[8:], rcpt.client)
+		binary.LittleEndian.PutUint64(hdr[16:], rcpt.seq)
+		binary.LittleEndian.PutUint64(hdr[24:], rcpt.digest)
+		binary.LittleEndian.PutUint64(hdr[32:], uint64(rcpt.home))
+		n = 40
+	}
+	return append(hdr[:n:n], encodeBatch(ops)...)
+}
+
+// decodeIntent parses an intent payload (CRC already verified). Structural
+// violations are corruption the checksum failed to catch.
+func decodeIntent(buf []byte, shards int) ([]batchOp, *intentReceipt) {
+	if len(buf) < 8 {
+		panic(pmem.Corruptf("shardeddb", "intent payload shorter than its header"))
+	}
+	flags := binary.LittleEndian.Uint64(buf)
+	buf = buf[8:]
+	switch flags {
+	case intentFlagPlain:
+		return decodeBatch(buf), nil
+	case intentFlagReceipt:
+		if len(buf) < 32 {
+			panic(pmem.Corruptf("shardeddb", "intent receipt header truncated"))
+		}
+		rcpt := &intentReceipt{
+			client: binary.LittleEndian.Uint64(buf),
+			seq:    binary.LittleEndian.Uint64(buf[8:]),
+			digest: binary.LittleEndian.Uint64(buf[16:]),
+			home:   int(binary.LittleEndian.Uint64(buf[24:])),
+		}
+		if rcpt.client == 0 || rcpt.seq == 0 || rcpt.home < 0 || rcpt.home >= shards {
+			panic(pmem.Corruptf("shardeddb", "intent receipt (client %d, seq %d, home %d) out of range", rcpt.client, rcpt.seq, rcpt.home))
+		}
+		return decodeBatch(buf[32:]), rcpt
+	}
+	panic(pmem.Corruptf("shardeddb", "intent flags %d out of range", flags))
+}
 
 // maxPayloadBytes reports the largest batch payload the coordinator region
 // can hold.
@@ -231,7 +294,8 @@ func (db *DB) recoverIntent() {
 				}
 			}
 			db.group.Pool(0).TraceEvent(obs.KindRollForward, -1, db.coord.Index(), 0, 0, seq)
-			db.applyBySub(decodeBatch(buf), seq, tags)
+			ops, rcpt := decodeIntent(buf, len(db.shards))
+			db.applyBySub(ops, seq, tags, rcpt)
 			if seq > maxSeq {
 				maxSeq = seq
 			}
@@ -249,12 +313,27 @@ func (db *DB) recoverIntent() {
 }
 
 // applyBySub splits ops by shard and applies each sub-batch tagged with seq,
-// skipping shards whose tag shows the sub-batch already applied.
-func (db *DB) applyBySub(ops []batchOp, seq uint64, tags []uint64) {
+// skipping shards whose tag shows the sub-batch already applied. When the
+// intent carries a detectable receipt, the home shard's sub-batch (possibly
+// empty — the home shard is chosen by client id, not by the batch's keys) is
+// applied with WriteTaggedDetectable so the receipt re-records atomically
+// with it; a home shard that already holds the receipt stores only the tag.
+func (db *DB) applyBySub(ops []batchOp, seq uint64, tags []uint64, rcpt *intentReceipt) {
 	s := db.Session(0)
 	subs := s.split(ops)
 	for shard, sub := range subs {
-		if sub == nil || tags[shard] == seq {
+		if tags[shard] == seq {
+			continue
+		}
+		if rcpt != nil && shard == rcpt.home {
+			hb := sub
+			if hb == nil {
+				hb = &redodb.WriteBatch{}
+			}
+			s.sess[shard].WriteTaggedDetectable(hb, tagRoot, seq, rcpt.client, rcpt.seq, rcpt.digest)
+			continue
+		}
+		if sub == nil {
 			continue
 		}
 		s.sess[shard].WriteTagged(sub, tagRoot, seq)
