@@ -21,6 +21,18 @@ go test -race -run TestRaceSmoke ./internal/shardeddb ./internal/obs
 # -corrupt) are the acceptance run, not the per-commit gate.
 go run ./cmd/crashcheck -ops 8 -stride 11
 
+# Buffered-durability epoch-boundary smoke (PR 8): crash the group-commit
+# engines at every PM instruction boundary around their epoch seals and
+# watermark advances. The full stride-1 matrix over all four buffered
+# engines runs as TestBufferedEpochBoundarySweep in `go test ./...`; this
+# pins the two acceptance shapes (unsharded depth-2, 8-shard) per commit.
+go run ./cmd/crashcheck -engine redodb-buffered-d2,shardeddb-buffered-8 -ops 6 -stride 1
+
+# Background-persister smoke under the race detector (PR 8): the persister
+# goroutine sealing epochs concurrently with writers, Watch registrations
+# and Sync waiters, on both the unsharded and the sharded engine.
+go test -race -run 'TestBufferedPersisterGoroutine|TestBufferedShardedPersisterGoroutine' ./internal/redodb ./internal/shardeddb
+
 # Bounded retry-storm smoke under the race detector (PR 7): the dedup-table
 # unit tests plus one non-adversarial exactly-once storm on the unsharded
 # engine, together ~3 s. The full storm matrix (all engines, both crash
@@ -53,3 +65,10 @@ go run ./cmd/dbbench -json BENCH_pr5.json -valuesize 64,256,1024 -keys 5000 -sec
 # the unsharded engine. TestBenchPR7Trajectory asserts the checked-in file's
 # invariant: the in-transaction dedup receipt costs <= 2 extra pwbs/tx.
 go run ./cmd/dbbench -json BENCH_pr7.json -detect -keys 10000 -secs 0.25 -threads 4
+
+# Buffered group-commit sweep (PR 8): synchronous baseline vs WriteBatch
+# group commit at depths 1/8/64, single-threaded so the cell isolates the
+# commit path instead of scheduler noise on small CI machines.
+# TestBenchPR8Trajectory asserts the checked-in file's invariants: >= 5x
+# fence amortization at depth 64, lower pwbs/tx, bounded p99.
+go run ./cmd/dbbench -json BENCH_pr8.json -sync buffered -depth 1,8,64 -keys 10000 -secs 0.5 -threads 1

@@ -10,6 +10,7 @@
 //	dbbench -json BENCH_pr4.json -shards 1,8 -keys 10000 -secs 0.25
 //	dbbench -json BENCH_pr5.json -valuesize 64,256,1024 -keys 5000 -secs 0.25
 //	dbbench -json BENCH_pr7.json -detect -keys 10000 -secs 0.25
+//	dbbench -json BENCH_pr8.json -sync buffered -depth 1,8,64 -keys 10000 -secs 0.25
 //	dbbench -trace trace.json -engine Redo-PTM -ops 64
 //
 // -trace runs a bounded single-threaded workload on one PTM engine with
@@ -43,6 +44,8 @@ func main() {
 		shards   = flag.String("shards", "1,2,4,8", "comma-separated shard counts for the sharding figure")
 		vsizes   = flag.String("valuesize", "", "comma-separated value sizes in bytes: run the bulk-vs-word fillrandom sweep instead of the sharding cells (with -json)")
 		detect   = flag.Bool("detect", false, "run the plain-vs-detectable Put overhead cells instead of the sharding cells (with -json)")
+		syncMode = flag.String("sync", "", "\"buffered\": run the group-commit fillrandom sweep (sync baseline + one cell per -depth) instead of the sharding cells (with -json)")
+		depths   = flag.String("depth", "1,8,64", "comma-separated Sync batch depths for -sync=buffered")
 		jsonPath = flag.String("json", "", "write tracked sharded-bench entries to this file and exit")
 		trace    = flag.String("trace", "", "write a traced engine run to this file and exit")
 		engine   = flag.String("engine", "Redo-PTM", "PTM engine for -trace (see ptmbench for names)")
@@ -124,7 +127,13 @@ func main() {
 		// the max of -threads so CI runs stay one bounded cell per
 		// workload.
 		var entries []bench.BenchEntry
-		if *detect {
+		if *syncMode != "" {
+			if *syncMode != "buffered" {
+				fmt.Fprintf(os.Stderr, "unknown -sync mode %q (only \"buffered\")\n", *syncMode)
+				os.Exit(2)
+			}
+			entries = bench.BufferedEntries(cfg, ts[len(ts)-1], parseInts(*depths, "batch depth"))
+		} else if *detect {
 			entries = bench.DetectEntries(cfg, ts[len(ts)-1])
 		} else if *vsizes != "" {
 			entries = bench.ValueSizeEntries(cfg, parseInts(*vsizes, "value size"), ts[len(ts)-1])

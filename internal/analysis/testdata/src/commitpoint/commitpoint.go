@@ -97,6 +97,30 @@ func publishReceipt(r *pmem.Region) {
 	r.PFence()
 }
 
+// --- durable-epoch watermark cases ----------------------------------------
+//
+// Buffered durability publishes the watermark through the pool header: the
+// sealed epoch's replica is group-flushed and fenced, and only then does the
+// single-word header slot advance to name it. The watermark IS the commit
+// word one level up — recovery adopts whatever replica the header names, so
+// it must never race the epoch payload to durability, and it must never be
+// published as a multi-word store.
+
+const wmCommit = 32
+
+// advanceWatermark: redo.Persist's idiom done right — the epoch's dirty
+// lines group-flushed, one fence for the whole group, then the header
+// publish of the watermark (its own write-back and psync).
+func advanceWatermark(r *pmem.Region, p *pmem.Pool) {
+	r.Store(payload, 1)
+	r.Store(payload+1, 2)
+	r.FlushRange(0, 64)
+	r.PFence()
+	p.HeaderStore(0, 1)
+	p.PWBHeader(0)
+	p.PSync()
+}
+
 // --- positive cases -------------------------------------------------------
 
 // commitWhileUnflushed: the commit word can become durable before the
@@ -191,6 +215,24 @@ func receiptSeqBeforeDigestFence(r *pmem.Region) {
 func headerBeforePayloadFence(r *pmem.Region, p *pmem.Pool) {
 	r.Store(payload, 1)
 	r.PWB(payload)
+	p.HeaderStore(0, 1) // want `header publish before the payload flush on r is fenced`
+	p.PWBHeader(0)
+	p.PSync()
+}
+
+// tornWatermark: a watermark kept as an in-region two-word record [idx, seq]
+// and published with one StoreWords — the two words can tear independently,
+// leaving a durable watermark naming a replica it never covered. The
+// engines avoid this by packing idx+seq into the single header word.
+func tornWatermark(r *pmem.Region, pair []uint64) {
+	r.StoreWords(wmCommit, pair) // want `commit word wmCommit published with a multi-word StoreWords`
+}
+
+// watermarkBeforeSealFence: the epoch's dirty lines are flushed but the seal
+// fence has not landed; the watermark may overtake the epoch it covers.
+func watermarkBeforeSealFence(r *pmem.Region, p *pmem.Pool) {
+	r.Store(payload, 1)
+	r.FlushRange(0, 64)
 	p.HeaderStore(0, 1) // want `header publish before the payload flush on r is fenced`
 	p.PWBHeader(0)
 	p.PSync()

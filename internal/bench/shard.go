@@ -112,6 +112,9 @@ type BenchEntry struct {
 	ValueSize   int     `json:"value_size,omitempty"`
 	Path        string  `json:"path,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Buffered-durability sweep field (PR 8): Sync batch depth per worker
+	// when Path is "buffered"; 0 on the synchronous baseline cell.
+	Depth int `json:"depth,omitempty"`
 }
 
 // ShardingEntries runs the tracked-benchmark cells: fillrandom and

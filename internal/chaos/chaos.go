@@ -40,6 +40,8 @@ func Engines() []string {
 		"CX-PTM", "CX-PUC", "OneFile", "RomulusLR", "PSim-CoW", "PMDK",
 		"ONLL", "redodb", "redodb-bulkval", "rockssim",
 		"shardeddb-1", "shardeddb-2", "shardeddb-8",
+		"redodb-buffered-d2", "redodb-buffered-d8",
+		"shardeddb-buffered-1", "shardeddb-buffered-8",
 	}
 }
 
@@ -65,6 +67,29 @@ func shardsOf(name string) int {
 	return 0
 }
 
+// bufferedDepthOf reports the group-commit batch depth of a
+// "redodb-buffered-dN" engine name, or 0.
+func bufferedDepthOf(name string) int {
+	var d int
+	if _, err := fmt.Sscanf(name, "redodb-buffered-d%d", &d); err == nil && d > 0 {
+		return d
+	}
+	return 0
+}
+
+// bufferedShardsOf reports the shard count of a "shardeddb-buffered-K"
+// engine name, or 0.
+func bufferedShardsOf(name string) int {
+	var k int
+	if _, err := fmt.Sscanf(name, "shardeddb-buffered-%d", &k); err == nil && k > 0 {
+		return k
+	}
+	return 0
+}
+
+// bufferedSyncDepth is the Sync cadence of the buffered sharded workload.
+const bufferedSyncDepth = 4
+
 // Runner abstracts "insert key i, then verify after recovery" over the PTMs
 // (via a list set) and the KV stores. Fresh constructs or recovers the
 // engine over a pool group (single-pool engines use pool 0); a new Runner
@@ -78,6 +103,112 @@ type Runner struct {
 
 // NewRunner builds the deterministic workload driver for one engine.
 func NewRunner(name string) (*Runner, error) {
+	if depth := bufferedDepthOf(name); depth > 0 {
+		// Buffered RedoDB under group commit: inserts commit into the
+		// in-flight epoch and the runner seals (Persist) every depth-th
+		// insert, so the sweep's crash points land before, inside and after
+		// every epoch boundary. The durability contract is weaker than the
+		// synchronous engines' — a crash may lose the un-synced commit-order
+		// SUFFIX — so Verify asserts the buffered form: the surviving keys
+		// are a contiguous prefix (never a gap), at least every key covered
+		// by a completed Persist survived, and nothing from the future
+		// appeared.
+		var db *redodb.DB
+		var s *redodb.Session
+		key := func(i int) []byte { return []byte(fmt.Sprintf("k%03d", i)) }
+		return &Runner{
+			Fresh: func(g *pmem.Group) {
+				db = redodb.Open(g.Pool(0), redodb.Options{Threads: 1, Buffered: true, PersistEvery: -1})
+				s = db.Session(0)
+			},
+			Insert: func(i int) {
+				s.Put(key(i), []byte{byte(i)})
+				if (i+1)%depth == 0 {
+					db.Persist()
+				}
+			},
+			Verify: func(completed, n int) error {
+				m := 0
+				for i := 0; i < n; i++ {
+					v, ok := s.Get(key(i))
+					if !ok {
+						// Suffix loss only: once one key is absent, every
+						// later one must be too.
+						for j := i + 1; j < n; j++ {
+							if s.Has(key(j)) {
+								return fmt.Errorf("gap loss: key %d survived but %d did not", j, i)
+							}
+						}
+						break
+					}
+					if v[0] != byte(i) {
+						return fmt.Errorf("key %d recovered with wrong value %x", i, v)
+					}
+					m++
+				}
+				synced := depth * (completed / depth)
+				if m < synced {
+					return fmt.Errorf("sealed epoch lost: %d keys survived < %d covered by a completed Persist", m, synced)
+				}
+				if m > completed+1 {
+					return fmt.Errorf("%d keys survived but only %d inserts ran", m, completed+1)
+				}
+				return nil
+			},
+		}, nil
+	}
+	if shards := bufferedShardsOf(name); shards > 0 {
+		// Buffered sharded front-end: the same cross-shard batch workload as
+		// "shardeddb-K", with a Sync barrier every bufferedSyncDepth batches.
+		// Batches above the last completed Sync may individually survive or
+		// vanish (a-keys and b-keys scatter independently, so the GLOBAL
+		// insert order is not a single shard's epoch order), but every batch
+		// must recover all-or-nothing and everything below the barrier must
+		// survive.
+		var s *shardeddb.Session
+		key := func(prefix byte, i int) []byte {
+			return []byte(fmt.Sprintf("%c%03d", prefix, i))
+		}
+		return &Runner{
+			Fresh: func(g *pmem.Group) {
+				s = shardeddb.Open(g, shardeddb.Options{Threads: 1, Buffered: true, PersistEvery: -1}).Session(0)
+			},
+			Insert: func(i int) {
+				b := &shardeddb.WriteBatch{}
+				b.Put(key('a', i), []byte{byte(i)})
+				b.Put(key('b', i), []byte{byte(i) ^ 0xff})
+				s.Write(b)
+				if (i+1)%bufferedSyncDepth == 0 {
+					s.Sync()
+				}
+			},
+			Verify: func(completed, n int) error {
+				synced := bufferedSyncDepth * (completed / bufferedSyncDepth)
+				applied := 0
+				for i := 0; i < n; i++ {
+					va, oka := s.Get(key('a', i))
+					vb, okb := s.Get(key('b', i))
+					if oka != okb {
+						return fmt.Errorf("batch %d recovered torn (a=%v b=%v)", i, oka, okb)
+					}
+					if !oka {
+						if i < synced {
+							return fmt.Errorf("batch %d lost below the Sync barrier at %d", i, synced)
+						}
+						continue
+					}
+					if va[0] != byte(i) || vb[0] != byte(i)^0xff {
+						return fmt.Errorf("batch %d recovered with wrong values %x/%x", i, va, vb)
+					}
+					applied++
+				}
+				if applied > completed+1 {
+					return fmt.Errorf("%d batches survived but only %d writes ran", applied, completed+1)
+				}
+				return nil
+			},
+		}, nil
+	}
 	if shards := shardsOf(name); shards > 0 {
 		// The shardeddb workload inserts CROSS-SHARD batches: every insert
 		// writes two keys whose prefixes scatter to different shards, so a
@@ -277,6 +408,11 @@ func verifyPrefix(keys []uint64, completed, n int) error {
 // factories' replica counts for a single-thread instance), and the
 // coordinator-plus-shards layout for shardeddb.
 func GroupFor(name string) *pmem.Group {
+	if shards := bufferedShardsOf(name); shards > 0 {
+		return shardeddb.NewGroup(shardeddb.GroupConfig{
+			Shards: shards, Threads: 1, Mode: pmem.Strict, Buffered: true,
+		})
+	}
 	if shards := shardsOf(name); shards > 0 {
 		return shardeddb.NewGroup(shardeddb.GroupConfig{
 			Shards: shards, Threads: 1, Mode: pmem.Strict,
@@ -288,6 +424,11 @@ func GroupFor(name string) *pmem.Group {
 		regions = 3
 	case "ONLL":
 		regions = 1
+	}
+	if bufferedDepthOf(name) > 0 {
+		// Buffered mode needs a third replica: one pinned by the persister,
+		// one carrying curComb, one free for writers.
+		regions = 3
 	}
 	pool := pmem.New(pmem.Config{Mode: pmem.Strict, RegionWords: 1 << 14, Regions: regions})
 	return pmem.NewGroup(pool)
@@ -307,8 +448,11 @@ func onPool(f func(*pmem.Pool) []pmem.Range) func(*pmem.Group) []pmem.GroupRange
 // StaleRangesFor resolves the engine's declaration of which spans committed
 // state does not reach — the corruption sweep's bit-flip targets.
 func StaleRangesFor(name string) (func(*pmem.Group) []pmem.GroupRange, error) {
-	if shardsOf(name) > 0 {
+	if shardsOf(name) > 0 || bufferedShardsOf(name) > 0 {
 		return shardeddb.StaleRanges, nil
+	}
+	if bufferedDepthOf(name) > 0 {
+		return onPool(redodb.StaleRanges), nil
 	}
 	switch name {
 	case "RedoOpt-PTM", "RedoTimed-PTM", "Redo-PTM":

@@ -47,6 +47,66 @@ func TestCorruptionSweepSmoke(t *testing.T) {
 	}
 }
 
+// bufferedEngines are the relaxed-durability sweep targets: RedoDB group
+// commit at two batch depths and the buffered sharded front-end at the two
+// acceptance shard counts.
+var bufferedEngines = []string{
+	"redodb-buffered-d2", "redodb-buffered-d8",
+	"shardeddb-buffered-1", "shardeddb-buffered-8",
+}
+
+// TestBufferedEpochBoundarySweep crashes the buffered engines at EVERY
+// persistent-memory instruction boundary (stride 1) under both crash models.
+// The workload seals an epoch every few inserts, so the sweep hits every
+// point before, inside and after each epoch seal and watermark advance; the
+// buffered Verify asserts recovery never panics, never loses a sealed
+// epoch, and never recovers a gapped suffix.
+func TestBufferedEpochBoundarySweep(t *testing.T) {
+	for _, name := range bufferedEngines {
+		for _, adv := range []bool{false, true} {
+			crashes, err := Sweep(name, Options{Ops: 8, Stride: 1, Adversarial: adv})
+			if err != nil {
+				t.Errorf("%s adversarial=%v: %v", name, adv, err)
+			}
+			if crashes == 0 {
+				t.Errorf("%s adversarial=%v: no crash points explored", name, adv)
+			}
+		}
+	}
+}
+
+// TestBufferedNestedSweepSmoke re-crashes buffered recovery itself: the
+// second crash lands while recovery re-adopts the watermark replica, the
+// fixed-point companion to redodb's TestBufferedWatermarkAdvanceRecrash at
+// the sweep level.
+func TestBufferedNestedSweepSmoke(t *testing.T) {
+	for _, name := range []string{"redodb-buffered-d2", "shardeddb-buffered-8"} {
+		for _, adv := range []bool{false, true} {
+			pairs, err := NestedSweep(name, Options{Ops: 6, Stride: 43, Stride2: 3, Adversarial: adv})
+			if err != nil {
+				t.Errorf("%s adversarial=%v: %v", name, adv, err)
+			}
+			if pairs == 0 {
+				t.Errorf("%s adversarial=%v: no crash pairs explored", name, adv)
+			}
+		}
+	}
+}
+
+// TestBufferedCorruptionSweepSmoke flips bits in the spans buffered recovery
+// must not trust — the unsealed replicas beyond the watermark included.
+func TestBufferedCorruptionSweepSmoke(t *testing.T) {
+	for _, name := range []string{"redodb-buffered-d2", "shardeddb-buffered-1"} {
+		flips, err := CorruptionSweep(name, Options{Ops: 6, Stride: 23, Flips: 2})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if flips == 0 {
+			t.Errorf("%s: no bit flips exercised", name)
+		}
+	}
+}
+
 func TestStaleRangesForEveryEngine(t *testing.T) {
 	for _, name := range Engines() {
 		if _, err := StaleRangesFor(name); err != nil {
@@ -73,7 +133,7 @@ func FuzzNestedCrashPoint(f *testing.F) {
 		// run for minutes; the workload outruns large values anyway.
 		first %= 4096
 		second %= 4096
-		for _, name := range []string{"RedoOpt-PTM", "ONLL", "shardeddb-2"} {
+		for _, name := range []string{"RedoOpt-PTM", "ONLL", "shardeddb-2", "redodb-buffered-d2", "shardeddb-buffered-1"} {
 			for _, adv := range []bool{false, true} {
 				opts := Options{Ops: 6, Adversarial: adv, Seed: first ^ second<<13 | 1}
 				if err := CheckPair(name, opts, first, second); err != nil {

@@ -78,6 +78,17 @@ func TestTraceStatsParity(t *testing.T) {
 					t.Errorf("no bulk-store events — the aggregated path is not live on %s", name)
 				}
 			}
+			// Buffered engines must narrate their group-commit cycle: epoch
+			// seals and watermark advances (whose monotonicity the ordering
+			// checker above just verified), and still use the bulk path.
+			if bufferedDepthOf(name) > 0 || bufferedShardsOf(name) > 0 {
+				if kinds[obs.KindBulkStore] == 0 {
+					t.Errorf("no bulk-store events — the aggregated path is not live on %s", name)
+				}
+				if kinds[obs.KindEpochSeal] == 0 || kinds[obs.KindWatermark] == 0 {
+					t.Errorf("buffered engine emitted no epoch-seal/watermark events: %v", kinds)
+				}
+			}
 		})
 	}
 }

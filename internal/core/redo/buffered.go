@@ -1,0 +1,111 @@
+package redo
+
+import (
+	"runtime"
+
+	"repro/internal/obs"
+	"repro/internal/ptm"
+)
+
+// The engine exposes its epoch machinery through the optional
+// buffered-durability PTM interface.
+var _ ptm.Syncer = (*Redo)(nil)
+
+// Buffered durability (group commit): the persister-side half of the
+// relaxed-durability mode selected by Config.Buffered.
+//
+// In buffered mode, update transactions commit into the in-flight epoch in
+// DRAM-side commit order (the curComb sequence) without flushing their
+// replica or touching the header. Persist seals the epoch: it pins the
+// current consensus replica with a shared lock on the persister's reserved
+// slot, coalesces every deferred flush accumulated on it since the replica
+// last held a watermark, issues ONE fence for the whole group, and then
+// publishes the header naming that replica — the durable-epoch watermark.
+//
+// The pin is the crux of the crash-safety argument. The replica the durable
+// header names must stay byte-identical until the next watermark supersedes
+// it: a writer that reacquired and mutated it would leave unflushed dirty
+// lines that an adversarial crash can tear, corrupting the only replica
+// recovery will adopt. The shared pin makes ExclusiveTryLock fail for every
+// writer, so the durable replica is frozen AND has zero unflushed lines —
+// under either crash model its recovery image equals what the watermark
+// covered. Everything else in the pool is fair game for tearing: recovery
+// invalidates all non-adopted replicas, so a crash loses exactly the
+// commit-order suffix of epochs after the watermark, never a gap.
+//
+// Persist is single-caller by contract (redodb serializes it behind a
+// mutex); the pinnedIdx bookkeeping and the dirty-list reads rely on it.
+
+// Buffered reports whether the engine runs in buffered-durability mode.
+func (e *Redo) Buffered() bool { return e.cfg.Buffered }
+
+// CommittedSeq returns the sequence number of the newest committed (but not
+// necessarily durable) transition — the in-flight epoch's tail.
+func (e *Redo) CommittedSeq() uint64 { return seqOf(e.curComb.Load()) }
+
+// DurableSeq returns the durable-epoch watermark: every transition with a
+// sequence number at or below it survives any crash.
+func (e *Redo) DurableSeq() uint64 { return e.persisted.Load() }
+
+// LastSeq returns the commit sequence of thread tid's last completed
+// operation: the epoch a Sync on behalf of tid must wait for. Owner-only,
+// like every per-thread engine API.
+func (e *Redo) LastSeq(tid int) uint64 { return e.lastSeq[tid] }
+
+// Persist seals the in-flight epoch and advances the durable watermark to
+// it, returning the new watermark. One fence (plus the header psync) covers
+// every transition committed since the previous call. No-op when the
+// watermark is already at the consensus tail. Single caller at a time.
+func (e *Redo) Persist() uint64 {
+	if !e.cfg.Buffered {
+		// Synchronous mode persists at every commit; the watermark is
+		// always the consensus tail.
+		return e.persisted.Load()
+	}
+	ptid := e.persistTid
+	for {
+		curC := e.curComb.Load()
+		seq := seqOf(curC)
+		if seq <= e.persisted.Load() {
+			return e.persisted.Load()
+		}
+		idx := idxOf(curC)
+		c := e.combs[idx]
+		// The consensus replica is always in the downgraded state (its
+		// winner never releases it outright), so the shared pin can only
+		// fail if curComb moved on and a writer grabbed this replica —
+		// retry on the fresh curComb.
+		if !c.lk.SharedTryLock(ptid) {
+			runtime.Gosched()
+			continue
+		}
+		if e.curComb.Load() != curC {
+			c.lk.SharedUnlock(ptid)
+			continue
+		}
+		// Pinned and validated: c is the consensus replica, frozen for
+		// writers from here on. Seal the epoch and group-flush it.
+		e.pool.TraceEvent(obs.KindEpochSeal, ptid, idx, 0, 0, seq)
+		e.flushReplica(c)
+		c.region.PFence()
+		if e.pool.Traced() {
+			e.pool.TraceEvent(obs.KindPublish, ptid, idx, 0, usedWords(c.region), obs.PubHeap)
+		}
+		// Advance the watermark: plain header store (the persister is the
+		// sole header writer in buffered mode), write-back, psync.
+		e.pool.HeaderStore(headerSlot, headerValid|curC)
+		e.pool.PWBHeader(headerSlot)
+		e.pool.PSync()
+		e.pool.TraceEvent(obs.KindHeaderPublish, ptid, -1, headerSlot, 1, 0)
+		e.pool.TraceEvent(obs.KindWatermark, ptid, idx, 0, 0, seq)
+		// The previous watermark replica may thaw now that the header no
+		// longer names it. (A crash between the psync above and this
+		// unlock is safe: the new header is already durable.)
+		if p := int(e.pinnedIdx.Load()); p >= 0 && p != idx {
+			e.combs[p].lk.SharedUnlock(ptid)
+		}
+		e.pinnedIdx.Store(int32(idx))
+		e.persisted.Store(seq)
+		return seq
+	}
+}

@@ -188,6 +188,19 @@ type Config struct {
 	Features *Features
 	// Profile, when non-nil, accumulates the Table 1 phase breakdown.
 	Profile *ptm.Profile
+	// Buffered selects relaxed (buffered) durability: update transactions
+	// commit into the in-flight epoch without flushing their replica or
+	// publishing the curComb header; a persister (driven through Persist,
+	// one caller at a time) seals the epoch, coalesces the deferred
+	// flushes, issues one fence for the whole group, and advances the
+	// durable watermark by publishing the header. A crash loses at most
+	// the un-persisted suffix of epochs — never a gap — because recovery
+	// adopts only the replica the watermark header names, which stays
+	// frozen under the persister's shared pin until the next watermark.
+	// Requires a pool with at least 3 regions (Threads+2 recommended:
+	// one for curComb, one pinned durable, the rest for writers).
+	// Implies DeferFlush.
+	Buffered bool
 }
 
 // Redo is the engine behind Redo-PTM, RedoTimed-PTM and RedoOpt-PTM.
@@ -228,6 +241,20 @@ type Redo struct {
 	hazard  []atomic.Pointer[reqDesc]
 	descs   [][]*reqDesc
 	descIdx []int
+
+	// Buffered-durability state. persistTid is the persister's reserved
+	// lock slot (cfg.Threads — the replica locks are sized one wider than
+	// the thread count); pinnedIdx is the replica the durable header
+	// names, held shared by the persister so no writer can reacquire and
+	// mutate it before the watermark moves past it (written only by the
+	// persister — one Persist caller at a time — but read racily by
+	// writers steering their funnel scan around the pin, hence atomic; a
+	// stale read is benign, the replica lock is the ground truth).
+	// lastSeq[tid] is the commit sequence of thread tid's last completed
+	// operation — the epoch Sync must wait for (owner-only).
+	persistTid int
+	pinnedIdx  atomic.Int32
+	lastSeq    []uint64
 }
 
 // New creates a Redo engine over pool. The paper's bound needs N+1 regions;
@@ -258,6 +285,16 @@ func New(pool *pmem.Pool, cfg Config) *Redo {
 	if feat.StoreAgg || feat.Bulk {
 		feat.DeferFlush = true // aggregated/bulk stores must flush at commit
 	}
+	if cfg.Buffered {
+		// The persister coalesces the per-replica dirty-line lists, so
+		// commits must defer their flushes, and the pool needs a replica
+		// beyond curComb and the pinned durable one for writers to make
+		// progress between Persist calls.
+		feat.DeferFlush = true
+		if pool.Regions() < 3 {
+			panic("redo: buffered mode needs at least 3 regions (Threads+2 recommended)")
+		}
+	}
 	e := &Redo{
 		cfg:      cfg,
 		feat:     feat,
@@ -284,9 +321,16 @@ func New(pool *pmem.Pool, cfg Config) *Redo {
 		e.rox[i] = &roMem{}
 		e.descs[i] = []*reqDesc{{}, {}, {}}
 	}
+	e.persistTid = cfg.Threads
+	e.pinnedIdx.Store(-1)
+	e.lastSeq = make([]uint64, cfg.Threads)
+	lockThreads := cfg.Threads
+	if cfg.Buffered {
+		lockThreads++ // one reader slot for the persister's shared pin
+	}
 	e.combs = make([]*combined, pool.Regions())
 	for i := range e.combs {
-		e.combs[i] = &combined{region: pool.Region(i), lk: rwlock.New(cfg.Threads)}
+		e.combs[i] = &combined{region: pool.Region(i), lk: rwlock.New(lockThreads)}
 		e.combs[i].head.Store(invalidHead)
 	}
 	e.stMatrix = make([][]*State, cfg.Threads)
@@ -328,6 +372,14 @@ func New(pool *pmem.Pool, cfg Config) *Redo {
 	}
 	e.combs[cur].lk.Downgrade()
 	e.curComb.Store(pack(0, 0, cur))
+	if cfg.Buffered {
+		// Pin the recovered replica: it is what the durable header names,
+		// and it must stay frozen until the first watermark advance.
+		if !e.combs[cur].lk.SharedTryLock(e.persistTid) {
+			panic("redo: initial persister pin failed")
+		}
+		e.pinnedIdx.Store(int32(cur))
+	}
 	return e
 }
 
@@ -393,14 +445,21 @@ func (e *Redo) tryResult(tid int, flag bool) (uint64, bool) {
 		return 0, false
 	}
 	e.lastFrom[tid] = int(from)
+	e.lastSeq[tid] = seqOf(tail)
 	e.ensurePersisted(tid, seqOf(tail))
 	return res, true
 }
 
 // ensurePersisted makes the curComb header durable with at least the given
 // sequence number: the paper's `pwb(curComb); psync()` at every return path,
-// elided when a transition at least as recent is already durable.
+// elided when a transition at least as recent is already durable. In
+// buffered mode the callers' fences are elided entirely — only the
+// persister (Persist) advances the durable header, and it does so for a
+// whole epoch at a time.
 func (e *Redo) ensurePersisted(tid int, seq uint64) {
+	if e.cfg.Buffered {
+		return
+	}
 	for e.persisted.Load() < seq {
 		curC := e.curComb.Load()
 		s := seqOf(curC)
@@ -565,22 +624,31 @@ func (e *Redo) Update(tid int, fn func(ptm.Mem) uint64) uint64 {
 			e.hazard[tid].Store(nil)
 		}
 		e.cfg.Profile.AddLambda(since(e.cfg.Profile, lambdaStart))
-		// Flush the replica and order it before publication.
-		flushStart := now(e.cfg.Profile)
-		e.flushReplica(c)
-		c.region.PFence()
-		if e.pool.Traced() {
-			// The published span is the allocator high-water mark — a
-			// runtime value no static fence analysis can know.
-			e.pool.TraceEvent(obs.KindPublish, tid, cIdx, 0, usedWords(c.region), obs.PubHeap)
+		// Flush the replica and order it before publication. Buffered
+		// mode defers both to the persister: the dirty-line list keeps
+		// accumulating on the replica and is coalesced — one pwb per
+		// line per epoch, one fence per epoch — when Persist seals the
+		// epoch this commit belongs to. Until then the transition is
+		// volatile, which is exactly the buffered-durability loss model
+		// (an un-synced commit-order suffix may be lost, never a gap).
+		if !e.cfg.Buffered {
+			flushStart := now(e.cfg.Profile)
+			e.flushReplica(c)
+			c.region.PFence()
+			if e.pool.Traced() {
+				// The published span is the allocator high-water mark — a
+				// runtime value no static fence analysis can know.
+				e.pool.TraceEvent(obs.KindPublish, tid, cIdx, 0, usedWords(c.region), obs.PubHeap)
+			}
+			e.cfg.Profile.AddFlush(since(e.cfg.Profile, flushStart))
 		}
-		e.cfg.Profile.AddFlush(since(e.cfg.Profile, flushStart))
 		c.head.Store(tkt)
 		c.lk.Downgrade()                                                 // {8}
 		if e.curComb.CompareAndSwap(curC, pack(seqOf(tkt), tid, cIdx)) { // {9}
 			e.pool.TraceEvent(obs.KindCurComb, tid, cIdx, 0, 0, pack(seqOf(tkt), tid, cIdx))
 			comb.lk.DowngradeUnlock()
 			e.helpRing(tkt)
+			e.lastSeq[tid] = seqOf(tkt)
 			e.ensurePersisted(tid, seqOf(tkt))
 			e.pool.TraceEvent(obs.KindCombineEnd, tid, cIdx, 0, 0, 1)
 			e.lastIdx[tid] = (myIdx + 1) % e.cfg.RingSize
@@ -631,6 +699,7 @@ func (e *Redo) Read(tid int, fn func(ptm.Mem) uint64) uint64 {
 		res := fn(ro)
 		comb.lk.SharedUnlock(tid)
 		e.lastFrom[tid] = tid
+		e.lastSeq[tid] = seqOf(curC)
 		e.ensurePersisted(tid, seqOf(curC))
 		return res
 	}
@@ -660,6 +729,7 @@ func (e *Redo) TryRead(tid int, fn func(ptm.Mem) uint64) (uint64, bool) {
 		res := fn(ro)
 		comb.lk.SharedUnlock(tid)
 		e.lastFrom[tid] = tid
+		e.lastSeq[tid] = seqOf(curC)
 		e.ensurePersisted(tid, seqOf(curC))
 		return res, true
 	}
@@ -699,10 +769,21 @@ func (e *Redo) acquire(tid int, flag bool) (*combined, int) {
 			limit = 2
 		}
 		curIdx := idxOf(e.curComb.Load())
-		for i := 0; i < limit; i++ {
-			if i == curIdx {
+		// In buffered mode the persister's watermark pin freezes one
+		// replica at an arbitrary index. It can never be acquired, so the
+		// funnel must steer around it: counting it against the limit would
+		// make every writer burn the whole funnel deadline spinning on a
+		// lock that cannot be granted. A racy read is fine — the replica
+		// lock below is the ground truth.
+		pinned := -1
+		if e.cfg.Buffered {
+			pinned = int(e.pinnedIdx.Load())
+		}
+		for i, seen := 0, 0; i < len(e.combs) && seen < limit; i++ {
+			if i == curIdx || i == pinned {
 				continue
 			}
+			seen++
 			if e.combs[i].lk.ExclusiveTryLock(tid) {
 				return e.combs[i], i
 			}

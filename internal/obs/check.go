@@ -26,6 +26,18 @@ const (
 	// strictly increasing — the trace was reordered or duplicated and
 	// no ordering verdict on it is sound.
 	RuleSeqOrder = "seq-order"
+	// RuleEpochSealOrder: a buffered-durability epoch seal regressed — the
+	// persister sealed an epoch below one it already sealed since the last
+	// crash, so "sealed" no longer names a prefix of the commit order.
+	RuleEpochSealOrder = "epoch-seal-order"
+	// RuleWatermarkOrder: the durable-epoch watermark moved backwards. The
+	// watermark is the recovery contract ("everything at or below me
+	// survives"); a regression un-promises durability already granted.
+	RuleWatermarkOrder = "watermark-order"
+	// RuleWatermarkBeyondSeal: the watermark advanced past the last sealed
+	// epoch — durability was announced for commits whose redo records were
+	// never flushed and fenced.
+	RuleWatermarkBeyondSeal = "watermark-beyond-seal"
 )
 
 // Violation is one ordering-rule failure found by CheckOrdering.
@@ -94,10 +106,19 @@ type hdrState struct {
 	baseline     uint64 // covered as of the last crash (relaxed-mode floor)
 }
 
+// epochState tracks one pool's buffered-durability progress: the last sealed
+// epoch and the durable watermark must each be non-decreasing, and the
+// watermark can never pass the seal.
+type epochState struct {
+	lastSeal      uint64
+	lastWatermark uint64
+}
+
 // checker replays a trace event-by-event.
 type checker struct {
 	lines      map[lineKey]*lineState
 	hdrs       map[hdrKey]*hdrState
+	epochs     map[int16]*epochState
 	opts       CheckOptions
 	violations []Violation
 	truncated  bool
@@ -115,9 +136,13 @@ type checker struct {
 //     even if a later fence ran (the hardware-faithful rule).
 //   - The slots of a multi-slot KindHeaderPublish (a value/CRC-tag pair)
 //     were stored in ascending slot order.
+//   - Buffered-durability progress is monotone per pool: KindEpochSeal
+//     epochs never regress, KindWatermark never regresses and never passes
+//     the last seal.
 //
 // A crash clears all pending obligations of its pool: stores that were
-// lost with the cache owe nothing.
+// lost with the cache owe nothing, and the epoch seal falls back to the
+// durable watermark (a sealed-but-unpublished epoch died with the cache).
 //
 // The returned error reports structural problems that make any verdict
 // unsound — a wrapped ring (Trace.Dropped > 0) or an implausibly huge
@@ -128,9 +153,10 @@ func CheckOrdering(tr Trace, opts CheckOptions) ([]Violation, error) {
 		return nil, fmt.Errorf("obs: trace dropped %d events to ring wrap-around; ordering verdicts on a partial history are unsound (enlarge the tracer ring)", tr.Dropped)
 	}
 	c := &checker{
-		lines: make(map[lineKey]*lineState),
-		hdrs:  make(map[hdrKey]*hdrState),
-		opts:  opts,
+		lines:  make(map[lineKey]*lineState),
+		hdrs:   make(map[hdrKey]*hdrState),
+		epochs: make(map[int16]*epochState),
+		opts:   opts,
 	}
 	if c.opts.MaxViolations <= 0 {
 		c.opts.MaxViolations = DefaultMaxViolations
@@ -201,6 +227,30 @@ func (c *checker) step(e Event) {
 	case KindPWBHeader:
 		hs := c.hdr(e.Pool, e.Addr)
 		hs.flushedStore = hs.lastStore
+	case KindEpochSeal:
+		es := c.epoch(e.Pool)
+		if e.Arg < es.lastSeal {
+			c.report(e, RuleEpochSealOrder, fmt.Sprintf(
+				"pool %d sealed epoch %d after already sealing %d — the sealed set is no longer a commit-order prefix",
+				e.Pool, e.Arg, es.lastSeal))
+		} else {
+			es.lastSeal = e.Arg
+		}
+	case KindWatermark:
+		es := c.epoch(e.Pool)
+		if e.Arg < es.lastWatermark {
+			c.report(e, RuleWatermarkOrder, fmt.Sprintf(
+				"pool %d watermark regressed from %d to %d — durability already granted was revoked",
+				e.Pool, es.lastWatermark, e.Arg))
+		}
+		if e.Arg > es.lastSeal {
+			c.report(e, RuleWatermarkBeyondSeal, fmt.Sprintf(
+				"pool %d watermark advanced to %d but the last sealed epoch is %d — unsealed commits announced durable",
+				e.Pool, e.Arg, es.lastSeal))
+		}
+		if e.Arg > es.lastWatermark {
+			es.lastWatermark = e.Arg
+		}
 	case KindCrash:
 		// The cache image is gone: pending stores owe nothing anymore,
 		// and relaxed header checking restarts from here.
@@ -214,6 +264,12 @@ func (c *checker) step(e Event) {
 				hs.lastStore, hs.flushedStore = hs.covered, hs.covered
 				hs.baseline = hs.covered
 			}
+		}
+		// A sealed-but-unpublished epoch dies with the cache: after
+		// recovery the persister restarts from the durable watermark, and
+		// legally re-seals epochs below the pre-crash seal.
+		if es := c.epochs[e.Pool]; es != nil {
+			es.lastSeal = es.lastWatermark
 		}
 	case KindPublish, KindIntentPublish:
 		c.checkPublish(e)
@@ -230,6 +286,15 @@ func (c *checker) line(pool, region int16, line uint64) *lineState {
 		c.lines[k] = ls
 	}
 	return ls
+}
+
+func (c *checker) epoch(pool int16) *epochState {
+	es := c.epochs[pool]
+	if es == nil {
+		es = &epochState{}
+		c.epochs[pool] = es
+	}
+	return es
 }
 
 func (c *checker) hdr(pool int16, slot uint64) *hdrState {

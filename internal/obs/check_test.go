@@ -37,7 +37,11 @@ func (b *tb) publish(region int, addr, n uint64) *tb {
 	return b.add(KindPublish, region, addr, n, PubHeap)
 }
 func (b *tb) hpublish(slot, n uint64) *tb { return b.add(KindHeaderPublish, -1, slot, n, 0) }
-func (b *tb) trace() Trace                { return Trace{Events: b.evs} }
+func (b *tb) seal(region int, epoch uint64) *tb {
+	return b.add(KindEpochSeal, region, 0, 0, epoch)
+}
+func (b *tb) wm(region int, epoch uint64) *tb { return b.add(KindWatermark, region, 0, 0, epoch) }
+func (b *tb) trace() Trace                    { return Trace{Events: b.evs} }
 
 // TestCheckOrdering is the table-driven accept/reject suite for the dynamic
 // ordering checker, in the style of lincheck's CheckDurable table. Cases
@@ -267,6 +271,75 @@ func TestCheckOrdering(t *testing.T) {
 				return tr
 			},
 			wantRules: []string{RuleSeqOrder},
+		},
+		{
+			// The buffered persister's epoch cycle: seal, flush, fence,
+			// header publish, watermark — twice, monotone throughout.
+			name: "accept/epoch-seal-watermark-cycle",
+			build: func() Trace {
+				b := new(tb)
+				b.seal(1, 5).store(1, 3, 7).pwb(1, 3).pfence(1).
+					hstore(0, 5).hpwb(0).psync().hpublish(0, 1).wm(1, 5)
+				b.seal(1, 9).store(1, 4, 8).pwb(1, 4).pfence(1).
+					hstore(0, 9).hpwb(0).psync().hpublish(0, 1).wm(1, 9)
+				return b.trace()
+			},
+		},
+		{
+			// A re-seal of the same epoch (persister raced a no-op cadence
+			// tick) is idempotent, not a regression.
+			name: "accept/epoch-reseal-same-epoch",
+			build: func() Trace {
+				return new(tb).seal(1, 5).wm(1, 5).seal(1, 5).wm(1, 5).trace()
+			},
+		},
+		{
+			// Crash between seal and watermark: the sealed epoch died with
+			// the cache, and after recovery the persister legally seals a
+			// LOWER epoch (commits replayed from the old watermark).
+			name: "accept/crash-rolls-seal-back-to-watermark",
+			build: func() Trace {
+				return new(tb).seal(1, 5).wm(1, 5).seal(1, 9).crash().
+					seal(1, 7).wm(1, 7).trace()
+			},
+		},
+		{
+			name: "reject/epoch-seal-regresses",
+			build: func() Trace {
+				return new(tb).seal(1, 9).wm(1, 9).seal(1, 5).trace()
+			},
+			wantRules:   []string{RuleEpochSealOrder},
+			runtimeOnly: true,
+		},
+		{
+			name: "reject/watermark-regresses",
+			build: func() Trace {
+				return new(tb).seal(1, 9).wm(1, 9).seal(1, 9).wm(1, 5).trace()
+			},
+			wantRules:   []string{RuleWatermarkOrder},
+			runtimeOnly: true,
+		},
+		{
+			// Watermark published past the last seal: durability announced
+			// for commits never flushed — the buffered analogue of
+			// publishing an unfenced range.
+			name: "reject/watermark-beyond-seal",
+			build: func() Trace {
+				return new(tb).seal(1, 5).wm(1, 9).trace()
+			},
+			wantRules:   []string{RuleWatermarkBeyondSeal},
+			runtimeOnly: true,
+		},
+		{
+			// After a crash the old seal no longer covers: re-announcing the
+			// pre-crash watermark height without re-sealing is a violation.
+			name: "reject/post-crash-watermark-without-reseal",
+			build: func() Trace {
+				return new(tb).seal(1, 5).wm(1, 5).seal(1, 9).crash().
+					wm(1, 9).trace()
+			},
+			wantRules:   []string{RuleWatermarkBeyondSeal},
+			runtimeOnly: true,
 		},
 		{
 			name: "error/wrapped-ring",

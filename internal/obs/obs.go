@@ -132,6 +132,16 @@ const (
 	// because its receipt already existed (a retry of a committed request).
 	// Addr is the client id, Arg the request sequence number.
 	KindDedupHit
+	// KindEpochSeal marks the buffered-durability persister sealing the
+	// in-flight epoch: the commit-order prefix up to sequence Arg is about
+	// to be coalesced, flushed and fenced as one group. Region is the
+	// replica being sealed. Seals must carry non-decreasing Arg per pool.
+	KindEpochSeal
+	// KindWatermark marks the durable-epoch watermark advancing to
+	// sequence Arg: the sealed prefix is now durable (header published).
+	// A watermark must not exceed the last seal of its pool, and
+	// watermarks must be non-decreasing per pool; both reset at a crash.
+	KindWatermark
 
 	kindCount // sentinel
 )
@@ -163,6 +173,8 @@ var kindNames = [...]string{
 	KindRecoveryEnd:   "recovery-end",
 	KindReceipt:       "receipt",
 	KindDedupHit:      "dedup-hit",
+	KindEpochSeal:     "epoch-seal",
+	KindWatermark:     "watermark",
 }
 
 func (k Kind) String() string {

@@ -1,0 +1,30 @@
+package ptm
+
+// Syncer is the optional buffered-durability interface: a PTM engine
+// running in relaxed (group-commit) mode exposes its epoch machinery
+// through it. Transactions commit into an in-flight epoch identified by
+// the engine's consensus sequence number; Persist seals the epoch with one
+// fence for the whole group and advances the durable watermark. Engines
+// without the mode simply do not implement the interface (SyncerOf hides
+// the assertion), and a Syncer whose Buffered() is false behaves
+// synchronously: the watermark always equals the committed tail.
+type Syncer interface {
+	// Buffered reports whether relaxed durability is active.
+	Buffered() bool
+	// Persist seals the in-flight epoch, making every committed
+	// transition durable, and returns the new watermark. Single caller
+	// at a time.
+	Persist() uint64
+	// DurableSeq returns the durable-epoch watermark: transitions at or
+	// below it survive any crash.
+	DurableSeq() uint64
+	// CommittedSeq returns the in-flight epoch's tail: the newest
+	// committed (but possibly still volatile) transition.
+	CommittedSeq() uint64
+}
+
+// SyncerOf reports whether the engine exposes buffered-durability hooks.
+func SyncerOf(p PTM) (Syncer, bool) {
+	s, ok := p.(Syncer)
+	return s, ok
+}

@@ -58,6 +58,74 @@ func TestHotPathAllocations(t *testing.T) {
 	}
 }
 
+// TestHotPathAllocationsBuffered pins the same steady-state budgets in
+// buffered mode, plus the persister's own seal path. The DB runs
+// caller-driven (no persister goroutine) so AllocsPerRun — which counts
+// process-global mallocs — sees only the measured path; a background
+// persister would attribute its bookkeeping to whatever pin happened to be
+// running.
+func TestHotPathAllocationsBuffered(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates on the measured paths")
+	}
+	pool := pmem.New(pmem.Config{Mode: pmem.Direct, RegionWords: 1 << 16, Regions: 3})
+	db := Open(pool, Options{Threads: 1, Buffered: true, PersistEvery: -1})
+	s := db.Session(0)
+	key := []byte("alloc-key")
+	val := make([]byte, 1024)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	// Warm to steady state: retained engine scratch (log chunks, dirty
+	// lists, aggregation maps) and one full persist cycle per replica so
+	// the watcher-free Persist path is also warm.
+	for i := 0; i < 300; i++ {
+		s.Put(key, val)
+		if i%8 == 0 {
+			db.Persist()
+		}
+	}
+	db.Persist()
+
+	dst := make([]byte, 0, 2048)
+	if a := testing.AllocsPerRun(200, func() {
+		dst, _ = s.GetAppend(dst[:0], key)
+	}); a != 0 {
+		t.Errorf("GetAppend with capacity: %.1f allocs/op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(200, func() {
+		s.Has(key)
+	}); a != 0 {
+		t.Errorf("Has: %.1f allocs/op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(200, func() {
+		s.Get(key)
+	}); a > 1 {
+		t.Errorf("Get: %.1f allocs/op, want <= 1", a)
+	}
+	if a := testing.AllocsPerRun(200, func() {
+		s.Put(key, val)
+	}); a > 2 {
+		t.Errorf("Put: %.1f allocs/op, want <= 2", a)
+	}
+	// The group-commit hot loop: commit + seal. The seal itself (dirty
+	// dedup, flush, fence, header publish, no waiting watchers) must not
+	// allocate beyond Put's own budget.
+	if a := testing.AllocsPerRun(200, func() {
+		s.Put(key, val)
+		db.Persist()
+	}); a > 2 {
+		t.Errorf("Put+Persist: %.1f allocs/op, want <= 2 (Persist must be allocation-free)", a)
+	}
+	// Sync on an already-durable epoch is the fast path out of every
+	// PutDurable pair: a pair of atomic loads, no allocations.
+	if a := testing.AllocsPerRun(200, func() {
+		s.Sync()
+	}); a != 0 {
+		t.Errorf("Sync (durable): %.1f allocs/op, want 0", a)
+	}
+}
+
 func BenchmarkSessionPut(b *testing.B) {
 	s := allocTestSession()
 	key := []byte("alloc-key")

@@ -11,6 +11,8 @@
 package redodb
 
 import (
+	"time"
+
 	"repro/internal/core/redo"
 	"repro/internal/detect"
 	"repro/internal/obs"
@@ -57,6 +59,16 @@ type Options struct {
 	Features *redo.Features
 	// Profile, when non-nil, accumulates the engine's phase breakdown.
 	Profile *ptm.Profile
+	// Buffered selects relaxed durability (group commit): operations
+	// commit into an in-flight epoch and become durable when the
+	// persister advances the watermark — see buffered.go. Requires a
+	// pool with at least 3 regions (Threads+2 recommended).
+	Buffered bool
+	// PersistEvery sets the background persister cadence in buffered
+	// mode: 0 means the 200µs default, negative disables the goroutine
+	// entirely (caller-driven: Sync/Persist seal epochs on the calling
+	// thread — deterministic, for crash sweeps and alloc pins).
+	PersistEvery time.Duration
 }
 
 // DB is a RedoDB instance.
@@ -65,6 +77,7 @@ type DB struct {
 	pool   *pmem.Pool
 	root   uint64
 	detect detect.Table
+	buf    *buffered // nil in synchronous mode
 }
 
 // Open creates or recovers a RedoDB over pool. The pool should have
@@ -89,12 +102,25 @@ func Open(pool *pmem.Pool, opts Options) *DB {
 		Variant:  opts.Variant,
 		Features: opts.Features,
 		Profile:  opts.Profile,
+		Buffered: opts.Buffered,
 	})
 	db := &DB{
 		eng:    eng,
 		pool:   pool,
 		root:   ptm.RootAddr(opts.RootSlot),
 		detect: detect.Table{RootSlot: opts.DetectRootSlot},
+	}
+	if opts.Buffered {
+		db.buf = &buffered{kick: make(chan struct{}, 1)}
+		if opts.PersistEvery >= 0 {
+			every := opts.PersistEvery
+			if every == 0 {
+				every = defaultPersistEvery
+			}
+			db.buf.stop = make(chan struct{})
+			db.buf.done = make(chan struct{})
+			go db.persistLoop(every)
+		}
 	}
 	// Reject a structurally-corrupt recovered map with a typed error before
 	// running any transaction that would chase its pointers.

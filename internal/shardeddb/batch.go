@@ -96,6 +96,19 @@ func (s *Session) Write(b *WriteBatch) {
 			s.sess[i].WriteTagged(sub, tagRoot, seq)
 		}
 	}
+	// Buffered shards: the cross-shard Sync barrier. Every touched shard
+	// must persist its sub-batch (tag included) before the intent retires —
+	// otherwise a crash after completeIntent could lose some shards'
+	// volatile sub-batches with nothing left to roll forward, turning an
+	// atomic batch into a torn one. With the barrier, a crash loses either
+	// the whole batch (intent still open → roll-forward) or nothing.
+	if db.buffered {
+		for i, sub := range subs {
+			if sub != nil {
+				db.shards[i].Persist()
+			}
+		}
+	}
 	db.completeIntent(seq)
 	db.lastCommitted.Store(seq)
 }

@@ -296,6 +296,15 @@ func (db *DB) recoverIntent() {
 			db.group.Pool(0).TraceEvent(obs.KindRollForward, -1, db.coord.Index(), 0, 0, seq)
 			ops, rcpt := decodeIntent(buf, len(db.shards))
 			db.applyBySub(ops, seq, tags, rcpt)
+			// Buffered shards: the replayed sub-batches commit into fresh
+			// in-flight epochs; they must persist before the intent is
+			// retired below, or a crash-after-retire would lose them with
+			// nothing left to roll forward (the Write-path barrier,
+			// replayed). Re-crash anywhere before the retire just rolls
+			// the same intent forward again — a fixed point.
+			if db.buffered {
+				db.Persist()
+			}
 			if seq > maxSeq {
 				maxSeq = seq
 			}

@@ -156,6 +156,17 @@ func (s *Session) WriteDetectable(b *WriteBatch, client, seq uint64) bool {
 			s.sess[i].WriteTagged(sub, tagRoot, bseq)
 		}
 	}
+	// Buffered shards: persist every touched shard (the home shard always
+	// participates — it carries the receipt) before the intent retires,
+	// exactly as in Write. The receipt and its batch stay atomic across a
+	// crash either way: both roll forward or both are lost with the intent.
+	if db.buffered {
+		for i, sub := range subs {
+			if sub != nil || i == home {
+				db.shards[i].Persist()
+			}
+		}
+	}
 	db.completeIntent(bseq)
 	db.lastCommitted.Store(bseq)
 	return true

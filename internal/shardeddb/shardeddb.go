@@ -22,6 +22,7 @@ package shardeddb
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core/redo"
 	"repro/internal/obs"
@@ -45,6 +46,14 @@ type Options struct {
 	Variant redo.Variant
 	// RingSize forwards to the per-shard engines (default 128).
 	RingSize int
+	// Buffered selects relaxed durability on every shard (group commit
+	// with per-shard durable-epoch watermarks — see buffered.go). The
+	// shard pools need Threads+2 regions (GroupConfig.Buffered).
+	Buffered bool
+	// PersistEvery sets the group persister cadence in buffered mode:
+	// 0 means a 200µs default, negative disables the goroutine
+	// (caller-driven: Sync/Persist seal epochs on the calling thread).
+	PersistEvery time.Duration
 }
 
 // GroupConfig describes the pool geometry NewGroup builds for a sharded DB:
@@ -56,6 +65,10 @@ type GroupConfig struct {
 	CoordWords uint64 // words in the coordinator region (default 1<<12)
 	Mode       pmem.Mode
 	Latency    pmem.LatencyModel
+	// Buffered sizes the shard pools for relaxed durability: Threads+2
+	// regions each (curComb + the pinned durable replica + writers)
+	// instead of the synchronous Threads+1.
+	Buffered bool
 }
 
 // NewGroup allocates the pmem group for a sharded DB: pool 0 is the
@@ -79,9 +92,13 @@ func NewGroup(cfg GroupConfig) *pmem.Group {
 	pools[0] = pmem.New(pmem.Config{
 		Mode: cfg.Mode, RegionWords: cfg.CoordWords, Regions: 1, Latency: cfg.Latency,
 	})
+	regions := cfg.Threads + 1
+	if cfg.Buffered {
+		regions = cfg.Threads + 2
+	}
 	for i := 1; i <= cfg.Shards; i++ {
 		pools[i] = pmem.New(pmem.Config{
-			Mode: cfg.Mode, RegionWords: cfg.ShardWords, Regions: cfg.Threads + 1, Latency: cfg.Latency,
+			Mode: cfg.Mode, RegionWords: cfg.ShardWords, Regions: regions, Latency: cfg.Latency,
 		})
 	}
 	return pmem.NewGroup(pools...)
@@ -89,9 +106,11 @@ func NewGroup(cfg GroupConfig) *pmem.Group {
 
 // DB is a sharded RedoDB instance.
 type DB struct {
-	group  *pmem.Group
-	coord  *pmem.Region // batch-intent record (region 0 of pool 0)
-	shards []*redodb.DB
+	group    *pmem.Group
+	coord    *pmem.Region // batch-intent record (region 0 of pool 0)
+	shards   []*redodb.DB
+	buffered bool
+	buf      *bufferedState // non-nil only with a background persister
 
 	// batchMu serializes cross-shard batches (and recovery against them).
 	// Single-key operations never take it.
@@ -117,7 +136,7 @@ func Open(g *pmem.Group, opts Options) *DB {
 	if opts.Threads <= 0 {
 		opts.Threads = 1
 	}
-	db := &DB{group: g, coord: g.Pool(0).Region(0)}
+	db := &DB{group: g, coord: g.Pool(0).Region(0), buffered: opts.Buffered}
 	g.Pool(0).TraceEvent(obs.KindRecoveryBegin, -1, -1, 0, 0, 0)
 	db.shards = make([]*redodb.DB, g.Len()-1)
 	for i := range db.shards {
@@ -126,10 +145,26 @@ func Open(g *pmem.Group, opts Options) *DB {
 			RootSlot: mapRoot,
 			Variant:  opts.Variant,
 			RingSize: opts.RingSize,
+			Buffered: opts.Buffered,
+			// The shards never run their own persisters: the group-level
+			// loop (or the caller) seals every shard in turn.
+			PersistEvery: -1,
 		})
 	}
 	db.recoverIntent()
 	g.Pool(0).TraceEvent(obs.KindRecoveryEnd, -1, -1, 0, 0, 0)
+	if opts.Buffered && opts.PersistEvery >= 0 {
+		every := opts.PersistEvery
+		if every == 0 {
+			every = 200 * time.Microsecond
+		}
+		db.buf = &bufferedState{
+			kick: make(chan struct{}, 1),
+			stop: make(chan struct{}),
+			done: make(chan struct{}),
+		}
+		go db.persistLoop(every)
+	}
 	return db
 }
 
