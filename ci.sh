@@ -72,3 +72,40 @@ go run ./cmd/dbbench -json BENCH_pr7.json -detect -keys 10000 -secs 0.25 -thread
 # TestBenchPR8Trajectory asserts the checked-in file's invariants: >= 5x
 # fence amortization at depth 64, lower pwbs/tx, bounded p99.
 go run ./cmd/dbbench -json BENCH_pr8.json -sync buffered -depth 1,8,64 -keys 10000 -secs 0.5 -threads 1
+
+# Wire-protocol race smokes (PR 9): pipelined connections hammering the
+# per-connection arena batch through real sockets, and the connection-level
+# batch-reuse pin (TestRaceSmokeConnBatches) already runs in the shardeddb
+# smoke above.
+go test -race -run 'TestRaceSmokeServerPipelined' ./internal/server
+
+# Bounded decode-hardening fuzz smoke (PR 9): malformed frames must produce
+# typed errors, never panics or over-reads (the seed corpus also runs inside
+# `go test ./...` above; this adds a short live-mutation burst per commit).
+go test -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/wire
+
+# Loopback serving-path smoke + tracked trajectory (PR 9): boot kvserver on
+# an ephemeral port, preload, and sweep the four YCSB mixes at two offered
+# loads through real TCP. kvload exits nonzero if any cell sees an error or
+# a failed exactly-once receipt verification, so a passing run IS the
+# end-to-end acceptance check. TestBenchPR9Trajectory asserts the checked-in
+# file's invariants (all cells present, zero errors, coherent tails).
+rm -f /tmp/kvserver.$$.addr
+go build -o /tmp/kvserver.$$ ./cmd/kvserver
+go build -o /tmp/kvload.$$ ./cmd/kvload
+/tmp/kvserver.$$ -addr 127.0.0.1:0 -addrfile /tmp/kvserver.$$.addr \
+    -shards 8 -threads 16 &
+KVSERVER_PID=$!
+for _ in $(seq 1 100); do
+    [ -s /tmp/kvserver.$$.addr ] && break
+    sleep 0.1
+done
+[ -s /tmp/kvserver.$$.addr ]
+LOAD_RC=0
+/tmp/kvload.$$ -addr "$(cat /tmp/kvserver.$$.addr)" \
+    -workloads ycsb-a,ycsb-b,ycsb-c,ycsb-f -rates 4000,16000 \
+    -conns 4 -secs 0.5 -keys 10000 -json BENCH_pr9.json || LOAD_RC=$?
+kill $KVSERVER_PID
+wait $KVSERVER_PID || true
+rm -f /tmp/kvserver.$$ /tmp/kvload.$$ /tmp/kvserver.$$.addr
+[ "$LOAD_RC" -eq 0 ]

@@ -115,6 +115,19 @@ type BenchEntry struct {
 	// Buffered-durability sweep field (PR 8): Sync batch depth per worker
 	// when Path is "buffered"; 0 on the synchronous baseline cell.
 	Depth int `json:"depth,omitempty"`
+	// Network serving sweep fields (PR 9, emitted by cmd/kvload): offered
+	// open-loop arrival rate (0 in closed-loop cells), connection count,
+	// server-side service-time percentiles from the server's own STATS
+	// histograms, and the cell's error count (client-observed failures
+	// plus server-reported errors plus exactly-once verification
+	// mismatches — the trajectory asserts it stays zero). For these cells
+	// OpsPerSec is the achieved completion rate and P50Ns/P99Ns are
+	// client-observed (queueing included under open loop).
+	OfferedPerSec float64 `json:"offered_per_sec,omitempty"`
+	Conns         int     `json:"conns,omitempty"`
+	ServerP50Ns   int64   `json:"server_p50_ns,omitempty"`
+	ServerP99Ns   int64   `json:"server_p99_ns,omitempty"`
+	Errors        uint64  `json:"errors,omitempty"`
 }
 
 // ShardingEntries runs the tracked-benchmark cells: fillrandom and

@@ -1,0 +1,275 @@
+// Package load is the client side of the wire protocol: a synchronous
+// Client for tests and tooling, a windowed pipelined connection for load
+// generation, and the YCSB-style workload harness behind cmd/kvload.
+package load
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+
+	"repro/internal/wire"
+)
+
+// Client is a synchronous wire-protocol client: one outstanding request per
+// call, responses matched by request id. Not safe for concurrent use. All
+// returned byte slices are copies — safe to retain.
+type Client struct {
+	c      net.Conn
+	bw     *bufio.Writer
+	dec    *wire.Decoder
+	client uint64
+	nextID uint64
+	// Mode is the server's HELLO mode bits (set by Hello).
+	Mode uint64
+}
+
+// Dial connects to addr and performs the HELLO handshake declaring clientID
+// (zero for an anonymous connection that never uses detectable operations).
+func Dial(addr string, clientID uint64) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	cl := NewClient(c, clientID)
+	if err := cl.Hello(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// NewClient wraps an established connection without handshaking; call Hello
+// before any detectable operation.
+func NewClient(c net.Conn, clientID uint64) *Client {
+	return &Client{
+		c:      c,
+		bw:     bufio.NewWriterSize(c, 1<<16),
+		dec:    wire.NewDecoder(c, wire.Limits{}),
+		client: clientID,
+	}
+}
+
+// Close closes the connection.
+func (cl *Client) Close() error { return cl.c.Close() }
+
+// ClientID returns the identity declared at dial time.
+func (cl *Client) ClientID() uint64 { return cl.client }
+
+// roundTrip sends req and reads its response, enforcing opcode and request
+// id matching (a synchronous client never has responses in flight).
+func (cl *Client) roundTrip(req *wire.Frame) (wire.Frame, error) {
+	if req.ReqID == 0 {
+		cl.nextID++
+		req.ReqID = cl.nextID
+	}
+	if err := wire.WriteFrame(cl.bw, req); err != nil {
+		return wire.Frame{}, err
+	}
+	if err := cl.bw.Flush(); err != nil {
+		return wire.Frame{}, err
+	}
+	var resp wire.Frame
+	if err := cl.dec.ReadFrame(&resp); err != nil {
+		return wire.Frame{}, err
+	}
+	if resp.Op != req.Op|wire.RespBit || resp.ReqID != req.ReqID {
+		return wire.Frame{}, fmt.Errorf("load: response mismatch: got %v req %d, want %v req %d",
+			resp.Op, resp.ReqID, req.Op|wire.RespBit, req.ReqID)
+	}
+	if resp.Status() == wire.StatusErr {
+		return wire.Frame{}, fmt.Errorf("load: server error: %s", resp.Val)
+	}
+	// Detach payloads from the decoder scratch.
+	resp.Key = append([]byte(nil), resp.Key...)
+	resp.Val = append([]byte(nil), resp.Val...)
+	return resp, nil
+}
+
+// Hello declares the client identity and records the server mode bits.
+func (cl *Client) Hello() error {
+	resp, err := cl.roundTrip(&wire.Frame{Op: wire.OpHello, Aux: cl.client})
+	if err != nil {
+		return err
+	}
+	cl.Mode = resp.Aux
+	return nil
+}
+
+// Buffered reports whether the server declared relaxed durability.
+func (cl *Client) Buffered() bool { return cl.Mode&wire.ModeBuffered != 0 }
+
+// Get fetches key, reporting presence.
+func (cl *Client) Get(key []byte) ([]byte, bool, error) {
+	resp, err := cl.roundTrip(&wire.Frame{Op: wire.OpGet, Key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.Status() == wire.StatusNotFound {
+		return nil, false, nil
+	}
+	return resp.Val, true, nil
+}
+
+// Put stores (key, value), returning the commit epoch from the response.
+func (cl *Client) Put(key, val []byte) (uint64, error) {
+	resp, err := cl.roundTrip(&wire.Frame{Op: wire.OpPut, Key: key, Val: val})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Aux, nil
+}
+
+// PutDurable stores (key, value) and waits for durability on a buffered
+// server.
+func (cl *Client) PutDurable(key, val []byte) (uint64, error) {
+	resp, err := cl.roundTrip(&wire.Frame{Op: wire.OpPut, Flags: wire.FlagDurable, Key: key, Val: val})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Aux, nil
+}
+
+// PutDetectable stores (key, value) exactly once for seq, reporting whether
+// this call applied it (false: deduplicated by the server-side receipt).
+func (cl *Client) PutDetectable(seq uint64, key, val []byte) (applied bool, epoch uint64, err error) {
+	resp, err := cl.roundTrip(&wire.Frame{
+		Op: wire.OpPut, Flags: wire.FlagDetectable, ReqID: seq, Key: key, Val: val,
+	})
+	if err != nil {
+		return false, 0, err
+	}
+	return resp.Status() != wire.StatusDup, resp.Aux, nil
+}
+
+// Delete removes key, reporting whether it was present.
+func (cl *Client) Delete(key []byte) (bool, error) {
+	resp, err := cl.roundTrip(&wire.Frame{Op: wire.OpDelete, Key: key})
+	if err != nil {
+		return false, err
+	}
+	return resp.Status() != wire.StatusNotFound, nil
+}
+
+// BatchOp is one operation of a remote WRITEBATCH.
+type BatchOp struct {
+	Key, Val []byte
+	Delete   bool
+}
+
+// appendBatch encodes ops as a WRITEBATCH payload.
+func appendBatch(dst []byte, ops []BatchOp) []byte {
+	for _, op := range ops {
+		if op.Delete {
+			dst = wire.AppendBatchDelete(dst, op.Key)
+		} else {
+			dst = wire.AppendBatchPut(dst, op.Key, op.Val)
+		}
+	}
+	return dst
+}
+
+// Write applies ops atomically, returning the covering commit epoch.
+func (cl *Client) Write(ops []BatchOp) (uint64, error) {
+	resp, err := cl.roundTrip(&wire.Frame{Op: wire.OpWrite, Val: appendBatch(nil, ops)})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Aux, nil
+}
+
+// WriteDetectable applies ops atomically exactly once for seq.
+func (cl *Client) WriteDetectable(seq uint64, ops []BatchOp) (applied bool, epoch uint64, err error) {
+	resp, err := cl.roundTrip(&wire.Frame{
+		Op: wire.OpWrite, Flags: wire.FlagDetectable, ReqID: seq, Val: appendBatch(nil, ops),
+	})
+	if err != nil {
+		return false, 0, err
+	}
+	return resp.Status() != wire.StatusDup, resp.Aux, nil
+}
+
+// Pair is one SCAN result.
+type Pair struct{ Key, Val []byte }
+
+// Scan returns up to max pairs with key >= start from a batch-consistent
+// snapshot (max <= 0: all).
+func (cl *Client) Scan(start []byte, max int) ([]Pair, error) {
+	var aux uint64
+	if max > 0 {
+		aux = uint64(max)
+	}
+	resp, err := cl.roundTrip(&wire.Frame{Op: wire.OpScan, Key: start, Aux: aux})
+	if err != nil {
+		return nil, err
+	}
+	var pairs []Pair
+	err = wire.DecodeScan(resp.Val, wire.DefaultLimits, func(key, val []byte) {
+		pairs = append(pairs, Pair{Key: append([]byte(nil), key...), Val: append([]byte(nil), val...)})
+	})
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(pairs)) != resp.Aux {
+		return nil, errors.New("load: scan pair count disagrees with response aux")
+	}
+	return pairs, nil
+}
+
+// Sync is the remote durability barrier: it returns once the server's
+// durable watermark covers every write this connection has completed, and
+// reports that watermark.
+func (cl *Client) Sync() (uint64, error) {
+	resp, err := cl.roundTrip(&wire.Frame{Op: wire.OpSync})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Aux, nil
+}
+
+// WasApplied probes whether (clientID, seq) committed — the recovery probe
+// before a retry.
+func (cl *Client) WasApplied(seq uint64) (bool, error) {
+	resp, err := cl.roundTrip(&wire.Frame{Op: wire.OpWasApplied, ReqID: seq})
+	if err != nil {
+		return false, err
+	}
+	return resp.Status() != wire.StatusNotFound, nil
+}
+
+// Ack advances the client's acked watermark, letting the server prune dedup
+// receipts up to and including seq upto.
+func (cl *Client) Ack(upto uint64) error {
+	_, err := cl.roundTrip(&wire.Frame{Op: wire.OpAck, Aux: upto})
+	return err
+}
+
+// DetectStats fetches the server-side exactly-once witness for this client.
+func (cl *Client) DetectStats() (receipts, maxSeq, acked uint64, err error) {
+	resp, err := cl.roundTrip(&wire.Frame{Op: wire.OpDetectStats})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return wire.DecodeDetectStats(resp.Val)
+}
+
+// Stats fetches the server's stats JSON.
+func (cl *Client) Stats() ([]byte, error) {
+	resp, err := cl.roundTrip(&wire.Frame{Op: wire.OpStats})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Val, nil
+}
+
+// StatsReset fetches the server's stats JSON and resets the counters and
+// histograms behind it — the load harness's cell boundary, so each cell's
+// server-side percentiles cover exactly that cell.
+func (cl *Client) StatsReset() ([]byte, error) {
+	resp, err := cl.roundTrip(&wire.Frame{Op: wire.OpStats, Aux: wire.StatsReset})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Val, nil
+}

@@ -1,0 +1,120 @@
+package load
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// YCSB-style workload mixes. Proportions are per mille of the issued
+// operations; the remainder after reads is writes of the mix's write shape.
+//
+//	A  update-heavy   50% read / 50% update
+//	B  read-heavy     95% read /  5% update
+//	C  read-only     100% read
+//	F  read-modify-write  50% read / 50% RMW
+//
+// RMW is modeled as a GET immediately followed by a detectable PUT pipelined
+// behind it on the same connection (the response pair is one logical
+// operation; its latency is recorded at the PUT response). Routing F's
+// writes through the detectable path exercises remote exactly-once under
+// load — each connection declares a client id at HELLO and numbers its RMW
+// sequence monotonically, so the cell can verify receipts afterwards.
+type Mix struct {
+	Name string
+	// ReadPct is the read share in percent; the rest are writes.
+	ReadPct int
+	// RMW routes writes through GET + detectable PUT instead of plain PUT.
+	RMW bool
+}
+
+// Mixes is the workload table behind cmd/kvload's -workloads flag.
+var Mixes = map[string]Mix{
+	"ycsb-a": {Name: "ycsb-a", ReadPct: 50},
+	"ycsb-b": {Name: "ycsb-b", ReadPct: 95},
+	"ycsb-c": {Name: "ycsb-c", ReadPct: 100},
+	"ycsb-f": {Name: "ycsb-f", ReadPct: 50, RMW: true},
+}
+
+// MixByName resolves a workload name.
+func MixByName(name string) (Mix, error) {
+	m, ok := Mixes[name]
+	if !ok {
+		return Mix{}, fmt.Errorf("load: unknown workload %q (have ycsb-a, ycsb-b, ycsb-c, ycsb-f)", name)
+	}
+	return m, nil
+}
+
+// Zipf draws ranks with the YCSB zipfian distribution (Gray et al.'s
+// rejection-free inversion) and scrambles them with an FNV-1a hash so the
+// hot ranks scatter across the key space instead of clustering at its
+// front — the standard "scrambled zipfian" hot-key model. The zeta
+// normalization constant is O(items) to compute, so the harness computes it
+// once (Zetan) and shares it across every connection's generator.
+type Zipf struct {
+	items             uint64
+	theta             float64
+	alpha, zetan, eta float64
+	halfPowTheta      float64
+	rng               *rand.Rand
+}
+
+// Zetan computes the zipfian normalization constant sum_{i=1..n} 1/i^theta.
+func Zetan(n uint64, theta float64) float64 {
+	var z float64
+	for i := uint64(1); i <= n; i++ {
+		z += 1 / math.Pow(float64(i), theta)
+	}
+	return z
+}
+
+// NewZipf builds a generator over [0, items) with skew theta (YCSB default
+// 0.99) and a precomputed Zetan(items, theta).
+func NewZipf(rng *rand.Rand, items uint64, theta, zetan float64) *Zipf {
+	zeta2 := 1 + 1/math.Pow(2, theta)
+	return &Zipf{
+		items:        items,
+		theta:        theta,
+		alpha:        1 / (1 - theta),
+		zetan:        zetan,
+		eta:          (1 - math.Pow(2/float64(items), 1-theta)) / (1 - zeta2/zetan),
+		halfPowTheta: 1 + math.Pow(0.5, theta),
+		rng:          rng,
+	}
+}
+
+// Next draws a scrambled rank in [0, items).
+func (z *Zipf) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	var rank uint64
+	switch {
+	case uz < 1:
+		rank = 0
+	case uz < z.halfPowTheta:
+		rank = 1
+	default:
+		rank = uint64(float64(z.items) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+		if rank >= z.items {
+			rank = z.items - 1
+		}
+	}
+	return fnv64(rank) % z.items
+}
+
+// fnv64 is FNV-1a over the rank's little-endian bytes.
+func fnv64(x uint64) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= 1099511628211
+		x >>= 8
+	}
+	return h
+}
+
+// KeyBytes renders key index k in the fixed "user%012d" form the preload
+// phase stores, appended to dst.
+func KeyBytes(dst []byte, k uint64) []byte {
+	return fmt.Appendf(dst, "user%012d", k)
+}

@@ -73,6 +73,45 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 }
 
+// Reset zeroes the histogram. It is not atomic with respect to concurrent
+// Observe calls: an observation racing the reset may land on either side of
+// the boundary (or split its count and sum across it), which is benign for
+// the interval measurements Reset exists for — the load harness resets
+// server histograms between cells while only its own traffic is running.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// MergeInto folds h's observations into dst bucket-by-bucket, preserving
+// quantiles exactly (both histograms share the fixed bucket layout). Like
+// Reset it is only interval-consistent under concurrent writers.
+func (h *Histogram) MergeInto(dst *Histogram) {
+	if h == nil || dst == nil {
+		return
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			dst.buckets[i].Add(n)
+		}
+	}
+	dst.count.Add(h.count.Load())
+	dst.sum.Add(h.sum.Load())
+	for {
+		m, hm := dst.max.Load(), h.max.Load()
+		if hm <= m || dst.max.CompareAndSwap(m, hm) {
+			break
+		}
+	}
+}
+
 // Count reports the number of recorded observations.
 func (h *Histogram) Count() uint64 {
 	if h == nil {

@@ -3,9 +3,25 @@ package shardeddb
 import "repro/internal/redodb"
 
 // WriteBatch collects Put/Delete operations for atomic application across
-// shards.
+// shards. Keys and values are snapshotted into a single grow-only arena the
+// batch owns, so assembling a batch from a connection's frame-decode scratch
+// buffers (which the next read overwrites) is safe, and a reused batch costs
+// amortized zero allocations per op instead of two.
+//
+// Ownership contract (the per-connection reuse audit, PR 9): Write,
+// WriteDurable, and WriteDetectable must not retain any reference into the
+// batch — arena bytes included — past their return. They hold that contract
+// by copying at every boundary that outlives the call: split() copies each
+// op's bytes into fresh per-shard redodb batches (whose own Put snapshots
+// them for helper re-execution), and the coordinator intent serializes the
+// ops into its payload buffer. Clear may therefore recycle the arena
+// immediately; the contract is pinned by TestWriteBatchArenaReuse and the
+// pipelined-connection race smoke in internal/server. A batch still must
+// not be MUTATED concurrently with a Write that was handed the same *batch*
+// from another goroutine — same rule as redodb.WriteBatch.
 type WriteBatch struct {
 	ops []batchOp
+	buf []byte // arena backing every queued key and value
 }
 
 type batchOp struct {
@@ -13,28 +29,38 @@ type batchOp struct {
 	del      bool
 }
 
+// own snapshots p into the batch arena. The full slice expression caps the
+// returned subslice so a later arena append can never grow into it, and
+// earlier subslices stay valid across arena growth because the old backing
+// array is immutable once abandoned.
+func (b *WriteBatch) own(p []byte) []byte {
+	n := len(b.buf)
+	b.buf = append(b.buf, p...)
+	return b.buf[n:len(b.buf):len(b.buf)]
+}
+
 // Put queues an insertion/overwrite.
 func (b *WriteBatch) Put(key, value []byte) {
-	b.ops = append(b.ops, batchOp{
-		key: append([]byte(nil), key...),
-		val: append([]byte(nil), value...),
-	})
+	b.ops = append(b.ops, batchOp{key: b.own(key), val: b.own(value)})
 }
 
 // Delete queues a deletion.
 func (b *WriteBatch) Delete(key []byte) {
-	b.ops = append(b.ops, batchOp{key: append([]byte(nil), key...), del: true})
+	b.ops = append(b.ops, batchOp{key: b.own(key), del: true})
 }
 
 // Len reports the number of queued operations.
 func (b *WriteBatch) Len() int { return len(b.ops) }
 
-// Clear empties the batch for reuse. The elements are zeroed before the
-// truncation: a plain b.ops[:0] would keep every queued key and value alive
-// through the retained backing array for as long as the batch is reused.
+// Clear empties the batch for reuse, recycling the arena. The op headers
+// are zeroed before the truncation so the retained backing array does not
+// keep dropped subslice headers alive; the arena bytes themselves may be
+// overwritten by the next assembly because no Write path retains them (see
+// the ownership contract above).
 func (b *WriteBatch) Clear() {
 	clear(b.ops)
 	b.ops = b.ops[:0]
+	b.buf = b.buf[:0]
 }
 
 // split partitions ops into per-shard redodb batches (nil for untouched

@@ -106,6 +106,12 @@ func (s *Session) Sync() {
 	}
 }
 
+// LastEpoch returns the commit epoch of this session's last operation on
+// shard (redodb's per-thread LastSeq). The network front-end reports it in
+// write responses so remote clients can correlate acknowledgements with the
+// shard's durable-epoch watermark.
+func (s *Session) LastEpoch(shard int) uint64 { return s.sess[shard].LastEpoch() }
+
 // PutDurable stores (key, value) and returns only once it is durable: the
 // synchronous escape hatch in buffered mode.
 func (s *Session) PutDurable(key, value []byte) {

@@ -202,6 +202,10 @@ func (s *Session) shardOf(key []byte) int {
 	return int((h * 0x9e3779b97f4a7c15 >> 32) % uint64(len(s.sess)))
 }
 
+// ShardOf reports the shard that owns key. The serving layer uses it to
+// attribute an operation's commit epoch to the right per-shard watermark.
+func (s *Session) ShardOf(key []byte) int { return s.shardOf(key) }
+
 // Put stores (key, value) in the owning shard — one wait-free RedoDB update.
 func (s *Session) Put(key, value []byte) { s.sess[s.shardOf(key)].Put(key, value) }
 

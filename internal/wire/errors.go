@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel and typed decode errors. Every way a frame can be malformed maps
+// to exactly one of these — the protocol conformance and fuzz tests assert
+// that decoding adversarial bytes yields one of them, never a panic.
+var (
+	// ErrBadMagic means the stream is not speaking this protocol (or has
+	// desynchronized); the connection is unrecoverable.
+	ErrBadMagic = errors.New("wire: bad frame magic")
+	// ErrTruncated means the buffer ends mid-frame (DecodeFrame only; the
+	// streaming Decoder reports io.ErrUnexpectedEOF instead).
+	ErrTruncated = errors.New("wire: truncated frame")
+)
+
+// VersionError reports a frame from an unsupported protocol version.
+type VersionError struct{ Got uint8 }
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("wire: protocol version %d (speaking %d)", e.Got, Version)
+}
+
+// CRCError reports a header whose checksum does not cover its bytes.
+type CRCError struct{ Got, Want uint32 }
+
+func (e *CRCError) Error() string {
+	return fmt.Sprintf("wire: header crc %#x, computed %#x", e.Got, e.Want)
+}
+
+// OpError reports an opcode outside the v1 table.
+type OpError struct{ Op Op }
+
+func (e *OpError) Error() string { return fmt.Sprintf("wire: unknown opcode %d", uint8(e.Op)) }
+
+// FlagError reports unknown option bits (reserved for future versions; a v1
+// peer must reject rather than silently ignore them).
+type FlagError struct{ Flags uint32 }
+
+func (e *FlagError) Error() string { return fmt.Sprintf("wire: unknown flag bits %#x", e.Flags) }
+
+// SizeError reports payload lengths beyond the decoder's limits.
+type SizeError struct {
+	KeyLen, ValLen int
+	Limits         Limits
+}
+
+func (e *SizeError) Error() string {
+	return fmt.Sprintf("wire: frame lengths (key %d, val %d) exceed limits (%d, %d)",
+		e.KeyLen, e.ValLen, e.Limits.MaxKey, e.Limits.MaxVal)
+}
+
+// PayloadError reports a structurally invalid op-specific payload (batch or
+// scan encoding) inside an otherwise well-formed frame.
+type PayloadError struct{ Reason string }
+
+func (e *PayloadError) Error() string { return "wire: bad payload: " + e.Reason }
+
+// IsTyped reports whether err is one of this package's decode errors — the
+// fuzz harness's "typed error, never a panic or an untyped failure" check.
+func IsTyped(err error) bool {
+	if errors.Is(err, ErrBadMagic) || errors.Is(err, ErrTruncated) {
+		return true
+	}
+	var (
+		ve *VersionError
+		ce *CRCError
+		oe *OpError
+		fe *FlagError
+		se *SizeError
+		pe *PayloadError
+	)
+	return errors.As(err, &ve) || errors.As(err, &ce) || errors.As(err, &oe) ||
+		errors.As(err, &fe) || errors.As(err, &se) || errors.As(err, &pe)
+}

@@ -1,0 +1,63 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame is the adversarial-input property for the frame decoder:
+// for ANY byte string — truncated, oversized, bit-flipped, or hostile
+// lengths — DecodeFrame must return a typed error or a well-formed frame,
+// never panic, never report consuming more bytes than it was given, and any
+// frame it accepts must re-encode to exactly the bytes it consumed (decode
+// is a partial inverse of encode). Batch and scan payload decoding rides
+// the same harness for WRITEBATCH/SCAN frames.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(AppendFrame(nil, &Frame{Op: OpGet, ReqID: 1, Key: []byte("k")}))
+	f.Add(AppendFrame(nil, &Frame{Op: OpPut, Flags: FlagDurable, ReqID: 2, Key: []byte("k"), Val: []byte("v")}))
+	f.Add(AppendFrame(nil, &Frame{Op: OpWrite, ReqID: 3,
+		Val: AppendBatchDelete(AppendBatchPut(nil, []byte("a"), []byte("1")), []byte("b"))}))
+	f.Add(AppendFrame(nil, &Frame{Op: OpScan | RespBit, ReqID: 4,
+		Val: AppendScanPair(nil, []byte("k"), []byte("v"))}))
+	f.Add(AppendFrame(nil, &Frame{Op: OpSync, ReqID: 5}))
+	f.Add([]byte("kv")) // truncated header
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	lim := Limits{MaxKey: 1 << 10, MaxVal: 1 << 12}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, n, err := DecodeFrame(data, lim)
+		if err != nil {
+			if !IsTyped(err) {
+				t.Fatalf("untyped decode error %T: %v", err, err)
+			}
+			if n != 0 {
+				t.Fatalf("failed decode reported %d consumed bytes", n)
+			}
+			return
+		}
+		if n < HeaderSize || n > len(data) {
+			t.Fatalf("consumed %d bytes of %d", n, len(data))
+		}
+		// Accepted frames re-encode to the consumed bytes exactly.
+		if re := AppendFrame(nil, &frame); !bytes.Equal(re, data[:n]) {
+			t.Fatalf("decode/encode not an identity:\n in  %x\n out %x", data[:n], re)
+		}
+		// Op-specific payloads must decode to typed errors too, without
+		// panics or over-reads, whatever the fuzzer put in Val.
+		switch frame.Op.Base() {
+		case OpWrite:
+			ops := 0
+			if err := DecodeBatch(frame.Val, lim, func(del bool, k, v []byte) { ops++ }); err != nil && !IsTyped(err) {
+				t.Fatalf("untyped batch error: %v", err)
+			}
+		case OpScan:
+			if err := DecodeScan(frame.Val, lim, func(k, v []byte) {}); err != nil && !IsTyped(err) {
+				t.Fatalf("untyped scan error: %v", err)
+			}
+		case OpDetectStats:
+			if _, _, _, err := DecodeDetectStats(frame.Val); err != nil && !IsTyped(err) {
+				t.Fatalf("untyped detect-stats error: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package wire
+
+import "encoding/binary"
+
+// Op-specific payload encodings, shared by both ends of the connection.
+//
+// WRITEBATCH value payload: a sequence of operations, each
+//
+//	[1 byte kind: 0 put, 1 delete] [u32 key length] key
+//	                               [u32 value length] value   (puts only)
+//
+// SCAN response value payload: a sequence of pairs, each
+//
+//	[u32 key length] key [u32 value length] value
+//
+// Both decoders validate every length against the remaining buffer and the
+// frame Limits before touching payload bytes, so a hostile length field
+// yields a typed *PayloadError, never an over-read or a giant allocation.
+
+// Batch op kinds.
+const (
+	batchPut    = 0
+	batchDelete = 1
+)
+
+// AppendBatchPut appends a put to a WRITEBATCH payload.
+func AppendBatchPut(dst, key, val []byte) []byte {
+	dst = append(dst, batchPut)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(key)))
+	dst = append(dst, key...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(val)))
+	return append(dst, val...)
+}
+
+// AppendBatchDelete appends a delete to a WRITEBATCH payload.
+func AppendBatchDelete(dst, key []byte) []byte {
+	dst = append(dst, batchDelete)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(key)))
+	return append(dst, key...)
+}
+
+// DecodeBatch walks a WRITEBATCH payload, calling fn for every operation
+// (val is nil for deletes). The yielded slices alias buf — consumers that
+// retain them past the call must copy (shardeddb.WriteBatch.Put does).
+func DecodeBatch(buf []byte, lim Limits, fn func(del bool, key, val []byte)) error {
+	for len(buf) > 0 {
+		kind := buf[0]
+		if kind != batchPut && kind != batchDelete {
+			return &PayloadError{Reason: "batch op kind out of range"}
+		}
+		buf = buf[1:]
+		var key, val []byte
+		var err error
+		if key, buf, err = takeChunk(buf, lim.MaxKey, "key"); err != nil {
+			return err
+		}
+		if kind == batchPut {
+			if val, buf, err = takeChunk(buf, lim.MaxVal, "value"); err != nil {
+				return err
+			}
+		}
+		fn(kind == batchDelete, key, val)
+	}
+	return nil
+}
+
+// AppendScanPair appends one pair to a SCAN response payload.
+func AppendScanPair(dst, key, val []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(key)))
+	dst = append(dst, key...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(val)))
+	return append(dst, val...)
+}
+
+// DecodeScan walks a SCAN response payload, calling fn for every pair. The
+// yielded slices alias buf.
+func DecodeScan(buf []byte, lim Limits, fn func(key, val []byte)) error {
+	for len(buf) > 0 {
+		key, rest, err := takeChunk(buf, lim.MaxKey, "key")
+		if err != nil {
+			return err
+		}
+		val, rest, err := takeChunk(rest, lim.MaxVal, "value")
+		if err != nil {
+			return err
+		}
+		fn(key, val)
+		buf = rest
+	}
+	return nil
+}
+
+// takeChunk pops one [u32 length]bytes chunk off buf, bounds-checked against
+// both the remaining buffer and max.
+func takeChunk(buf []byte, max int, what string) (chunk, rest []byte, err error) {
+	if len(buf) < 4 {
+		return nil, nil, &PayloadError{Reason: what + " length truncated"}
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if n > max {
+		return nil, nil, &PayloadError{Reason: what + " length exceeds limit"}
+	}
+	if n > len(buf) {
+		return nil, nil, &PayloadError{Reason: what + " overruns payload"}
+	}
+	return buf[:n:n], buf[n:], nil
+}
+
+// DetectStats payload (24 bytes): receipts, maxSeq, acked.
+
+// AppendDetectStats encodes a DETECTSTATS response payload.
+func AppendDetectStats(dst []byte, receipts, maxSeq, acked uint64) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, receipts)
+	dst = binary.LittleEndian.AppendUint64(dst, maxSeq)
+	return binary.LittleEndian.AppendUint64(dst, acked)
+}
+
+// DecodeDetectStats parses a DETECTSTATS response payload.
+func DecodeDetectStats(buf []byte) (receipts, maxSeq, acked uint64, err error) {
+	if len(buf) != 24 {
+		return 0, 0, 0, &PayloadError{Reason: "detect stats payload is not 24 bytes"}
+	}
+	return binary.LittleEndian.Uint64(buf),
+		binary.LittleEndian.Uint64(buf[8:]),
+		binary.LittleEndian.Uint64(buf[16:]), nil
+}

@@ -1,0 +1,303 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// frameEqual compares frames field by field, treating nil and empty
+// payloads as equal (the decoder canonicalizes absent payloads to nil).
+func frameEqual(a, b *Frame) bool {
+	return a.Op == b.Op && a.Flags == b.Flags && a.ReqID == b.ReqID && a.Aux == b.Aux &&
+		bytes.Equal(a.Key, b.Key) && bytes.Equal(a.Val, b.Val)
+}
+
+// randFrame builds an arbitrary well-formed frame.
+func randFrame(rng *rand.Rand) Frame {
+	ops := []Op{OpHello, OpGet, OpPut, OpDelete, OpWrite, OpScan, OpSync,
+		OpWasApplied, OpAck, OpStats, OpDetectStats}
+	f := Frame{
+		Op:    ops[rng.Intn(len(ops))],
+		ReqID: rng.Uint64(),
+		Aux:   rng.Uint64(),
+	}
+	if rng.Intn(2) == 1 {
+		f.Op |= RespBit
+		f.Flags = uint32(rng.Intn(4)) // status byte
+	} else if rng.Intn(2) == 1 {
+		f.Flags = FlagDurable
+		if rng.Intn(2) == 1 {
+			f.Flags |= FlagDetectable
+		}
+	}
+	if n := rng.Intn(64); n > 0 {
+		f.Key = make([]byte, n)
+		rng.Read(f.Key)
+	}
+	if n := rng.Intn(300); n > 0 {
+		f.Val = make([]byte, n)
+		rng.Read(f.Val)
+	}
+	return f
+}
+
+// TestFrameRoundTrip is the encode/decode identity property over every op:
+// both the buffer decoder and the streaming decoder must reproduce any
+// well-formed frame exactly, including back-to-back pipelined frames.
+func TestFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var stream []byte
+	var frames []Frame
+	for i := 0; i < 500; i++ {
+		f := randFrame(rng)
+		frames = append(frames, f)
+		stream = AppendFrame(stream, &f)
+	}
+	// Buffer decoding, frame by frame.
+	rest := stream
+	for i := range frames {
+		got, n, err := DecodeFrame(rest, DefaultLimits)
+		if err != nil {
+			t.Fatalf("frame %d: decode: %v", i, err)
+		}
+		if !frameEqual(&got, &frames[i]) {
+			t.Fatalf("frame %d: round trip mismatch:\n got %+v\nwant %+v", i, got, frames[i])
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d stray bytes after decoding all frames", len(rest))
+	}
+	// Stream decoding of the same pipelined bytes, scratch buffers reused.
+	d := NewDecoder(bytes.NewReader(stream), Limits{})
+	var f Frame
+	for i := range frames {
+		if err := d.ReadFrame(&f); err != nil {
+			t.Fatalf("stream frame %d: %v", i, err)
+		}
+		if !frameEqual(&f, &frames[i]) {
+			t.Fatalf("stream frame %d mismatch", i)
+		}
+	}
+	if err := d.ReadFrame(&f); err != io.EOF {
+		t.Fatalf("want io.EOF at end of stream, got %v", err)
+	}
+}
+
+// TestFrameWriteFrame pins WriteFrame ≡ AppendFrame.
+func TestFrameWriteFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		f := randFrame(rng)
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, &f); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), AppendFrame(nil, &f)) {
+			t.Fatalf("frame %d: WriteFrame and AppendFrame disagree", i)
+		}
+	}
+}
+
+// TestDecodeTypedErrors maps every malformation class to its typed error.
+func TestDecodeTypedErrors(t *testing.T) {
+	good := AppendFrame(nil, &Frame{Op: OpPut, ReqID: 1, Key: []byte("k"), Val: []byte("v")})
+	corrupt := func(off int, b byte) []byte {
+		buf := append([]byte(nil), good...)
+		buf[off] = b
+		return buf
+	}
+	cases := []struct {
+		name string
+		buf  []byte
+		want func(error) bool
+	}{
+		{"empty", nil, func(e error) bool { return e == ErrTruncated }},
+		{"short header", good[:HeaderSize-1], func(e error) bool { return e == ErrTruncated }},
+		{"short payload", good[:len(good)-1], func(e error) bool { return e == ErrTruncated }},
+		{"bad magic", corrupt(0, 'X'), func(e error) bool { return e == ErrBadMagic }},
+		{"bad version", corrupt(2, 9), func(e error) bool { _, ok := e.(*VersionError); return ok }},
+		// A bad opcode or unknown flag bits behind a VALID checksum (an
+		// encoder bug or a future-version peer, not line noise).
+		{"bad op", AppendFrame(nil, &Frame{Op: 0x7f}), func(e error) bool { _, ok := e.(*OpError); return ok }},
+		{"zero op", AppendFrame(nil, &Frame{Op: 0}), func(e error) bool { _, ok := e.(*OpError); return ok }},
+		{"bad flags", AppendFrame(nil, &Frame{Op: OpGet, Flags: 1 << 30}), func(e error) bool { _, ok := e.(*FlagError); return ok }},
+		{"bit flip", corrupt(9, 0xaa), func(e error) bool { _, ok := e.(*CRCError); return ok }},
+		{"crc flip", corrupt(33, 0x55), func(e error) bool { _, ok := e.(*CRCError); return ok }},
+	}
+	for _, tc := range cases {
+		_, _, err := DecodeFrame(tc.buf, DefaultLimits)
+		if err == nil || !tc.want(err) {
+			t.Errorf("%s: got error %v", tc.name, err)
+		}
+		if err != nil && !IsTyped(err) {
+			t.Errorf("%s: error %v is not typed", tc.name, err)
+		}
+	}
+	// Oversized lengths must be rejected before any allocation. The header
+	// must be re-checksummed or the CRC check fires first.
+	big := Frame{Op: OpPut, Key: bytes.Repeat([]byte("k"), 10), Val: []byte("v")}
+	buf := AppendFrame(nil, &big)
+	_, _, err := DecodeFrame(buf, Limits{MaxKey: 4, MaxVal: 4})
+	if _, ok := err.(*SizeError); !ok {
+		t.Errorf("oversized key: got %v, want *SizeError", err)
+	}
+}
+
+// TestDecoderMidFrameEOF pins the stream decoder's distinction between a
+// clean close (io.EOF at a frame boundary) and a connection that died
+// mid-frame (io.ErrUnexpectedEOF) — the server's half-written-frame path.
+func TestDecoderMidFrameEOF(t *testing.T) {
+	full := AppendFrame(nil, &Frame{Op: OpPut, ReqID: 3, Key: []byte("key"), Val: []byte("value")})
+	for cut := 1; cut < len(full); cut++ {
+		d := NewDecoder(bytes.NewReader(full[:cut]), Limits{})
+		var f Frame
+		if err := d.ReadFrame(&f); err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: got %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+// TestBatchPayloadRoundTrip covers the WRITEBATCH encoding, including empty
+// values and interleaved deletes.
+func TestBatchPayloadRoundTrip(t *testing.T) {
+	type bop struct {
+		del      bool
+		key, val string
+	}
+	in := []bop{
+		{false, "alpha", "1"},
+		{true, "beta", ""},
+		{false, "gamma", strings.Repeat("v", 200)},
+		{false, "empty-val", ""},
+		{true, "d", ""},
+	}
+	var buf []byte
+	for _, op := range in {
+		if op.del {
+			buf = AppendBatchDelete(buf, []byte(op.key))
+		} else {
+			buf = AppendBatchPut(buf, []byte(op.key), []byte(op.val))
+		}
+	}
+	var out []bop
+	err := DecodeBatch(buf, DefaultLimits, func(del bool, key, val []byte) {
+		out = append(out, bop{del, string(key), string(val)})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d ops, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("op %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+	// Truncations and hostile lengths are typed, never over-read.
+	for cut := 1; cut < len(buf); cut++ {
+		if err := DecodeBatch(buf[:cut], DefaultLimits, func(bool, []byte, []byte) {}); err != nil {
+			if !IsTyped(err) {
+				t.Fatalf("cut %d: untyped error %v", cut, err)
+			}
+		}
+	}
+	if err := DecodeBatch([]byte{7}, DefaultLimits, func(bool, []byte, []byte) {}); err == nil {
+		t.Fatal("bad batch kind accepted")
+	}
+}
+
+// TestScanPayloadRoundTrip covers the SCAN pair encoding.
+func TestScanPayloadRoundTrip(t *testing.T) {
+	var buf []byte
+	buf = AppendScanPair(buf, []byte("k1"), []byte("v1"))
+	buf = AppendScanPair(buf, []byte("k2"), nil)
+	var got [][2]string
+	if err := DecodeScan(buf, DefaultLimits, func(k, v []byte) {
+		got = append(got, [2]string{string(k), string(v)})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != [2]string{"k1", "v1"} || got[1] != [2]string{"k2", ""} {
+		t.Fatalf("scan decode: %v", got)
+	}
+	if err := DecodeScan(buf[:3], DefaultLimits, func(k, v []byte) {}); !IsTyped(err) {
+		t.Fatalf("truncated scan: %v", err)
+	}
+}
+
+// TestDetectStatsPayload round-trips the 24-byte receipt summary.
+func TestDetectStatsPayload(t *testing.T) {
+	buf := AppendDetectStats(nil, 7, 99, 42)
+	r, m, a, err := DecodeDetectStats(buf)
+	if err != nil || r != 7 || m != 99 || a != 42 {
+		t.Fatalf("got (%d,%d,%d,%v)", r, m, a, err)
+	}
+	if _, _, _, err := DecodeDetectStats(buf[:23]); !IsTyped(err) {
+		t.Fatalf("short payload: %v", err)
+	}
+}
+
+// TestGoldenFrames pins the exact v1 byte layout. These fixtures are the
+// compatibility contract: if any of them changes, the protocol version must
+// be bumped, because deployed peers would no longer parse each other.
+func TestGoldenFrames(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Frame
+		hex  string
+	}{
+		{
+			name: "hello",
+			f:    Frame{Op: OpHello, ReqID: 1, Aux: 0xdead},
+			hex: "6b76010100000000" + "0100000000000000" + "adde000000000000" +
+				"00000000" + "00000000" + "4253cb0d",
+		},
+		{
+			name: "get",
+			f:    Frame{Op: OpGet, ReqID: 2, Key: []byte("k")},
+			hex: "6b76010200000000" + "0200000000000000" + "0000000000000000" +
+				"01000000" + "00000000" + "b4499253" + "6b",
+		},
+		{
+			name: "put-durable-detectable",
+			f:    Frame{Op: OpPut, Flags: FlagDurable | FlagDetectable, ReqID: 9, Key: []byte("k"), Val: []byte("v")},
+			hex: "6b76010300030000" + "0900000000000000" + "0000000000000000" +
+				"01000000" + "01000000" + "a04faeb1" + "6b" + "76",
+		},
+		{
+			name: "put-response-epoch",
+			f:    Frame{Op: OpPut | RespBit, Flags: uint32(StatusOK), ReqID: 9, Aux: 5},
+			hex: "6b76018300000000" + "0900000000000000" + "0500000000000000" +
+				"00000000" + "00000000" + "20a517e1",
+		},
+		{
+			name: "scan",
+			f:    Frame{Op: OpScan, ReqID: 4, Aux: 10, Key: []byte("a")},
+			hex: "6b76010600000000" + "0400000000000000" + "0a00000000000000" +
+				"01000000" + "00000000" + "19c37240" + "61",
+		},
+		{
+			name: "sync",
+			f:    Frame{Op: OpSync, ReqID: 11},
+			hex: "6b76010700000000" + "0b00000000000000" + "0000000000000000" +
+				"00000000" + "00000000" + "46ab79f8",
+		},
+	}
+	for _, tc := range cases {
+		got := hex.EncodeToString(AppendFrame(nil, &tc.f))
+		if got != tc.hex {
+			t.Errorf("%s: encoding changed — v1 wire format broken\n got %s\nwant %s",
+				tc.name, got, tc.hex)
+		}
+		f, n, err := DecodeFrame(AppendFrame(nil, &tc.f), DefaultLimits)
+		if err != nil || n != HeaderSize+len(tc.f.Key)+len(tc.f.Val) || !frameEqual(&f, &tc.f) {
+			t.Errorf("%s: golden frame does not decode to itself (%v)", tc.name, err)
+		}
+	}
+}
