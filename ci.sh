@@ -73,6 +73,14 @@ go run ./cmd/dbbench -json BENCH_pr7.json -detect -keys 10000 -secs 0.25 -thread
 # fence amortization at depth 64, lower pwbs/tx, bounded p99.
 go run ./cmd/dbbench -json BENCH_pr8.json -sync buffered -depth 1,8,64 -keys 10000 -secs 0.5 -threads 1
 
+# Allocator space figure (PR 10): fillrandom bytes-of-NVMM-per-key at
+# 100 B / 1 KiB / 8 KiB values under the arena allocator vs the legacy
+# power-of-two baseline (the Fig-8-style space trajectory). The fills are
+# untimed and deterministic, so the file is stable across runs.
+# TestBenchPR10Trajectory asserts the checked-in file's invariants (arena
+# <= 0.75x legacy bytes/key at 1 KiB, bounded arena fragmentation).
+go run ./cmd/dbbench -json BENCH_pr10.json -space 100,1024,8192 -keys 2000 -threads 1
+
 # Wire-protocol race smokes (PR 9): pipelined connections hammering the
 # per-connection arena batch through real sockets, and the connection-level
 # batch-reuse pin (TestRaceSmokeConnBatches) already runs in the shardeddb

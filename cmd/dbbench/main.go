@@ -11,6 +11,7 @@
 //	dbbench -json BENCH_pr5.json -valuesize 64,256,1024 -keys 5000 -secs 0.25
 //	dbbench -json BENCH_pr7.json -detect -keys 10000 -secs 0.25
 //	dbbench -json BENCH_pr8.json -sync buffered -depth 1,8,64 -keys 10000 -secs 0.25
+//	dbbench -json BENCH_pr10.json -space 100,1024,8192 -keys 2000
 //	dbbench -trace trace.json -engine Redo-PTM -ops 64
 //
 // -trace runs a bounded single-threaded workload on one PTM engine with
@@ -43,6 +44,7 @@ func main() {
 		optane   = flag.Bool("optane", true, "inject Optane-like pwb/fence latencies")
 		shards   = flag.String("shards", "1,2,4,8", "comma-separated shard counts for the sharding figure")
 		vsizes   = flag.String("valuesize", "", "comma-separated value sizes in bytes: run the bulk-vs-word fillrandom sweep instead of the sharding cells (with -json)")
+		space    = flag.String("space", "", "comma-separated value sizes in bytes: run the arena-vs-legacy allocator space figure instead of the sharding cells (with -json)")
 		detect   = flag.Bool("detect", false, "run the plain-vs-detectable Put overhead cells instead of the sharding cells (with -json)")
 		syncMode = flag.String("sync", "", "\"buffered\": run the group-commit fillrandom sweep (sync baseline + one cell per -depth) instead of the sharding cells (with -json)")
 		depths   = flag.String("depth", "1,8,64", "comma-separated Sync batch depths for -sync=buffered")
@@ -106,6 +108,13 @@ func main() {
 			}
 		}
 	}
+	if *space != "" {
+		for _, v := range parseInts(*space, "value size") {
+			if need := uint64(v)/8*4 + 64; need > perKey {
+				perKey = need
+			}
+		}
+	}
 	words := uint64(1) << 16
 	for words < *keys*perKey+(1<<16) {
 		words *= 2
@@ -137,6 +146,8 @@ func main() {
 			entries = bench.DetectEntries(cfg, ts[len(ts)-1])
 		} else if *vsizes != "" {
 			entries = bench.ValueSizeEntries(cfg, parseInts(*vsizes, "value size"), ts[len(ts)-1])
+		} else if *space != "" {
+			entries = bench.SpaceEntries(cfg, parseInts(*space, "value size"), ts[len(ts)-1])
 		} else {
 			entries = bench.ShardingEntries(cfg, sh, ts[len(ts)-1])
 		}

@@ -121,6 +121,31 @@ func advanceWatermark(r *pmem.Region, p *pmem.Pool) {
 	p.PSync()
 }
 
+// --- allocator bitmap-word cases ------------------------------------------
+//
+// The arena allocator publishes an allocation as a single bitmap-word
+// store: setting a block's bit makes it allocated, so recovery's
+// reachability pass treats its words as live. The block's contents must be
+// durable before the bit lands, or a crash exposes a live block of garbage.
+
+const (
+	blockBody    = 40
+	bitmapCommit = 48
+)
+
+// publishBitmapBit: the allocator's idiom done right — block contents
+// flushed and fenced, then the single bitmap-word store, its own
+// write-back and fence.
+func publishBitmapBit(r *pmem.Region) {
+	r.Store(blockBody, 0xb10c)
+	r.Store(blockBody+1, 0xb10c)
+	r.PWB(blockBody)
+	r.PFence()
+	r.Store(bitmapCommit, 1<<3)
+	r.PWB(bitmapCommit)
+	r.PFence()
+}
+
 // --- positive cases -------------------------------------------------------
 
 // commitWhileUnflushed: the commit word can become durable before the
@@ -218,6 +243,25 @@ func headerBeforePayloadFence(r *pmem.Region, p *pmem.Pool) {
 	p.HeaderStore(0, 1) // want `header publish before the payload flush on r is fenced`
 	p.PWBHeader(0)
 	p.PSync()
+}
+
+// bitmapBitWhileBlockDirty: the bitmap word published while the block
+// contents may still be volatile — recovery would mark a garbage block live.
+func bitmapBitWhileBlockDirty(r *pmem.Region) {
+	r.Store(blockBody, 0xb10c)
+	r.Store(bitmapCommit, 1<<3) // want `commit store to bitmapCommit while Store\(blockBody\) on r is unflushed`
+	r.PWB(bitmapCommit)
+	r.PFence()
+}
+
+// bitmapBitBeforeBlockFence: flushed block contents still need their fence
+// before the bit can safely publish the allocation.
+func bitmapBitBeforeBlockFence(r *pmem.Region) {
+	r.Store(blockBody, 0xb10c)
+	r.PWB(blockBody)
+	r.Store(bitmapCommit, 1<<3) // want `commit store to bitmapCommit before the payload flush on r is fenced`
+	r.PWB(bitmapCommit)
+	r.PFence()
 }
 
 // tornWatermark: a watermark kept as an in-region two-word record [idx, seq]

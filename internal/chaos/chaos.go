@@ -38,7 +38,7 @@ func Engines() []string {
 	return []string{
 		"RedoOpt-PTM", "RedoTimed-PTM", "Redo-PTM",
 		"CX-PTM", "CX-PUC", "OneFile", "RomulusLR", "PSim-CoW", "PMDK",
-		"ONLL", "redodb", "redodb-bulkval", "rockssim",
+		"ONLL", "redodb", "redodb-bulkval", "redodb-legacyalloc", "rockssim",
 		"shardeddb-1", "shardeddb-2", "shardeddb-8",
 		"redodb-buffered-d2", "redodb-buffered-d8",
 		"shardeddb-buffered-1", "shardeddb-buffered-8",
@@ -153,7 +153,7 @@ func NewRunner(name string) (*Runner, error) {
 				if m > completed+1 {
 					return fmt.Errorf("%d keys survived but only %d inserts ran", m, completed+1)
 				}
-				return nil
+				return db.AllocReconcile()
 			},
 		}, nil
 	}
@@ -165,13 +165,15 @@ func NewRunner(name string) (*Runner, error) {
 		// insert order is not a single shard's epoch order), but every batch
 		// must recover all-or-nothing and everything below the barrier must
 		// survive.
+		var sdb *shardeddb.DB
 		var s *shardeddb.Session
 		key := func(prefix byte, i int) []byte {
 			return []byte(fmt.Sprintf("%c%03d", prefix, i))
 		}
 		return &Runner{
 			Fresh: func(g *pmem.Group) {
-				s = shardeddb.Open(g, shardeddb.Options{Threads: 1, Buffered: true, PersistEvery: -1}).Session(0)
+				sdb = shardeddb.Open(g, shardeddb.Options{Threads: 1, Buffered: true, PersistEvery: -1})
+				s = sdb.Session(0)
 			},
 			Insert: func(i int) {
 				b := &shardeddb.WriteBatch{}
@@ -205,7 +207,7 @@ func NewRunner(name string) (*Runner, error) {
 				if applied > completed+1 {
 					return fmt.Errorf("%d batches survived but only %d writes ran", applied, completed+1)
 				}
-				return nil
+				return sdb.AllocReconcile()
 			},
 		}, nil
 	}
@@ -215,13 +217,15 @@ func NewRunner(name string) (*Runner, error) {
 		// crash point inside the coordinator protocol (publish intent,
 		// per-shard applies, complete) is exercised at every sweep step.
 		// Verify asserts the batches survived all-or-nothing in order.
+		var sdb *shardeddb.DB
 		var s *shardeddb.Session
 		key := func(prefix byte, i int) []byte {
 			return []byte(fmt.Sprintf("%c%03d", prefix, i))
 		}
 		return &Runner{
 			Fresh: func(g *pmem.Group) {
-				s = shardeddb.Open(g, shardeddb.Options{Threads: 1}).Session(0)
+				sdb = shardeddb.Open(g, shardeddb.Options{Threads: 1})
+				s = sdb.Session(0)
 			},
 			Insert: func(i int) {
 				b := &shardeddb.WriteBatch{}
@@ -258,7 +262,7 @@ func NewRunner(name string) (*Runner, error) {
 				if applied < completed {
 					return fmt.Errorf("completed batch lost: %d applied < %d completed", applied, completed)
 				}
-				return nil
+				return sdb.AllocReconcile()
 			},
 		}, nil
 	}
@@ -268,10 +272,12 @@ func NewRunner(name string) (*Runner, error) {
 		// values: every insert is an aggregated bulk log record, so the
 		// sweeps exercise bulk replay, range undo and the non-temporal
 		// full-line path at every crash point.
+		var db *redodb.DB
 		var s *redodb.Session
 		return &Runner{
 			Fresh: func(g *pmem.Group) {
-				s = redodb.Open(g.Pool(0), redodb.Options{Threads: 1}).Session(0)
+				db = redodb.Open(g.Pool(0), redodb.Options{Threads: 1})
+				s = db.Session(0)
 			},
 			Insert: func(i int) {
 				s.Put([]byte(fmt.Sprintf("k%03d", i)), bulkVal(i))
@@ -292,17 +298,29 @@ func NewRunner(name string) (*Runner, error) {
 						}
 					}
 				}
-				return nil
+				return db.AllocReconcile()
 			},
 		}, nil
-	case "redodb":
+	case "redodb", "redodb-legacyalloc":
+		// The workload churns a scratch key alongside each insert so the
+		// sweep crashes inside Alloc AND Free paths; Verify then audits the
+		// allocator against the reachable blocks (AllocReconcile) — on the
+		// arena allocator the post-crash reachability pass must have left
+		// zero leaks at every injection point. The -legacyalloc variant
+		// runs the identical workload on the power-of-two baseline, whose
+		// reconcile is vacuous (leak-on-crash is its documented behavior).
+		var db *redodb.DB
 		var s *redodb.Session
+		legacy := name == "redodb-legacyalloc"
 		return &Runner{
 			Fresh: func(g *pmem.Group) {
-				s = redodb.Open(g.Pool(0), redodb.Options{Threads: 1}).Session(0)
+				db = redodb.Open(g.Pool(0), redodb.Options{Threads: 1, LegacyAlloc: legacy})
+				s = db.Session(0)
 			},
 			Insert: func(i int) {
 				s.Put([]byte(fmt.Sprintf("k%03d", i)), []byte{byte(i)})
+				s.Put([]byte("scratch"), bulkVal(i))
+				s.Delete([]byte("scratch"))
 			},
 			Verify: func(completed, n int) error {
 				for i := 0; i < completed; i++ {
@@ -311,7 +329,7 @@ func NewRunner(name string) (*Runner, error) {
 						return fmt.Errorf("completed put %d lost", i)
 					}
 				}
-				return nil
+				return db.AllocReconcile()
 			},
 		}, nil
 	case "ONLL":
@@ -469,7 +487,7 @@ func StaleRangesFor(name string) (func(*pmem.Group) []pmem.GroupRange, error) {
 		return onPool(pmdk.StaleRanges), nil
 	case "ONLL":
 		return onPool(onll.StaleRanges), nil
-	case "redodb", "redodb-bulkval":
+	case "redodb", "redodb-bulkval", "redodb-legacyalloc":
 		return onPool(redodb.StaleRanges), nil
 	case "rockssim":
 		return onPool(rockssim.StaleRanges), nil

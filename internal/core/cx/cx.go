@@ -152,9 +152,10 @@ func New(pool *pmem.Pool, cfg Config) *CX {
 		pool.TraceEvent(obs.KindHeaderPublish, -1, -1, headerSlot, 1, 0)
 	} else {
 		palloc.Format(directMem{c.combs[0].region}, pool.RegionWords())
-		c.combs[0].region.FlushRange(0, palloc.HeapStart())
+		meta := palloc.MetaWords(directMem{c.combs[0].region})
+		c.combs[0].region.FlushRange(0, meta)
 		c.combs[0].region.PFence()
-		pool.TraceEvent(obs.KindPublish, -1, 0, 0, palloc.HeapStart(), obs.PubHeap)
+		pool.TraceEvent(obs.KindPublish, -1, 0, 0, meta, obs.PubHeap)
 		pool.HeaderStore(headerSlot, packCurComb(0, 0))
 		pool.PWBHeader(headerSlot)
 		pool.PSync()

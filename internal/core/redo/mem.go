@@ -3,6 +3,7 @@ package redo
 import (
 	"slices"
 
+	"repro/internal/obs"
 	"repro/internal/palloc"
 	"repro/internal/pmem"
 )
@@ -53,8 +54,23 @@ func (m *redoMem) Store(addr, val uint64) {
 	}
 }
 
-func (m *redoMem) Alloc(words uint64) uint64 { return palloc.Alloc(m, words) }
-func (m *redoMem) Free(addr uint64)          { palloc.Free(m, addr) }
+// Alloc serves the transaction from the arena keyed by the announcing
+// thread (not the executing helper, so re-executed closures allocate
+// identically — the ptm.Mem determinism contract) and annotates the trace;
+// the annotation is a nil-check when tracing is off.
+func (m *redoMem) Alloc(words uint64) uint64 {
+	arena := m.owner % palloc.NumArenas
+	addr := palloc.AllocArena(m, arena, words)
+	if addr != 0 {
+		m.e.pool.TraceEvent(obs.KindAlloc, m.exec, m.comb.region.Index(), addr, words, uint64(arena))
+	}
+	return addr
+}
+
+func (m *redoMem) Free(addr uint64) {
+	palloc.Free(m, addr)
+	m.e.pool.TraceEvent(obs.KindFree, m.exec, m.comb.region.Index(), addr, 0, 0)
+}
 
 // StoreWords implements ptm.BulkMem: a whole payload logged as one
 // aggregated record and applied to the replica with full cache lines going

@@ -201,6 +201,11 @@ type Config struct {
 	// one for curComb, one pinned durable, the rest for writers).
 	// Implies DeferFlush.
 	Buffered bool
+	// LegacyAlloc formats fresh heaps with the legacy power-of-two
+	// allocator instead of the arena allocator: the Fig-8 space baseline.
+	// Recovery follows the on-media magic, so reopening an existing heap
+	// ignores this.
+	LegacyAlloc bool
 }
 
 // Redo is the engine behind Redo-PTM, RedoTimed-PTM and RedoOpt-PTM.
@@ -356,10 +361,15 @@ func New(pool *pmem.Pool, cfg Config) *Redo {
 		pool.PSync()
 		pool.TraceEvent(obs.KindHeaderPublish, -1, -1, headerSlot, 1, 0)
 	} else {
-		palloc.Format(directMem{e.combs[0].region}, pool.RegionWords())
-		e.combs[0].region.FlushRange(0, palloc.HeapStart())
+		if cfg.LegacyAlloc {
+			palloc.FormatLegacy(directMem{e.combs[0].region}, pool.RegionWords())
+		} else {
+			palloc.Format(directMem{e.combs[0].region}, pool.RegionWords())
+		}
+		meta := palloc.MetaWords(directMem{e.combs[0].region})
+		e.combs[0].region.FlushRange(0, meta)
 		e.combs[0].region.PFence()
-		pool.TraceEvent(obs.KindPublish, -1, 0, 0, palloc.HeapStart(), obs.PubHeap)
+		pool.TraceEvent(obs.KindPublish, -1, 0, 0, meta, obs.PubHeap)
 		pool.HeaderStore(headerSlot, headerValid|pack(0, 0, 0))
 		pool.PWBHeader(headerSlot)
 		pool.PSync()

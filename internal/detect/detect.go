@@ -306,3 +306,20 @@ func (t Table) Stats(m ptm.Mem, client uint64) (receipts, maxSeq, ack uint64) {
 	}
 	return receipts, maxSeq, ack
 }
+
+// Blocks visits every heap block the dedup table owns — the client-index
+// bucket array and each client record. It is the table's contribution to
+// the allocator's reachability recovery (palloc.Recover): a record the
+// index does not reach is a leak. Read-only.
+func (t Table) Blocks(m ptm.Mem, visit func(addr uint64)) {
+	buckets := m.Load(ptm.RootAddr(t.RootSlot))
+	if buckets == 0 {
+		return
+	}
+	visit(buckets)
+	for i := uint64(0); i < nBuckets; i++ {
+		for rec := m.Load(buckets + i); rec != 0; rec = m.Load(rec + crNext) {
+			visit(rec)
+		}
+	}
+}

@@ -142,6 +142,13 @@ const (
 	// A watermark must not exceed the last seal of its pool, and
 	// watermarks must be non-decreasing per pool; both reset at a crash.
 	KindWatermark
+	// KindAlloc is an annotation from the allocator hot path: a block of
+	// Length words was handed out at Addr (Arg is the arena). Emission is
+	// a nil-check when tracing is off.
+	KindAlloc
+	// KindFree is the matching deallocation annotation: the block at Addr
+	// returned to the allocator.
+	KindFree
 
 	kindCount // sentinel
 )
@@ -175,6 +182,8 @@ var kindNames = [...]string{
 	KindDedupHit:      "dedup-hit",
 	KindEpochSeal:     "epoch-seal",
 	KindWatermark:     "watermark",
+	KindAlloc:         "alloc",
+	KindFree:          "free",
 }
 
 func (k Kind) String() string {

@@ -106,9 +106,10 @@ func New(pool *pmem.Pool, cfg Config) *OneFile {
 		o.recover()
 	} else {
 		palloc.Format(initMem{o.data}, pool.RegionWords())
-		o.data.FlushRange(0, palloc.HeapStart())
+		meta := palloc.MetaWords(initMem{o.data})
+		o.data.FlushRange(0, meta)
 		o.data.PFence()
-		pool.TraceEvent(obs.KindPublish, -1, 0, 0, palloc.HeapStart(), obs.PubHeap)
+		pool.TraceEvent(obs.KindPublish, -1, 0, 0, meta, obs.PubHeap)
 		pool.HeaderStore(slotCommit, 0)
 		pool.HeaderStore(slotMagic, magic)
 		pool.PWBHeader(slotCommit)

@@ -1,0 +1,103 @@
+package palloc
+
+import "fmt"
+
+// The legacy format is the sequential power-of-two free-list allocator the
+// paper's Fig. 8 measures: blocks round up to powers of two (the ~2× NVMM
+// overhead versus RocksDB), every metadata touch — free-list head, bump
+// pointer, in-use counter, block header — is a logged word store (4–6 per
+// Alloc), and a block leaked between Alloc and root publication stays
+// leaked forever. It is kept as the baseline side of the Fig-8-style
+// space/instruction comparison (dbbench -space) and selectable per engine
+// (redodb Options.LegacyAlloc).
+
+// numClassesLegacy covers block sizes 2^1..2^40 words.
+const numClassesLegacy = 40
+
+// Legacy metadata word offsets relative to Base.
+const (
+	offBump         = 2
+	offInUse        = 3
+	offFree         = 8 // free-list heads, one word per class
+	legacyHeapStart = Base + offFree + numClassesLegacy
+)
+
+// FormatLegacy initializes a legacy power-of-two heap in the region viewed
+// through m. The heap occupies [legacyHeapStart, heapEnd) words. Formatting
+// an already formatted heap resets it, dropping all allocations.
+func FormatLegacy(m Mem, heapEnd uint64) {
+	if heapEnd <= legacyHeapStart+4 {
+		panic(fmt.Sprintf("palloc: heap too small (%d words)", heapEnd))
+	}
+	m.Store(Base+offHeapEnd, heapEnd)
+	m.Store(Base+offBump, legacyHeapStart)
+	m.Store(Base+offInUse, 0)
+	for c := 0; c < numClassesLegacy; c++ {
+		m.Store(Base+offFree+uint64(c), 0)
+	}
+	m.Store(Base+offMagic, magicLegacy)
+}
+
+// legacyClassFor returns the smallest size class whose block (including the
+// one-word header) fits total words.
+func legacyClassFor(total uint64) uint64 {
+	c := uint64(1)
+	for uint64(1)<<c < total {
+		c++
+	}
+	return c
+}
+
+func legacyAlloc(m Mem, words uint64) uint64 {
+	if words == 0 {
+		words = 1
+	}
+	if words+1 < words {
+		// words+1 would wrap to 0 and legacyClassFor(0) would answer
+		// class 1, handing out a 2-word block for a 2^64-word request.
+		return 0
+	}
+	c := legacyClassFor(words + 1)
+	if c >= numClassesLegacy {
+		return 0
+	}
+	size := uint64(1) << c
+	head := m.Load(Base + offFree + c)
+	var blk uint64
+	if head != 0 {
+		blk = head
+		m.Store(Base+offFree+c, m.Load(blk+1)) // pop free list
+	} else {
+		bump := m.Load(Base + offBump)
+		if bump+size > m.Load(Base+offHeapEnd) {
+			return 0
+		}
+		blk = bump
+		m.Store(Base+offBump, bump+size)
+	}
+	m.Store(blk, c) // block header: size class
+	m.Store(Base+offInUse, m.Load(Base+offInUse)+size)
+	return blk + 1
+}
+
+func legacyFree(m Mem, addr uint64) {
+	if addr <= legacyHeapStart {
+		panic(fmt.Sprintf("palloc: Free(%d): not an allocated address", addr))
+	}
+	blk := addr - 1
+	c := m.Load(blk)
+	if c == 0 || c >= numClassesLegacy {
+		panic(fmt.Sprintf("palloc: Free(%d): corrupt block header (class %d)", addr, c))
+	}
+	m.Store(blk+1, m.Load(Base+offFree+c)) // push free list
+	m.Store(Base+offFree+c, blk)
+	m.Store(Base+offInUse, m.Load(Base+offInUse)-(uint64(1)<<c))
+}
+
+func legacyUsableWords(m Mem, addr uint64) uint64 {
+	c := m.Load(addr - 1)
+	if c == 0 || c >= numClassesLegacy {
+		panic(fmt.Sprintf("palloc: UsableWords(%d): corrupt block header", addr))
+	}
+	return (uint64(1) << c) - 1
+}

@@ -5,23 +5,36 @@
 // paper obtains wait-free allocation and deallocation: the allocator inherits
 // the progress of the construction that calls it.
 //
+// Two on-media formats coexist, distinguished by the magic word:
+//
+//   - The arena format (Format, "palloc02") carves the heap into 64-word
+//     pages grouped into spans, each span owned by one of 31 fine-grained
+//     size classes (1.25× spacing). Allocation state lives in per-span
+//     occupancy bitmaps: the hot path for an Alloc or Free is a single
+//     logged word store. Class free lists are kept per arena so shards and
+//     threads hashed to different arenas reuse disjoint spans. Recovery can
+//     rebuild the bitmaps from engine-registered roots (Recover), which
+//     reclaims blocks leaked by a crash between allocation and publication.
+//   - The legacy format (FormatLegacy, "palloc01") is the sequential
+//     power-of-two free list the paper measures in Fig. 8: every metadata
+//     touch (free-list head, bump pointer, in-use counter, block header) is
+//     a logged store, and block sizes round up to powers of two. It is kept
+//     as the space/instruction baseline for the Fig-8-style comparison.
+//
 // Design notes that the evaluation depends on:
 //
-//   - Blocks are rounded up to power-of-two sizes. The paper calls this out
-//     as the reason RedoDB uses roughly 2× more NVMM than RocksDB (Fig. 8),
-//     so the space overhead is preserved.
-//   - All metadata (free-list heads, bump pointer, block headers) lives
+//   - All metadata (directory entries, list heads, bump pointer) lives
 //     inside the persistent region and is accessed through the same Mem
 //     interface as user data, so a PTM's store interposition logs and
-//     flushes allocator metadata exactly like user stores. The paper's
-//     flush-aggregation optimization feeds on this: block headers share
-//     cache lines with adjacent user data.
+//     flushes allocator metadata exactly like user stores.
 //   - The allocator state is part of the region, so replicating a region
 //     byte-for-byte replicates the allocator — allocations made in one
 //     replica are valid in every replica.
+//   - Allocation is a pure function of persistent state: given the same
+//     heap image and the same arena, Alloc returns the same address. The
+//     PTM closure-determinism contract (ptm.Mem) depends on this; there is
+//     no volatile cache or hint state.
 package palloc
-
-import "fmt"
 
 // Mem is the minimal word-memory interface the allocator needs. ptm.Mem
 // satisfies it.
@@ -34,120 +47,90 @@ type Mem interface {
 // matching ptm.HeapBase.
 const Base = 16
 
-// numClasses covers block sizes 2^1..2^40 words.
-const numClasses = 40
-
-// Metadata word offsets relative to Base.
 const (
-	offMagic   = 0
-	offHeapEnd = 1
-	offBump    = 2
-	offInUse   = 3
-	offFree    = 8 // free-list heads, one word per class
-	heapStart  = Base + offFree + numClasses
+	magicArena  = 0x70616c6c6f633032 // "palloc02"
+	magicLegacy = 0x70616c6c6f633031 // "palloc01"
 )
 
-const magic = 0x70616c6c6f633031 // "palloc01"
-
-// Format initializes allocator metadata in the region viewed through m. The
-// heap occupies [heapStart, heapEnd) words. Formatting an already formatted
-// heap resets it, dropping all allocations.
-func Format(m Mem, heapEnd uint64) {
-	if heapEnd <= heapStart+4 {
-		panic(fmt.Sprintf("palloc: heap too small (%d words)", heapEnd))
-	}
-	m.Store(Base+offMagic, magic)
-	m.Store(Base+offHeapEnd, heapEnd)
-	m.Store(Base+offBump, heapStart)
-	m.Store(Base+offInUse, 0)
-	for c := 0; c < numClasses; c++ {
-		m.Store(Base+offFree+uint64(c), 0)
-	}
-}
-
 // IsFormatted reports whether the region viewed through m holds a formatted
-// heap, as recovery uses it to decide between reuse and initialization.
+// heap (either format), as recovery uses it to decide between reuse and
+// initialization.
 func IsFormatted(m Mem) bool {
-	return m.Load(Base+offMagic) == magic
+	w := m.Load(Base + offMagic)
+	return w == magicArena || w == magicLegacy
 }
 
-// classFor returns the smallest size class whose block (including the
-// one-word header) fits total words.
-func classFor(total uint64) uint64 {
-	c := uint64(1)
-	for uint64(1)<<c < total {
-		c++
+// IsLegacy reports whether the heap uses the legacy power-of-two format.
+func IsLegacy(m Mem) bool { return m.Load(Base+offMagic) == magicLegacy }
+
+// Alloc allocates a block with room for at least words payload words from
+// arena 0 and returns the payload address, or 0 if the heap is exhausted.
+func Alloc(m Mem, words uint64) uint64 { return AllocArena(m, 0, words) }
+
+// AllocArena allocates from the given arena (0..NumArenas-1). Arenas
+// partition the class free lists so callers hashed to different arenas
+// (shards, threads) reuse disjoint spans; the legacy format has a single
+// free list and ignores the arena. The arena must be a deterministic
+// function of the operation being executed (e.g. the announcing thread id),
+// never of the executing helper, or re-executed closures would diverge.
+func AllocArena(m Mem, arena int, words uint64) uint64 {
+	if IsLegacy(m) {
+		return legacyAlloc(m, words)
 	}
-	return c
+	return arenaAlloc(m, arena, words)
 }
 
-// Alloc allocates a block with room for at least words payload words and
-// returns the payload address, or 0 if the heap is exhausted.
-func Alloc(m Mem, words uint64) uint64 {
-	if words == 0 {
-		words = 1
-	}
-	c := classFor(words + 1)
-	if c >= numClasses {
-		return 0
-	}
-	size := uint64(1) << c
-	head := m.Load(Base + offFree + c)
-	var blk uint64
-	if head != 0 {
-		blk = head
-		m.Store(Base+offFree+c, m.Load(blk+1)) // pop free list
-	} else {
-		bump := m.Load(Base + offBump)
-		if bump+size > m.Load(Base+offHeapEnd) {
-			return 0
-		}
-		blk = bump
-		m.Store(Base+offBump, bump+size)
-	}
-	m.Store(blk, c) // block header: size class
-	m.Store(Base+offInUse, m.Load(Base+offInUse)+size)
-	return blk + 1
-}
-
-// Free returns the block whose payload starts at addr to its size-class free
-// list. Freeing an invalid address panics: persistent heap corruption must
-// not be silent.
+// Free returns the block whose payload starts at addr to its free
+// structure. Freeing an invalid address panics: persistent heap corruption
+// must not be silent.
 func Free(m Mem, addr uint64) {
-	if addr <= heapStart {
-		panic(fmt.Sprintf("palloc: Free(%d): not an allocated address", addr))
+	if IsLegacy(m) {
+		legacyFree(m, addr)
+		return
 	}
-	blk := addr - 1
-	c := m.Load(blk)
-	if c == 0 || c >= numClasses {
-		panic(fmt.Sprintf("palloc: Free(%d): corrupt block header (class %d)", addr, c))
-	}
-	m.Store(blk+1, m.Load(Base+offFree+c)) // push free list
-	m.Store(Base+offFree+c, blk)
-	m.Store(Base+offInUse, m.Load(Base+offInUse)-(uint64(1)<<c))
+	arenaFree(m, addr)
 }
 
 // UsableWords reports the payload capacity of the block at addr.
 func UsableWords(m Mem, addr uint64) uint64 {
-	c := m.Load(addr - 1)
-	if c == 0 || c >= numClasses {
-		panic(fmt.Sprintf("palloc: UsableWords(%d): corrupt block header", addr))
+	if IsLegacy(m) {
+		return legacyUsableWords(m, addr)
 	}
-	return (uint64(1) << c) - 1
+	return arenaUsableWords(m, addr)
 }
 
 // InUseWords reports the number of words currently allocated (including
-// block headers and rounding waste): the NVMM usage the paper plots in
-// Fig. 8.
-func InUseWords(m Mem) uint64 { return m.Load(Base + offInUse) }
+// rounding waste): the NVMM usage the paper plots in Fig. 8. The arena
+// format computes it from the page directory; the legacy format keeps a
+// logged counter.
+func InUseWords(m Mem) uint64 {
+	if IsLegacy(m) {
+		return m.Load(Base + offInUse)
+	}
+	return arenaInUseWords(m)
+}
 
 // UsedWords reports the high-water mark of the heap: every word the
 // allocator has ever handed out lies below it. CX-PUC flushes [0, UsedWords)
 // on every curComb transition, and replica copies cover the same range.
-func UsedWords(m Mem) uint64 { return m.Load(Base + offBump) }
+func UsedWords(m Mem) uint64 {
+	if IsLegacy(m) {
+		return m.Load(Base + offBump)
+	}
+	return m.Load(Base+off2PagesStart) + m.Load(Base+off2Bump)*pageWords
+}
 
 // HeapEndWords reports the configured heap end.
 func HeapEndWords(m Mem) uint64 { return m.Load(Base + offHeapEnd) }
 
-// HeapStart reports the first heap word, after the allocator metadata.
-func HeapStart() uint64 { return heapStart }
+// MetaWords reports the number of words of allocator metadata at the start
+// of the region viewed through m: the first payload word of any block lies
+// at or beyond it. Engines flush [0, MetaWords) after formatting. The arena
+// format's metadata includes the page directory, so the value depends on
+// the heap size; the legacy format's is fixed.
+func MetaWords(m Mem) uint64 {
+	if IsLegacy(m) {
+		return legacyHeapStart
+	}
+	return m.Load(Base + off2PagesStart)
+}

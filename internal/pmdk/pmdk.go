@@ -94,9 +94,10 @@ func New(pool *pmem.Pool, cfg Config) *PMDK {
 		p.recover()
 	} else {
 		palloc.Format(rawMem{p.data}, pool.RegionWords())
-		p.data.FlushRange(0, palloc.HeapStart())
+		meta := palloc.MetaWords(rawMem{p.data})
+		p.data.FlushRange(0, meta)
 		p.data.PFence()
-		pool.TraceEvent(obs.KindPublish, -1, 0, 0, palloc.HeapStart(), obs.PubHeap)
+		pool.TraceEvent(obs.KindPublish, -1, 0, 0, meta, obs.PubHeap)
 		pool.HeaderStore(slotMagic, magic)
 		pool.HeaderStore(slotEra, 1)
 		pool.PWBHeader(slotMagic)

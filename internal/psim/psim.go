@@ -88,9 +88,10 @@ func New(pool *pmem.Pool, cfg Config) *PSim {
 		pool.TraceEvent(obs.KindHeaderPublish, -1, -1, headerSlot, 1, 0)
 	} else {
 		palloc.Format(rawMem{p.area[0]}, pool.RegionWords())
-		p.area[0].FlushRange(0, palloc.HeapStart())
+		meta := palloc.MetaWords(rawMem{p.area[0]})
+		p.area[0].FlushRange(0, meta)
 		p.area[0].PFence()
-		pool.TraceEvent(obs.KindPublish, -1, 0, 0, palloc.HeapStart(), obs.PubHeap)
+		pool.TraceEvent(obs.KindPublish, -1, 0, 0, meta, obs.PubHeap)
 		pool.HeaderStore(headerSlot, 0<<1|1)
 		pool.PWBHeader(headerSlot)
 		pool.PSync()

@@ -69,6 +69,11 @@ type Options struct {
 	// entirely (caller-driven: Sync/Persist seal epochs on the calling
 	// thread — deterministic, for crash sweeps and alloc pins).
 	PersistEvery time.Duration
+	// LegacyAlloc formats fresh heaps with the legacy power-of-two
+	// allocator — the Fig-8 space baseline with its 2× rounding waste,
+	// 4–6 logged stores per Alloc and leak-on-crash behavior — instead of
+	// the arena allocator. Reopening follows the on-media format.
+	LegacyAlloc bool
 }
 
 // DB is a RedoDB instance.
@@ -97,12 +102,13 @@ func Open(pool *pmem.Pool, opts Options) *DB {
 	}
 	pool.TraceEvent(obs.KindRecoveryBegin, -1, -1, 0, 0, 0)
 	eng := redo.New(pool, redo.Config{
-		Threads:  opts.Threads,
-		RingSize: opts.RingSize,
-		Variant:  opts.Variant,
-		Features: opts.Features,
-		Profile:  opts.Profile,
-		Buffered: opts.Buffered,
+		Threads:     opts.Threads,
+		RingSize:    opts.RingSize,
+		Variant:     opts.Variant,
+		Features:    opts.Features,
+		Profile:     opts.Profile,
+		Buffered:    opts.Buffered,
+		LegacyAlloc: opts.LegacyAlloc,
 	})
 	db := &DB{
 		eng:    eng,
@@ -125,6 +131,10 @@ func Open(pool *pmem.Pool, opts Options) *DB {
 	// Reject a structurally-corrupt recovered map with a typed error before
 	// running any transaction that would chase its pointers.
 	db.validate()
+	// Reachability pass over the arena heap: reclaim blocks a crash
+	// stranded between allocation and publication (no-op on a clean heap
+	// and on the legacy format, which has no directory to rebuild).
+	db.recoverHeap()
 	pool.TraceEvent(obs.KindRecoveryEnd, -1, -1, 0, 0, 0)
 	// Initialize the map on first open; a recovered pool already holds it.
 	db.eng.Update(0, func(m ptm.Mem) uint64 {

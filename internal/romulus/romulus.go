@@ -85,13 +85,14 @@ func New(pool *pmem.Pool, cfg Config) *Romulus {
 		r.recover(hdr)
 	} else {
 		palloc.Format(rawMem{r.inst[0]}, pool.RegionWords())
-		r.inst[0].FlushRange(0, palloc.HeapStart())
+		meta := palloc.MetaWords(rawMem{r.inst[0]})
+		r.inst[0].FlushRange(0, meta)
 		r.inst[0].PFence()
-		pool.TraceEvent(obs.KindPublish, -1, 0, 0, palloc.HeapStart(), obs.PubHeap)
-		r.inst[1].CopyFrom(r.inst[0], palloc.HeapStart())
-		r.inst[1].FlushRange(0, palloc.HeapStart())
+		pool.TraceEvent(obs.KindPublish, -1, 0, 0, meta, obs.PubHeap)
+		r.inst[1].CopyFrom(r.inst[0], meta)
+		r.inst[1].FlushRange(0, meta)
 		r.inst[1].PFence()
-		pool.TraceEvent(obs.KindPublish, -1, 1, 0, palloc.HeapStart(), obs.PubHeap)
+		pool.TraceEvent(obs.KindPublish, -1, 1, 0, meta, obs.PubHeap)
 		pool.HeaderStore(headerSlot, packHdr(phaseIdle, 0))
 		pool.PWBHeader(headerSlot)
 		pool.PSync()

@@ -20,6 +20,7 @@
 package shardeddb
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +55,10 @@ type Options struct {
 	// 0 means a 200µs default, negative disables the goroutine
 	// (caller-driven: Sync/Persist seal epochs on the calling thread).
 	PersistEvery time.Duration
+	// LegacyAlloc formats every shard's fresh heap with the legacy
+	// power-of-two allocator (the Fig-8 space baseline) instead of the
+	// per-arena allocator.
+	LegacyAlloc bool
 }
 
 // GroupConfig describes the pool geometry NewGroup builds for a sharded DB:
@@ -141,11 +146,12 @@ func Open(g *pmem.Group, opts Options) *DB {
 	db.shards = make([]*redodb.DB, g.Len()-1)
 	for i := range db.shards {
 		db.shards[i] = redodb.Open(g.Pool(i+1), redodb.Options{
-			Threads:  opts.Threads,
-			RootSlot: mapRoot,
-			Variant:  opts.Variant,
-			RingSize: opts.RingSize,
-			Buffered: opts.Buffered,
+			Threads:     opts.Threads,
+			RootSlot:    mapRoot,
+			Variant:     opts.Variant,
+			RingSize:    opts.RingSize,
+			Buffered:    opts.Buffered,
+			LegacyAlloc: opts.LegacyAlloc,
 			// The shards never run their own persisters: the group-level
 			// loop (or the caller) seals every shard in turn.
 			PersistEvery: -1,
@@ -173,6 +179,17 @@ func (db *DB) Group() *pmem.Group { return db.group }
 
 // Shards reports the number of shards.
 func (db *DB) Shards() int { return len(db.shards) }
+
+// AllocReconcile audits every shard's allocator against its reachable
+// blocks (redodb.DB.AllocReconcile), returning the first discrepancy.
+func (db *DB) AllocReconcile() error {
+	for i, s := range db.shards {
+		if err := s.AllocReconcile(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
 
 // Session returns a handle bound to thread id tid. Each session must be used
 // by at most one goroutine at a time.
